@@ -1,0 +1,40 @@
+# causalfl — stdlib-only Go; no tool dependencies beyond the Go toolchain.
+
+GO ?= go
+
+.PHONY: all build test test-short vet fmt bench report tables figures clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the simulation campaigns; unit and property tests only.
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Every table, figure, ablation and extension, abbreviated windows.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x .
+
+# Paper-length regeneration of the full evaluation.
+report:
+	$(GO) run ./cmd/causalfl report -out docs/EVALUATION.md
+
+tables:
+	$(GO) run ./cmd/causalfl tables
+
+figures:
+	$(GO) run ./cmd/causalfl figures
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunSmoke(t *testing.T) {
+	if err := run([]string{"-duration", "30s", "-fault", "B"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRobotShop(t *testing.T) {
+	if err := run([]string{"-app", "robotshop", "-duration", "20s"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownApp(t *testing.T) {
+	if err := run([]string{"-app", "nope"}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-duration", "tomorrow"}); err == nil {
+		t.Fatal("unparseable duration accepted")
+	}
+}

@@ -1,0 +1,664 @@
+// Command causalfl is the front door to the fault-localization pipeline: it
+// trains interventional causal models on the benchmark applications,
+// localizes injected faults, evaluates campaigns, and regenerates the
+// paper's tables and figures.
+//
+// Usage:
+//
+//	causalfl tables   [-table 1|2] [-quick] [-seed N]
+//	causalfl figures  [-fig 1|2|causal-sets] [-quick] [-seed N]
+//	causalfl train    -app causalbench|robotshop [-metrics preset] [-out model.json] [-quick]
+//	causalfl localize -app causalbench|robotshop -model model.json -fault SVC [-mult M]
+//	causalfl evaluate -app causalbench|robotshop [-metrics preset] [-mult M] [-quick]
+//	causalfl compare  -app causalbench|robotshop [-quick]
+//	causalfl topology -app causalbench|robotshop
+//	causalfl extensions [-quick] [-seed N]
+//	causalfl sweep    -app causalbench|robotshop [-seeds N] [-mult M] [-quick]
+//	causalfl scale    [-quick] [-seed N]
+//	causalfl collect  -app causalbench|robotshop -out data.json [-quick]
+//	causalfl learn    -data data.json [-out model.json] [-alpha 0.05]
+//	causalfl worlds   -model model.json
+//	causalfl report   [-out report.md] [-quick] [-seed N]
+//	causalfl serve    -model model.json [-addr :8080]
+//	causalfl diff     -old old.json -new new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"causalfl/internal/apps"
+	"causalfl/internal/apps/causalbench"
+	"causalfl/internal/apps/robotshop"
+	"causalfl/internal/chaos"
+	"causalfl/internal/core"
+	"causalfl/internal/eval"
+	"causalfl/internal/metrics"
+	"causalfl/internal/report"
+	"causalfl/internal/sim"
+	"causalfl/internal/webui"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "causalfl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand (tables, figures, train, collect, learn, worlds, localize, evaluate, compare, topology, extensions, sweep, scale, report, serve, diff)")
+	}
+	switch args[0] {
+	case "tables":
+		return cmdTables(args[1:])
+	case "figures":
+		return cmdFigures(args[1:])
+	case "train":
+		return cmdTrain(args[1:])
+	case "localize":
+		return cmdLocalize(args[1:])
+	case "evaluate":
+		return cmdEvaluate(args[1:])
+	case "compare":
+		return cmdCompare(args[1:])
+	case "topology":
+		return cmdTopology(args[1:])
+	case "extensions":
+		return cmdExtensions(args[1:])
+	case "sweep":
+		return cmdSweep(args[1:])
+	case "scale":
+		return cmdScale(args[1:])
+	case "collect":
+		return cmdCollect(args[1:])
+	case "learn":
+		return cmdLearn(args[1:])
+	case "worlds":
+		return cmdWorlds(args[1:])
+	case "report":
+		return cmdReport(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
+	case "diff":
+		return cmdDiff(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+// builderFor resolves an application name.
+func builderFor(name string) (apps.Builder, error) {
+	switch name {
+	case causalbench.Name:
+		return causalbench.Build, nil
+	case robotshop.Name:
+		return robotshop.Build, nil
+	default:
+		return nil, fmt.Errorf("unknown app %q (want %s or %s)", name, causalbench.Name, robotshop.Name)
+	}
+}
+
+// commonFlags registers the flags shared by campaign subcommands.
+type commonFlags struct {
+	app     string
+	metrics string
+	quick   bool
+	seed    int64
+	mult    float64
+}
+
+func (c *commonFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&c.app, "app", causalbench.Name, "application under test")
+	fs.StringVar(&c.metrics, "metrics", metrics.SetDerivedAll, "metric set preset: "+strings.Join(metrics.PresetNames(), ", "))
+	fs.BoolVar(&c.quick, "quick", false, "shortened collection windows (2.5min instead of 10min)")
+	fs.Int64Var(&c.seed, "seed", 42, "random seed")
+	fs.Float64Var(&c.mult, "mult", 1, "test load multiplier")
+}
+
+func (c *commonFlags) config() (eval.Config, error) {
+	build, err := builderFor(c.app)
+	if err != nil {
+		return eval.Config{}, err
+	}
+	set, err := metrics.Preset(c.metrics)
+	if err != nil {
+		return eval.Config{}, err
+	}
+	cfg := eval.Options{Seed: c.seed, Quick: c.quick}.Apply(eval.Config{
+		Build:          build,
+		Metrics:        set,
+		TestMultiplier: c.mult,
+	})
+	return cfg, nil
+}
+
+func cmdTables(args []string) error {
+	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	table := fs.Int("table", 0, "table number (0 = both)")
+	quick := fs.Bool("quick", false, "shortened collection windows")
+	seed := fs.Int64("seed", 42, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := eval.Options{Seed: *seed, Quick: *quick}
+	if *table == 0 || *table == 1 {
+		result, err := eval.RunTableI(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(result)
+	}
+	if *table == 0 || *table == 2 {
+		result, err := eval.RunTableII(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(result)
+	}
+	if *table < 0 || *table > 2 {
+		return fmt.Errorf("unknown table %d", *table)
+	}
+	return nil
+}
+
+func cmdFigures(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fig := fs.String("fig", "", "figure: 1, 2, causal-sets or logging (empty = all)")
+	quick := fs.Bool("quick", false, "shortened collection windows")
+	seed := fs.Int64("seed", 42, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := eval.Options{Seed: *seed, Quick: *quick}
+	if *fig == "" || *fig == "1" {
+		result, err := eval.RunFig1(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(result)
+	}
+	if *fig == "" || *fig == "2" {
+		result, err := eval.RunFig2(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(result)
+	}
+	if *fig == "" || *fig == "causal-sets" {
+		result, err := eval.RunCausalSetsExample(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(result)
+	}
+	if *fig == "" || *fig == "logging" {
+		result, err := eval.RunLoggingDiscipline(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(result)
+	}
+	switch *fig {
+	case "", "1", "2", "causal-sets", "logging":
+		return nil
+	default:
+		return fmt.Errorf("unknown figure %q", *fig)
+	}
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	var cf commonFlags
+	cf.register(fs)
+	out := fs.String("out", "", "write the trained model JSON to this file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := cf.config()
+	if err != nil {
+		return err
+	}
+	model, err := eval.Train(cfg)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := model.WriteJSON(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trained %d causal worlds over %d targets (alpha=%.2f)\n",
+		len(model.Metrics), len(model.Targets), model.Alpha)
+	return nil
+}
+
+func cmdLocalize(args []string) error {
+	fs := flag.NewFlagSet("localize", flag.ContinueOnError)
+	var cf commonFlags
+	cf.register(fs)
+	modelPath := fs.String("model", "", "trained model JSON (from causalfl train)")
+	fault := fs.String("fault", "", "comma-separated services to break in the production session")
+	productionPath := fs.String("production", "", "localize a production snapshot JSON file instead of simulating")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return fmt.Errorf("localize needs -model")
+	}
+	if *fault == "" && *productionPath == "" {
+		return fmt.Errorf("localize needs -fault (simulate) or -production (snapshot file)")
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return fmt.Errorf("open model: %w", err)
+	}
+	defer f.Close()
+	model, err := core.ReadModel(f)
+	if err != nil {
+		return err
+	}
+
+	var production *metrics.Snapshot
+	var faults []string
+	if *productionPath != "" {
+		blob, err := os.ReadFile(*productionPath)
+		if err != nil {
+			return fmt.Errorf("open production snapshot: %w", err)
+		}
+		var snap metrics.Snapshot
+		if err := json.Unmarshal(blob, &snap); err != nil {
+			return fmt.Errorf("decode production snapshot: %w", err)
+		}
+		if err := snap.Validate(); err != nil {
+			return fmt.Errorf("production snapshot: %w", err)
+		}
+		production = &snap
+		fmt.Printf("production data: %s\n", *productionPath)
+	} else {
+		cfg, err := cf.config()
+		if err != nil {
+			return err
+		}
+		faults = strings.Split(*fault, ",")
+		production, err = eval.CollectProductionMulti(cfg, cf.mult, faults, chaos.Unavailable(), cf.seed+99)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("injected fault(s): %s (load %gx)\n", *fault, cf.mult)
+	}
+
+	localizer, err := core.NewLocalizer()
+	if err != nil {
+		return err
+	}
+	if len(faults) > 1 {
+		named, err := localizer.LocalizeMulti(model, production, len(faults))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("localized to:      %s (greedy explain-away, k=%d)\n", strings.Join(named, ", "), len(faults))
+		return nil
+	}
+	loc, err := localizer.Localize(model, production)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("localized to:      %s\n", strings.Join(loc.Candidates, ", "))
+	for _, m := range model.Metrics {
+		fmt.Printf("  A(%s) = {%s}\n", m, strings.Join(loc.Anomalies[m], ", "))
+	}
+	return nil
+}
+
+func cmdEvaluate(args []string) error {
+	fs := flag.NewFlagSet("evaluate", flag.ContinueOnError)
+	var cf commonFlags
+	cf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := cf.config()
+	if err != nil {
+		return err
+	}
+	model, report, err := eval.TrainAndEvaluate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	fmt.Printf("(model: %d metrics, %d targets, alpha=%.2f)\n",
+		len(model.Metrics), len(model.Targets), model.Alpha)
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	var cf commonFlags
+	cf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	build, err := builderFor(cf.app)
+	if err != nil {
+		return err
+	}
+	result, err := eval.RunBaselineComparison(eval.Options{Seed: cf.seed, Quick: cf.quick}, build, cf.app)
+	if err != nil {
+		return err
+	}
+	fmt.Print(result)
+	return nil
+}
+
+func cmdTopology(args []string) error {
+	fs := flag.NewFlagSet("topology", flag.ContinueOnError)
+	app := fs.String("app", causalbench.Name, "application")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	build, err := builderFor(*app)
+	if err != nil {
+		return err
+	}
+	a, err := build(sim.NewEngine(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("app: %s\nservices: %s\n", a.Name, strings.Join(a.Services(), ", "))
+	fmt.Println("edges:")
+	for _, e := range a.Edges {
+		fmt.Printf("  %s -> %s\n", e.From, e.To)
+	}
+	fmt.Println("user flows:")
+	for _, f := range a.Flows {
+		fmt.Printf("  %-10s %s/%s (weight %g)\n", f.Name, f.Entry, f.Endpoint, f.Weight)
+	}
+	fmt.Printf("fault targets: %s\n", strings.Join(a.FaultTargets, ", "))
+	return nil
+}
+
+func cmdExtensions(args []string) error {
+	fs := flag.NewFlagSet("extensions", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "shortened collection windows")
+	seed := fs.Int64("seed", 42, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := eval.Options{Seed: *seed, Quick: *quick}
+	faultTypes, err := eval.RunFaultTypeExtension(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println(faultTypes)
+	multi, err := eval.RunMultiFaultExtension(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println(multi)
+	tracesVs, err := eval.RunTraceComparison(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tracesVs)
+	nonstationary, err := eval.RunNonstationaryExtension(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println(nonstationary)
+	contamination, err := eval.RunContaminationExtension(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println(contamination)
+	interference, err := eval.RunInterferenceExtension(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println(interference)
+	budget, err := eval.RunBudgetExtension(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println(budget)
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var cf commonFlags
+	cf.register(fs)
+	count := fs.Int("seeds", 5, "number of seeds to sweep")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *count < 1 {
+		return fmt.Errorf("sweep needs at least one seed")
+	}
+	cfg, err := cf.config()
+	if err != nil {
+		return err
+	}
+	seeds := make([]int64, *count)
+	for i := range seeds {
+		seeds[i] = cf.seed + int64(i)*101
+	}
+	result, err := eval.SweepSeeds(cfg, seeds)
+	if err != nil {
+		return err
+	}
+	fmt.Print(result)
+	return nil
+}
+
+func cmdScale(args []string) error {
+	fs := flag.NewFlagSet("scale", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "shortened collection windows")
+	seed := fs.Int64("seed", 42, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	result, err := eval.RunScalabilityExtension(eval.Options{Seed: *seed, Quick: *quick})
+	if err != nil {
+		return err
+	}
+	fmt.Print(result)
+	return nil
+}
+
+func cmdCollect(args []string) error {
+	fs := flag.NewFlagSet("collect", flag.ContinueOnError)
+	var cf commonFlags
+	cf.register(fs)
+	out := fs.String("out", "", "write the collected dataset JSON to this file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := cf.config()
+	if err != nil {
+		return err
+	}
+	data, err := eval.CollectTraining(cfg)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := data.WriteJSON(w, cf.app); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "collected baseline + %d intervention datasets from %s\n",
+		len(data.Interventions), cf.app)
+	return nil
+}
+
+func cmdLearn(args []string) error {
+	fs := flag.NewFlagSet("learn", flag.ContinueOnError)
+	dataPath := fs.String("data", "", "dataset JSON from `causalfl collect`")
+	out := fs.String("out", "", "write the trained model JSON to this file (default stdout)")
+	alpha := fs.Float64("alpha", 0, "KS significance level (default 0.05)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataPath == "" {
+		return fmt.Errorf("learn needs -data")
+	}
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		return fmt.Errorf("open dataset: %w", err)
+	}
+	defer f.Close()
+	data, app, err := eval.ReadTrainingData(f)
+	if err != nil {
+		return err
+	}
+	var opts []core.LearnerOption
+	if *alpha != 0 {
+		opts = append(opts, core.WithAlpha(*alpha))
+	}
+	learner, err := core.NewLearner(opts...)
+	if err != nil {
+		return err
+	}
+	model, err := learner.Learn(data.Baseline, data.Interventions)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *out, err)
+		}
+		defer file.Close()
+		w = file
+	}
+	if err := model.WriteJSON(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "learned %d causal worlds over %d targets from %s data\n",
+		len(model.Metrics), len(model.Targets), app)
+	return nil
+}
+
+func cmdWorlds(args []string) error {
+	fs := flag.NewFlagSet("worlds", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "trained model JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return fmt.Errorf("worlds needs -model")
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return fmt.Errorf("open model: %w", err)
+	}
+	defer f.Close()
+	model, err := core.ReadModel(f)
+	if err != nil {
+		return err
+	}
+	fmt.Print(model.Describe())
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "shortened collection windows")
+	seed := fs.Int64("seed", 42, "random seed")
+	out := fs.String("out", "", "write the Markdown report to this file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	return report.Generate(eval.Options{Seed: *seed, Quick: *quick}, w)
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "trained model JSON (from causalfl train)")
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return fmt.Errorf("serve needs -model")
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return fmt.Errorf("open model: %w", err)
+	}
+	defer f.Close()
+	model, err := core.ReadModel(f)
+	if err != nil {
+		return err
+	}
+	server, err := webui.NewServer(model)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serving causal model (%d targets) on %s\n", len(model.Targets), *addr)
+	return http.ListenAndServe(*addr, server)
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	oldPath := fs.String("old", "", "previous model JSON")
+	newPath := fs.String("new", "", "current model JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *oldPath == "" || *newPath == "" {
+		return fmt.Errorf("diff needs -old and -new")
+	}
+	readModel := func(path string) (*core.Model, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("open model: %w", err)
+		}
+		defer f.Close()
+		return core.ReadModel(f)
+	}
+	oldModel, err := readModel(*oldPath)
+	if err != nil {
+		return err
+	}
+	newModel, err := readModel(*newPath)
+	if err != nil {
+		return err
+	}
+	d, err := core.DiffModels(oldModel, newModel)
+	if err != nil {
+		return err
+	}
+	fmt.Print(d)
+	return nil
+}

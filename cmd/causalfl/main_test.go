@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadInvocations(t *testing.T) {
+	cases := [][]string{
+		nil,                         // no subcommand
+		{"frobnicate"},              // unknown subcommand
+		{"tables", "-table", "7"},   // unknown table
+		{"figures", "-fig", "9"},    // unknown figure
+		{"topology", "-app", "zzz"}, // unknown app
+		{"localize"},                // missing -model/-fault
+		{"evaluate", "-app", "zzz"},
+		{"train", "-metrics", "nonsense"},
+		{"sweep", "-seeds", "0"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestBuilderFor(t *testing.T) {
+	for _, name := range []string{"causalbench", "robotshop"} {
+		if _, err := builderFor(name); err != nil {
+			t.Errorf("builderFor(%q): %v", name, err)
+		}
+	}
+	if _, err := builderFor("nope"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestCmdTopologyRuns(t *testing.T) {
+	if err := run([]string{"topology", "-app", "causalbench"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainLocalizeRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.json")
+	if err := run([]string{
+		"train", "-app", "causalbench", "-quick", "-out", modelPath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "causal_sets") {
+		t.Fatal("model file missing causal sets")
+	}
+	if err := run([]string{
+		"localize", "-app", "causalbench", "-quick",
+		"-model", modelPath, "-fault", "D",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectLearnWorldsDiffPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.json")
+	modelA := filepath.Join(dir, "a.json")
+	modelB := filepath.Join(dir, "b.json")
+
+	if err := run([]string{"collect", "-app", "causalbench", "-quick", "-out", dataPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"learn", "-data", dataPath, "-out", modelA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"worlds", "-model", modelA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"train", "-app", "causalbench", "-quick", "-seed", "7", "-out", modelB}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"diff", "-old", modelA, "-new", modelB}); err != nil {
+		t.Fatal(err)
+	}
+	// Multi-fault localization through the CLI.
+	if err := run([]string{
+		"localize", "-app", "causalbench", "-quick", "-model", modelA, "-fault", "B,I",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalizeMissingInputs(t *testing.T) {
+	if err := run([]string{"localize", "-model", "x.json"}); err == nil {
+		t.Fatal("localize without -fault or -production accepted")
+	}
+	if err := run([]string{"learn"}); err == nil {
+		t.Fatal("learn without -data accepted")
+	}
+	if err := run([]string{"worlds"}); err == nil {
+		t.Fatal("worlds without -model accepted")
+	}
+	if err := run([]string{"diff", "-old", "x"}); err == nil {
+		t.Fatal("diff without -new accepted")
+	}
+	if err := run([]string{"serve"}); err == nil {
+		t.Fatal("serve without -model accepted")
+	}
+}
+
+func TestCmdFiguresCausalSets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test skipped in -short mode")
+	}
+	if err := run([]string{"figures", "-fig", "causal-sets", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+// Confounder demo (Fig. 2): an intervention changes the load distribution.
+//
+// Ten closed-loop users drive the topology
+//
+//	user -> A -> { B -> (C -> E | E),  I }
+//
+// through three flows. When node C fails, requests on the C path return
+// immediately, users cycle faster, and node I — which has no code-level
+// relationship with C at all — receives measurably more requests. A naive
+// causal learner would draw a C -> I edge from that shift; the paper's
+// derived metrics and per-metric worlds exist to absorb exactly this
+// confounding.
+//
+//	go run ./examples/confounder [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"causalfl/internal/eval"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shortened collection windows")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+	if err := run(*quick, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(quick bool, seed int64) error {
+	result, err := eval.RunFig2(eval.Options{Seed: seed, Quick: quick})
+	if err != nil {
+		return err
+	}
+	fmt.Print(result)
+
+	deltaI := (result.FaultCI.Mean/result.HealthyI.Mean - 1) * 100
+	deltaC := (result.FaultIC.Mean/result.HealthyC.Mean - 1) * 100
+	fmt.Printf("\nfailing C raised I's request rate by %.1f%%; failing I raised C's by %.1f%% —\n", deltaI, deltaC)
+	fmt.Println("the external load never changed. This is the queuing confounder of §III-C.")
+	return nil
+}

@@ -1,0 +1,44 @@
+// Scalability demo: fault localization on generated production-scale
+// topologies.
+//
+// The paper's evaluation stops at 12 services, but its motivation cites
+// call graphs of 40+ microservices. This program generates synthetic layered
+// applications (stores, background drain workers, heterogeneous logging —
+// the CausalBench ingredients) at increasing sizes and measures both
+// localization quality and the cost of the training campaign, which is
+// inherently linear: Algorithm 1 needs one fault-injection window per
+// service.
+//
+//	go run ./examples/scale [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"causalfl/internal/eval"
+)
+
+func main() {
+	quick := flag.Bool("quick", true, "shortened collection windows (default true; -quick=false for paper-length)")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+	if err := run(*quick, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(quick bool, seed int64) error {
+	result, err := eval.RunScalabilityExtension(eval.Options{Seed: seed, Quick: quick})
+	if err != nil {
+		return err
+	}
+	fmt.Print(result)
+	fmt.Println("\nreading guide:")
+	fmt.Println("  - accuracy holds as the application grows: causal sets get more distinctive,")
+	fmt.Println("    not less, because larger graphs give faults more room to differ")
+	fmt.Println("  - wall time grows linearly in service count — the real-world analogue is the")
+	fmt.Println("    injection budget: ten minutes of controlled faulting per service")
+	return nil
+}

@@ -1,0 +1,3 @@
+module causalfl
+
+go 1.22

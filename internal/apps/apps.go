@@ -1,0 +1,106 @@
+// Package apps defines the benchmark applications of the paper as simulator
+// topologies: CausalBench (the 9-service microbenchmark of Fig. 4),
+// Robot-shop (the 12-service e-commerce application), and the small pattern
+// topologies used by Fig. 1 and Fig. 2 to illustrate the challenges of §III.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"causalfl/internal/sim"
+)
+
+// Flow is one user flow: an entry service/endpoint driven by the load
+// generator with a relative weight.
+type Flow struct {
+	Name     string
+	Entry    string
+	Endpoint string
+	Weight   float64
+}
+
+// Edge is a static caller-callee relation, used for documentation and
+// topology tests (the black edges of the paper's figures).
+type Edge struct {
+	From string
+	To   string
+}
+
+// App is an instantiated benchmark application on a cluster.
+type App struct {
+	// Name identifies the benchmark ("causalbench", "robotshop", ...).
+	Name string
+	// Cluster holds the running services.
+	Cluster *sim.Cluster
+	// Flows lists the user flows the load generator drives.
+	Flows []Flow
+	// FaultTargets lists the services covered by user flows, i.e. the
+	// services the paper injects faults into. Background workers with no
+	// exposed port (CausalBench node F, Robot-shop dispatch) are excluded,
+	// matching the paper's injection mechanism (a Kubernetes service-port
+	// rewrite needs a port).
+	FaultTargets []string
+	// Edges is the static topology.
+	Edges []Edge
+}
+
+// Builder constructs a fresh instance of an application on an engine. Every
+// campaign phase builds its own instance so runs stay independent.
+type Builder func(eng *sim.Engine) (*App, error)
+
+// Services returns all service names of the app in registration order.
+func (a *App) Services() []string { return a.Cluster.ServiceNames() }
+
+// Validate checks internal consistency: flows reference existing services
+// and endpoints, fault targets exist, edges reference existing services.
+func (a *App) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("apps: app has no name")
+	}
+	if len(a.Flows) == 0 {
+		return fmt.Errorf("apps: %s has no flows", a.Name)
+	}
+	for _, f := range a.Flows {
+		svc, ok := a.Cluster.Service(f.Entry)
+		if !ok {
+			return fmt.Errorf("apps: %s flow %q enters unknown service %q", a.Name, f.Name, f.Entry)
+		}
+		if f.Weight <= 0 {
+			return fmt.Errorf("apps: %s flow %q has non-positive weight %v", a.Name, f.Name, f.Weight)
+		}
+		if !svc.IsKV() {
+			found := false
+			for _, ep := range svc.Endpoints() {
+				if ep == f.Endpoint {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("apps: %s flow %q uses unknown endpoint %s/%s", a.Name, f.Name, f.Entry, f.Endpoint)
+			}
+		}
+	}
+	for _, target := range a.FaultTargets {
+		if _, ok := a.Cluster.Service(target); !ok {
+			return fmt.Errorf("apps: %s fault target %q is not a service", a.Name, target)
+		}
+	}
+	for _, e := range a.Edges {
+		if _, ok := a.Cluster.Service(e.From); !ok {
+			return fmt.Errorf("apps: %s edge from unknown service %q", a.Name, e.From)
+		}
+		if _, ok := a.Cluster.Service(e.To); !ok {
+			return fmt.Errorf("apps: %s edge to unknown service %q", a.Name, e.To)
+		}
+	}
+	return nil
+}
+
+// SortedFaultTargets returns the fault targets alphabetically (a copy).
+func (a *App) SortedFaultTargets() []string {
+	out := append([]string(nil), a.FaultTargets...)
+	sort.Strings(out)
+	return out
+}

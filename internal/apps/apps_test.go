@@ -1,0 +1,80 @@
+package apps
+
+import (
+	"testing"
+
+	"causalfl/internal/sim"
+)
+
+func validApp(t *testing.T) *App {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	cluster := sim.NewCluster(eng)
+	cluster.MustAddService(sim.ServiceConfig{Name: "front", Endpoints: []sim.Endpoint{{Name: "home"}}})
+	cluster.MustAddService(sim.ServiceConfig{Name: "store", KV: true})
+	return &App{
+		Name:         "test",
+		Cluster:      cluster,
+		Flows:        []Flow{{Name: "home", Entry: "front", Endpoint: "home", Weight: 1}},
+		FaultTargets: []string{"front", "store"},
+		Edges:        []Edge{{From: "front", To: "store"}},
+	}
+}
+
+func TestValidateAcceptsWellFormedApp(t *testing.T) {
+	if err := validApp(t).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*App)
+	}{
+		{"empty name", func(a *App) { a.Name = "" }},
+		{"no flows", func(a *App) { a.Flows = nil }},
+		{"flow to unknown service", func(a *App) { a.Flows[0].Entry = "ghost" }},
+		{"flow to unknown endpoint", func(a *App) { a.Flows[0].Endpoint = "nope" }},
+		{"non-positive weight", func(a *App) { a.Flows[0].Weight = 0 }},
+		{"unknown fault target", func(a *App) { a.FaultTargets = []string{"ghost"} }},
+		{"edge from unknown", func(a *App) { a.Edges = []Edge{{From: "ghost", To: "store"}} }},
+		{"edge to unknown", func(a *App) { a.Edges = []Edge{{From: "front", To: "ghost"}} }},
+	}
+	for _, tc := range cases {
+		app := validApp(t)
+		tc.mutate(app)
+		if err := app.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted", tc.name)
+		}
+	}
+}
+
+func TestFlowIntoKVServiceSkipsEndpointCheck(t *testing.T) {
+	app := validApp(t)
+	app.Flows = append(app.Flows, Flow{Name: "kv", Entry: "store", Endpoint: "whatever", Weight: 1})
+	if err := app.Validate(); err != nil {
+		t.Fatalf("KV entry flow rejected: %v", err)
+	}
+}
+
+func TestSortedFaultTargetsIsACopy(t *testing.T) {
+	app := validApp(t)
+	app.FaultTargets = []string{"store", "front"}
+	sorted := app.SortedFaultTargets()
+	if sorted[0] != "front" || sorted[1] != "store" {
+		t.Fatalf("SortedFaultTargets = %v", sorted)
+	}
+	sorted[0] = "mutated"
+	if app.FaultTargets[0] == "mutated" || app.FaultTargets[1] == "mutated" {
+		t.Fatal("SortedFaultTargets aliases the original slice")
+	}
+}
+
+func TestServicesDelegatesToCluster(t *testing.T) {
+	app := validApp(t)
+	services := app.Services()
+	if len(services) != 2 || services[0] != "front" || services[1] != "store" {
+		t.Fatalf("Services = %v", services)
+	}
+}

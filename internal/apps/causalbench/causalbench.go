@@ -1,0 +1,244 @@
+// Package causalbench builds the paper's CausalBench microbenchmark (Fig. 4):
+// nine services arranged to surface the three challenges of §III.
+//
+//	user flows (paper §V-B):
+//	  (a) A/path_bce -> B/path_ce -> C/path_e -> E/   (E logs every 100th)
+//	  (b) A/path_be  -> B/path_e  -> E/
+//	  (c) A/path_hd  -> H/        -> D INCR items
+//	  (d) A/path_id  -> I/        -> D INCR dummy
+//	  (e) F (background) polls D: while items > 0, decrement and call G/;
+//	      F logs after every 100 processed items and once after 30s idle.
+//
+// All services except D (a key-value store) and F (a poller with no exposed
+// port) are plain web services performing a small compute task per request.
+package causalbench
+
+import (
+	"fmt"
+	"time"
+
+	"causalfl/internal/apps"
+	"causalfl/internal/sim"
+)
+
+// Name is the benchmark identifier.
+const Name = "causalbench"
+
+// Tunables of the benchmark topology.
+const (
+	// computeMean is the per-request compute cost of the stateless
+	// services ("generate a random string and calculate its base64
+	// encoding").
+	computeMean   = 3 * time.Millisecond
+	computeJitter = 1 * time.Millisecond
+	// eInfoLogEvery matches the paper: node E writes "I am okay!" every
+	// hundredth request.
+	eInfoLogEvery = 100
+	// fPollInterval is node F's pause between drain sweeps. It is long
+	// relative to the per-item work so that F's traffic is dominated by
+	// items processed (proportional to load) rather than by idle polls
+	// (fixed rate) — a worker whose poll overhead dominates has
+	// load-dependent derived metrics, reintroducing the confounder the
+	// derived metrics exist to remove.
+	fPollInterval = 500 * time.Millisecond
+	// fItemCost is node F's compute per processed item.
+	fItemCost = 1 * time.Millisecond
+	// fIdleLogAfter matches the paper: F logs when there have been no
+	// items to process for more than 30 seconds.
+	fIdleLogAfter = 30 * time.Second
+	// fProcessedLogEvery matches the paper: F logs whenever it has
+	// finished processing a hundred items.
+	fProcessedLogEvery = 100
+)
+
+// Build constructs a fresh CausalBench instance on eng with node E's info
+// logging enabled (the paper's default). It satisfies apps.Builder.
+func Build(eng *sim.Engine) (*apps.App, error) {
+	return build(eng, true)
+}
+
+// BuildQuiet constructs CausalBench with node E's logging disabled — the
+// paper's "when logging is enabled" toggle flipped off. Without E's "I am
+// okay!" heartbeat the msg-rate world loses its only omission signal on the
+// B/C/E path, the concrete §III-B scenario where a developer's logging
+// choice erases a causal edge. It satisfies apps.Builder.
+func BuildQuiet(eng *sim.Engine) (*apps.App, error) {
+	return build(eng, false)
+}
+
+func build(eng *sim.Engine, eLogging bool) (*apps.App, error) {
+	cluster := sim.NewCluster(eng)
+	small := sim.Compute{Mean: computeMean, Jitter: computeJitter}
+
+	add := func(cfg sim.ServiceConfig) error {
+		_, err := cluster.AddService(cfg)
+		return err
+	}
+
+	specs := []sim.ServiceConfig{
+		{
+			Name: "A",
+			Endpoints: []sim.Endpoint{
+				{Name: "path_bce", Steps: []sim.Step{small, sim.CallStep{Target: "B", Endpoint: "path_ce"}}},
+				{Name: "path_be", Steps: []sim.Step{small, sim.CallStep{Target: "B", Endpoint: "path_e"}}},
+				{Name: "path_hd", Steps: []sim.Step{small, sim.CallStep{Target: "H", Endpoint: "/"}}},
+				{Name: "path_id", Steps: []sim.Step{small, sim.CallStep{Target: "I", Endpoint: "/"}}},
+			},
+		},
+		{
+			Name: "B",
+			Endpoints: []sim.Endpoint{
+				{Name: "path_ce", Steps: []sim.Step{small, sim.CallStep{Target: "C", Endpoint: "path_e"}}},
+				{Name: "path_e", Steps: []sim.Step{small, sim.CallStep{Target: "E", Endpoint: "/"}}},
+			},
+		},
+		{
+			Name: "C",
+			Endpoints: []sim.Endpoint{
+				{Name: "path_e", Steps: []sim.Step{small, sim.CallStep{Target: "E", Endpoint: "/"}}},
+			},
+		},
+		{Name: "D", KV: true},
+		{
+			Name: "E",
+			Endpoints: []sim.Endpoint{
+				// "I am okay!" at a rate of one per eInfoLogEvery
+				// requests. Sampled rather than counted so window
+				// aggregates carry realistic Poisson noise.
+				{Name: "/", Steps: []sim.Step{small, sim.LogSampled{P: eLogRate(eLogging)}}},
+			},
+		},
+		{
+			Name: "G",
+			Endpoints: []sim.Endpoint{
+				{Name: "/", Steps: []sim.Step{small}},
+			},
+		},
+		{
+			Name: "H",
+			Endpoints: []sim.Endpoint{
+				{Name: "/", Steps: []sim.Step{small, sim.KVIncr{Store: "D", Key: "items", Delta: 1}}},
+			},
+		},
+		{
+			Name: "I",
+			Endpoints: []sim.Endpoint{
+				{Name: "/", Steps: []sim.Step{small, sim.KVIncr{Store: "D", Key: "dummy", Delta: 1}}},
+			},
+		},
+	}
+	for _, cfg := range specs {
+		if err := add(cfg); err != nil {
+			return nil, fmt.Errorf("causalbench: %w", err)
+		}
+	}
+	if err := addWorkerF(cluster); err != nil {
+		return nil, fmt.Errorf("causalbench: %w", err)
+	}
+
+	app := &apps.App{
+		Name:    Name,
+		Cluster: cluster,
+		Flows: []apps.Flow{
+			{Name: "path_bce", Entry: "A", Endpoint: "path_bce", Weight: 1},
+			{Name: "path_be", Entry: "A", Endpoint: "path_be", Weight: 1},
+			{Name: "path_hd", Entry: "A", Endpoint: "path_hd", Weight: 1},
+			{Name: "path_id", Entry: "A", Endpoint: "path_id", Weight: 1},
+		},
+		// Every flask-based service is covered by a user flow and hence
+		// injectable. F has no port (paper: not a web service), so the
+		// dead-port injection cannot target it.
+		FaultTargets: []string{"A", "B", "C", "D", "E", "G", "H", "I"},
+		Edges: []apps.Edge{
+			{From: "A", To: "B"}, {From: "B", To: "C"}, {From: "C", To: "E"},
+			{From: "B", To: "E"},
+			{From: "A", To: "H"}, {From: "H", To: "D"},
+			{From: "A", To: "I"}, {From: "I", To: "D"},
+			{From: "F", To: "D"}, {From: "F", To: "G"},
+		},
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+var (
+	_ apps.Builder = Build
+	_ apps.Builder = BuildQuiet
+)
+
+// eLogRate returns E's info-log sampling rate, zero when logging is off.
+func eLogRate(enabled bool) float64 {
+	if !enabled {
+		return 0
+	}
+	return 1.0 / eInfoLogEvery
+}
+
+// addWorkerF registers node F: an infinite loop that drains the `items`
+// counter on D, calling G once per drained item. F handles store failures
+// silently (it retries next sweep) — the developer-catches-the-exception
+// behaviour that makes omission faults invisible in error logs (§III-B).
+func addWorkerF(cluster *sim.Cluster) error {
+	var (
+		processed  uint64
+		lastWork   sim.Time
+		idleLogged bool
+	)
+	var drain func(ctx *sim.PollCtx, done func())
+	drain = func(ctx *sim.PollCtx, done func()) {
+		ctx.CallKV("D", sim.KVOp{Kind: sim.KVGet, Key: "items"}, func(res sim.Result) {
+			if res.Err != nil {
+				// Store unreachable: swallow the error, retry on
+				// the next sweep.
+				ctx.ObserveError()
+				done()
+				return
+			}
+			if res.Value <= 0 {
+				if !idleLogged && ctx.Now()-lastWork > fIdleLogAfter {
+					ctx.Log(false) // "no items to process for 30s"
+					idleLogged = true
+				}
+				done()
+				return
+			}
+			ctx.CallKV("D", sim.KVOp{Kind: sim.KVDecrIfPositive, Key: "items"}, func(res sim.Result) {
+				if res.Err != nil || res.Value == 0 {
+					if res.Err != nil {
+						ctx.ObserveError()
+					}
+					done()
+					return
+				}
+				ctx.Compute(fItemCost, func() {
+					ctx.Call("G", "/", func(callRes sim.Result) {
+						if callRes.Err != nil {
+							ctx.ObserveError()
+						}
+						processed++
+						lastWork = ctx.Now()
+						idleLogged = false
+						// "processed 100 items", emitted at the
+						// equivalent sampled rate.
+						if ctx.Rand().Float64() < 1.0/fProcessedLogEvery {
+							ctx.Log(false)
+						}
+						drain(ctx, done)
+					})
+				})
+			})
+		})
+	}
+	_, err := cluster.AddPoller(sim.PollerConfig{
+		Service: sim.ServiceConfig{
+			Name: "F",
+			// F catches exceptions without writing error logs.
+			SuppressErrorLogs: true,
+		},
+		Interval: fPollInterval,
+		Body:     drain,
+	})
+	return err
+}

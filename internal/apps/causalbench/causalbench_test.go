@@ -1,0 +1,208 @@
+package causalbench
+
+import (
+	"testing"
+	"time"
+
+	"causalfl/internal/sim"
+)
+
+func buildForTest(t *testing.T) (*sim.Engine, *sim.Cluster) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	app, err := Build(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, app.Cluster
+}
+
+func TestTopologyMatchesFig4(t *testing.T) {
+	eng := sim.NewEngine(1)
+	app, err := Build(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	services := app.Services()
+	if len(services) != 9 {
+		t.Fatalf("CausalBench has %d services, want 9 (paper §V-A)", len(services))
+	}
+	want := map[string]bool{"A": true, "B": true, "C": true, "D": true, "E": true, "F": true, "G": true, "H": true, "I": true}
+	for _, s := range services {
+		if !want[s] {
+			t.Errorf("unexpected service %q", s)
+		}
+		delete(want, s)
+	}
+	for s := range want {
+		t.Errorf("missing service %q", s)
+	}
+	// F is a background worker with no exposed port: not injectable.
+	for _, target := range app.FaultTargets {
+		if target == "F" {
+			t.Error("F must not be a fault target (no port to rewrite)")
+		}
+	}
+	if len(app.FaultTargets) != 8 {
+		t.Errorf("%d fault targets, want 8", len(app.FaultTargets))
+	}
+	d, _ := app.Cluster.Service("D")
+	if !d.IsKV() {
+		t.Error("D must be a key-value store (redis)")
+	}
+	if len(app.Flows) != 4 {
+		t.Errorf("%d user flows, want 4 (paths bce, be, hd, id)", len(app.Flows))
+	}
+}
+
+func TestFlowBCEReachesE(t *testing.T) {
+	eng, cluster := buildForTest(t)
+	var okResp bool
+	cluster.Call("client", "A", "path_bce", func(r sim.Result) { okResp = r.Err == nil })
+	eng.Run(time.Second)
+	if !okResp {
+		t.Fatal("path_bce failed")
+	}
+	for _, svc := range []string{"A", "B", "C", "E"} {
+		s, _ := cluster.Service(svc)
+		if s.Counters().RequestsReceived != 1 {
+			t.Errorf("%s received %d requests on path_bce, want 1", svc, s.Counters().RequestsReceived)
+		}
+	}
+	// D still sees F's background poll GETs, so only the request-path
+	// services must stay silent.
+	for _, svc := range []string{"G", "H", "I"} {
+		s, _ := cluster.Service(svc)
+		if s.Counters().RequestsReceived != 0 {
+			t.Errorf("%s received %d requests on path_bce, want 0", svc, s.Counters().RequestsReceived)
+		}
+	}
+}
+
+func TestFlowBEBypassesC(t *testing.T) {
+	eng, cluster := buildForTest(t)
+	cluster.Call("client", "A", "path_be", nil)
+	eng.Run(time.Second)
+	c, _ := cluster.Service("C")
+	e, _ := cluster.Service("E")
+	if c.Counters().RequestsReceived != 0 {
+		t.Error("path_be must not touch C")
+	}
+	if e.Counters().RequestsReceived != 1 {
+		t.Error("path_be must reach E")
+	}
+}
+
+func TestOmissionPipelineHDThroughFToG(t *testing.T) {
+	eng, cluster := buildForTest(t)
+	// Send 20 path_hd requests; F must eventually drain 20 items from D
+	// and call G 20 times.
+	for i := 0; i < 20; i++ {
+		eng.After(time.Duration(i)*50*time.Millisecond, func() {
+			cluster.Call("client", "A", "path_hd", nil)
+		})
+	}
+	eng.Run(30 * time.Second)
+	d, _ := cluster.Service("D")
+	g, _ := cluster.Service("G")
+	if got := d.KVValue("items"); got != 0 {
+		t.Errorf("items counter = %d after drain, want 0", got)
+	}
+	if got := g.Counters().RequestsReceived; got != 20 {
+		t.Errorf("G received %d calls, want 20 (one per item)", got)
+	}
+}
+
+func TestFlowIDOnlyTouchesDummyCounter(t *testing.T) {
+	eng, cluster := buildForTest(t)
+	for i := 0; i < 5; i++ {
+		cluster.Call("client", "A", "path_id", nil)
+	}
+	eng.Run(10 * time.Second)
+	d, _ := cluster.Service("D")
+	g, _ := cluster.Service("G")
+	if got := d.KVValue("dummy"); got != 5 {
+		t.Errorf("dummy counter = %d, want 5", got)
+	}
+	if g.Counters().RequestsReceived != 0 {
+		t.Error("path_id must not cause calls to G")
+	}
+}
+
+func TestFaultOnDCausesOmissionAtG(t *testing.T) {
+	eng, cluster := buildForTest(t)
+	d, _ := cluster.Service("D")
+	d.SetUnavailable(true)
+	errs := 0
+	for i := 0; i < 10; i++ {
+		cluster.Call("client", "A", "path_hd", func(r sim.Result) {
+			if r.Err != nil {
+				errs++
+			}
+		})
+	}
+	eng.Run(10 * time.Second)
+	if errs != 10 {
+		t.Errorf("%d path_hd requests failed, want 10 (D unavailable)", errs)
+	}
+	g, _ := cluster.Service("G")
+	if g.Counters().RequestsReceived != 0 {
+		t.Error("G must starve when D is unavailable (omission fault)")
+	}
+	// H observed the failures and logged errors; A as well.
+	h, _ := cluster.Service("H")
+	a, _ := cluster.Service("A")
+	if h.Counters().ErrorLogMessages == 0 {
+		t.Error("H should log errors when its INCR to D fails")
+	}
+	if a.Counters().ErrorLogMessages == 0 {
+		t.Error("A should log errors on the response path")
+	}
+	// F swallows its GET failures silently (§III-B).
+	f, _ := cluster.Service("F")
+	if f.Counters().ErrorLogMessages != 0 {
+		t.Error("F must not write error logs (catches exceptions silently)")
+	}
+	if f.Counters().ErrorsObserved == 0 {
+		t.Error("F should still observe its GET failures internally")
+	}
+}
+
+func TestWorkerFIdleLog(t *testing.T) {
+	eng, cluster := buildForTest(t)
+	// Drive one item through, then leave the system idle past the 30s
+	// threshold: F must log exactly one idle message.
+	cluster.Call("client", "A", "path_hd", nil)
+	eng.Run(2 * time.Minute)
+	f, _ := cluster.Service("F")
+	logs := f.Counters().LogMessages
+	if logs == 0 {
+		t.Fatal("F never logged its idle message")
+	}
+	eng.Run(4 * time.Minute)
+	if got := f.Counters().LogMessages; got != logs {
+		t.Errorf("F kept logging while idle (%d -> %d), want a single idle log per idle period", logs, got)
+	}
+}
+
+func TestBuildIsDeterministic(t *testing.T) {
+	run := func() map[string]sim.Counters {
+		eng, cluster := buildForTest(t)
+		for i := 0; i < 50; i++ {
+			eng.After(time.Duration(i)*20*time.Millisecond, func() {
+				cluster.Call("client", "A", "path_bce", nil)
+			})
+		}
+		eng.Run(5 * time.Second)
+		return cluster.CountersByService()
+	}
+	a, b := run(), run()
+	for svc, ca := range a {
+		if ca != b[svc] {
+			t.Fatalf("service %s diverged across identical builds", svc)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package patterns builds the two small illustration topologies of the
+// paper's challenge section.
+//
+// Fig. 1 — "causal relations depend on observed metrics & code":
+//
+//	pattern 1 (stateless chain):  A -> B -> C
+//	pattern 2 (stateful/omission): H -> D <- F -> G
+//
+// A fault on B surfaces as error logs on A (response path) but as a request
+// drop on C (request path); a fault on D surfaces as error logs on H but as
+// an omission of requests to G, mediated by the stateful store D and the
+// background worker F.
+//
+// Fig. 2 — "confounder is intervention dependent": user requests enter A and
+// fan out to either the B branch (B -> C -> E or B -> E) or the I branch.
+// Under closed-loop load, failing C makes the A queue drain faster, which
+// *increases* the rate of requests reaching I — a spurious causal edge C→I
+// created purely by the load confounder.
+package patterns
+
+import (
+	"fmt"
+	"time"
+
+	"causalfl/internal/apps"
+	"causalfl/internal/sim"
+)
+
+// Benchmark identifiers.
+const (
+	Pattern1Name   = "pattern1"
+	Pattern2Name   = "pattern2"
+	ConfounderName = "confounder"
+)
+
+const (
+	compute   = 3 * time.Millisecond
+	jitter    = 1 * time.Millisecond
+	fPoll     = 500 * time.Millisecond
+	fItemCost = 1 * time.Millisecond
+	// confounderCompute is sized so that node A is the closed-loop
+	// bottleneck, making the Fig. 2 queuing effect visible.
+	confounderCompute = 20 * time.Millisecond
+)
+
+// BuildPattern1 constructs the stateless chain A -> B -> C of Fig. 1. It
+// satisfies apps.Builder.
+func BuildPattern1(eng *sim.Engine) (*apps.App, error) {
+	cluster := sim.NewCluster(eng)
+	small := sim.Compute{Mean: compute, Jitter: jitter}
+	specs := []sim.ServiceConfig{
+		{Name: "C", Endpoints: []sim.Endpoint{{Name: "/", Steps: []sim.Step{small}}}},
+		{Name: "B", Endpoints: []sim.Endpoint{{Name: "/", Steps: []sim.Step{small, sim.CallStep{Target: "C", Endpoint: "/"}}}}},
+		{Name: "A", Endpoints: []sim.Endpoint{{Name: "/", Steps: []sim.Step{small, sim.CallStep{Target: "B", Endpoint: "/"}}}}},
+	}
+	for _, cfg := range specs {
+		if _, err := cluster.AddService(cfg); err != nil {
+			return nil, fmt.Errorf("pattern1: %w", err)
+		}
+	}
+	app := &apps.App{
+		Name:         Pattern1Name,
+		Cluster:      cluster,
+		Flows:        []apps.Flow{{Name: "chain", Entry: "A", Endpoint: "/", Weight: 1}},
+		FaultTargets: []string{"A", "B", "C"},
+		Edges:        []apps.Edge{{From: "A", To: "B"}, {From: "B", To: "C"}},
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+// BuildPattern2 constructs the stateful omission pattern of Fig. 1: calls to
+// H increment a counter on store D; worker F drains the counter and calls G.
+// It satisfies apps.Builder.
+func BuildPattern2(eng *sim.Engine) (*apps.App, error) {
+	cluster := sim.NewCluster(eng)
+	small := sim.Compute{Mean: compute, Jitter: jitter}
+	specs := []sim.ServiceConfig{
+		{Name: "D", KV: true},
+		{Name: "G", Endpoints: []sim.Endpoint{{Name: "/", Steps: []sim.Step{small}}}},
+		{Name: "H", Endpoints: []sim.Endpoint{{Name: "/", Steps: []sim.Step{
+			small, sim.KVIncr{Store: "D", Key: "items", Delta: 1},
+		}}}},
+	}
+	for _, cfg := range specs {
+		if _, err := cluster.AddService(cfg); err != nil {
+			return nil, fmt.Errorf("pattern2: %w", err)
+		}
+	}
+	if err := addDrainWorker(cluster, "F", "D", "items", "G"); err != nil {
+		return nil, fmt.Errorf("pattern2: %w", err)
+	}
+	app := &apps.App{
+		Name:         Pattern2Name,
+		Cluster:      cluster,
+		Flows:        []apps.Flow{{Name: "ingest", Entry: "H", Endpoint: "/", Weight: 1}},
+		FaultTargets: []string{"H", "D", "G"},
+		Edges: []apps.Edge{
+			{From: "H", To: "D"}, {From: "F", To: "D"}, {From: "F", To: "G"},
+		},
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+// BuildConfounder constructs the Fig. 2 topology. Node A is the shared entry
+// with limited capacity; two user flows exercise the B branch and one the I
+// branch, so branch failures redistribute A's effective throughput. It
+// satisfies apps.Builder.
+func BuildConfounder(eng *sim.Engine) (*apps.App, error) {
+	cluster := sim.NewCluster(eng)
+	entry := sim.Compute{Mean: confounderCompute, Jitter: jitter}
+	small := sim.Compute{Mean: compute, Jitter: jitter}
+	specs := []sim.ServiceConfig{
+		{Name: "E", Endpoints: []sim.Endpoint{{Name: "/", Steps: []sim.Step{small}}}},
+		{Name: "C", Endpoints: []sim.Endpoint{{Name: "path_e", Steps: []sim.Step{
+			small, sim.CallStep{Target: "E", Endpoint: "/"},
+		}}}},
+		{Name: "B", Endpoints: []sim.Endpoint{
+			{Name: "path_ce", Steps: []sim.Step{small, sim.CallStep{Target: "C", Endpoint: "path_e"}}},
+			{Name: "path_e", Steps: []sim.Step{small, sim.CallStep{Target: "E", Endpoint: "/"}}},
+		}},
+		// I is deliberately expensive: failing it fast-fails a slow flow,
+		// freeing enough of A's capacity for the confounder effect to be
+		// visible in both directions.
+		{Name: "I", Endpoints: []sim.Endpoint{{Name: "/", Steps: []sim.Step{
+			sim.Compute{Mean: confounderCompute, Jitter: jitter},
+		}}}},
+		{
+			Name: "A",
+			// Low capacity: the shared queue at A is what couples the
+			// two branches (the paper's queuing confounder).
+			Capacity: 2,
+			Endpoints: []sim.Endpoint{
+				{Name: "path_bce", Steps: []sim.Step{entry, sim.CallStep{Target: "B", Endpoint: "path_ce"}}},
+				{Name: "path_be", Steps: []sim.Step{entry, sim.CallStep{Target: "B", Endpoint: "path_e"}}},
+				{Name: "path_i", Steps: []sim.Step{entry, sim.CallStep{Target: "I", Endpoint: "/"}}},
+			},
+		},
+	}
+	for _, cfg := range specs {
+		if _, err := cluster.AddService(cfg); err != nil {
+			return nil, fmt.Errorf("confounder: %w", err)
+		}
+	}
+	app := &apps.App{
+		Name:    ConfounderName,
+		Cluster: cluster,
+		Flows: []apps.Flow{
+			{Name: "path_bce", Entry: "A", Endpoint: "path_bce", Weight: 1},
+			{Name: "path_be", Entry: "A", Endpoint: "path_be", Weight: 1},
+			{Name: "path_i", Entry: "A", Endpoint: "path_i", Weight: 1},
+		},
+		FaultTargets: []string{"A", "B", "C", "E", "I"},
+		Edges: []apps.Edge{
+			{From: "A", To: "B"}, {From: "A", To: "I"},
+			{From: "B", To: "C"}, {From: "B", To: "E"}, {From: "C", To: "E"},
+		},
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+var (
+	_ apps.Builder = BuildPattern1
+	_ apps.Builder = BuildPattern2
+	_ apps.Builder = BuildConfounder
+)
+
+// addDrainWorker registers a background worker that drains one unit at a
+// time from store/key and calls target once per unit, mirroring CausalBench's
+// node F without its logging rules.
+func addDrainWorker(cluster *sim.Cluster, name, store, key, target string) error {
+	var drain func(ctx *sim.PollCtx, done func())
+	drain = func(ctx *sim.PollCtx, done func()) {
+		ctx.CallKV(store, sim.KVOp{Kind: sim.KVDecrIfPositive, Key: key}, func(res sim.Result) {
+			if res.Err != nil {
+				ctx.ObserveError()
+				done()
+				return
+			}
+			if res.Value == 0 {
+				done()
+				return
+			}
+			ctx.Compute(fItemCost, func() {
+				ctx.Call(target, "/", func(callRes sim.Result) {
+					if callRes.Err != nil {
+						ctx.ObserveError()
+					}
+					drain(ctx, done)
+				})
+			})
+		})
+	}
+	_, err := cluster.AddPoller(sim.PollerConfig{
+		Service:  sim.ServiceConfig{Name: name, SuppressErrorLogs: true},
+		Interval: fPoll,
+		Body:     drain,
+	})
+	return err
+}

@@ -1,0 +1,111 @@
+package patterns
+
+import (
+	"testing"
+	"time"
+
+	"causalfl/internal/sim"
+)
+
+func TestPattern1ErrorVsRequestPropagation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	app, err := BuildPattern1(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := app.Cluster.Service("B")
+	b.SetUnavailable(true)
+	for i := 0; i < 10; i++ {
+		app.Cluster.Call("client", "A", "/", nil)
+	}
+	eng.Run(time.Second)
+
+	a, _ := app.Cluster.Service("A")
+	c, _ := app.Cluster.Service("C")
+	// Fig. 1 pattern 1: errors surface as logs at A (response path) while
+	// C simply stops receiving requests (request path).
+	if a.Counters().ErrorLogMessages != 10 {
+		t.Errorf("A wrote %d error logs, want 10", a.Counters().ErrorLogMessages)
+	}
+	if c.Counters().RequestsReceived != 0 {
+		t.Errorf("C received %d requests, want 0", c.Counters().RequestsReceived)
+	}
+}
+
+func TestPattern2OmissionThroughStore(t *testing.T) {
+	eng := sim.NewEngine(2)
+	app, err := BuildPattern2(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Healthy: items flow H -> D -> F -> G.
+	for i := 0; i < 10; i++ {
+		app.Cluster.Call("client", "H", "/", nil)
+	}
+	eng.Run(5 * time.Second)
+	g, _ := app.Cluster.Service("G")
+	if got := g.Counters().RequestsReceived; got != 10 {
+		t.Fatalf("G received %d calls, want 10", got)
+	}
+
+	// Fault on D: H errors, G starves (Fig. 1 pattern 2).
+	d, _ := app.Cluster.Service("D")
+	d.SetUnavailable(true)
+	failed := 0
+	for i := 0; i < 10; i++ {
+		app.Cluster.Call("client", "H", "/", func(r sim.Result) {
+			if r.Err != nil {
+				failed++
+			}
+		})
+	}
+	eng.Run(10 * time.Second)
+	if failed != 10 {
+		t.Errorf("%d ingest calls failed, want 10", failed)
+	}
+	if got := g.Counters().RequestsReceived; got != 10 {
+		t.Errorf("G received %d calls total, want still 10 (omission)", got)
+	}
+	h, _ := app.Cluster.Service("H")
+	if h.Counters().ErrorLogMessages == 0 {
+		t.Error("H should log errors when D is down")
+	}
+	f, _ := app.Cluster.Service("F")
+	if f.Counters().ErrorLogMessages != 0 {
+		t.Error("F must stay silent (suppressed error logs)")
+	}
+}
+
+func TestConfounderTopology(t *testing.T) {
+	eng := sim.NewEngine(3)
+	app, err := BuildConfounder(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(app.Services()); got != 5 {
+		t.Fatalf("confounder app has %d services, want 5", got)
+	}
+	// All three flows complete end to end.
+	oks := 0
+	for _, ep := range []string{"path_bce", "path_be", "path_i"} {
+		app.Cluster.Call("client", "A", ep, func(r sim.Result) {
+			if r.Err == nil {
+				oks++
+			}
+		})
+	}
+	eng.Run(time.Second)
+	if oks != 3 {
+		t.Fatalf("%d/3 flows succeeded", oks)
+	}
+	e, _ := app.Cluster.Service("E")
+	if got := e.Counters().RequestsReceived; got != 2 {
+		t.Errorf("E received %d requests, want 2 (via C and directly from B)", got)
+	}
+}

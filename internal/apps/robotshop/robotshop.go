@@ -1,0 +1,210 @@
+// Package robotshop models Instana's Robot-shop — the open-source e-commerce
+// storefront the paper uses as its second benchmark (§V-B) — as a
+// twelve-service simulator topology:
+//
+//	web        front end; entry point for all user flows
+//	catalogue  product listing        -> mongodb
+//	user       accounts and sessions  -> mongodb, redis
+//	cart       shopping cart          -> redis, catalogue
+//	shipping   shipping quotes        -> mysql
+//	payment    order placement        -> cart, user, rabbitmq (publish)
+//	ratings    product ratings        -> mysql
+//	dispatch   background consumer    <- rabbitmq (no exposed port)
+//	mongodb / mysql / redis / rabbitmq  data stores and broker
+//
+// The heterogeneous runtimes of the real application (NodeJS, Java, Go,
+// Python, ...) matter to the paper only through their black-box metrics; the
+// simulator reproduces the call topology, the async queue edge through
+// RabbitMQ (an omission-fault path like CausalBench's D/F), and data-store
+// fan-in.
+package robotshop
+
+import (
+	"fmt"
+	"time"
+
+	"causalfl/internal/apps"
+	"causalfl/internal/sim"
+)
+
+// Name is the benchmark identifier.
+const Name = "robotshop"
+
+const (
+	webCompute  = 2 * time.Millisecond
+	svcCompute  = 4 * time.Millisecond
+	svcJitter   = 1 * time.Millisecond
+	storeOpCost = 400 * time.Microsecond
+	// dispatchPoll is long relative to per-order work so that dispatch's
+	// traffic scales with orders processed, not with idle polling (see the
+	// same constant in the causalbench package).
+	dispatchPoll = 500 * time.Millisecond
+	dispatchCost = 2 * time.Millisecond
+	// dispatchLogEvery: the real dispatch service logs every processed
+	// order; sampled down to keep log volume comparable to other services.
+	dispatchLogEvery = 10
+	ordersKey        = "orders"
+)
+
+// Build constructs a fresh Robot-shop instance on eng. It satisfies
+// apps.Builder.
+func Build(eng *sim.Engine) (*apps.App, error) {
+	cluster := sim.NewCluster(eng)
+	web := sim.Compute{Mean: webCompute, Jitter: svcJitter}
+	work := sim.Compute{Mean: svcCompute, Jitter: svcJitter}
+
+	specs := []sim.ServiceConfig{
+		{Name: "mongodb", KV: true, KVOpCost: storeOpCost},
+		{Name: "mysql", KV: true, KVOpCost: storeOpCost},
+		{Name: "redis", KV: true, KVOpCost: storeOpCost},
+		{Name: "rabbitmq", KV: true, KVOpCost: storeOpCost},
+		{
+			Name: "catalogue",
+			Endpoints: []sim.Endpoint{
+				{Name: "list", Steps: []sim.Step{work, sim.KVCall{Store: "mongodb", Op: sim.KVGet, Key: "products"}}},
+				{Name: "item", Steps: []sim.Step{work, sim.KVCall{Store: "mongodb", Op: sim.KVGet, Key: "product"}}},
+			},
+		},
+		{
+			Name: "user",
+			Endpoints: []sim.Endpoint{
+				{Name: "login", Steps: []sim.Step{
+					work,
+					sim.KVCall{Store: "mongodb", Op: sim.KVGet, Key: "accounts"},
+					sim.KVCall{Store: "redis", Op: sim.KVIncrBy, Key: "sessions", Delta: 1},
+				}},
+				{Name: "check", Steps: []sim.Step{work, sim.KVCall{Store: "redis", Op: sim.KVGet, Key: "sessions"}}},
+			},
+		},
+		{
+			Name: "cart",
+			Endpoints: []sim.Endpoint{
+				{Name: "add", Steps: []sim.Step{
+					work,
+					sim.CallStep{Target: "catalogue", Endpoint: "item"},
+					sim.KVCall{Store: "redis", Op: sim.KVIncrBy, Key: "cart", Delta: 1},
+				}},
+				{Name: "get", Steps: []sim.Step{work, sim.KVCall{Store: "redis", Op: sim.KVGet, Key: "cart"}}},
+			},
+		},
+		{
+			Name: "shipping",
+			Endpoints: []sim.Endpoint{
+				{Name: "quote", Steps: []sim.Step{work, sim.KVCall{Store: "mysql", Op: sim.KVGet, Key: "codes"}}},
+			},
+		},
+		{
+			Name: "ratings",
+			Endpoints: []sim.Endpoint{
+				{Name: "get", Steps: []sim.Step{work, sim.KVCall{Store: "mysql", Op: sim.KVGet, Key: "ratings"}}},
+			},
+		},
+		{
+			Name: "payment",
+			Endpoints: []sim.Endpoint{
+				{Name: "pay", Steps: []sim.Step{
+					work,
+					sim.CallStep{Target: "cart", Endpoint: "get"},
+					sim.CallStep{Target: "user", Endpoint: "check"},
+					sim.KVCall{Store: "rabbitmq", Op: sim.KVIncrBy, Key: ordersKey, Delta: 1},
+				}},
+			},
+		},
+		{
+			Name: "web",
+			Endpoints: []sim.Endpoint{
+				{Name: "browse", Steps: []sim.Step{
+					web,
+					sim.CallStep{Target: "catalogue", Endpoint: "list"},
+					sim.CallStep{Target: "ratings", Endpoint: "get"},
+				}},
+				{Name: "login", Steps: []sim.Step{web, sim.CallStep{Target: "user", Endpoint: "login"}}},
+				{Name: "addcart", Steps: []sim.Step{web, sim.CallStep{Target: "cart", Endpoint: "add"}}},
+				{Name: "checkout", Steps: []sim.Step{
+					web,
+					sim.CallStep{Target: "payment", Endpoint: "pay"},
+					sim.CallStep{Target: "shipping", Endpoint: "quote"},
+				}},
+			},
+		},
+	}
+	for _, cfg := range specs {
+		if _, err := cluster.AddService(cfg); err != nil {
+			return nil, fmt.Errorf("robotshop: %w", err)
+		}
+	}
+	if err := addDispatch(cluster); err != nil {
+		return nil, fmt.Errorf("robotshop: %w", err)
+	}
+
+	app := &apps.App{
+		Name:    Name,
+		Cluster: cluster,
+		Flows: []apps.Flow{
+			// Browsing dominates a storefront's traffic.
+			{Name: "browse", Entry: "web", Endpoint: "browse", Weight: 4},
+			{Name: "login", Entry: "web", Endpoint: "login", Weight: 2},
+			{Name: "addcart", Entry: "web", Endpoint: "addcart", Weight: 2},
+			{Name: "checkout", Entry: "web", Endpoint: "checkout", Weight: 1},
+		},
+		// dispatch consumes from the broker and exposes no port, so the
+		// dead-port fault injection cannot target it.
+		FaultTargets: []string{
+			"web", "catalogue", "user", "cart", "shipping",
+			"payment", "ratings", "mongodb", "mysql", "redis", "rabbitmq",
+		},
+		Edges: []apps.Edge{
+			{From: "web", To: "catalogue"}, {From: "web", To: "ratings"},
+			{From: "web", To: "user"}, {From: "web", To: "cart"},
+			{From: "web", To: "payment"}, {From: "web", To: "shipping"},
+			{From: "catalogue", To: "mongodb"},
+			{From: "user", To: "mongodb"}, {From: "user", To: "redis"},
+			{From: "cart", To: "redis"}, {From: "cart", To: "catalogue"},
+			{From: "shipping", To: "mysql"}, {From: "ratings", To: "mysql"},
+			{From: "payment", To: "cart"}, {From: "payment", To: "user"},
+			{From: "payment", To: "rabbitmq"},
+			{From: "dispatch", To: "rabbitmq"},
+		},
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+var _ apps.Builder = Build
+
+// addDispatch registers the background order consumer: it drains the orders
+// queue from rabbitmq, burning CPU per order and logging every
+// dispatchLogEvery orders. Broker failures are logged as errors (the real
+// dispatch service logs connection failures).
+func addDispatch(cluster *sim.Cluster) error {
+	var processed uint64
+	var drain func(ctx *sim.PollCtx, done func())
+	drain = func(ctx *sim.PollCtx, done func()) {
+		ctx.CallKV("rabbitmq", sim.KVOp{Kind: sim.KVDecrIfPositive, Key: ordersKey}, func(res sim.Result) {
+			if res.Err != nil {
+				ctx.ObserveError()
+				done()
+				return
+			}
+			if res.Value == 0 {
+				done()
+				return
+			}
+			ctx.Compute(dispatchCost, func() {
+				processed++
+				if ctx.Rand().Float64() < 1.0/dispatchLogEvery {
+					ctx.Log(false)
+				}
+				drain(ctx, done)
+			})
+		})
+	}
+	_, err := cluster.AddPoller(sim.PollerConfig{
+		Service:  sim.ServiceConfig{Name: "dispatch"},
+		Interval: dispatchPoll,
+		Body:     drain,
+	})
+	return err
+}

@@ -1,0 +1,131 @@
+package robotshop
+
+import (
+	"testing"
+	"time"
+
+	"causalfl/internal/sim"
+)
+
+func build(t *testing.T) (*sim.Engine, *sim.Cluster) {
+	t.Helper()
+	eng := sim.NewEngine(2)
+	app, err := Build(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, app.Cluster
+}
+
+func TestTopology(t *testing.T) {
+	eng := sim.NewEngine(1)
+	app, err := Build(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(app.Services()); got != 12 {
+		t.Fatalf("robot-shop has %d services, want 12 (paper §V-A)", got)
+	}
+	if got := len(app.FaultTargets); got != 11 {
+		t.Fatalf("%d fault targets, want 11 (dispatch has no port)", got)
+	}
+	for _, target := range app.FaultTargets {
+		if target == "dispatch" {
+			t.Error("dispatch must not be injectable")
+		}
+	}
+	for _, store := range []string{"mongodb", "mysql", "redis", "rabbitmq"} {
+		s, ok := app.Cluster.Service(store)
+		if !ok || !s.IsKV() {
+			t.Errorf("%s must be a KV store", store)
+		}
+	}
+}
+
+func TestBrowseFlow(t *testing.T) {
+	eng, cluster := build(t)
+	var ok bool
+	cluster.Call("client", "web", "browse", func(r sim.Result) { ok = r.Err == nil })
+	eng.Run(time.Second)
+	if !ok {
+		t.Fatal("browse failed")
+	}
+	for _, svc := range []string{"web", "catalogue", "ratings"} {
+		s, _ := cluster.Service(svc)
+		if s.Counters().RequestsReceived == 0 {
+			t.Errorf("%s untouched by browse", svc)
+		}
+	}
+	cartSvc, _ := cluster.Service("cart")
+	if cartSvc.Counters().RequestsReceived != 0 {
+		t.Error("browse must not touch cart")
+	}
+}
+
+func TestCheckoutPublishesOrderAndDispatchConsumes(t *testing.T) {
+	eng, cluster := build(t)
+	var ok bool
+	cluster.Call("client", "web", "checkout", func(r sim.Result) { ok = r.Err == nil })
+	eng.Run(5 * time.Second)
+	if !ok {
+		t.Fatal("checkout failed")
+	}
+	rabbit, _ := cluster.Service("rabbitmq")
+	if got := rabbit.KVValue("orders"); got != 0 {
+		t.Errorf("orders queue = %d after dispatch drain, want 0", got)
+	}
+	dispatch, _ := cluster.Service("dispatch")
+	if dispatch.Counters().CPUSeconds == 0 {
+		t.Error("dispatch consumed no CPU; order was not processed")
+	}
+	for _, svc := range []string{"payment", "cart", "user", "shipping", "mysql", "redis"} {
+		s, _ := cluster.Service(svc)
+		if s.Counters().RequestsReceived == 0 {
+			t.Errorf("%s untouched by checkout", svc)
+		}
+	}
+}
+
+func TestMongoFaultBreaksBrowseButNotShipping(t *testing.T) {
+	eng, cluster := build(t)
+	mongo, _ := cluster.Service("mongodb")
+	mongo.SetUnavailable(true)
+
+	var browseErr, quoteErr error
+	cluster.Call("client", "web", "browse", func(r sim.Result) { browseErr = r.Err })
+	eng.Run(time.Second)
+	cluster.Call("client", "shipping", "quote", func(r sim.Result) { quoteErr = r.Err })
+	eng.Run(2 * time.Second)
+
+	if browseErr == nil {
+		t.Error("browse should fail when mongodb is down")
+	}
+	if quoteErr != nil {
+		t.Errorf("shipping quote should survive a mongodb fault, got %v", quoteErr)
+	}
+}
+
+func TestRabbitFaultIsAsyncOmission(t *testing.T) {
+	// A broker fault breaks checkout (payment publishes synchronously) and
+	// starves dispatch — the robot-shop analogue of CausalBench's D/F
+	// omission path.
+	eng, cluster := build(t)
+	rabbit, _ := cluster.Service("rabbitmq")
+	rabbit.SetUnavailable(true)
+	var err error
+	cluster.Call("client", "web", "checkout", func(r sim.Result) { err = r.Err })
+	eng.Run(5 * time.Second)
+	if err == nil {
+		t.Error("checkout should fail when rabbitmq is down")
+	}
+	dispatch, _ := cluster.Service("dispatch")
+	if dispatch.Counters().CPUSeconds != 0 {
+		t.Error("dispatch should process nothing with the broker down")
+	}
+	if dispatch.Counters().ErrorLogMessages == 0 {
+		t.Error("dispatch should log broker connection failures")
+	}
+}

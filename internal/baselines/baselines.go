@@ -1,0 +1,367 @@
+// Package baselines implements the comparison techniques the paper evaluates
+// against (§VI-B, §VII):
+//
+//   - ErrLogOnly — the AAAI-22 approach [23]: interventional causal learning
+//     restricted to the error-log-rate metric, with the paper's verbatim
+//     intersection vote. Error logs see only the response path, so omission
+//     faults and silently-handled errors escape it.
+//   - SingleWorld — a Ψ-FCI-style learner [24], [40]: it assumes one causal
+//     graph explains all metrics and therefore learns the union world
+//     "s' is affected by s if *any* metric shifts". Collapsing the
+//     per-metric worlds destroys the identifiability the paper's §III-B
+//     discusses.
+//   - Observational — no interventions at all: it ranks services by how many
+//     metrics flag them anomalous against the baseline, the data-driven
+//     strategy of the observational RCA literature [6]-[13].
+//   - RandomGuess — the sanity floor.
+//
+// All techniques consume the same collected datasets through the Technique
+// interface so comparisons are apples-to-apples.
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"causalfl/internal/core"
+	"causalfl/internal/metrics"
+	"causalfl/internal/stats"
+)
+
+// Technique is one fault-localization method under comparison.
+type Technique interface {
+	// Name identifies the technique in reports.
+	Name() string
+	// Train fits the technique on the training campaign's datasets. The
+	// snapshots carry the union of all metrics; techniques project what
+	// they need.
+	Train(baseline *metrics.Snapshot, interventions map[string]*metrics.Snapshot) error
+	// Localize returns the candidate fault-location set for production
+	// data. Train must have been called first.
+	Localize(production *metrics.Snapshot) ([]string, error)
+}
+
+// Paper wraps the repository's own method (core.Learner + core.Localizer) as
+// a Technique, restricted to the given metric names.
+type Paper struct {
+	// MetricNames restricts the snapshots (nil means use all).
+	MetricNames []string
+	// Rule selects the vote rule (zero means core.IntersectionVote).
+	Rule core.VoteRule
+	// Alpha is the significance level (zero means core.DefaultAlpha).
+	Alpha float64
+	// Label overrides the reported name (used by derived baselines that
+	// reuse this wrapper, like the error-log-only technique).
+	Label string
+	// Test overrides the two-sample decision rule (nil means the core
+	// default, a guarded KS test). Used by the decision-rule ablation.
+	Test stats.TwoSampleTest
+	// FDR, when nonzero, replaces per-test alpha with Benjamini-Hochberg
+	// control at this level for both learning and localization.
+	FDR float64
+
+	model *core.Model
+}
+
+var _ Technique = (*Paper)(nil)
+
+// Name implements Technique.
+func (p *Paper) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	rule := p.Rule
+	if rule == 0 {
+		rule = core.IntersectionVote
+	}
+	return "causalfl/" + rule.String()
+}
+
+// Train implements Technique.
+func (p *Paper) Train(baseline *metrics.Snapshot, interventions map[string]*metrics.Snapshot) error {
+	baseline, interventions, err := project(p.MetricNames, baseline, interventions)
+	if err != nil {
+		return fmt.Errorf("baselines: %s: %w", p.Name(), err)
+	}
+	var opts []core.LearnerOption
+	if p.Alpha != 0 {
+		opts = append(opts, core.WithAlpha(p.Alpha))
+	}
+	if p.Test != nil {
+		opts = append(opts, core.WithTest(p.Test))
+	}
+	if p.FDR != 0 {
+		opts = append(opts, core.WithFDR(p.FDR))
+	}
+	learner, err := core.NewLearner(opts...)
+	if err != nil {
+		return err
+	}
+	p.model, err = learner.Learn(baseline, interventions)
+	return err
+}
+
+// Localize implements Technique.
+func (p *Paper) Localize(production *metrics.Snapshot) ([]string, error) {
+	if p.model == nil {
+		return nil, fmt.Errorf("baselines: %s: Localize before Train", p.Name())
+	}
+	if p.MetricNames != nil {
+		var err error
+		production, err = production.Project(p.MetricNames)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var opts []core.LocalizerOption
+	if p.Rule != 0 {
+		opts = append(opts, core.WithVoteRule(p.Rule))
+	}
+	if p.Test != nil {
+		opts = append(opts, core.WithLocalizerTest(p.Test))
+	}
+	if p.FDR != 0 {
+		opts = append(opts, core.WithLocalizerFDR(p.FDR))
+	}
+	localizer, err := core.NewLocalizer(opts...)
+	if err != nil {
+		return nil, err
+	}
+	loc, err := localizer.Localize(p.model, production)
+	if err != nil {
+		return nil, err
+	}
+	return loc.Candidates, nil
+}
+
+// project restricts the training snapshots to the named metrics.
+func project(names []string, baseline *metrics.Snapshot, interventions map[string]*metrics.Snapshot) (*metrics.Snapshot, map[string]*metrics.Snapshot, error) {
+	if names == nil {
+		return baseline, interventions, nil
+	}
+	pb, err := baseline.Project(names)
+	if err != nil {
+		return nil, nil, err
+	}
+	pi := make(map[string]*metrics.Snapshot, len(interventions))
+	for target, snap := range interventions {
+		ps, err := snap.Project(names)
+		if err != nil {
+			return nil, nil, err
+		}
+		pi[target] = ps
+	}
+	return pb, pi, nil
+}
+
+// ErrLogOnly is the [23]-style baseline: interventional causal learning over
+// the error-log-rate metric only, with the verbatim intersection vote.
+func ErrLogOnly() Technique {
+	return &Paper{
+		MetricNames: []string{metrics.ErrLogRate.Name},
+		Rule:        core.PureIntersectionVote,
+		Label:       "errlog-only[23]",
+	}
+}
+
+// sortedAnomalyUnion and friends support SingleWorld and Observational.
+
+// SingleWorld learns one causal world per intervention as the union of the
+// per-metric worlds, modelling learners that assume a single causal graph
+// generates every metric.
+type SingleWorld struct {
+	// Alpha is the significance level (zero means core.DefaultAlpha).
+	Alpha float64
+
+	baseline *metrics.Snapshot
+	worlds   map[string]map[string]bool // target -> union causal set
+	targets  []string
+}
+
+var _ Technique = (*SingleWorld)(nil)
+
+// Name implements Technique.
+func (s *SingleWorld) Name() string { return "single-world" }
+
+// Train implements Technique.
+func (s *SingleWorld) Train(baseline *metrics.Snapshot, interventions map[string]*metrics.Snapshot) error {
+	alpha := s.Alpha
+	if alpha == 0 {
+		alpha = core.DefaultAlpha
+	}
+	learner, err := core.NewLearner(core.WithAlpha(alpha))
+	if err != nil {
+		return err
+	}
+	model, err := learner.Learn(baseline, interventions)
+	if err != nil {
+		return fmt.Errorf("baselines: single-world: %w", err)
+	}
+	s.baseline = model.Baseline
+	s.targets = model.Targets
+	s.worlds = make(map[string]map[string]bool, len(model.Targets))
+	for _, target := range model.Targets {
+		union := make(map[string]bool)
+		for _, metric := range model.Metrics {
+			for _, svc := range model.CausalSets[metric][target] {
+				union[svc] = true
+			}
+		}
+		s.worlds[target] = union
+	}
+	return nil
+}
+
+// Localize implements Technique: anomalies under the joint view (any metric
+// shifts) matched against the union worlds by intersection size.
+func (s *SingleWorld) Localize(production *metrics.Snapshot) ([]string, error) {
+	if s.worlds == nil {
+		return nil, fmt.Errorf("baselines: single-world: Localize before Train")
+	}
+	alpha := s.Alpha
+	if alpha == 0 {
+		alpha = core.DefaultAlpha
+	}
+	anom, err := jointAnomalies(alpha, s.baseline, production)
+	if err != nil {
+		return nil, err
+	}
+	best := 0
+	var winners []string
+	for _, target := range s.targets {
+		n := 0
+		for svc := range anom {
+			if s.worlds[target][svc] {
+				n++
+			}
+		}
+		switch {
+		case n > best:
+			best = n
+			winners = []string{target}
+		case n == best && n > 0:
+			winners = append(winners, target)
+		}
+	}
+	if len(winners) == 0 {
+		winners = append(winners, s.targets...)
+	}
+	sort.Strings(winners)
+	return winners, nil
+}
+
+// jointAnomalies returns the services flagged by any metric.
+func jointAnomalies(alpha float64, baseline, production *metrics.Snapshot) (map[string]bool, error) {
+	test := defaultTest()
+	out := make(map[string]bool)
+	for _, metric := range baseline.Metrics {
+		anom, err := core.Anomalies(test, alpha, baseline, production, metric)
+		if err != nil {
+			return nil, err
+		}
+		for _, svc := range anom {
+			out[svc] = true
+		}
+	}
+	return out, nil
+}
+
+// Observational ranks services by how many metrics flag them anomalous,
+// without any interventional knowledge.
+type Observational struct {
+	// Alpha is the significance level (zero means core.DefaultAlpha).
+	Alpha float64
+
+	baseline *metrics.Snapshot
+}
+
+var _ Technique = (*Observational)(nil)
+
+// Name implements Technique.
+func (o *Observational) Name() string { return "observational" }
+
+// Train implements Technique: only the baseline is retained; interventional
+// datasets are deliberately ignored.
+func (o *Observational) Train(baseline *metrics.Snapshot, _ map[string]*metrics.Snapshot) error {
+	if baseline == nil {
+		return fmt.Errorf("baselines: observational: nil baseline")
+	}
+	if err := baseline.Validate(); err != nil {
+		return err
+	}
+	o.baseline = baseline.Clone()
+	return nil
+}
+
+// Localize implements Technique.
+func (o *Observational) Localize(production *metrics.Snapshot) ([]string, error) {
+	if o.baseline == nil {
+		return nil, fmt.Errorf("baselines: observational: Localize before Train")
+	}
+	alpha := o.Alpha
+	if alpha == 0 {
+		alpha = core.DefaultAlpha
+	}
+	test := defaultTest()
+	score := make(map[string]int, len(o.baseline.Services))
+	for _, metric := range o.baseline.Metrics {
+		anom, err := core.Anomalies(test, alpha, o.baseline, production, metric)
+		if err != nil {
+			return nil, err
+		}
+		for _, svc := range anom {
+			score[svc]++
+		}
+	}
+	best := 0
+	for _, n := range score {
+		if n > best {
+			best = n
+		}
+	}
+	var winners []string
+	if best > 0 {
+		for svc, n := range score {
+			if n == best {
+				winners = append(winners, svc)
+			}
+		}
+	} else {
+		winners = append(winners, o.baseline.Services...)
+	}
+	sort.Strings(winners)
+	return winners, nil
+}
+
+// RandomGuess picks one service uniformly at random (seeded, deterministic).
+type RandomGuess struct {
+	// Seed drives the guesses.
+	Seed int64
+
+	services []string
+	rng      *rand.Rand
+}
+
+var _ Technique = (*RandomGuess)(nil)
+
+// Name implements Technique.
+func (r *RandomGuess) Name() string { return "random" }
+
+// Train implements Technique.
+func (r *RandomGuess) Train(baseline *metrics.Snapshot, _ map[string]*metrics.Snapshot) error {
+	if baseline == nil || len(baseline.Services) == 0 {
+		return fmt.Errorf("baselines: random: empty baseline")
+	}
+	r.services = append([]string(nil), baseline.Services...)
+	r.rng = rand.New(rand.NewSource(r.Seed))
+	return nil
+}
+
+// Localize implements Technique.
+func (r *RandomGuess) Localize(_ *metrics.Snapshot) ([]string, error) {
+	if r.rng == nil {
+		return nil, fmt.Errorf("baselines: random: Localize before Train")
+	}
+	return []string{r.services[r.rng.Intn(len(r.services))]}, nil
+}

@@ -1,0 +1,251 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"causalfl/internal/metrics"
+)
+
+// fixture builds synthetic datasets over services {x, y, z} with three
+// metrics. Ground truth: a fault in x shifts error logs on {x, y} and cpu on
+// {x, z}; a fault in z shifts cpu on {z} only (no error logs anywhere — the
+// silent-handler case that defeats the error-log-only baseline).
+type fixture struct {
+	rng *rand.Rand
+}
+
+var fixtureMetrics = []string{metrics.ErrLogRate.Name, "cpu", "tx"}
+
+const fixtureN = 20
+
+func (f *fixture) snapshot(shifted map[string]map[string]bool) *metrics.Snapshot {
+	services := []string{"x", "y", "z"}
+	snap := metrics.NewSnapshot(fixtureMetrics, services)
+	for _, m := range fixtureMetrics {
+		for _, svc := range services {
+			series := make([]float64, fixtureN)
+			offset := 0.0
+			if shifted != nil && shifted[m][svc] {
+				offset = 9
+			}
+			for i := range series {
+				series[i] = 5 + offset + f.rng.NormFloat64()*0.5
+			}
+			snap.Data[m][svc] = series
+		}
+	}
+	return snap
+}
+
+func (f *fixture) worlds() map[string]map[string]map[string]bool {
+	return map[string]map[string]map[string]bool{
+		"x": {
+			metrics.ErrLogRate.Name: {"x": true, "y": true},
+			"cpu":                   {"x": true, "z": true},
+		},
+		"z": {
+			"cpu": {"z": true},
+		},
+	}
+}
+
+func (f *fixture) train(t *testing.T, tech Technique) {
+	t.Helper()
+	baseline := f.snapshot(nil)
+	interventions := make(map[string]*metrics.Snapshot)
+	for target, w := range f.worlds() {
+		interventions[target] = f.snapshot(w)
+	}
+	if err := tech.Train(baseline, interventions); err != nil {
+		t.Fatalf("%s: train: %v", tech.Name(), err)
+	}
+}
+
+func contains(set []string, s string) bool {
+	for _, v := range set {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPaperTechniqueLocalizes(t *testing.T) {
+	f := &fixture{rng: rand.New(rand.NewSource(1))}
+	tech := &Paper{}
+	f.train(t, tech)
+	for target, w := range f.worlds() {
+		got, err := tech.Localize(f.snapshot(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !contains(got, target) {
+			t.Errorf("fault in %s localized to %v", target, got)
+		}
+	}
+}
+
+func TestPaperTechniqueMetricProjection(t *testing.T) {
+	f := &fixture{rng: rand.New(rand.NewSource(2))}
+	tech := &Paper{MetricNames: []string{"cpu"}}
+	f.train(t, tech)
+	got, err := tech.Localize(f.snapshot(f.worlds()["z"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(got, "z") {
+		t.Errorf("cpu-only projection missed fault z: %v", got)
+	}
+	bad := &Paper{MetricNames: []string{"nope"}}
+	baseline := f.snapshot(nil)
+	if err := bad.Train(baseline, map[string]*metrics.Snapshot{"x": f.snapshot(nil)}); err == nil {
+		t.Error("projection onto missing metric accepted")
+	}
+}
+
+func TestErrLogOnlyMissesSilentFault(t *testing.T) {
+	f := &fixture{rng: rand.New(rand.NewSource(3))}
+	tech := ErrLogOnly()
+	f.train(t, tech)
+
+	// Fault x produces error logs: the baseline can find it.
+	got, err := tech.Localize(f.snapshot(f.worlds()["x"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(got, "x") {
+		t.Errorf("errlog baseline missed the loud fault x: %v", got)
+	}
+
+	// Fault z is silent in error logs: the candidate set degenerates to
+	// everything (no error-log evidence), i.e. the baseline cannot
+	// localize it.
+	got, err = tech.Localize(f.snapshot(f.worlds()["z"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 2 {
+		t.Errorf("errlog baseline confidently localized a silent fault to %v; it has no evidence", got)
+	}
+}
+
+func TestSingleWorldLosesIdentifiability(t *testing.T) {
+	// Two targets whose union worlds are identical even though the
+	// per-metric worlds differ: the single-world learner cannot separate
+	// them, the per-metric method can.
+	services := []string{"p", "q"}
+	ms := []string{"m1", "m2"}
+	rng := rand.New(rand.NewSource(4))
+	mk := func(shift map[string]map[string]bool) *metrics.Snapshot {
+		snap := metrics.NewSnapshot(ms, services)
+		for _, m := range ms {
+			for _, svc := range services {
+				series := make([]float64, fixtureN)
+				off := 0.0
+				if shift != nil && shift[m][svc] {
+					off = 9
+				}
+				for i := range series {
+					series[i] = 5 + off + rng.NormFloat64()*0.5
+				}
+				snap.Data[m][svc] = series
+			}
+		}
+		return snap
+	}
+	worldP := map[string]map[string]bool{"m1": {"p": true, "q": true}} // p shifts m1 on both
+	worldQ := map[string]map[string]bool{"m2": {"p": true, "q": true}} // q shifts m2 on both
+
+	baseline := mk(nil)
+	interventions := map[string]*metrics.Snapshot{"p": mk(worldP), "q": mk(worldQ)}
+
+	single := &SingleWorld{}
+	if err := single.Train(baseline, interventions); err != nil {
+		t.Fatal(err)
+	}
+	got, err := single.Localize(mk(worldP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("single-world learner should tie {p,q} on merged worlds, got %v", got)
+	}
+
+	perMetric := &Paper{}
+	if err := perMetric.Train(baseline, interventions); err != nil {
+		t.Fatal(err)
+	}
+	got, err = perMetric.Localize(mk(worldP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "p" {
+		t.Errorf("per-metric method should pinpoint p, got %v", got)
+	}
+}
+
+func TestObservationalRanksByAnomalyCount(t *testing.T) {
+	f := &fixture{rng: rand.New(rand.NewSource(5))}
+	tech := &Observational{}
+	f.train(t, tech)
+	// Fault x flags x under two metrics, y and z under one each: the
+	// observational ranker picks x.
+	got, err := tech.Localize(f.snapshot(f.worlds()["x"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "x" {
+		t.Errorf("observational ranker = %v, want {x}", got)
+	}
+}
+
+func TestRandomGuessDeterministic(t *testing.T) {
+	f := &fixture{rng: rand.New(rand.NewSource(6))}
+	a := &RandomGuess{Seed: 9}
+	b := &RandomGuess{Seed: 9}
+	f.train(t, a)
+	f = &fixture{rng: rand.New(rand.NewSource(6))}
+	f.train(t, b)
+	snap := f.snapshot(nil)
+	for i := 0; i < 10; i++ {
+		ga, err := a.Localize(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := b.Localize(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ga) != 1 || ga[0] != gb[0] {
+			t.Fatalf("random guesses diverged: %v vs %v", ga, gb)
+		}
+	}
+}
+
+func TestLocalizeBeforeTrain(t *testing.T) {
+	f := &fixture{rng: rand.New(rand.NewSource(7))}
+	snap := f.snapshot(nil)
+	for _, tech := range []Technique{&Paper{}, &SingleWorld{}, &Observational{}, &RandomGuess{}} {
+		if _, err := tech.Localize(snap); err == nil {
+			t.Errorf("%s: Localize before Train accepted", tech.Name())
+		}
+	}
+}
+
+func TestTechniqueNames(t *testing.T) {
+	for _, tc := range []struct {
+		tech Technique
+		want string
+	}{
+		{&Paper{}, "causalfl/intersection+parsimony"},
+		{ErrLogOnly(), "errlog-only[23]"},
+		{&SingleWorld{}, "single-world"},
+		{&Observational{}, "observational"},
+		{&RandomGuess{}, "random"},
+	} {
+		if got := tc.tech.Name(); got != tc.want {
+			t.Errorf("Name = %q, want %q", got, tc.want)
+		}
+	}
+}

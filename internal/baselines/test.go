@@ -1,0 +1,10 @@
+package baselines
+
+import "causalfl/internal/stats"
+
+// defaultTest is the distribution-shift test shared by the baselines: the
+// same guarded KS decision the core pipeline uses, so technique comparisons
+// differ in *method*, not in test plumbing.
+func defaultTest() stats.TwoSampleTest {
+	return stats.GuardedTest{Inner: stats.KSTest{}}
+}

@@ -1,0 +1,103 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"causalfl/internal/apps"
+	"causalfl/internal/core"
+	"causalfl/internal/metrics"
+)
+
+// TopologyRCA is the topology-driven baseline of the paper's related work
+// ([14] relies on an expert-provided causal structure; service-mesh
+// topologies are the usual substitute). It needs no interventions: given the
+// static caller-callee graph, it flags anomalous services and blames the
+// ones deepest along the call direction — the anomalous services none of
+// whose callees are anomalous — on the assumption that failures propagate
+// backwards from their origin.
+//
+// The paper's §III-A is exactly the refutation of that assumption: under
+// log-type metrics errors propagate *against* the call direction, and under
+// omission faults the relevant causal edge (F's background drain) is not a
+// request edge at all. This baseline therefore mislocalizes request-path
+// faults whose loudest signal is upstream error logs.
+type TopologyRCA struct {
+	// Edges is the static topology (from the application definition, as a
+	// service mesh would report it).
+	Edges []apps.Edge
+	// Alpha is the significance level (zero means core.DefaultAlpha).
+	Alpha float64
+
+	baseline *metrics.Snapshot
+	callees  map[string][]string
+}
+
+var _ Technique = (*TopologyRCA)(nil)
+
+// Name implements Technique.
+func (t *TopologyRCA) Name() string { return "topology-rca[14]" }
+
+// Train implements Technique: only the fault-free baseline is retained;
+// interventional datasets are deliberately ignored (the technique's whole
+// point is that it needs none).
+func (t *TopologyRCA) Train(baseline *metrics.Snapshot, _ map[string]*metrics.Snapshot) error {
+	if baseline == nil {
+		return fmt.Errorf("baselines: topology-rca: nil baseline")
+	}
+	if len(t.Edges) == 0 {
+		return fmt.Errorf("baselines: topology-rca: no topology edges")
+	}
+	if err := baseline.Validate(); err != nil {
+		return err
+	}
+	t.baseline = baseline.Clone()
+	t.callees = make(map[string][]string)
+	for _, e := range t.Edges {
+		t.callees[e.From] = append(t.callees[e.From], e.To)
+	}
+	return nil
+}
+
+// Localize implements Technique.
+func (t *TopologyRCA) Localize(production *metrics.Snapshot) ([]string, error) {
+	if t.baseline == nil {
+		return nil, fmt.Errorf("baselines: topology-rca: Localize before Train")
+	}
+	alpha := t.Alpha
+	if alpha == 0 {
+		alpha = core.DefaultAlpha
+	}
+	anom, err := jointAnomalies(alpha, t.baseline, production)
+	if err != nil {
+		return nil, err
+	}
+	if len(anom) == 0 {
+		out := append([]string(nil), t.baseline.Services...)
+		sort.Strings(out)
+		return out, nil
+	}
+	// Blame the anomaly frontier along the call direction: anomalous
+	// services with no anomalous callee.
+	var winners []string
+	for svc := range anom {
+		frontier := true
+		for _, callee := range t.callees[svc] {
+			if anom[callee] {
+				frontier = false
+				break
+			}
+		}
+		if frontier {
+			winners = append(winners, svc)
+		}
+	}
+	if len(winners) == 0 {
+		// A cycle of anomalies: return them all.
+		for svc := range anom {
+			winners = append(winners, svc)
+		}
+	}
+	sort.Strings(winners)
+	return winners, nil
+}

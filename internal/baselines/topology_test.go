@@ -1,0 +1,109 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"causalfl/internal/apps"
+	"causalfl/internal/metrics"
+)
+
+// topoFixture models the pattern-1 chain a -> b -> c with a single metric
+// whose anomaly signature under a fault on b is {a, b, c}: a is anomalous
+// via upstream error logs, c via downstream starvation.
+func topoFixture(t *testing.T) (*TopologyRCA, *metrics.Snapshot, *metrics.Snapshot) {
+	t.Helper()
+	services := []string{"a", "b", "c"}
+	rng := rand.New(rand.NewSource(8))
+	mk := func(shifted map[string]bool) *metrics.Snapshot {
+		snap := metrics.NewSnapshot([]string{"m"}, services)
+		for _, svc := range services {
+			series := make([]float64, 20)
+			off := 0.0
+			if shifted[svc] {
+				off = 9
+			}
+			for i := range series {
+				series[i] = 5 + off + rng.NormFloat64()*0.3
+			}
+			snap.Data["m"][svc] = series
+		}
+		return snap
+	}
+	baseline := mk(nil)
+	production := mk(map[string]bool{"a": true, "b": true, "c": true})
+	rca := &TopologyRCA{Edges: []apps.Edge{{From: "a", To: "b"}, {From: "b", To: "c"}}}
+	if err := rca.Train(baseline, nil); err != nil {
+		t.Fatal(err)
+	}
+	return rca, baseline, production
+}
+
+func TestTopologyRCABlamesAnomalyFrontier(t *testing.T) {
+	rca, _, production := topoFixture(t)
+	got, err := rca.Localize(production)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole chain is anomalous; the frontier along the call direction
+	// is c — which is WRONG for a fault on b. This mislocalization is the
+	// baseline's documented failure mode (§III-A: error logs propagate
+	// against the call direction), so the test pins it.
+	if len(got) != 1 || got[0] != "c" {
+		t.Fatalf("topology RCA blamed %v; expected its characteristic wrong answer {c}", got)
+	}
+}
+
+func TestTopologyRCAHealthyData(t *testing.T) {
+	rca, baseline, _ := topoFixture(t)
+	got, err := rca.Localize(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("healthy data should yield the full set, got %v", got)
+	}
+}
+
+func TestTopologyRCAValidation(t *testing.T) {
+	rca := &TopologyRCA{}
+	if err := rca.Train(nil, nil); err == nil {
+		t.Error("nil baseline accepted")
+	}
+	if _, err := rca.Localize(nil); err == nil {
+		t.Error("Localize before Train accepted")
+	}
+	f := &fixture{rng: rand.New(rand.NewSource(1))}
+	noEdges := &TopologyRCA{}
+	if err := noEdges.Train(f.snapshot(nil), nil); err == nil {
+		t.Error("empty topology accepted")
+	}
+}
+
+func TestTopologyRCACycle(t *testing.T) {
+	services := []string{"p", "q"}
+	rng := rand.New(rand.NewSource(9))
+	mk := func(off float64) *metrics.Snapshot {
+		snap := metrics.NewSnapshot([]string{"m"}, services)
+		for _, svc := range services {
+			series := make([]float64, 15)
+			for i := range series {
+				series[i] = 5 + off + rng.NormFloat64()*0.3
+			}
+			snap.Data["m"][svc] = series
+		}
+		return snap
+	}
+	rca := &TopologyRCA{Edges: []apps.Edge{{From: "p", To: "q"}, {From: "q", To: "p"}}}
+	if err := rca.Train(mk(0), nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rca.Localize(mk(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutually anomalous cycle: no frontier exists; both are returned.
+	if len(got) != 2 {
+		t.Fatalf("cyclic anomalies should return both services, got %v", got)
+	}
+}

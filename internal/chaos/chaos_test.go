@@ -1,0 +1,196 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"causalfl/internal/sim"
+)
+
+func newCluster(t *testing.T) (*sim.Engine, *sim.Cluster, *Injector) {
+	t.Helper()
+	eng := sim.NewEngine(4)
+	cluster := sim.NewCluster(eng)
+	cluster.MustAddService(sim.ServiceConfig{Name: "svc", Endpoints: []sim.Endpoint{{Name: "ep"}}})
+	inj, err := NewInjector(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, cluster, inj
+}
+
+func TestInjectAndClearUnavailable(t *testing.T) {
+	eng, cluster, inj := newCluster(t)
+	if err := inj.Inject("svc", Unavailable()); err != nil {
+		t.Fatal(err)
+	}
+	var failedErr error
+	cluster.Call("client", "svc", "ep", func(r sim.Result) { failedErr = r.Err })
+	eng.Run(time.Second)
+	if !errors.Is(failedErr, sim.ErrServiceUnavailable) {
+		t.Fatalf("call during fault returned %v", failedErr)
+	}
+	if len(inj.Active()) != 1 {
+		t.Fatalf("Active = %v", inj.Active())
+	}
+	if err := inj.Clear("svc"); err != nil {
+		t.Fatal(err)
+	}
+	var okErr error = errors.New("sentinel")
+	cluster.Call("client", "svc", "ep", func(r sim.Result) { okErr = r.Err })
+	eng.Run(2 * time.Second)
+	if okErr != nil {
+		t.Fatalf("call after clear returned %v", okErr)
+	}
+}
+
+func TestDoubleInjectRejected(t *testing.T) {
+	_, _, inj := newCluster(t)
+	if err := inj.Inject("svc", Unavailable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Inject("svc", Fault{Type: Latency, Delay: time.Second}); err == nil {
+		t.Fatal("second fault on same service accepted")
+	}
+}
+
+func TestClearWithoutFault(t *testing.T) {
+	_, _, inj := newCluster(t)
+	if err := inj.Clear("svc"); err == nil {
+		t.Fatal("Clear on healthy service accepted")
+	}
+}
+
+func TestUnknownTarget(t *testing.T) {
+	_, _, inj := newCluster(t)
+	var use *sim.UnknownServiceError
+	if err := inj.Inject("ghost", Unavailable()); !errors.As(err, &use) {
+		t.Fatalf("Inject ghost: %v", err)
+	}
+	if err := inj.Clear("ghost"); !errors.As(err, &use) {
+		t.Fatalf("Clear ghost: %v", err)
+	}
+}
+
+func TestFaultValidation(t *testing.T) {
+	_, _, inj := newCluster(t)
+	cases := []Fault{
+		{Type: Latency},              // missing delay
+		{Type: ErrorRate},            // missing rate
+		{Type: ErrorRate, Rate: 1.5}, // rate out of range
+		{Type: FaultType(99)},        // unknown type
+	}
+	for i, f := range cases {
+		if err := inj.Inject("svc", f); err == nil {
+			t.Errorf("case %d: fault %+v accepted", i, f)
+			_ = inj.Clear("svc")
+		}
+	}
+}
+
+func TestLatencyAndErrorRateFaults(t *testing.T) {
+	eng, cluster, inj := newCluster(t)
+	if err := inj.Inject("svc", Fault{Type: Latency, Delay: 100 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	start := eng.Now()
+	var doneAt sim.Time
+	cluster.Call("client", "svc", "ep", func(sim.Result) { doneAt = eng.Now() })
+	eng.Run(time.Second)
+	if doneAt-start < 100*time.Millisecond {
+		t.Fatalf("latency fault not applied: %v", doneAt-start)
+	}
+	if err := inj.Clear("svc"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := inj.Inject("svc", Fault{Type: ErrorRate, Rate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var gotErr error
+	cluster.Call("client", "svc", "ep", func(r sim.Result) { gotErr = r.Err })
+	eng.Run(2 * time.Second)
+	if !errors.Is(gotErr, sim.ErrInjectedFault) {
+		t.Fatalf("error-rate fault returned %v", gotErr)
+	}
+}
+
+func TestClearAll(t *testing.T) {
+	_, cluster, inj := newCluster(t)
+	cluster.MustAddService(sim.ServiceConfig{Name: "other"})
+	if err := inj.Inject("svc", Unavailable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Inject("other", Unavailable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.ClearAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(inj.Active()) != 0 {
+		t.Fatalf("Active after ClearAll = %v", inj.Active())
+	}
+}
+
+func TestScheduleWindow(t *testing.T) {
+	eng, cluster, inj := newCluster(t)
+	var schedErr error
+	err := inj.ScheduleWindow("svc", Unavailable(), 2*time.Second, 3*time.Second, func(e error) { schedErr = e })
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make(map[sim.Time]error)
+	probe := func(at sim.Time) {
+		eng.Schedule(at, func() {
+			cluster.Call("client", "svc", "ep", func(r sim.Result) { results[at] = r.Err })
+		})
+	}
+	probe(1 * time.Second) // before the window
+	probe(3 * time.Second) // inside
+	probe(6 * time.Second) // after
+	eng.Run(10 * time.Second)
+	if schedErr != nil {
+		t.Fatal(schedErr)
+	}
+	if results[1*time.Second] != nil {
+		t.Error("call before window failed")
+	}
+	if results[3*time.Second] == nil {
+		t.Error("call inside window succeeded")
+	}
+	if results[6*time.Second] != nil {
+		t.Error("call after window failed")
+	}
+}
+
+func TestScheduleWindowValidation(t *testing.T) {
+	_, _, inj := newCluster(t)
+	if err := inj.ScheduleWindow("svc", Unavailable(), 0, 0, nil); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if err := inj.ScheduleWindow("ghost", Unavailable(), 0, time.Second, nil); err == nil {
+		t.Error("unknown target accepted")
+	}
+}
+
+func TestNewInjectorNilCluster(t *testing.T) {
+	if _, err := NewInjector(nil); err == nil {
+		t.Fatal("nil cluster accepted")
+	}
+}
+
+func TestFaultTypeStrings(t *testing.T) {
+	names := map[FaultType]string{
+		ServiceUnavailable: "http-service-unavailable",
+		Latency:            "latency",
+		ErrorRate:          "error-rate",
+		Pause:              "pause",
+		FaultType(42):      "unknown",
+	}
+	for ft, want := range names {
+		if got := ft.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ft, got, want)
+		}
+	}
+}

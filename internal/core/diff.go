@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Model drift tooling. Causal worlds age: deployments change call paths,
+// feature flags reroute traffic, logging disciplines change. DiffModels
+// compares two trained models so operators can see *what* changed and decide
+// whether localization can still be trusted — the retrain-or-not question
+// the paper's conclusion leaves open.
+
+// SetChange records one causal set whose membership changed.
+type SetChange struct {
+	Metric  string
+	Target  string
+	Added   []string
+	Removed []string
+}
+
+// ModelDiff summarizes the differences between two models.
+type ModelDiff struct {
+	AddedTargets   []string
+	RemovedTargets []string
+	AddedMetrics   []string
+	RemovedMetrics []string
+	ChangedSets    []SetChange
+}
+
+// Empty reports whether the models agree completely.
+func (d *ModelDiff) Empty() bool {
+	return len(d.AddedTargets) == 0 && len(d.RemovedTargets) == 0 &&
+		len(d.AddedMetrics) == 0 && len(d.RemovedMetrics) == 0 &&
+		len(d.ChangedSets) == 0
+}
+
+// String renders the diff.
+func (d *ModelDiff) String() string {
+	if d.Empty() {
+		return "models agree: no drift\n"
+	}
+	var b strings.Builder
+	writeList := func(label string, items []string) {
+		if len(items) > 0 {
+			fmt.Fprintf(&b, "%s: %s\n", label, strings.Join(items, ", "))
+		}
+	}
+	writeList("targets added", d.AddedTargets)
+	writeList("targets removed", d.RemovedTargets)
+	writeList("metrics added", d.AddedMetrics)
+	writeList("metrics removed", d.RemovedMetrics)
+	for _, c := range d.ChangedSets {
+		fmt.Fprintf(&b, "C(%s, %s):", c.Target, c.Metric)
+		for _, s := range c.Added {
+			fmt.Fprintf(&b, " +%s", s)
+		}
+		for _, s := range c.Removed {
+			fmt.Fprintf(&b, " -%s", s)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// DiffModels compares two validated models. Only metric/target combinations
+// present in both are diffed for membership changes; added/removed metrics
+// and targets are reported separately.
+func DiffModels(oldModel, newModel *Model) (*ModelDiff, error) {
+	if oldModel == nil || newModel == nil {
+		return nil, fmt.Errorf("core: diff needs two models")
+	}
+	if err := oldModel.Validate(); err != nil {
+		return nil, fmt.Errorf("core: diff: old model: %w", err)
+	}
+	if err := newModel.Validate(); err != nil {
+		return nil, fmt.Errorf("core: diff: new model: %w", err)
+	}
+	d := &ModelDiff{}
+	d.AddedTargets, d.RemovedTargets = setDelta(oldModel.Targets, newModel.Targets)
+	d.AddedMetrics, d.RemovedMetrics = setDelta(oldModel.Metrics, newModel.Metrics)
+
+	sharedMetrics := intersect(oldModel.Metrics, newModel.Metrics)
+	sharedTargets := intersect(oldModel.Targets, newModel.Targets)
+	for _, metric := range sharedMetrics {
+		for _, target := range sharedTargets {
+			oldSet := oldModel.CausalSets[metric][target]
+			newSet := newModel.CausalSets[metric][target]
+			added, removed := setDelta(oldSet, newSet)
+			if len(added) > 0 || len(removed) > 0 {
+				d.ChangedSets = append(d.ChangedSets, SetChange{
+					Metric:  metric,
+					Target:  target,
+					Added:   added,
+					Removed: removed,
+				})
+			}
+		}
+	}
+	sort.Slice(d.ChangedSets, func(i, j int) bool {
+		a, c := d.ChangedSets[i], d.ChangedSets[j]
+		if a.Metric != c.Metric {
+			return a.Metric < c.Metric
+		}
+		return a.Target < c.Target
+	})
+	return d, nil
+}
+
+// setDelta returns new-but-not-old (added) and old-but-not-new (removed),
+// sorted.
+func setDelta(oldSet, newSet []string) (added, removed []string) {
+	oldM := make(map[string]bool, len(oldSet))
+	for _, s := range oldSet {
+		oldM[s] = true
+	}
+	newM := make(map[string]bool, len(newSet))
+	for _, s := range newSet {
+		newM[s] = true
+	}
+	for s := range newM {
+		if !oldM[s] {
+			added = append(added, s)
+		}
+	}
+	for s := range oldM {
+		if !newM[s] {
+			removed = append(removed, s)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	return added, removed
+}
+
+// intersect returns the elements of a that also appear in b, preserving a's
+// order.
+func intersect(a, b []string) []string {
+	inB := make(map[string]bool, len(b))
+	for _, s := range b {
+		inB[s] = true
+	}
+	var out []string
+	for _, s := range a {
+		if inB[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffModelsIdentical(t *testing.T) {
+	f := newFixture()
+	model := f.trainModel(t)
+	d, err := DiffModels(model, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Fatalf("self-diff not empty: %s", d)
+	}
+	if !strings.Contains(d.String(), "no drift") {
+		t.Errorf("empty diff rendering: %q", d.String())
+	}
+}
+
+func TestDiffModelsDetectsSetChange(t *testing.T) {
+	f := newFixture()
+	oldModel := f.trainModel(t)
+	newModel := f.trainModel(t)
+	// Simulate drift: a deployment removed the b dependency and grew a d
+	// one in the m1 world of target a.
+	newModel.CausalSets["m1"]["a"] = []string{"a", "d"}
+
+	d, err := DiffModels(oldModel, newModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Empty() {
+		t.Fatal("drift not detected")
+	}
+	if len(d.ChangedSets) != 1 {
+		t.Fatalf("changed sets = %+v, want exactly one", d.ChangedSets)
+	}
+	c := d.ChangedSets[0]
+	if c.Metric != "m1" || c.Target != "a" {
+		t.Fatalf("changed set identity = %+v", c)
+	}
+	if len(c.Added) != 1 || c.Added[0] != "d" {
+		t.Errorf("added = %v, want [d]", c.Added)
+	}
+	if len(c.Removed) != 1 || c.Removed[0] != "b" {
+		t.Errorf("removed = %v, want [b]", c.Removed)
+	}
+	out := d.String()
+	if !strings.Contains(out, "+d") || !strings.Contains(out, "-b") {
+		t.Errorf("diff rendering: %s", out)
+	}
+}
+
+func TestDiffModelsTargetAndMetricDeltas(t *testing.T) {
+	f := newFixture()
+	oldModel := f.trainModel(t)
+	newModel := f.trainModel(t)
+	// Drop target c from the new model (it was never retrained).
+	newModel.Targets = []string{"a"}
+	for _, m := range newModel.Metrics {
+		delete(newModel.CausalSets[m], "c")
+	}
+	d, err := DiffModels(oldModel, newModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.RemovedTargets) != 1 || d.RemovedTargets[0] != "c" {
+		t.Fatalf("removed targets = %v", d.RemovedTargets)
+	}
+	if len(d.AddedTargets) != 0 {
+		t.Fatalf("added targets = %v", d.AddedTargets)
+	}
+}
+
+func TestDiffModelsValidation(t *testing.T) {
+	f := newFixture()
+	model := f.trainModel(t)
+	if _, err := DiffModels(nil, model); err == nil {
+		t.Error("nil old model accepted")
+	}
+	if _, err := DiffModels(model, &Model{}); err == nil {
+		t.Error("invalid new model accepted")
+	}
+}

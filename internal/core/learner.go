@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+
+	"causalfl/internal/metrics"
+	"causalfl/internal/stats"
+)
+
+// DefaultAlpha is the significance level for the two-sample tests.
+const DefaultAlpha = 0.05
+
+// LearnerOption customizes a Learner.
+type LearnerOption func(*Learner) error
+
+// WithAlpha sets the significance level of the distribution-shift decision.
+func WithAlpha(alpha float64) LearnerOption {
+	return func(l *Learner) error {
+		if alpha <= 0 || alpha >= 1 {
+			return fmt.Errorf("core: alpha must be in (0,1), got %v", alpha)
+		}
+		l.alpha = alpha
+		return nil
+	}
+}
+
+// WithTest replaces the default KS test with another two-sample test.
+func WithTest(t stats.TwoSampleTest) LearnerOption {
+	return func(l *Learner) error {
+		if t == nil {
+			return fmt.Errorf("core: nil two-sample test")
+		}
+		l.test = t
+		return nil
+	}
+}
+
+// WithFDR switches the per-metric anomaly decision from per-test alpha
+// thresholds to Benjamini-Hochberg false-discovery-rate control at level q.
+// Algorithm 1 tests every other service per metric per intervention — a
+// multiple-testing family whose false-anomaly count grows with application
+// size under fixed alpha; FDR control keeps it proportional to the
+// discoveries actually made.
+func WithFDR(q float64) LearnerOption {
+	return func(l *Learner) error {
+		if q <= 0 || q >= 1 {
+			return fmt.Errorf("core: FDR level must be in (0,1), got %v", q)
+		}
+		l.fdrQ = q
+		return nil
+	}
+}
+
+// Learner implements Algorithm 1: fault-injection-driven causal learning.
+type Learner struct {
+	alpha float64
+	test  stats.TwoSampleTest
+	fdrQ  float64
+}
+
+// NewLearner constructs a learner with the paper's defaults: the KS test at
+// alpha = 0.05, wrapped in a practical-equivalence guard so that
+// operationally meaningless micro-shifts on near-deterministic metrics do
+// not pollute the causal sets.
+func NewLearner(opts ...LearnerOption) (*Learner, error) {
+	l := &Learner{alpha: DefaultAlpha, test: stats.GuardedTest{Inner: stats.KSTest{}}}
+	for _, opt := range opts {
+		if err := opt(l); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// Learn runs Algorithm 1 over collected datasets: baseline is D_0 (fault
+// free) and interventions maps each injected service s to its dataset D_s.
+// Both must cover the same metric and service universe.
+//
+// For every metric M and injected service s it computes
+//
+//	C(s, M) = {s} ∪ { s' : KS(D_s(M, s'), D_0(M, s')) rejects at alpha }
+//
+// and returns the per-metric causal worlds as a Model.
+func (l *Learner) Learn(baseline *metrics.Snapshot, interventions map[string]*metrics.Snapshot) (*Model, error) {
+	if baseline == nil {
+		return nil, fmt.Errorf("core: learn: nil baseline")
+	}
+	if err := baseline.Validate(); err != nil {
+		return nil, fmt.Errorf("core: learn: baseline: %w", err)
+	}
+	if len(interventions) == 0 {
+		return nil, fmt.Errorf("core: learn: no intervention datasets")
+	}
+
+	model := &Model{
+		Services:   append([]string(nil), baseline.Services...),
+		Metrics:    append([]string(nil), baseline.Metrics...),
+		CausalSets: make(map[string]map[string][]string, len(baseline.Metrics)),
+		Baseline:   baseline.Clone(),
+		Alpha:      l.alpha,
+	}
+	for _, m := range model.Metrics {
+		model.CausalSets[m] = make(map[string][]string, len(interventions))
+	}
+
+	known := make(map[string]bool, len(model.Services))
+	for _, s := range model.Services {
+		known[s] = true
+	}
+
+	// Deterministic target order: follow the service universe, then any
+	// extra map keys (rejected below).
+	for target := range interventions {
+		if !known[target] {
+			return nil, fmt.Errorf("core: learn: intervention target %q is not in the service universe", target)
+		}
+	}
+	for _, target := range model.Services {
+		snap, ok := interventions[target]
+		if !ok {
+			continue
+		}
+		if err := l.learnTarget(model, target, snap); err != nil {
+			return nil, err
+		}
+		model.Targets = append(model.Targets, target)
+	}
+	if len(model.Targets) != len(interventions) {
+		return nil, fmt.Errorf("core: learn: %d interventions but %d matched the universe", len(interventions), len(model.Targets))
+	}
+	return model, nil
+}
+
+// learnTarget fills C(target, M) for every metric from one intervention
+// dataset.
+func (l *Learner) learnTarget(model *Model, target string, snap *metrics.Snapshot) error {
+	if err := snap.Validate(); err != nil {
+		return fmt.Errorf("core: learn: intervention %q: %w", target, err)
+	}
+	for _, m := range model.Metrics {
+		set := map[string]bool{target: true} // Algorithm 1 line 9
+		var family []string
+		var pvals []float64
+		for _, svc := range model.Services {
+			if svc == target {
+				continue
+			}
+			faulted, err := snap.Series(m, svc)
+			if err != nil {
+				return fmt.Errorf("core: learn: intervention %q: %w", target, err)
+			}
+			base, err := model.Baseline.Series(m, svc)
+			if err != nil {
+				return fmt.Errorf("core: learn: baseline: %w", err)
+			}
+			p, err := l.test.PValue(faulted, base)
+			if err != nil {
+				return fmt.Errorf("core: learn: test %s on %s under fault in %s: %w", m, svc, target, err)
+			}
+			family = append(family, svc)
+			pvals = append(pvals, p)
+		}
+		shifted, err := decideFamily(pvals, l.alpha, l.fdrQ)
+		if err != nil {
+			return fmt.Errorf("core: learn: %w", err)
+		}
+		for i, svc := range family {
+			if shifted[i] {
+				set[svc] = true
+			}
+		}
+		model.CausalSets[m][target] = sortedSet(set)
+	}
+	return nil
+}
+
+// decideFamily turns a family of p-values into rejection decisions, either
+// with the paper's per-test alpha threshold or with BH FDR control when
+// fdrQ > 0.
+func decideFamily(pvals []float64, alpha, fdrQ float64) ([]bool, error) {
+	if fdrQ > 0 {
+		return stats.BenjaminiHochberg(pvals, fdrQ)
+	}
+	out := make([]bool, len(pvals))
+	for i, p := range pvals {
+		out[i] = p < alpha
+	}
+	return out, nil
+}
+
+// Anomalies computes the anomalous set A(M) for one metric by comparing each
+// service's production series against the model baseline (Algorithm 2 lines
+// 8–13). It is exported because the localizer, the baselines, and the
+// figure experiments all need it.
+func Anomalies(test stats.TwoSampleTest, alpha float64, baseline, production *metrics.Snapshot, metric string) ([]string, error) {
+	return anomalies(test, alpha, 0, baseline, production, metric)
+}
+
+// AnomaliesFDR is Anomalies with Benjamini-Hochberg FDR control at level q
+// over the per-service family instead of a per-test alpha.
+func AnomaliesFDR(test stats.TwoSampleTest, q float64, baseline, production *metrics.Snapshot, metric string) ([]string, error) {
+	if q <= 0 || q >= 1 {
+		return nil, fmt.Errorf("core: FDR level must be in (0,1), got %v", q)
+	}
+	return anomalies(test, 0, q, baseline, production, metric)
+}
+
+func anomalies(test stats.TwoSampleTest, alpha, fdrQ float64, baseline, production *metrics.Snapshot, metric string) ([]string, error) {
+	var family []string
+	var pvals []float64
+	for _, svc := range baseline.Services {
+		base, err := baseline.Series(metric, svc)
+		if err != nil {
+			return nil, err
+		}
+		prod, err := production.Series(metric, svc)
+		if err != nil {
+			return nil, err
+		}
+		p, err := test.PValue(prod, base)
+		if err != nil {
+			return nil, fmt.Errorf("core: anomaly test %s on %s: %w", metric, svc, err)
+		}
+		family = append(family, svc)
+		pvals = append(pvals, p)
+	}
+	shifted, err := decideFamily(pvals, alpha, fdrQ)
+	if err != nil {
+		return nil, fmt.Errorf("core: anomalies: %w", err)
+	}
+	set := make(map[string]bool)
+	for i, svc := range family {
+		if shifted[i] {
+			set[svc] = true
+		}
+	}
+	return sortedSet(set), nil
+}

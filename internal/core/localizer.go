@@ -1,0 +1,379 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"causalfl/internal/metrics"
+	"causalfl/internal/stats"
+)
+
+// VoteRule selects how a metric scores a candidate service against its
+// anomalous set. The paper uses IntersectionVote; the alternatives exist for
+// the ablation benchmarks.
+type VoteRule int
+
+const (
+	// IntersectionVote scores |A(M) ∩ C(s, M)| (Algorithm 2 line 14) and
+	// breaks ties toward the most parsimonious causal set. This is the
+	// library default.
+	IntersectionVote VoteRule = iota + 1
+	// JaccardVote scores |A ∩ C| / |A ∪ C|, penalizing over-broad causal
+	// sets.
+	JaccardVote
+	// PureIntersectionVote is the paper's Algorithm 2 verbatim: raw
+	// |A ∩ C| with no tie-break. Kept for the ablation benchmarks; it
+	// cannot separate a causal world from its supersets, so entry
+	// services with universal causal sets absorb votes.
+	PureIntersectionVote
+)
+
+// String returns the rule name.
+func (v VoteRule) String() string {
+	switch v {
+	case IntersectionVote:
+		return "intersection+parsimony"
+	case JaccardVote:
+		return "jaccard"
+	case PureIntersectionVote:
+		return "intersection"
+	default:
+		return "unknown"
+	}
+}
+
+// LocalizerOption customizes a Localizer.
+type LocalizerOption func(*Localizer) error
+
+// WithLocalizerAlpha overrides the significance level (default: the model's
+// training alpha).
+func WithLocalizerAlpha(alpha float64) LocalizerOption {
+	return func(lo *Localizer) error {
+		if alpha <= 0 || alpha >= 1 {
+			return fmt.Errorf("core: alpha must be in (0,1), got %v", alpha)
+		}
+		lo.alpha = alpha
+		return nil
+	}
+}
+
+// WithLocalizerTest replaces the KS test.
+func WithLocalizerTest(t stats.TwoSampleTest) LocalizerOption {
+	return func(lo *Localizer) error {
+		if t == nil {
+			return fmt.Errorf("core: nil two-sample test")
+		}
+		lo.test = t
+		return nil
+	}
+}
+
+// WithLocalizerFDR switches the production anomaly decision to
+// Benjamini-Hochberg FDR control at level q (see core.WithFDR).
+func WithLocalizerFDR(q float64) LocalizerOption {
+	return func(lo *Localizer) error {
+		if q <= 0 || q >= 1 {
+			return fmt.Errorf("core: FDR level must be in (0,1), got %v", q)
+		}
+		lo.fdrQ = q
+		return nil
+	}
+}
+
+// WithVoteRule selects the per-metric scoring rule.
+func WithVoteRule(rule VoteRule) LocalizerOption {
+	return func(lo *Localizer) error {
+		if rule != IntersectionVote && rule != JaccardVote && rule != PureIntersectionVote {
+			return fmt.Errorf("core: unknown vote rule %d", rule)
+		}
+		lo.rule = rule
+		return nil
+	}
+}
+
+// Localizer implements Algorithm 2: majority-voting fault localization.
+type Localizer struct {
+	alpha float64
+	test  stats.TwoSampleTest
+	rule  VoteRule
+	fdrQ  float64
+}
+
+// NewLocalizer constructs a localizer with the paper's defaults.
+func NewLocalizer(opts ...LocalizerOption) (*Localizer, error) {
+	lo := &Localizer{test: stats.GuardedTest{Inner: stats.KSTest{}}, rule: IntersectionVote}
+	for _, opt := range opts {
+		if err := opt(lo); err != nil {
+			return nil, err
+		}
+	}
+	return lo, nil
+}
+
+// Localization is the output of Algorithm 2.
+type Localization struct {
+	// Candidates is the estimated fault-location set: every service tied
+	// at the maximum vote count. Ideally a singleton; ties shrink
+	// informativeness. When no metric cast a vote the candidate set is
+	// all trained targets — the algorithm learned nothing.
+	Candidates []string
+	// Votes maps each candidate target to its accumulated (possibly
+	// fractional, when per-metric winners tie) vote mass.
+	Votes map[string]float64
+	// Anomalies records A(M) per metric for interpretability — the paper
+	// emphasizes that interventional approaches stay explainable.
+	Anomalies map[string][]string
+	// MetricWinners records the per-metric argmax set (the services that
+	// tied for the best match under that metric).
+	MetricWinners map[string][]string
+}
+
+// Localize runs Algorithm 2 against production data.
+func (lo *Localizer) Localize(model *Model, production *metrics.Snapshot) (*Localization, error) {
+	if model == nil {
+		return nil, fmt.Errorf("core: localize: nil model")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, fmt.Errorf("core: localize: %w", err)
+	}
+	if production == nil {
+		return nil, fmt.Errorf("core: localize: nil production snapshot")
+	}
+	if err := production.Validate(); err != nil {
+		return nil, fmt.Errorf("core: localize: production: %w", err)
+	}
+	alpha := lo.alpha
+	if alpha == 0 {
+		alpha = model.Alpha
+	}
+
+	out := &Localization{
+		Votes:         make(map[string]float64, len(model.Targets)),
+		Anomalies:     make(map[string][]string, len(model.Metrics)),
+		MetricWinners: make(map[string][]string, len(model.Metrics)),
+	}
+
+	for _, metric := range model.Metrics {
+		anom, err := anomalies(lo.test, alpha, lo.fdrQ, model.Baseline, production, metric)
+		if err != nil {
+			return nil, err
+		}
+		out.Anomalies[metric] = anom
+		if len(anom) == 0 {
+			// Nothing anomalous under this metric: abstain rather
+			// than vote for an arbitrary tie of everything.
+			continue
+		}
+		anomSet := make(map[string]bool, len(anom))
+		for _, s := range anom {
+			anomSet[s] = true
+		}
+
+		// s* = argmax_s score(A(M), C(s, M)) over trained targets.
+		best := -1.0
+		var winners []string
+		for _, target := range model.Targets {
+			set := model.CausalSets[metric][target]
+			var score float64
+			switch lo.rule {
+			case JaccardVote:
+				u := unionSize(set, anomSet)
+				if u > 0 {
+					score = float64(intersectionSize(set, anomSet)) / float64(u)
+				}
+			default:
+				score = float64(intersectionSize(set, anomSet))
+			}
+			switch {
+			case score > best:
+				best = score
+				winners = []string{target}
+			case score == best:
+				winners = append(winners, target)
+			}
+		}
+		if best <= 0 {
+			// The anomalies match no learned world at all.
+			continue
+		}
+		if lo.rule == IntersectionVote {
+			winners = mostParsimonious(model, metric, winners)
+		}
+		out.MetricWinners[metric] = winners
+		// Ties split the metric's single vote evenly, keeping the total
+		// vote mass one per voting metric.
+		share := 1.0 / float64(len(winners))
+		for _, w := range winners {
+			out.Votes[w] += share
+		}
+	}
+
+	out.Candidates = argmaxVotes(out.Votes)
+	if len(out.Candidates) == 0 {
+		// No metric voted: return the uninformative full candidate set.
+		out.Candidates = append([]string(nil), model.Targets...)
+		sort.Strings(out.Candidates)
+	}
+	return out, nil
+}
+
+// mostParsimonious shrinks a tied winner list to the targets with the
+// smallest causal set under the metric — the Occam refinement of the paper's
+// "closest set" criterion. Raw intersection counting cannot separate a
+// target whose causal world is a superset of another's (the entry service of
+// a call graph causally covers everything, so it ties every comparison);
+// among explanations covering the same anomalies, the one that predicts the
+// fewest unobserved effects explains the data better.
+func mostParsimonious(model *Model, metric string, winners []string) []string {
+	if len(winners) <= 1 {
+		return winners
+	}
+	minSize := -1
+	for _, w := range winners {
+		size := len(model.CausalSets[metric][w])
+		if minSize == -1 || size < minSize {
+			minSize = size
+		}
+	}
+	out := winners[:0]
+	for _, w := range winners {
+		if len(model.CausalSets[metric][w]) == minSize {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// LocalizeMulti is the concurrent-fault extension of Algorithm 2: a greedy
+// explain-away loop for up to k simultaneous faults. Each round scores every
+// trained target against the *remaining* anomalies, commits the best
+// explainer, removes the anomalies its worlds cover, and repeats until the
+// anomalies are exhausted or k faults are named.
+//
+// The per-metric score is the precision-weighted F-measure (F_0.5) of the
+// causal set against the anomaly set. Two failure modes shape this choice:
+// raw intersection counting attributes every concurrent failure to the entry
+// service (its universal world is a superset of any anomaly union), and even
+// Jaccard lets one broad imprecise world outscore two exact narrow covers.
+// Weighting precision doubly means a world that predicts unobserved
+// anomalies is distrusted — whatever it fails to cover is simply explained
+// by the next round.
+func (lo *Localizer) LocalizeMulti(model *Model, production *metrics.Snapshot, k int) ([]string, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: localize-multi needs k >= 1, got %d", k)
+	}
+	if model == nil {
+		return nil, fmt.Errorf("core: localize-multi: nil model")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, fmt.Errorf("core: localize-multi: %w", err)
+	}
+	if production == nil {
+		return nil, fmt.Errorf("core: localize-multi: nil production snapshot")
+	}
+	alpha := lo.alpha
+	if alpha == 0 {
+		alpha = model.Alpha
+	}
+
+	// Anomalies per metric, computed once and consumed round by round.
+	remaining := make(map[string]map[string]bool, len(model.Metrics))
+	for _, metric := range model.Metrics {
+		anom, err := anomalies(lo.test, alpha, lo.fdrQ, model.Baseline, production, metric)
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[string]bool, len(anom))
+		for _, s := range anom {
+			set[s] = true
+		}
+		remaining[metric] = set
+	}
+
+	var found []string
+	taken := make(map[string]bool, k)
+	for len(found) < k {
+		best := 0.0
+		winner := ""
+		for _, target := range model.Targets {
+			if taken[target] {
+				continue
+			}
+			score := 0.0
+			for _, metric := range model.Metrics {
+				anom := remaining[metric]
+				if len(anom) == 0 {
+					continue
+				}
+				set := model.CausalSets[metric][target]
+				inter := float64(intersectionSize(set, anom))
+				if inter == 0 {
+					continue
+				}
+				precision := inter / float64(len(set))
+				recall := inter / float64(len(anom))
+				// F_0.5 = 1.25·P·R / (0.25·P + R).
+				score += 1.25 * precision * recall / (0.25*precision + recall)
+			}
+			if score > best || (score == best && score > 0 && (winner == "" || target < winner)) {
+				best = score
+				winner = target
+			}
+		}
+		if winner == "" {
+			break
+		}
+		found = append(found, winner)
+		taken[winner] = true
+		// Explain away: the committed fault accounts for its worlds.
+		for _, metric := range model.Metrics {
+			for _, svc := range model.CausalSets[metric][winner] {
+				delete(remaining[metric], svc)
+			}
+		}
+	}
+	return found, nil
+}
+
+// Ranked returns every target that received vote mass, ordered by
+// descending votes (ties alphabetically). It supports the multi-fault
+// extension: with k concurrent faults, each tends to win the metrics whose
+// causal world it matches, so the true faults surface in the top ranks even
+// though Algorithm 2 was designed for a single fault.
+func (l *Localization) Ranked() []string {
+	out := make([]string, 0, len(l.Votes))
+	for s := range l.Votes {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi, vj := l.Votes[out[i]], l.Votes[out[j]]
+		if vi != vj {
+			return vi > vj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// argmaxVotes returns the sorted set of services holding the maximum
+// positive vote mass.
+func argmaxVotes(votes map[string]float64) []string {
+	best := 0.0
+	for _, v := range votes {
+		if v > best {
+			best = v
+		}
+	}
+	if best == 0 {
+		return nil
+	}
+	const eps = 1e-9
+	var out []string
+	for s, v := range votes {
+		if v >= best-eps {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"causalfl/internal/metrics"
+)
+
+// randomCampaign builds a random-but-valid baseline + interventions + one
+// production snapshot from a seed, for property checks.
+func randomCampaign(seed int64) (*metrics.Snapshot, map[string]*metrics.Snapshot, *metrics.Snapshot) {
+	rng := rand.New(rand.NewSource(seed))
+	nServices := 3 + rng.Intn(5)
+	nMetrics := 1 + rng.Intn(3)
+	services := make([]string, nServices)
+	for i := range services {
+		services[i] = string(rune('a' + i))
+	}
+	metricNames := make([]string, nMetrics)
+	for i := range metricNames {
+		metricNames[i] = "m" + string(rune('0'+i))
+	}
+	mk := func(shift map[string]map[string]bool) *metrics.Snapshot {
+		snap := metrics.NewSnapshot(metricNames, services)
+		for _, m := range metricNames {
+			for _, svc := range services {
+				series := make([]float64, 15)
+				off := 0.0
+				if shift != nil && shift[m][svc] {
+					off = 7
+				}
+				for i := range series {
+					series[i] = 5 + off + rng.NormFloat64()*0.4
+				}
+				snap.Data[m][svc] = series
+			}
+		}
+		return snap
+	}
+	randomWorld := func() map[string]map[string]bool {
+		world := make(map[string]map[string]bool, nMetrics)
+		for _, m := range metricNames {
+			world[m] = make(map[string]bool)
+			for _, svc := range services {
+				if rng.Float64() < 0.3 {
+					world[m][svc] = true
+				}
+			}
+		}
+		return world
+	}
+	baseline := mk(nil)
+	interventions := make(map[string]*metrics.Snapshot)
+	nTargets := 1 + rng.Intn(nServices)
+	for i := 0; i < nTargets; i++ {
+		interventions[services[i]] = mk(randomWorld())
+	}
+	production := mk(randomWorld())
+	return baseline, interventions, production
+}
+
+// Property: for any random campaign, learning succeeds, every causal set
+// contains its target and stays inside the universe, and localization
+// returns a non-empty candidate set drawn from the trained targets.
+func TestPipelineInvariantsProperty(t *testing.T) {
+	learner, err := NewLearner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	localizer, err := NewLocalizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		baseline, interventions, production := randomCampaign(seed)
+		model, err := learner.Learn(baseline, interventions)
+		if err != nil {
+			t.Logf("seed %d: learn: %v", seed, err)
+			return false
+		}
+		if err := model.Validate(); err != nil {
+			t.Logf("seed %d: validate: %v", seed, err)
+			return false
+		}
+		universe := make(map[string]bool, len(model.Services))
+		for _, s := range model.Services {
+			universe[s] = true
+		}
+		targets := make(map[string]bool, len(model.Targets))
+		for _, s := range model.Targets {
+			targets[s] = true
+		}
+		for _, m := range model.Metrics {
+			for _, target := range model.Targets {
+				hasSelf := false
+				for _, svc := range model.CausalSets[m][target] {
+					if !universe[svc] {
+						return false
+					}
+					if svc == target {
+						hasSelf = true
+					}
+				}
+				if !hasSelf {
+					return false
+				}
+			}
+		}
+		loc, err := localizer.Localize(model, production)
+		if err != nil {
+			t.Logf("seed %d: localize: %v", seed, err)
+			return false
+		}
+		if len(loc.Candidates) == 0 {
+			return false
+		}
+		for _, c := range loc.Candidates {
+			if !targets[c] {
+				t.Logf("seed %d: candidate %q not a trained target", seed, c)
+				return false
+			}
+		}
+		// Determinism: a second run is identical.
+		loc2, err := localizer.Localize(model, production)
+		if err != nil || len(loc2.Candidates) != len(loc.Candidates) {
+			return false
+		}
+		for i := range loc.Candidates {
+			if loc.Candidates[i] != loc2.Candidates[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LocalizeMulti never names more than k faults, never repeats a
+// name, and names only trained targets.
+func TestLocalizeMultiInvariantsProperty(t *testing.T) {
+	learner, err := NewLearner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	localizer, err := NewLocalizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64, kRaw uint8) bool {
+		k := 1 + int(kRaw%4)
+		baseline, interventions, production := randomCampaign(seed)
+		model, err := learner.Learn(baseline, interventions)
+		if err != nil {
+			return false
+		}
+		named, err := localizer.LocalizeMulti(model, production, k)
+		if err != nil {
+			return false
+		}
+		if len(named) > k {
+			return false
+		}
+		targets := make(map[string]bool, len(model.Targets))
+		for _, s := range model.Targets {
+			targets[s] = true
+		}
+		seen := make(map[string]bool, len(named))
+		for _, s := range named {
+			if seen[s] || !targets[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,405 @@
+// Package eval orchestrates end-to-end fault-localization campaigns on the
+// benchmark applications and scores them with the paper's measures
+// (accuracy and informativeness, §VI-A). It also implements the experiment
+// harnesses that regenerate every table and figure of the evaluation.
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"causalfl/internal/apps"
+	"causalfl/internal/chaos"
+	"causalfl/internal/core"
+	"causalfl/internal/load"
+	"causalfl/internal/metrics"
+	"causalfl/internal/sim"
+	"causalfl/internal/telemetry"
+)
+
+// Config describes one campaign. Zero fields take the paper's defaults.
+type Config struct {
+	// Build constructs the application under test.
+	Build apps.Builder
+	// Metrics is the metric set (default: the derived-all preset used for
+	// Table I).
+	Metrics []metrics.Metric
+	// Alpha is the KS significance level (default core.DefaultAlpha).
+	Alpha float64
+	// Seed drives all randomness. Train and test sessions derive distinct
+	// sub-seeds from it.
+	Seed int64
+	// LoadMode selects open- or closed-loop load (default open loop).
+	LoadMode load.Mode
+	// Rate is the open-loop base request rate (default load.DefaultRate).
+	Rate float64
+	// Users is the closed-loop base user count (default load.DefaultUsers).
+	Users int
+	// TrainMultiplier scales training load (default 1).
+	TrainMultiplier float64
+	// TestMultiplier scales production load (default 1; Table I also uses 4).
+	TestMultiplier float64
+	// Warmup is discarded at session start (default 30s of virtual time).
+	Warmup time.Duration
+	// BaselineDuration is the fault-free D_0 collection window (default
+	// 10min, the paper's setting).
+	BaselineDuration time.Duration
+	// FaultDuration is the per-fault collection window (default 10min).
+	FaultDuration time.Duration
+	// Settle is discarded after injecting or clearing a fault (default 15s).
+	Settle time.Duration
+	// SampleInterval, WindowLength, WindowHop control telemetry (defaults:
+	// 5s samples, 60s windows every 30s — the paper's hopping windows).
+	SampleInterval time.Duration
+	WindowLength   time.Duration
+	WindowHop      time.Duration
+	// Targets overrides the services to inject (default app.FaultTargets).
+	Targets []string
+	// Rounds repeats the whole test sweep with fresh seeds (default 1).
+	Rounds int
+	// Diurnal, when set, modulates the open-loop load of every session
+	// this config creates (see load.DiurnalProfile). Used by the
+	// nonstationary-load extension experiment.
+	Diurnal *load.DiurnalProfile
+	// Fault is the injected fault (default the paper's
+	// http-service-unavailable).
+	Fault chaos.Fault
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() (Config, error) {
+	if c.Build == nil {
+		return c, fmt.Errorf("eval: config needs a Build function")
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.DerivedAll()
+	}
+	if c.Alpha == 0 {
+		c.Alpha = core.DefaultAlpha
+	}
+	if c.LoadMode == 0 {
+		c.LoadMode = load.OpenLoop
+	}
+	if c.TrainMultiplier == 0 {
+		c.TrainMultiplier = 1
+	}
+	if c.TestMultiplier == 0 {
+		c.TestMultiplier = 1
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 30 * time.Second
+	}
+	if c.BaselineDuration == 0 {
+		c.BaselineDuration = 10 * time.Minute
+	}
+	if c.FaultDuration == 0 {
+		c.FaultDuration = 10 * time.Minute
+	}
+	if c.Settle == 0 {
+		c.Settle = 15 * time.Second
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = telemetry.DefaultSampleInterval
+	}
+	if c.WindowLength == 0 {
+		c.WindowLength = telemetry.DefaultWindowLength
+	}
+	if c.WindowHop == 0 {
+		c.WindowHop = telemetry.DefaultWindowHop
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 1
+	}
+	if c.Fault.Type == 0 {
+		c.Fault = chaos.Unavailable()
+	}
+	return c, nil
+}
+
+// session is one live application instance with load, telemetry and chaos
+// attached.
+type session struct {
+	cfg      Config
+	app      *apps.App
+	eng      *sim.Engine
+	sampler  *telemetry.Sampler
+	injector *chaos.Injector
+	gen      *load.Generator
+	targets  []string
+}
+
+// newSession builds an app, starts load at the given multiplier, warms up,
+// and starts telemetry.
+func newSession(cfg Config, multiplier float64, seed int64) (*session, error) {
+	eng := sim.NewEngine(seed)
+	app, err := cfg.Build(eng)
+	if err != nil {
+		return nil, fmt.Errorf("eval: build app: %w", err)
+	}
+	gen, err := load.NewGenerator(app, load.Config{
+		Mode:          cfg.LoadMode,
+		RatePerSecond: cfg.Rate,
+		Users:         cfg.Users,
+		Multiplier:    multiplier,
+		Diurnal:       cfg.Diurnal,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("eval: load generator: %w", err)
+	}
+	sampler, err := telemetry.NewSampler(app.Cluster, cfg.SampleInterval)
+	if err != nil {
+		return nil, fmt.Errorf("eval: sampler: %w", err)
+	}
+	injector, err := chaos.NewInjector(app.Cluster)
+	if err != nil {
+		return nil, fmt.Errorf("eval: injector: %w", err)
+	}
+	if err := gen.Start(); err != nil {
+		return nil, fmt.Errorf("eval: start load: %w", err)
+	}
+	// Let queues, counters and the background workers reach steady state
+	// before measuring.
+	eng.Run(eng.Now() + cfg.Warmup)
+	if err := sampler.Start(); err != nil {
+		return nil, fmt.Errorf("eval: start sampler: %w", err)
+	}
+	targets := cfg.Targets
+	if len(targets) == 0 {
+		targets = app.FaultTargets
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("eval: app %s has no fault targets", app.Name)
+	}
+	return &session{
+		cfg:      cfg,
+		app:      app,
+		eng:      eng,
+		sampler:  sampler,
+		injector: injector,
+		gen:      gen,
+		targets:  targets,
+	}, nil
+}
+
+// collect advances the simulation d of virtual time and returns the metric
+// snapshot of that period.
+func (s *session) collect(d time.Duration) (*metrics.Snapshot, error) {
+	s.sampler.Discard()
+	s.eng.Run(s.eng.Now() + d)
+	windows, err := telemetry.WindowsByService(s.sampler.Drain(), s.cfg.WindowLength, s.cfg.WindowHop)
+	if err != nil {
+		return nil, fmt.Errorf("eval: collect: %w", err)
+	}
+	snap, err := metrics.BuildSnapshot(windows, s.app.Services(), s.cfg.Metrics)
+	if err != nil {
+		return nil, fmt.Errorf("eval: collect: %w", err)
+	}
+	return snap, nil
+}
+
+// settle advances past a fault transition, discarding telemetry.
+func (s *session) settle() {
+	s.eng.Run(s.eng.Now() + s.cfg.Settle)
+	s.sampler.Discard()
+}
+
+// collectWithFault injects the campaign fault into target, collects for d,
+// then clears the fault.
+func (s *session) collectWithFault(target string, d time.Duration) (*metrics.Snapshot, error) {
+	if err := s.injector.Inject(target, s.cfg.Fault); err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	s.settle()
+	snap, err := s.collect(d)
+	if clearErr := s.injector.Clear(target); clearErr != nil && err == nil {
+		err = fmt.Errorf("eval: %w", clearErr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.settle()
+	return snap, nil
+}
+
+// TrainingData is the output of one Algorithm 1 data-collection campaign.
+type TrainingData struct {
+	// Baseline is the fault-free dataset D_0.
+	Baseline *metrics.Snapshot
+	// Interventions maps each injected service s to its dataset D_s.
+	Interventions map[string]*metrics.Snapshot
+}
+
+// TestCase is one production dataset with its ground-truth fault location.
+type TestCase struct {
+	// Target carried the injected fault.
+	Target string
+	// Production is the dataset D collected while the fault was active.
+	Production *metrics.Snapshot
+}
+
+// CollectTraining runs the training campaign's data collection: a fault-free
+// baseline period followed by one fault injection per target, all in a
+// single continuous session at the training load (the paper injects one
+// fault at a time into a live deployment, §V-A).
+func CollectTraining(cfg Config) (*TrainingData, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s, err := newSession(cfg, cfg.TrainMultiplier, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := s.collect(cfg.BaselineDuration)
+	if err != nil {
+		return nil, fmt.Errorf("eval: train baseline: %w", err)
+	}
+	interventions := make(map[string]*metrics.Snapshot, len(s.targets))
+	for _, target := range s.targets {
+		snap, err := s.collectWithFault(target, cfg.FaultDuration)
+		if err != nil {
+			return nil, fmt.Errorf("eval: train fault %s: %w", target, err)
+		}
+		interventions[target] = snap
+	}
+	return &TrainingData{Baseline: baseline, Interventions: interventions}, nil
+}
+
+// CollectTests runs the production-side campaign at the test multiplier and
+// returns one labelled test case per target and round. Each round uses a
+// fresh session and seed: the paper collects train and test datasets in
+// separate experiments.
+func CollectTests(cfg Config) ([]TestCase, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	var cases []TestCase
+	for round := 0; round < cfg.Rounds; round++ {
+		s, err := newSession(cfg, cfg.TestMultiplier, cfg.Seed+1009*int64(round+1))
+		if err != nil {
+			return nil, err
+		}
+		for _, target := range s.targets {
+			production, err := s.collectWithFault(target, cfg.FaultDuration)
+			if err != nil {
+				return nil, fmt.Errorf("eval: test fault %s: %w", target, err)
+			}
+			cases = append(cases, TestCase{Target: target, Production: production})
+		}
+	}
+	return cases, nil
+}
+
+// Train executes the Algorithm 1 campaign: collect D_0, then inject one
+// fault at a time into every target and collect D_s, then learn the model.
+func Train(cfg Config) (*core.Model, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	data, err := CollectTraining(cfg)
+	if err != nil {
+		return nil, err
+	}
+	learner, err := core.NewLearner(core.WithAlpha(cfg.Alpha))
+	if err != nil {
+		return nil, err
+	}
+	model, err := learner.Learn(data.Baseline, data.Interventions)
+	if err != nil {
+		return nil, fmt.Errorf("eval: train: %w", err)
+	}
+	return model, nil
+}
+
+// Evaluate runs the production-side campaign: with the trained model, inject
+// each fault at the test multiplier and score the localizer's output.
+func Evaluate(cfg Config, model *core.Model) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if model == nil {
+		return nil, fmt.Errorf("eval: evaluate: nil model")
+	}
+	localizer, err := core.NewLocalizer()
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{
+		App:          appName(cfg),
+		Multiplier:   cfg.TestMultiplier,
+		ServiceCount: len(model.Services),
+		MetricNames:  append([]string(nil), model.Metrics...),
+	}
+	cases, err := CollectTests(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, tc := range cases {
+		loc, err := localizer.Localize(model, tc.Production)
+		if err != nil {
+			return nil, fmt.Errorf("eval: localize fault %s: %w", tc.Target, err)
+		}
+		report.Outcomes = append(report.Outcomes, newOutcome(tc.Target, loc, len(model.Services)))
+	}
+	report.finalize()
+	return report, nil
+}
+
+// appName instantiates the builder on a throwaway engine to learn the app's
+// name for reporting.
+func appName(cfg Config) string {
+	app, err := cfg.Build(sim.NewEngine(0))
+	if err != nil {
+		return "unknown"
+	}
+	return app.Name
+}
+
+// CollectProduction spins up a fresh session at the given load multiplier,
+// injects fault into target, and returns the production dataset collected
+// over the campaign's fault duration. It is the building block behind
+// Evaluate, exposed for diagnostics and the CLI's one-shot localize command.
+func CollectProduction(cfg Config, multiplier float64, target string, fault chaos.Fault, seed int64) (*metrics.Snapshot, error) {
+	return CollectProductionMulti(cfg, multiplier, []string{target}, fault, seed)
+}
+
+// CollectProductionMulti is CollectProduction with several simultaneous
+// faults — the data source for the concurrent-fault localizer.
+func CollectProductionMulti(cfg Config, multiplier float64, targets []string, fault chaos.Fault, seed int64) (*metrics.Snapshot, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("eval: collect production: no fault targets")
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Fault = fault
+	s, err := newSession(cfg, multiplier, seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, target := range targets {
+		if err := s.injector.Inject(target, cfg.Fault); err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+	}
+	s.settle()
+	return s.collect(cfg.FaultDuration)
+}
+
+// TrainAndEvaluate is the common train-then-test pipeline used by the table
+// experiments.
+func TrainAndEvaluate(cfg Config) (*core.Model, *Report, error) {
+	model, err := Train(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	report, err := Evaluate(cfg, model)
+	if err != nil {
+		return nil, nil, err
+	}
+	return model, report, nil
+}

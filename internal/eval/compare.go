@@ -1,0 +1,89 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"causalfl/internal/baselines"
+)
+
+// TechniqueScore is one technique's aggregate over a shared test campaign.
+type TechniqueScore struct {
+	Technique           string
+	Accuracy            float64
+	MeanInformativeness float64
+}
+
+// CompareTechniques trains every technique on one shared training campaign
+// and scores them on one shared test campaign, so differences reflect the
+// methods rather than collection noise. cfg.Metrics must contain the union
+// of all metrics any technique projects.
+func CompareTechniques(cfg Config, techniques []baselines.Technique) ([]TechniqueScore, error) {
+	return CompareTechniquesSplit(cfg, cfg, techniques)
+}
+
+// CompareTechniquesSplit is CompareTechniques with distinct training and
+// test campaign configurations — the shape needed when production conditions
+// (load profile, fault type) deliberately differ from the controlled
+// training environment. Both configs must share the application and metric
+// set.
+func CompareTechniquesSplit(trainCfg, testCfg Config, techniques []baselines.Technique) ([]TechniqueScore, error) {
+	trainCfg, err := trainCfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	testCfg, err = testCfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(techniques) == 0 {
+		return nil, fmt.Errorf("eval: compare: no techniques")
+	}
+	data, err := CollectTraining(trainCfg)
+	if err != nil {
+		return nil, err
+	}
+	cases, err := CollectTests(testCfg)
+	if err != nil {
+		return nil, err
+	}
+	n := len(data.Baseline.Services)
+
+	scores := make([]TechniqueScore, 0, len(techniques))
+	for _, tech := range techniques {
+		if err := tech.Train(data.Baseline, data.Interventions); err != nil {
+			return nil, fmt.Errorf("eval: compare: train %s: %w", tech.Name(), err)
+		}
+		correct := 0
+		var info float64
+		for _, tc := range cases {
+			candidates, err := tech.Localize(tc.Production)
+			if err != nil {
+				return nil, fmt.Errorf("eval: compare: localize %s on fault %s: %w", tech.Name(), tc.Target, err)
+			}
+			for _, c := range candidates {
+				if c == tc.Target {
+					correct++
+					break
+				}
+			}
+			info += Informativeness(n, len(candidates))
+		}
+		scores = append(scores, TechniqueScore{
+			Technique:           tech.Name(),
+			Accuracy:            float64(correct) / float64(len(cases)),
+			MeanInformativeness: info / float64(len(cases)),
+		})
+	}
+	return scores, nil
+}
+
+// RenderScores prints technique scores as a fixed-width table.
+func RenderScores(title string, scores []TechniqueScore) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-28s %-9s %s\n", title, "technique", "accuracy", "informativeness")
+	for _, s := range scores {
+		fmt.Fprintf(&b, "%-28s %-9.2f %.2f\n", s.Technique, s.Accuracy, s.MeanInformativeness)
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"causalfl/internal/metrics"
+)
+
+// Dataset persistence. The paper's platform separates fault injection and
+// data collection from learning [34]; these helpers give the CLI the same
+// decomposition: `causalfl collect` produces a dataset file, `causalfl
+// learn` fits the model from it, and `causalfl localize` consumes the model.
+// Researchers can also hand-edit or generate dataset files to probe the
+// learner directly.
+
+// datasetFile is the serialized TrainingData.
+type datasetFile struct {
+	// App names the application the data came from.
+	App string `json:"app"`
+	// Baseline is D_0.
+	Baseline *metrics.Snapshot `json:"baseline"`
+	// Interventions maps injected service -> D_s.
+	Interventions map[string]*metrics.Snapshot `json:"interventions"`
+}
+
+// WriteJSON serializes the training data.
+func (d *TrainingData) WriteJSON(w io.Writer, app string) error {
+	if d.Baseline == nil || len(d.Interventions) == 0 {
+		return fmt.Errorf("eval: dataset incomplete (baseline=%v interventions=%d)",
+			d.Baseline != nil, len(d.Interventions))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(datasetFile{App: app, Baseline: d.Baseline, Interventions: d.Interventions}); err != nil {
+		return fmt.Errorf("eval: encode dataset: %w", err)
+	}
+	return nil
+}
+
+// ReadTrainingData deserializes and validates a dataset file, returning the
+// data and the application name it was collected from.
+func ReadTrainingData(r io.Reader) (*TrainingData, string, error) {
+	var f datasetFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, "", fmt.Errorf("eval: decode dataset: %w", err)
+	}
+	if f.Baseline == nil {
+		return nil, "", fmt.Errorf("eval: dataset has no baseline")
+	}
+	if err := f.Baseline.Validate(); err != nil {
+		return nil, "", fmt.Errorf("eval: dataset baseline: %w", err)
+	}
+	if len(f.Interventions) == 0 {
+		return nil, "", fmt.Errorf("eval: dataset has no interventions")
+	}
+	for target, snap := range f.Interventions {
+		if snap == nil {
+			return nil, "", fmt.Errorf("eval: dataset intervention %q is null", target)
+		}
+		if err := snap.Validate(); err != nil {
+			return nil, "", fmt.Errorf("eval: dataset intervention %q: %w", target, err)
+		}
+	}
+	return &TrainingData{Baseline: f.Baseline, Interventions: f.Interventions}, f.App, nil
+}

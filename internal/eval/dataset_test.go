@@ -1,0 +1,107 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"causalfl/internal/core"
+	"causalfl/internal/metrics"
+)
+
+// syntheticTraining builds a tiny TrainingData by hand.
+func syntheticTraining() *TrainingData {
+	mk := func(offset float64) *metrics.Snapshot {
+		snap := metrics.NewSnapshot([]string{"m"}, []string{"a", "b"})
+		for _, svc := range []string{"a", "b"} {
+			series := make([]float64, 12)
+			for i := range series {
+				series[i] = 5 + offset + float64(i%3)
+			}
+			snap.Data["m"][svc] = series
+		}
+		return snap
+	}
+	return &TrainingData{
+		Baseline:      mk(0),
+		Interventions: map[string]*metrics.Snapshot{"a": mk(10)},
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	data := syntheticTraining()
+	var buf bytes.Buffer
+	if err := data.WriteJSON(&buf, "toyapp"); err != nil {
+		t.Fatal(err)
+	}
+	back, app, err := ReadTrainingData(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app != "toyapp" {
+		t.Errorf("app = %q", app)
+	}
+	if err := back.Baseline.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Interventions) != 1 {
+		t.Fatalf("interventions = %d", len(back.Interventions))
+	}
+	// The reloaded dataset must be learnable.
+	learner, err := core.NewLearner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := learner.Learn(back.Baseline, back.Interventions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := model.CausalSet("m", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("C(a,m) = %v, want both services shifted", set)
+	}
+}
+
+func TestWriteJSONRejectsIncomplete(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&TrainingData{}).WriteJSON(&buf, "x"); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestReadTrainingDataRejections(t *testing.T) {
+	cases := []string{
+		"{",
+		`{}`,
+		`{"baseline": null, "interventions": {}}`,
+		`{"app":"x","baseline":{"metrics":["m"],"services":["a"],"data":{"m":{"a":[1]}}},"interventions":{}}`,
+		`{"app":"x","baseline":{"metrics":["m"],"services":["a"],"data":{"m":{"a":[1]}}},"interventions":{"a":null}}`,
+		`{"app":"x","baseline":{"metrics":["m"],"services":["a"],"data":{"m":{"a":[1]}}},"interventions":{"a":{"metrics":[],"services":[],"data":{}}}}`,
+	}
+	for i, raw := range cases {
+		if _, _, err := ReadTrainingData(strings.NewReader(raw)); err == nil {
+			t.Errorf("case %d accepted: %s", i, raw)
+		}
+	}
+}
+
+func TestModelDescribe(t *testing.T) {
+	data := syntheticTraining()
+	learner, err := core.NewLearner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := learner.Learn(data.Baseline, data.Interventions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := model.Describe()
+	for _, want := range []string{"metric m:", "C(a)", "alpha=0.05"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrainingData hardens the dataset parser: error or valid data,
+// never a panic.
+func FuzzReadTrainingData(f *testing.F) {
+	valid := `{
+	  "app": "x",
+	  "baseline": {"metrics": ["m"], "services": ["a"],
+	    "data": {"m": {"a": [1, 2, 3]}}},
+	  "interventions": {"a": {"metrics": ["m"], "services": ["a"],
+	    "data": {"m": {"a": [9, 9, 9]}}}}
+	}`
+	f.Add(valid)
+	f.Add(`{}`)
+	f.Add(`{"baseline": {}}`)
+	f.Add(strings.Replace(valid, `[9, 9, 9]`, `null`, 1))
+	f.Fuzz(func(t *testing.T, raw string) {
+		data, _, err := ReadTrainingData(strings.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if data == nil || data.Baseline == nil {
+			t.Fatal("incomplete data without error")
+		}
+		if err := data.Baseline.Validate(); err != nil {
+			t.Fatalf("accepted invalid baseline: %v", err)
+		}
+	})
+}

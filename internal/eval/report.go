@@ -1,0 +1,121 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"causalfl/internal/core"
+)
+
+// Outcome records one scored fault-injection test.
+type Outcome struct {
+	// Target is the service that actually carried the fault.
+	Target string
+	// Candidates is the localizer's estimated fault-location set.
+	Candidates []string
+	// Correct reports whether Target ∈ Candidates (the paper's accuracy
+	// criterion: the output is a set of candidate root causes).
+	Correct bool
+	// Informativeness is (n-x)/(n-1) with n services and x candidates
+	// (§VI-A): 1.0 pins a single location, 0 excludes nothing.
+	Informativeness float64
+	// Votes is the localizer's vote mass per candidate target.
+	Votes map[string]float64
+}
+
+// newOutcome scores one localization against the known injected target.
+func newOutcome(target string, loc *core.Localization, nServices int) Outcome {
+	correct := false
+	for _, c := range loc.Candidates {
+		if c == target {
+			correct = true
+			break
+		}
+	}
+	return Outcome{
+		Target:          target,
+		Candidates:      append([]string(nil), loc.Candidates...),
+		Correct:         correct,
+		Informativeness: Informativeness(nServices, len(loc.Candidates)),
+		Votes:           loc.Votes,
+	}
+}
+
+// Informativeness computes (n-x)/(n-1) (paper §VI-A), clamped to [0, 1].
+// n <= 1 yields 1 by convention (there is nothing to exclude).
+func Informativeness(n, x int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	v := float64(n-x) / float64(n-1)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Report aggregates a campaign's outcomes.
+type Report struct {
+	// App names the benchmark.
+	App string
+	// Multiplier is the test load scale.
+	Multiplier float64
+	// ServiceCount is n for the informativeness measure.
+	ServiceCount int
+	// MetricNames lists the metric set evaluated.
+	MetricNames []string
+	// Outcomes holds one entry per injected fault test.
+	Outcomes []Outcome
+	// Accuracy is the fraction of outcomes with the true target in the
+	// candidate set.
+	Accuracy float64
+	// MeanInformativeness averages per-outcome informativeness.
+	MeanInformativeness float64
+}
+
+// finalize computes the aggregate measures.
+func (r *Report) finalize() {
+	if len(r.Outcomes) == 0 {
+		return
+	}
+	correct := 0
+	var info float64
+	for _, o := range r.Outcomes {
+		if o.Correct {
+			correct++
+		}
+		info += o.Informativeness
+	}
+	r.Accuracy = float64(correct) / float64(len(r.Outcomes))
+	r.MeanInformativeness = info / float64(len(r.Outcomes))
+}
+
+// String renders the report as a fixed-width table with one row per fault.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s @ %.0fx load (%d services, metrics: %s)\n",
+		r.App, r.Multiplier, r.ServiceCount, strings.Join(r.MetricNames, ","))
+	fmt.Fprintf(&b, "%-10s %-8s %-6s %s\n", "fault", "correct", "info", "candidates")
+	for _, o := range r.Outcomes {
+		fmt.Fprintf(&b, "%-10s %-8v %-6.2f %s\n",
+			o.Target, o.Correct, o.Informativeness, strings.Join(o.Candidates, ","))
+	}
+	fmt.Fprintf(&b, "accuracy=%.2f informativeness=%.2f\n", r.Accuracy, r.MeanInformativeness)
+	return b.String()
+}
+
+// Misses lists the targets that were localized incorrectly, sorted.
+func (r *Report) Misses() []string {
+	var out []string
+	for _, o := range r.Outcomes {
+		if !o.Correct {
+			out = append(out, o.Target)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,189 @@
+// Package metrics defines the observability metrics of the pipeline: the raw
+// black-box metrics the paper collects (message rate from console logs, CPU
+// seconds, network packets in/out) and the derived metrics it constructs to
+// de-confound load (§V-A).
+//
+// The paper's derived-metric recipe classifies metrics into *independent*
+// ones — externally driven, e.g. packets received, a proxy for requests sent
+// to the service — and *dependent* ones — driven by the independent metrics,
+// e.g. CPU. Each derived metric divides a dependent metric by an independent
+// one, yielding per-request intensities that are invariant to the external
+// load level.
+package metrics
+
+import (
+	"fmt"
+
+	"causalfl/internal/sim"
+	"causalfl/internal/telemetry"
+)
+
+// Metric extracts one scalar per hopping window from a service's aggregated
+// counters.
+type Metric struct {
+	// Name identifies the metric in causal models and reports.
+	Name string
+	// Derived marks load-deconfounded ratio metrics.
+	Derived bool
+	// Extract computes the metric value from one window's counter sums.
+	Extract func(sim.Counters) float64
+}
+
+// Raw metrics (paper §V-A): msg rate comes from aggregated console logs, cpu
+// from container_cpu_user_seconds_total, rx/tx packets from the cAdvisor
+// network counters. ErrLogRate exists for the [23]-style baseline, which used
+// only error logs.
+var (
+	MsgRate = Metric{Name: "msg_rate", Extract: func(c sim.Counters) float64 {
+		return float64(c.LogMessages)
+	}}
+	ErrLogRate = Metric{Name: "error_log_rate", Extract: func(c sim.Counters) float64 {
+		return float64(c.ErrorLogMessages)
+	}}
+	CPU = Metric{Name: "cpu", Extract: func(c sim.Counters) float64 {
+		return c.CPUSeconds
+	}}
+	RxPackets = Metric{Name: "rx_packets", Extract: func(c sim.Counters) float64 {
+		return float64(c.RxPackets)
+	}}
+	TxPackets = Metric{Name: "tx_packets", Extract: func(c sim.Counters) float64 {
+		return float64(c.TxPackets)
+	}}
+	ReqRate = Metric{Name: "req_rate", Extract: func(c sim.Counters) float64 {
+		return float64(c.RequestsReceived)
+	}}
+	// Busy is worker-slot occupancy (thread-pool utilization seconds). It
+	// is not part of the paper's metric set; the latency-fault extension
+	// uses it because latency faults consume no extra CPU yet hold slots
+	// longer — upstream callers included, since synchronous calls block.
+	Busy = Metric{Name: "busy", Extract: func(c sim.Counters) float64 {
+		return c.BusySeconds
+	}}
+)
+
+// Derive builds the paper's derived metric dep ⊘ indep ("average dependent
+// per unit of independent", e.g. logs per received packet). Windows where the
+// independent metric is zero yield zero: a service that receives nothing and
+// does nothing has zero intensity, which keeps omission faults visible.
+func Derive(dep, indep Metric) Metric {
+	return Metric{
+		Name:    dep.Name + "_per_" + indep.Name,
+		Derived: true,
+		Extract: func(c sim.Counters) float64 {
+			d := dep.Extract(c)
+			i := indep.Extract(c)
+			if i == 0 {
+				return 0
+			}
+			return d / i
+		},
+	}
+}
+
+// Standard metric sets.
+//
+// RawAll is the full raw set; DerivedAll divides each dependent metric (msg
+// rate, cpu, tx packets) by the independent rx-packets metric. These are the
+// "all" columns of Table II; the single-metric sets are its other columns.
+func RawAll() []Metric {
+	return []Metric{MsgRate, CPU, RxPackets, TxPackets}
+}
+
+// DerivedAll returns every dependent⊘independent combination plus the
+// independent metric itself normalized by elapsed collection (kept raw): the
+// paper keeps using the anomaly signal of the independent metric implicitly
+// through ratios going to zero, so the set is ratios only.
+func DerivedAll() []Metric {
+	return []Metric{
+		Derive(MsgRate, RxPackets),
+		Derive(CPU, RxPackets),
+		Derive(TxPackets, RxPackets),
+	}
+}
+
+// ExtendedDerived is DerivedAll plus the busy-per-request ratio, the metric
+// set used by the latency-fault extension experiments.
+func ExtendedDerived() []Metric {
+	return append(DerivedAll(), Derive(Busy, RxPackets))
+}
+
+// Set names accepted by Preset. They correspond one-to-one with the columns
+// of Table II plus the error-log-only set used by the [23] baseline and the
+// extended set of the latency-fault experiments.
+const (
+	SetRawMsg     = "raw-msg"
+	SetRawCPU     = "raw-cpu"
+	SetRawAll     = "raw-all"
+	SetDerivedMsg = "derived-msg"
+	SetDerivedCPU = "derived-cpu"
+	SetDerivedAll = "derived-all"
+	SetErrLog     = "errlog"
+	SetDerivedExt = "derived-ext"
+)
+
+// PresetNames lists every set name accepted by Preset, in Table II order.
+func PresetNames() []string {
+	return []string{
+		SetRawMsg, SetRawCPU, SetRawAll,
+		SetDerivedMsg, SetDerivedCPU, SetDerivedAll,
+		SetErrLog, SetDerivedExt,
+	}
+}
+
+// Preset returns a named metric set.
+func Preset(name string) ([]Metric, error) {
+	switch name {
+	case SetRawMsg:
+		return []Metric{MsgRate}, nil
+	case SetRawCPU:
+		return []Metric{CPU}, nil
+	case SetRawAll:
+		return RawAll(), nil
+	case SetDerivedMsg:
+		return []Metric{Derive(MsgRate, RxPackets)}, nil
+	case SetDerivedCPU:
+		return []Metric{Derive(CPU, RxPackets)}, nil
+	case SetDerivedAll:
+		return DerivedAll(), nil
+	case SetErrLog:
+		return []Metric{ErrLogRate}, nil
+	case SetDerivedExt:
+		return ExtendedDerived(), nil
+	default:
+		return nil, fmt.Errorf("metrics: unknown preset %q (known: %v)", name, PresetNames())
+	}
+}
+
+// Names returns the metric names of a set, in order.
+func Names(set []Metric) []string {
+	out := make([]string, len(set))
+	for i, m := range set {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// BuildSnapshot evaluates a metric set over per-service hopping windows,
+// producing the dataset D(M, s) consumed by the causal learner and the
+// localizer. services fixes the service universe and ordering; services with
+// no windows get empty series.
+func BuildSnapshot(windows map[string][]telemetry.Window, services []string, set []Metric) (*Snapshot, error) {
+	if len(set) == 0 {
+		return nil, fmt.Errorf("metrics: empty metric set")
+	}
+	if len(services) == 0 {
+		return nil, fmt.Errorf("metrics: empty service list")
+	}
+	snap := NewSnapshot(Names(set), services)
+	for _, m := range set {
+		for _, svc := range services {
+			ws := windows[svc]
+			series := make([]float64, len(ws))
+			for i, w := range ws {
+				series[i] = m.Extract(w.Sum)
+			}
+			snap.Data[m.Name][svc] = series
+		}
+	}
+	return snap, nil
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Snapshot is one collected dataset: for every metric M and service s, the
+// series of window values m(s, t). It corresponds to the paper's D_0 (fault
+// free), D_s (fault injected in s) and D (production) datasets.
+type Snapshot struct {
+	// Metrics lists metric names in evaluation order.
+	Metrics []string `json:"metrics"`
+	// Services lists the service universe S.
+	Services []string `json:"services"`
+	// Data maps metric -> service -> window-value series.
+	Data map[string]map[string][]float64 `json:"data"`
+}
+
+// NewSnapshot allocates an empty snapshot over the given universe.
+func NewSnapshot(metricNames, services []string) *Snapshot {
+	s := &Snapshot{
+		Metrics:  append([]string(nil), metricNames...),
+		Services: append([]string(nil), services...),
+		Data:     make(map[string]map[string][]float64, len(metricNames)),
+	}
+	for _, m := range s.Metrics {
+		s.Data[m] = make(map[string][]float64, len(services))
+	}
+	return s
+}
+
+// Series returns the window-value series of metric m for service svc.
+func (s *Snapshot) Series(m, svc string) ([]float64, error) {
+	bySvc, ok := s.Data[m]
+	if !ok {
+		return nil, fmt.Errorf("metrics: snapshot has no metric %q", m)
+	}
+	series, ok := bySvc[svc]
+	if !ok {
+		return nil, fmt.Errorf("metrics: snapshot metric %q has no service %q", m, svc)
+	}
+	return series, nil
+}
+
+// Validate checks structural consistency: every metric has a series for
+// every service, and within one metric all series have equal length.
+func (s *Snapshot) Validate() error {
+	if len(s.Metrics) == 0 {
+		return fmt.Errorf("metrics: snapshot has no metrics")
+	}
+	if len(s.Services) == 0 {
+		return fmt.Errorf("metrics: snapshot has no services")
+	}
+	for _, m := range s.Metrics {
+		bySvc, ok := s.Data[m]
+		if !ok {
+			return fmt.Errorf("metrics: snapshot missing data for metric %q", m)
+		}
+		want := -1
+		for _, svc := range s.Services {
+			series, ok := bySvc[svc]
+			if !ok {
+				return fmt.Errorf("metrics: metric %q missing service %q", m, svc)
+			}
+			if want == -1 {
+				want = len(series)
+			} else if len(series) != want {
+				return fmt.Errorf("metrics: metric %q service %q has %d windows, want %d",
+					m, svc, len(series), want)
+			}
+		}
+	}
+	return nil
+}
+
+// WindowCount returns the number of windows per series (0 for an empty
+// snapshot). It assumes Validate passed.
+func (s *Snapshot) WindowCount() int {
+	for _, m := range s.Metrics {
+		for _, svc := range s.Services {
+			return len(s.Data[m][svc])
+		}
+	}
+	return 0
+}
+
+// Clone deep-copies the snapshot.
+func (s *Snapshot) Clone() *Snapshot {
+	out := NewSnapshot(s.Metrics, s.Services)
+	for m, bySvc := range s.Data {
+		if _, ok := out.Data[m]; !ok {
+			out.Data[m] = make(map[string][]float64, len(bySvc))
+		}
+		for svc, series := range bySvc {
+			out.Data[m][svc] = append([]float64(nil), series...)
+		}
+	}
+	return out
+}
+
+// Project returns a sub-snapshot restricted to the named metrics, sharing
+// the underlying series (read-only use). It lets techniques that need only a
+// subset of a jointly collected dataset (e.g. the error-log-only baseline)
+// run against the exact same collection pass as everyone else.
+func (s *Snapshot) Project(metricNames []string) (*Snapshot, error) {
+	out := &Snapshot{
+		Metrics:  append([]string(nil), metricNames...),
+		Services: append([]string(nil), s.Services...),
+		Data:     make(map[string]map[string][]float64, len(metricNames)),
+	}
+	for _, m := range metricNames {
+		bySvc, ok := s.Data[m]
+		if !ok {
+			return nil, fmt.Errorf("metrics: project: snapshot has no metric %q", m)
+		}
+		out.Data[m] = bySvc
+	}
+	return out, nil
+}
+
+// SortedMetricNames returns the metric names sorted alphabetically, for
+// deterministic report rendering.
+func (s *Snapshot) SortedMetricNames() []string {
+	out := append([]string(nil), s.Metrics...)
+	sort.Strings(out)
+	return out
+}

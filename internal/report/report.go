@@ -1,0 +1,144 @@
+// Package report renders the complete evaluation — every table, figure,
+// baseline comparison and extension experiment — as a single Markdown
+// document. `causalfl report` is the one-command reproduction of
+// EXPERIMENTS.md's raw data.
+package report
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"causalfl/internal/apps/causalbench"
+	"causalfl/internal/apps/robotshop"
+	"causalfl/internal/eval"
+)
+
+// Section is one named experiment in the report.
+type Section struct {
+	// Title is the Markdown heading.
+	Title string
+	// Run produces the section body (the experiment's String output).
+	Run func(eval.Options) (fmt.Stringer, error)
+}
+
+// Sections returns the full evaluation in presentation order.
+func Sections() []Section {
+	return []Section{
+		{"Table I — accuracy and informativeness", func(o eval.Options) (fmt.Stringer, error) {
+			return eval.RunTableI(o)
+		}},
+		{"Table II — metric sets under load drift", func(o eval.Options) (fmt.Stringer, error) {
+			return eval.RunTableII(o)
+		}},
+		{"Fig. 1 — metric-dependent causal worlds", func(o eval.Options) (fmt.Stringer, error) {
+			return eval.RunFig1(o)
+		}},
+		{"Fig. 2 — the load confounder", func(o eval.Options) (fmt.Stringer, error) {
+			return eval.RunFig2(o)
+		}},
+		{"§VI-B — causal sets for an intervention on B", func(o eval.Options) (fmt.Stringer, error) {
+			return eval.RunCausalSetsExample(o)
+		}},
+		{"§III-B — logging discipline changes the causal world", func(o eval.Options) (fmt.Stringer, error) {
+			return eval.RunLoggingDiscipline(o)
+		}},
+		{"Baseline comparison — CausalBench", func(o eval.Options) (fmt.Stringer, error) {
+			return eval.RunBaselineComparison(o, causalbench.Build, causalbench.Name)
+		}},
+		{"Baseline comparison — Robot-shop", func(o eval.Options) (fmt.Stringer, error) {
+			return eval.RunBaselineComparison(o, robotshop.Build, robotshop.Name)
+		}},
+		{"Extension — fault-type generalization", func(o eval.Options) (fmt.Stringer, error) {
+			return eval.RunFaultTypeExtension(o)
+		}},
+		{"Extension — concurrent faults", func(o eval.Options) (fmt.Stringer, error) {
+			return eval.RunMultiFaultExtension(o)
+		}},
+		{"Extension — tracing comparison", func(o eval.Options) (fmt.Stringer, error) {
+			return eval.RunTraceComparison(o)
+		}},
+		{"Extension — nonstationary load", func(o eval.Options) (fmt.Stringer, error) {
+			return eval.RunNonstationaryExtension(o)
+		}},
+		{"Extension — noisy-neighbor interference", func(o eval.Options) (fmt.Stringer, error) {
+			return eval.RunInterferenceExtension(o)
+		}},
+		{"Extension — contaminated baseline", func(o eval.Options) (fmt.Stringer, error) {
+			return eval.RunContaminationExtension(o)
+		}},
+		{"Extension — training budget", func(o eval.Options) (fmt.Stringer, error) {
+			return eval.RunBudgetExtension(o)
+		}},
+		{"Extension — scalability", func(o eval.Options) (fmt.Stringer, error) {
+			return eval.RunScalabilityExtension(o)
+		}},
+	}
+}
+
+// Generate runs every section and writes the Markdown document. Sections are
+// independent deterministic simulations, so they execute concurrently (one
+// worker per core, bounded) and are written in presentation order; the
+// output is byte-identical to a sequential run. Section failures abort: a
+// partial evaluation is worse than a loud error.
+func Generate(o eval.Options, w io.Writer) error {
+	mode := "paper-length (10-minute collection periods)"
+	if o.Quick {
+		mode = "abbreviated (2.5-minute collection periods)"
+	}
+	if _, err := fmt.Fprintf(w, "# causalfl evaluation report\n\nMode: %s. Seed: %d.\n", mode, effectiveSeed(o)); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+
+	sections := Sections()
+	type outcome struct {
+		result fmt.Stringer
+		wall   time.Duration
+		err    error
+	}
+	outcomes := make([]outcome, len(sections))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sections) {
+		workers = len(sections)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				start := time.Now()
+				result, err := sections[idx].Run(o)
+				outcomes[idx] = outcome{result: result, wall: time.Since(start).Round(time.Millisecond), err: err}
+			}
+		}()
+	}
+	for idx := range sections {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	for idx, section := range sections {
+		oc := outcomes[idx]
+		if oc.err != nil {
+			return fmt.Errorf("report: %s: %w", section.Title, oc.err)
+		}
+		if _, err := fmt.Fprintf(w, "\n## %s\n\n```\n%s```\n\n(_%v_)\n", section.Title, oc.result.String(), oc.wall); err != nil {
+			return fmt.Errorf("report: %s: %w", section.Title, err)
+		}
+	}
+	return nil
+}
+
+// effectiveSeed mirrors Options.Apply's default.
+func effectiveSeed(o eval.Options) int64 {
+	if o.Seed == 0 {
+		return 42
+	}
+	return o.Seed
+}

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"causalfl/internal/eval"
+)
+
+func TestSectionsAreComplete(t *testing.T) {
+	sections := Sections()
+	if len(sections) < 12 {
+		t.Fatalf("report has %d sections; every table, figure and extension must appear", len(sections))
+	}
+	seen := make(map[string]bool, len(sections))
+	for _, s := range sections {
+		if s.Title == "" || s.Run == nil {
+			t.Fatalf("malformed section %+v", s)
+		}
+		if seen[s.Title] {
+			t.Fatalf("duplicate section %q", s.Title)
+		}
+		seen[s.Title] = true
+	}
+	for _, want := range []string{"Table I", "Table II", "Fig. 1", "Fig. 2", "scalability"} {
+		found := false
+		for title := range seen {
+			if strings.Contains(title, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no section mentions %q", want)
+		}
+	}
+}
+
+func TestGenerateQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report generation skipped in -short mode")
+	}
+	var b strings.Builder
+	if err := Generate(eval.Options{Seed: 42, Quick: true}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# causalfl evaluation report",
+		"abbreviated",
+		"## Table I",
+		"## Table II",
+		"accuracy",
+		"causal relations depend",
+		"Concurrent-fault extension",
+		"Scalability on generated topologies",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Count(out, "## ") != len(Sections()) {
+		t.Errorf("report has %d section headings, want %d", strings.Count(out, "## "), len(Sections()))
+	}
+}
+
+func TestEffectiveSeed(t *testing.T) {
+	if got := effectiveSeed(eval.Options{}); got != 42 {
+		t.Errorf("default seed = %d", got)
+	}
+	if got := effectiveSeed(eval.Options{Seed: 7}); got != 7 {
+		t.Errorf("explicit seed = %d", got)
+	}
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Autoscaler defaults.
+const (
+	DefaultScaleCheckInterval = 15 * time.Second
+	DefaultScaleUpAt          = 0.7
+	DefaultScaleDownAt        = 0.25
+	DefaultMaxReplicas        = 4
+	// DefaultIdleCPUPerReplica is the per-replica runtime overhead (GC,
+	// health probes, metric scraping) accrued per second regardless of
+	// traffic.
+	DefaultIdleCPUPerReplica = 2 * time.Millisecond
+)
+
+// AutoscalerConfig attaches a horizontal autoscaler to one service. The
+// paper (§IV-B) names autoscaling as the canonical *latent confounder*: an
+// unobserved control loop that changes a service's capacity and resource
+// consumption in response to load, leaving fingerprints in the metrics that
+// no fault produced. The simulator models replicas as multiplied worker
+// capacity plus per-replica idle CPU overhead.
+type AutoscalerConfig struct {
+	// Service is the scaled service.
+	Service string
+	// MinReplicas / MaxReplicas bound the replica count (defaults 1 / 4).
+	MinReplicas int
+	MaxReplicas int
+	// CheckInterval is the control-loop period (default 15s).
+	CheckInterval time.Duration
+	// ScaleUpAt / ScaleDownAt are worker-utilization thresholds measured
+	// over the last interval (defaults 0.7 / 0.25).
+	ScaleUpAt   float64
+	ScaleDownAt float64
+	// IdleCPUPerReplica is idle overhead per replica per second of
+	// virtual time (default DefaultIdleCPUPerReplica).
+	IdleCPUPerReplica time.Duration
+}
+
+// Autoscaler is the running control loop.
+type Autoscaler struct {
+	cluster      *Cluster
+	svc          *Service
+	cfg          AutoscalerConfig
+	baseCapacity int
+	replicas     int
+	prevBusy     float64
+}
+
+// AddAutoscaler validates cfg, attaches the control loop, and starts it.
+func (c *Cluster) AddAutoscaler(cfg AutoscalerConfig) (*Autoscaler, error) {
+	svc, ok := c.services[cfg.Service]
+	if !ok {
+		return nil, fmt.Errorf("sim: autoscaler: %w", &UnknownServiceError{Name: cfg.Service})
+	}
+	if cfg.MinReplicas == 0 {
+		cfg.MinReplicas = 1
+	}
+	if cfg.MaxReplicas == 0 {
+		cfg.MaxReplicas = DefaultMaxReplicas
+	}
+	if cfg.MinReplicas < 1 || cfg.MaxReplicas < cfg.MinReplicas {
+		return nil, fmt.Errorf("sim: autoscaler: bad replica bounds [%d, %d]", cfg.MinReplicas, cfg.MaxReplicas)
+	}
+	if cfg.CheckInterval == 0 {
+		cfg.CheckInterval = DefaultScaleCheckInterval
+	}
+	if cfg.CheckInterval < 0 {
+		return nil, fmt.Errorf("sim: autoscaler: negative check interval %v", cfg.CheckInterval)
+	}
+	if cfg.ScaleUpAt == 0 {
+		cfg.ScaleUpAt = DefaultScaleUpAt
+	}
+	if cfg.ScaleDownAt == 0 {
+		cfg.ScaleDownAt = DefaultScaleDownAt
+	}
+	if cfg.ScaleDownAt >= cfg.ScaleUpAt {
+		return nil, fmt.Errorf("sim: autoscaler: scale-down threshold %v must be below scale-up %v",
+			cfg.ScaleDownAt, cfg.ScaleUpAt)
+	}
+	if cfg.IdleCPUPerReplica == 0 {
+		cfg.IdleCPUPerReplica = DefaultIdleCPUPerReplica
+	}
+	a := &Autoscaler{
+		cluster:      c,
+		svc:          svc,
+		cfg:          cfg,
+		baseCapacity: svc.cfg.Capacity,
+		replicas:     cfg.MinReplicas,
+		prevBusy:     svc.counters.BusySeconds,
+	}
+	a.apply()
+	if err := c.eng.Every(c.eng.Now()+cfg.CheckInterval, cfg.CheckInterval, a.tick); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Replicas reports the current replica count.
+func (a *Autoscaler) Replicas() int { return a.replicas }
+
+// apply reflects the replica count in the service's worker capacity.
+func (a *Autoscaler) apply() {
+	a.svc.cfg.Capacity = a.baseCapacity * a.replicas
+}
+
+// tick runs one control-loop iteration: accrue idle overhead, measure
+// utilization, scale.
+func (a *Autoscaler) tick() {
+	interval := a.cfg.CheckInterval.Seconds()
+	// Idle overhead: every replica burns CPU whether or not it serves —
+	// the unobserved side effect that confounds CPU telemetry.
+	a.svc.counters.CPUSeconds += a.cfg.IdleCPUPerReplica.Seconds() * interval * float64(a.replicas)
+
+	busy := a.svc.counters.BusySeconds
+	utilization := (busy - a.prevBusy) / (interval * float64(a.svc.cfg.Capacity))
+	a.prevBusy = busy
+
+	switch {
+	case utilization > a.cfg.ScaleUpAt && a.replicas < a.cfg.MaxReplicas:
+		a.replicas++
+		a.apply()
+	case utilization < a.cfg.ScaleDownAt && a.replicas > a.cfg.MinReplicas:
+		a.replicas--
+		a.apply()
+	}
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// scaledService builds a cluster with one low-capacity service under an
+// autoscaler and a configurable request stream.
+func scaledService(t *testing.T, rps int) (*Engine, *Cluster, *Autoscaler) {
+	t.Helper()
+	eng := NewEngine(71)
+	c := NewCluster(eng)
+	c.MustAddService(ServiceConfig{
+		Name:     "svc",
+		Capacity: 2,
+		Endpoints: []Endpoint{{Name: "/", Steps: []Step{
+			Compute{Mean: 20 * time.Millisecond, Jitter: 2 * time.Millisecond},
+		}}},
+	})
+	a, err := c.AddAutoscaler(AutoscalerConfig{Service: "svc", MaxReplicas: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rps > 0 {
+		gap := time.Second / time.Duration(rps)
+		if err := eng.Every(0, gap, func() {
+			c.Call("client", "svc", "/", nil)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng, c, a
+}
+
+func TestAutoscalerScalesUpUnderLoad(t *testing.T) {
+	// Capacity 2 x 20ms => ~100/s per replica set of 2. 180 rps needs
+	// nearly full utilization -> scale up.
+	eng, _, a := scaledService(t, 180)
+	if a.Replicas() != 1 {
+		t.Fatalf("initial replicas = %d, want 1", a.Replicas())
+	}
+	eng.Run(3 * time.Minute)
+	if a.Replicas() < 2 {
+		t.Fatalf("autoscaler never scaled up under saturating load (replicas=%d)", a.Replicas())
+	}
+}
+
+func TestAutoscalerScalesBackDownWhenIdle(t *testing.T) {
+	eng, c, a := scaledService(t, 0)
+	// Manually push to 3 replicas, then leave idle.
+	a.replicas = 3
+	a.apply()
+	_ = c
+	eng.Run(2 * time.Minute)
+	if a.Replicas() != 1 {
+		t.Fatalf("idle service stayed at %d replicas, want 1", a.Replicas())
+	}
+}
+
+func TestAutoscalerIdleOverheadAccrues(t *testing.T) {
+	eng, c, _ := scaledService(t, 0)
+	svc, _ := c.Service("svc")
+	before := svc.Counters().CPUSeconds
+	eng.Run(time.Minute)
+	after := svc.Counters().CPUSeconds
+	// One replica at 2ms/s for 60s => ~0.12 CPU seconds of pure overhead.
+	if after-before < 0.1 {
+		t.Fatalf("idle replica accrued only %.4f cpu-s in a minute; overhead missing", after-before)
+	}
+}
+
+func TestAutoscalerCapacityActuallyGrows(t *testing.T) {
+	eng, c, a := scaledService(t, 180)
+	eng.Run(3 * time.Minute)
+	if a.Replicas() < 2 {
+		t.Skip("load pattern did not trigger scaling in this configuration")
+	}
+	svc, _ := c.Service("svc")
+	// With more capacity, new bursts complete concurrently: fire 8
+	// simultaneous probes and watch completion time.
+	start := eng.Now()
+	doneCount := 0
+	var last Time
+	for i := 0; i < 8; i++ {
+		c.Call("probe", "svc", "/", func(Result) {
+			doneCount++
+			last = eng.Now()
+		})
+	}
+	eng.Run(eng.Now() + 10*time.Second)
+	if doneCount != 8 {
+		t.Fatalf("only %d/8 probes completed", doneCount)
+	}
+	// Capacity >= 4 workers: 8 x 20ms jobs finish within ~3 serial
+	// rounds even with background traffic.
+	if last-start > 2*time.Second {
+		t.Errorf("8 probes took %v; capacity increase not effective", last-start)
+	}
+	_ = svc
+}
+
+func TestAutoscalerValidation(t *testing.T) {
+	eng := NewEngine(72)
+	c := NewCluster(eng)
+	c.MustAddService(ServiceConfig{Name: "svc"})
+	cases := []AutoscalerConfig{
+		{Service: "ghost"},
+		{Service: "svc", MinReplicas: 3, MaxReplicas: 2},
+		{Service: "svc", CheckInterval: -time.Second},
+		{Service: "svc", ScaleUpAt: 0.2, ScaleDownAt: 0.5},
+	}
+	for i, cfg := range cases {
+		if _, err := c.AddAutoscaler(cfg); err == nil {
+			t.Errorf("case %d: config %+v accepted", i, cfg)
+		}
+	}
+}

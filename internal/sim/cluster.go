@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Default network parameters. A request or response packet takes
+// DefaultNetworkDelay ± DefaultNetworkJitter to traverse the network; a call
+// to an unavailable service is refused after DefaultFailFastDelay (the TCP
+// RST of the paper's dead-port injection).
+const (
+	DefaultNetworkDelay   = 500 * time.Microsecond
+	DefaultNetworkJitter  = 200 * time.Microsecond
+	DefaultFailFastDelay  = 1 * time.Millisecond
+	defaultPollerCapacity = 1
+)
+
+// ClusterOption customizes a Cluster.
+type ClusterOption func(*Cluster)
+
+// WithNetworkDelay sets the base one-way network delay and its uniform
+// jitter.
+func WithNetworkDelay(base, jitter time.Duration) ClusterOption {
+	return func(c *Cluster) {
+		c.netDelay = base
+		c.netJitter = jitter
+	}
+}
+
+// WithFailFastDelay sets how quickly calls to an unavailable service fail.
+func WithFailFastDelay(d time.Duration) ClusterOption {
+	return func(c *Cluster) { c.failFast = d }
+}
+
+// Cluster is a set of services sharing one event engine and network model.
+type Cluster struct {
+	eng          *Engine
+	services     map[string]*Service
+	order        []string
+	pollers      []*Poller
+	netDelay     time.Duration
+	netJitter    time.Duration
+	failFast     time.Duration
+	spanObserver SpanObserver
+	lastTraceID  uint64
+	lastSpanID   uint64
+	nodes        map[string]*node
+}
+
+// NewCluster creates an empty cluster on eng.
+func NewCluster(eng *Engine, opts ...ClusterOption) *Cluster {
+	if eng == nil {
+		panic("sim: NewCluster called with nil engine")
+	}
+	c := &Cluster{
+		eng:       eng,
+		services:  make(map[string]*Service),
+		netDelay:  DefaultNetworkDelay,
+		netJitter: DefaultNetworkJitter,
+		failFast:  DefaultFailFastDelay,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Engine returns the event engine the cluster runs on.
+func (c *Cluster) Engine() *Engine { return c.eng }
+
+// AddService registers a service defined by cfg.
+func (c *Cluster) AddService(cfg ServiceConfig) (*Service, error) {
+	if _, dup := c.services[cfg.Name]; dup {
+		return nil, fmt.Errorf("sim: duplicate service %q", cfg.Name)
+	}
+	s, err := newService(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.services[cfg.Name] = s
+	c.order = append(c.order, cfg.Name)
+	return s, nil
+}
+
+// MustAddService is AddService for static topologies built at program start;
+// it panics on configuration errors.
+func (c *Cluster) MustAddService(cfg ServiceConfig) *Service {
+	s, err := c.AddService(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Service returns the named service.
+func (c *Cluster) Service(name string) (*Service, bool) {
+	s, ok := c.services[name]
+	return s, ok
+}
+
+// ServiceNames returns the registered service names in registration order.
+// The slice is a copy; callers may modify it.
+func (c *Cluster) ServiceNames() []string {
+	names := make([]string, len(c.order))
+	copy(names, c.order)
+	return names
+}
+
+// CountersByService snapshots the telemetry counters of every service.
+func (c *Cluster) CountersByService() map[string]Counters {
+	out := make(map[string]Counters, len(c.services))
+	for name, s := range c.services {
+		out[name] = s.counters
+	}
+	return out
+}
+
+// netLatency samples one one-way network traversal time.
+func (c *Cluster) netLatency() time.Duration {
+	d := c.netDelay
+	if c.netJitter > 0 {
+		d += time.Duration(c.eng.Rand().Int63n(int64(c.netJitter)))
+	}
+	return d
+}
+
+// Call issues a request from the named caller to target/endpoint and invokes
+// done with the outcome when the response (or refusal) arrives. The caller
+// name may be unknown to the cluster (an external client such as the load
+// generator); in that case only the target's counters advance.
+func (c *Cluster) Call(from, target, endpoint string, done func(Result)) {
+	c.callTraced(c.newTraceCtx(), from, target, workItem{from: from, endpoint: endpoint, respond: done})
+}
+
+// CallKV issues a key-value operation against a KV store service.
+func (c *Cluster) CallKV(from, store string, op KVOp, done func(Result)) {
+	opCopy := op
+	c.callTraced(c.newTraceCtx(), from, store, workItem{from: from, kvOp: &opCopy, respond: done})
+}
+
+// callTraced issues a call under an existing trace context: a span is opened
+// for the call, the handler inherits the context for its own downstream
+// calls, and the span completes when the response reaches the caller.
+func (c *Cluster) callTraced(ctx traceCtx, from, target string, item workItem) {
+	endpoint := item.endpoint
+	if item.kvOp != nil {
+		endpoint = item.kvOp.Kind.String() + " " + item.kvOp.Key
+	}
+	span := c.startSpan(ctx, from, target, endpoint)
+	item.trace = traceCtx{traceID: span.TraceID, spanID: span.SpanID}
+	orig := item.respond
+	item.respond = func(res Result) {
+		c.finishSpan(span, res.Err != nil)
+		if orig != nil {
+			orig(res)
+		}
+	}
+	c.call(from, target, item)
+}
+
+func (c *Cluster) call(from, target string, item workItem) {
+	if item.respond == nil {
+		item.respond = func(Result) {}
+	}
+	if fromSvc, ok := c.services[from]; ok {
+		fromSvc.counters.RequestsSent++
+		fromSvc.counters.TxPackets++
+	}
+	tgt, ok := c.services[target]
+	if !ok {
+		err := &UnknownServiceError{Name: target}
+		c.eng.After(0, func() { item.respond(Result{Err: err}) })
+		return
+	}
+	if tgt.fault.unavailable {
+		// Connection refused: the target never sees the request; the
+		// caller receives the refusal after the fail-fast delay.
+		c.eng.After(c.netLatency()+c.failFast, func() {
+			if fromSvc, ok := c.services[from]; ok {
+				fromSvc.counters.RxPackets++
+			}
+			item.respond(Result{Err: fmt.Errorf("%s: %w", target, ErrServiceUnavailable)})
+		})
+		return
+	}
+	c.eng.After(c.netLatency(), func() { tgt.handleArrival(item) })
+}
+
+// deliverResponse carries a response packet back to the caller.
+func (c *Cluster) deliverResponse(from string, respond func(Result), res Result) {
+	c.eng.After(c.netLatency(), func() {
+		if fromSvc, ok := c.services[from]; ok {
+			fromSvc.counters.RxPackets++
+		}
+		respond(res)
+	})
+}

@@ -1,0 +1,455 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// buildChain constructs client -> a -> b -> c where each hop is a synchronous
+// call and each service burns 1ms of CPU per request.
+func buildChain(t *testing.T, seed int64) (*Engine, *Cluster) {
+	t.Helper()
+	eng := NewEngine(seed)
+	c := NewCluster(eng)
+	compute := Compute{Mean: time.Millisecond}
+	mustAdd := func(cfg ServiceConfig) {
+		if _, err := c.AddService(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(ServiceConfig{Name: "c", Endpoints: []Endpoint{{Name: "work", Steps: []Step{compute}}}})
+	mustAdd(ServiceConfig{Name: "b", Endpoints: []Endpoint{
+		{Name: "work", Steps: []Step{compute, CallStep{Target: "c", Endpoint: "work"}}},
+	}})
+	mustAdd(ServiceConfig{Name: "a", Endpoints: []Endpoint{
+		{Name: "work", Steps: []Step{compute, CallStep{Target: "b", Endpoint: "work"}}},
+	}})
+	return eng, c
+}
+
+func TestCallChainSuccess(t *testing.T) {
+	eng, c := buildChain(t, 1)
+	var res *Result
+	c.Call("client", "a", "work", func(r Result) { res = &r })
+	eng.Run(time.Second)
+	if res == nil {
+		t.Fatal("no response delivered")
+	}
+	if res.Err != nil {
+		t.Fatalf("chain call failed: %v", res.Err)
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		svc, _ := c.Service(name)
+		cnt := svc.Counters()
+		if cnt.RequestsReceived != 1 {
+			t.Errorf("%s received %d requests, want 1", name, cnt.RequestsReceived)
+		}
+		if cnt.ResponsesOK != 1 {
+			t.Errorf("%s returned %d OK responses, want 1", name, cnt.ResponsesOK)
+		}
+		if cnt.CPUSeconds <= 0 {
+			t.Errorf("%s consumed no CPU", name)
+		}
+	}
+}
+
+func TestUnavailableFaultPropagatesErrorsUpstream(t *testing.T) {
+	eng, c := buildChain(t, 2)
+	svcB, _ := c.Service("b")
+	svcB.SetUnavailable(true)
+
+	var res *Result
+	c.Call("client", "a", "work", func(r Result) { res = &r })
+	eng.Run(time.Second)
+
+	if res == nil || res.Err == nil {
+		t.Fatal("expected an error response through the chain")
+	}
+	if !errors.Is(res.Err, ErrServiceUnavailable) {
+		t.Fatalf("error %v does not match ErrServiceUnavailable", res.Err)
+	}
+	var dserr *DownstreamError
+	if !errors.As(res.Err, &dserr) {
+		t.Fatalf("error %v is not a DownstreamError", res.Err)
+	}
+	if dserr.Caller != "a" || dserr.Target != "b" {
+		t.Errorf("DownstreamError = %s->%s, want a->b", dserr.Caller, dserr.Target)
+	}
+
+	svcA, _ := c.Service("a")
+	svcC, _ := c.Service("c")
+	if got := svcA.Counters().ErrorLogMessages; got != 1 {
+		t.Errorf("a wrote %d error logs, want 1 (errors surface on the response path)", got)
+	}
+	if got := svcB.Counters().RequestsReceived; got != 0 {
+		t.Errorf("unavailable b received %d requests, want 0 (connection refused)", got)
+	}
+	if got := svcC.Counters().RequestsReceived; got != 0 {
+		t.Errorf("c received %d requests, want 0 (omission downstream of the fault)", got)
+	}
+}
+
+func TestSuppressErrorLogs(t *testing.T) {
+	eng := NewEngine(3)
+	c := NewCluster(eng)
+	c.MustAddService(ServiceConfig{Name: "down"})
+	c.MustAddService(ServiceConfig{
+		Name:              "quiet",
+		SuppressErrorLogs: true,
+		Endpoints: []Endpoint{{Name: "work", Steps: []Step{
+			CallStep{Target: "down", Endpoint: "nope"},
+		}}},
+	})
+	down, _ := c.Service("down")
+	down.SetUnavailable(true)
+	c.Call("client", "quiet", "work", func(Result) {})
+	eng.Run(time.Second)
+	quiet, _ := c.Service("quiet")
+	if got := quiet.Counters().ErrorLogMessages; got != 0 {
+		t.Fatalf("quiet service wrote %d error logs, want 0", got)
+	}
+	if got := quiet.Counters().ErrorsObserved; got != 1 {
+		t.Fatalf("quiet service observed %d errors, want 1", got)
+	}
+}
+
+func TestIgnoreErrorContinuesPipeline(t *testing.T) {
+	eng := NewEngine(4)
+	c := NewCluster(eng)
+	c.MustAddService(ServiceConfig{Name: "flaky"})
+	c.MustAddService(ServiceConfig{Name: "after", Endpoints: []Endpoint{{Name: "ping"}}})
+	c.MustAddService(ServiceConfig{Name: "svc", Endpoints: []Endpoint{{Name: "work", Steps: []Step{
+		CallStep{Target: "flaky", Endpoint: "x", IgnoreError: true},
+		CallStep{Target: "after", Endpoint: "ping"},
+	}}}})
+	flaky, _ := c.Service("flaky")
+	flaky.SetUnavailable(true)
+
+	var res *Result
+	c.Call("client", "svc", "work", func(r Result) { res = &r })
+	eng.Run(time.Second)
+	if res == nil || res.Err != nil {
+		t.Fatalf("IgnoreError call should succeed, got %+v", res)
+	}
+	after, _ := c.Service("after")
+	if after.Counters().RequestsReceived != 1 {
+		t.Fatal("step after ignored failure did not run")
+	}
+}
+
+func TestUnknownServiceAndEndpoint(t *testing.T) {
+	eng := NewEngine(5)
+	c := NewCluster(eng)
+	c.MustAddService(ServiceConfig{Name: "svc", Endpoints: []Endpoint{{Name: "ok"}}})
+
+	var unknownSvc, unknownEp *Result
+	c.Call("client", "ghost", "x", func(r Result) { unknownSvc = &r })
+	c.Call("client", "svc", "missing", func(r Result) { unknownEp = &r })
+	eng.Run(time.Second)
+
+	var use *UnknownServiceError
+	if unknownSvc == nil || !errors.As(unknownSvc.Err, &use) {
+		t.Fatalf("call to ghost service returned %+v, want UnknownServiceError", unknownSvc)
+	}
+	var uee *UnknownEndpointError
+	if unknownEp == nil || !errors.As(unknownEp.Err, &uee) {
+		t.Fatalf("call to missing endpoint returned %+v, want UnknownEndpointError", unknownEp)
+	}
+}
+
+func TestKVOperations(t *testing.T) {
+	eng := NewEngine(6)
+	c := NewCluster(eng)
+	c.MustAddService(ServiceConfig{Name: "store", KV: true})
+
+	var got []int64
+	record := func(r Result) {
+		if r.Err != nil {
+			t.Errorf("kv op failed: %v", r.Err)
+		}
+		got = append(got, r.Value)
+	}
+	c.CallKV("client", "store", KVOp{Kind: KVIncrBy, Key: "items", Delta: 2}, record)
+	eng.Run(100 * time.Millisecond)
+	c.CallKV("client", "store", KVOp{Kind: KVGet, Key: "items"}, record)
+	eng.Run(200 * time.Millisecond)
+	c.CallKV("client", "store", KVOp{Kind: KVDecrIfPositive, Key: "items"}, record)
+	eng.Run(300 * time.Millisecond)
+	c.CallKV("client", "store", KVOp{Kind: KVGet, Key: "items"}, record)
+	eng.Run(400 * time.Millisecond)
+	c.CallKV("client", "store", KVOp{Kind: KVDecrIfPositive, Key: "empty"}, record)
+	eng.Run(500 * time.Millisecond)
+	c.CallKV("client", "store", KVOp{Kind: KVSet, Key: "items", Delta: 9}, record)
+	eng.Run(time.Second)
+
+	want := []int64{2, 2, 1, 1, 0, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %d results %v, want %v", len(got), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kv results %v, want %v", got, want)
+		}
+	}
+	store, _ := c.Service("store")
+	if store.KVValue("items") != 9 {
+		t.Fatalf("final items = %d, want 9", store.KVValue("items"))
+	}
+	if store.Counters().CPUSeconds <= 0 {
+		t.Error("kv store consumed no CPU")
+	}
+}
+
+func TestKVOpToNonKVServiceFails(t *testing.T) {
+	eng := NewEngine(7)
+	c := NewCluster(eng)
+	c.MustAddService(ServiceConfig{Name: "plain", Endpoints: []Endpoint{{Name: "x"}}})
+	var res *Result
+	c.CallKV("client", "plain", KVOp{Kind: KVGet, Key: "k"}, func(r Result) { res = &r })
+	eng.Run(time.Second)
+	if res == nil || res.Err == nil {
+		t.Fatal("kv op against plain service should fail")
+	}
+}
+
+func TestCapacityQueuesRequests(t *testing.T) {
+	eng := NewEngine(8)
+	c := NewCluster(eng, WithNetworkDelay(0, 0))
+	c.MustAddService(ServiceConfig{
+		Name:     "slow",
+		Capacity: 1,
+		Endpoints: []Endpoint{{Name: "work", Steps: []Step{
+			Compute{Mean: 10 * time.Millisecond},
+		}}},
+	})
+	var doneTimes []Time
+	for i := 0; i < 3; i++ {
+		c.Call("client", "slow", "work", func(Result) {
+			doneTimes = append(doneTimes, eng.Now())
+		})
+	}
+	eng.Run(time.Second)
+	if len(doneTimes) != 3 {
+		t.Fatalf("completed %d requests, want 3", len(doneTimes))
+	}
+	// With capacity 1 the three 10ms requests must finish serially.
+	if doneTimes[2] < 30*time.Millisecond {
+		t.Fatalf("third completion at %v, want >= 30ms (serial execution)", doneTimes[2])
+	}
+}
+
+func TestQueueLimitDropsRequests(t *testing.T) {
+	eng := NewEngine(9)
+	c := NewCluster(eng, WithNetworkDelay(0, 0))
+	c.MustAddService(ServiceConfig{
+		Name:       "tiny",
+		Capacity:   1,
+		QueueLimit: 1,
+		Endpoints: []Endpoint{{Name: "work", Steps: []Step{
+			Compute{Mean: 10 * time.Millisecond},
+		}}},
+	})
+	errs := 0
+	for i := 0; i < 5; i++ {
+		c.Call("client", "tiny", "work", func(r Result) {
+			if r.Err != nil {
+				if !errors.Is(r.Err, ErrQueueFull) {
+					t.Errorf("unexpected error %v", r.Err)
+				}
+				errs++
+			}
+		})
+	}
+	eng.Run(time.Second)
+	if errs != 3 {
+		t.Fatalf("%d requests dropped, want 3 (1 running + 1 queued survive)", errs)
+	}
+	tiny, _ := c.Service("tiny")
+	if got := tiny.Counters().QueueDrops; got != 3 {
+		t.Fatalf("QueueDrops = %d, want 3", got)
+	}
+}
+
+func TestErrorRateFault(t *testing.T) {
+	eng := NewEngine(10)
+	c := NewCluster(eng)
+	c.MustAddService(ServiceConfig{Name: "svc", Endpoints: []Endpoint{{Name: "work"}}})
+	svc, _ := c.Service("svc")
+	svc.SetErrorRate(1.0)
+	var res *Result
+	c.Call("client", "svc", "work", func(r Result) { res = &r })
+	eng.Run(time.Second)
+	if res == nil || !errors.Is(res.Err, ErrInjectedFault) {
+		t.Fatalf("got %+v, want ErrInjectedFault", res)
+	}
+}
+
+func TestExtraLatencyFaultDelaysResponses(t *testing.T) {
+	eng := NewEngine(11)
+	c := NewCluster(eng, WithNetworkDelay(0, 0))
+	c.MustAddService(ServiceConfig{Name: "svc", Endpoints: []Endpoint{{Name: "work"}}})
+	svc, _ := c.Service("svc")
+
+	var fast, slowT Time
+	c.Call("client", "svc", "work", func(Result) { fast = eng.Now() })
+	eng.Run(100 * time.Millisecond)
+	svc.SetExtraLatency(50 * time.Millisecond)
+	start := eng.Now()
+	c.Call("client", "svc", "work", func(Result) { slowT = eng.Now() })
+	eng.Run(time.Second)
+
+	if fast > 10*time.Millisecond {
+		t.Fatalf("unfaulted call took %v", fast)
+	}
+	if slowT-start < 50*time.Millisecond {
+		t.Fatalf("latency-faulted call took %v, want >= 50ms", slowT-start)
+	}
+}
+
+func TestLogEveryN(t *testing.T) {
+	eng := NewEngine(12)
+	c := NewCluster(eng)
+	c.MustAddService(ServiceConfig{Name: "svc", Endpoints: []Endpoint{{Name: "work", Steps: []Step{
+		LogEveryN{N: 10},
+	}}}})
+	for i := 0; i < 25; i++ {
+		c.Call("client", "svc", "work", nil)
+	}
+	eng.Run(time.Second)
+	svc, _ := c.Service("svc")
+	if got := svc.Counters().LogMessages; got != 2 {
+		t.Fatalf("LogEveryN{10} over 25 requests wrote %d logs, want 2", got)
+	}
+}
+
+func TestAsyncCallDoesNotBlockResponse(t *testing.T) {
+	eng := NewEngine(13)
+	c := NewCluster(eng, WithNetworkDelay(0, 0))
+	c.MustAddService(ServiceConfig{Name: "slow", Endpoints: []Endpoint{{Name: "work", Steps: []Step{
+		Compute{Mean: 100 * time.Millisecond},
+	}}}})
+	c.MustAddService(ServiceConfig{Name: "svc", Endpoints: []Endpoint{{Name: "work", Steps: []Step{
+		CallStep{Target: "slow", Endpoint: "work", Async: true},
+	}}}})
+	var doneAt Time = -1
+	c.Call("client", "svc", "work", func(Result) { doneAt = eng.Now() })
+	eng.Run(time.Second)
+	if doneAt < 0 {
+		t.Fatal("no response")
+	}
+	if doneAt > 50*time.Millisecond {
+		t.Fatalf("async caller responded at %v, should not wait for slow downstream", doneAt)
+	}
+	slow, _ := c.Service("slow")
+	if slow.Counters().RequestsReceived != 1 {
+		t.Fatal("async downstream request was not delivered")
+	}
+}
+
+func TestPollerLoopAndPause(t *testing.T) {
+	eng := NewEngine(14)
+	c := NewCluster(eng)
+	ticks := 0
+	_, err := c.AddPoller(PollerConfig{
+		Service:  ServiceConfig{Name: "worker"},
+		Interval: 10 * time.Millisecond,
+		Body: func(ctx *PollCtx, done func()) {
+			ticks++
+			ctx.Compute(time.Millisecond, done)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(105 * time.Millisecond)
+	if ticks < 8 || ticks > 10 {
+		t.Fatalf("poller ticked %d times in 105ms at 10ms+1ms cadence, want ~9", ticks)
+	}
+	worker, _ := c.Service("worker")
+	if worker.Counters().CPUSeconds <= 0 {
+		t.Error("poller consumed no CPU")
+	}
+	worker.SetPaused(true)
+	before := ticks
+	eng.Run(205 * time.Millisecond)
+	if ticks != before {
+		t.Fatalf("paused poller still ticked (%d -> %d)", before, ticks)
+	}
+	worker.SetPaused(false)
+	eng.Run(305 * time.Millisecond)
+	if ticks == before {
+		t.Fatal("unpaused poller did not resume")
+	}
+}
+
+func TestAddPollerValidation(t *testing.T) {
+	eng := NewEngine(15)
+	c := NewCluster(eng)
+	if _, err := c.AddPoller(PollerConfig{Service: ServiceConfig{Name: "x"}, Interval: time.Second}); err == nil {
+		t.Fatal("AddPoller accepted nil body")
+	}
+	if _, err := c.AddPoller(PollerConfig{Service: ServiceConfig{Name: "x"}, Body: func(*PollCtx, func()) {}}); err == nil {
+		t.Fatal("AddPoller accepted zero interval")
+	}
+}
+
+func TestDuplicateServiceRejected(t *testing.T) {
+	eng := NewEngine(16)
+	c := NewCluster(eng)
+	c.MustAddService(ServiceConfig{Name: "dup"})
+	if _, err := c.AddService(ServiceConfig{Name: "dup"}); err == nil {
+		t.Fatal("duplicate service accepted")
+	}
+}
+
+func TestServiceNamesOrderAndCopy(t *testing.T) {
+	eng := NewEngine(17)
+	c := NewCluster(eng)
+	for _, n := range []string{"z", "a", "m"} {
+		c.MustAddService(ServiceConfig{Name: n})
+	}
+	names := c.ServiceNames()
+	want := []string{"z", "a", "m"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("ServiceNames = %v, want registration order %v", names, want)
+		}
+	}
+	names[0] = "mutated"
+	if c.ServiceNames()[0] != "z" {
+		t.Fatal("ServiceNames returned internal slice, not a copy")
+	}
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	run := func() map[string]Counters {
+		eng, c := buildChain(t, 42)
+		for i := 0; i < 200; i++ {
+			eng.After(time.Duration(i)*5*time.Millisecond, func() {
+				c.Call("client", "a", "work", nil)
+			})
+		}
+		eng.Run(5 * time.Second)
+		return c.CountersByService()
+	}
+	a, b := run(), run()
+	for name, ca := range a {
+		if ca != b[name] {
+			t.Fatalf("service %s counters differ across identical runs:\n%+v\n%+v", name, ca, b[name])
+		}
+	}
+}
+
+func TestPacketAccounting(t *testing.T) {
+	eng, c := buildChain(t, 18)
+	c.Call("client", "a", "work", nil)
+	eng.Run(time.Second)
+	svcA, _ := c.Service("a")
+	// a: rx request from client, tx request to b, rx response from b,
+	// tx response to client = 2 rx, 2 tx.
+	cnt := svcA.Counters()
+	if cnt.RxPackets != 2 || cnt.TxPackets != 2 {
+		t.Fatalf("a packets rx=%d tx=%d, want 2/2", cnt.RxPackets, cnt.TxPackets)
+	}
+}

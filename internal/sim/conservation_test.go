@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestCounterConservationProperty drives random traffic through a small
+// random topology and checks, after quiescence, the bookkeeping invariants a
+// queueing simulator must satisfy:
+//
+//   - every admitted request was answered: received == ok + err
+//   - within the cluster (all callers registered), packets sent == packets
+//     received
+//   - every client call completed exactly once
+func TestCounterConservationProperty(t *testing.T) {
+	prop := func(seed int64, faultB bool, nCallsRaw uint8) bool {
+		nCalls := 1 + int(nCallsRaw%100)
+		eng := NewEngine(seed)
+		c := NewCluster(eng)
+		step := Compute{Mean: 2 * time.Millisecond, Jitter: time.Millisecond}
+		c.MustAddService(ServiceConfig{Name: "c", Endpoints: []Endpoint{{Name: "/", Steps: []Step{step}}}})
+		c.MustAddService(ServiceConfig{Name: "b", Endpoints: []Endpoint{{Name: "/", Steps: []Step{
+			step, CallStep{Target: "c", Endpoint: "/"},
+		}}}})
+		// The entry service is registered too, so cluster-internal packet
+		// accounting closes — except for the unregistered test client.
+		c.MustAddService(ServiceConfig{Name: "a", Endpoints: []Endpoint{{Name: "/", Steps: []Step{
+			step,
+			CallStep{Target: "b", Endpoint: "/", IgnoreError: true},
+			CallStep{Target: "c", Endpoint: "/", IgnoreError: true},
+		}}}})
+		if faultB {
+			svc, _ := c.Service("b")
+			svc.SetUnavailable(true)
+		}
+		completed := 0
+		for i := 0; i < nCalls; i++ {
+			eng.After(time.Duration(i)*3*time.Millisecond, func() {
+				c.Call("client", "a", "/", func(Result) { completed++ })
+			})
+		}
+		eng.Run(time.Minute)
+
+		if completed != nCalls {
+			t.Logf("seed %d: %d/%d calls completed", seed, completed, nCalls)
+			return false
+		}
+		var totTx, totRx, clientPkts uint64
+		for name, cnt := range c.CountersByService() {
+			if cnt.RequestsReceived != cnt.ResponsesOK+cnt.ResponsesErr {
+				t.Logf("seed %d: %s received %d but answered %d+%d",
+					seed, name, cnt.RequestsReceived, cnt.ResponsesOK, cnt.ResponsesErr)
+				return false
+			}
+			totTx += cnt.TxPackets
+			totRx += cnt.RxPackets
+		}
+		// The unregistered client exchanged one request and one response
+		// per call with service a.
+		clientPkts = uint64(nCalls)
+		return totTx+clientPkts == totRx+clientPkts && totTx == totRx
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBusyNeverExceedsCapacityTimesTime: total busy seconds accrued by a
+// service cannot exceed capacity × elapsed time.
+func TestBusyNeverExceedsCapacityTimesTime(t *testing.T) {
+	eng := NewEngine(81)
+	c := NewCluster(eng)
+	const capacity = 3
+	c.MustAddService(ServiceConfig{
+		Name:     "svc",
+		Capacity: capacity,
+		Endpoints: []Endpoint{{Name: "/", Steps: []Step{
+			Compute{Mean: 30 * time.Millisecond, Jitter: 5 * time.Millisecond},
+		}}},
+	})
+	if err := eng.Every(0, 5*time.Millisecond, func() {
+		c.Call("client", "svc", "/", nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	horizon := 10 * time.Second
+	eng.Run(horizon)
+	svc, _ := c.Service("svc")
+	limit := float64(capacity) * horizon.Seconds()
+	if busy := svc.Counters().BusySeconds; busy > limit {
+		t.Fatalf("busy %.2fs exceeds capacity x time = %.2fs", busy, limit)
+	}
+	// Under saturating load the workers should also be nearly fully busy.
+	if busy := svc.Counters().BusySeconds; busy < 0.8*limit {
+		t.Fatalf("busy %.2fs; expected near saturation (%.2fs)", busy, limit)
+	}
+}

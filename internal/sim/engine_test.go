@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineRunsEventsInTimestampOrder(t *testing.T) {
+	eng := NewEngine(1)
+	var got []int
+	eng.Schedule(3*time.Second, func() { got = append(got, 3) })
+	eng.Schedule(1*time.Second, func() { got = append(got, 1) })
+	eng.Schedule(2*time.Second, func() { got = append(got, 2) })
+	n := eng.Run(10 * time.Second)
+	if n != 3 {
+		t.Fatalf("executed %d events, want 3", n)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineTieBreakIsFIFO(t *testing.T) {
+	eng := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	eng.Run(time.Second)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events ran out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestEngineClockAdvancesToEventTime(t *testing.T) {
+	eng := NewEngine(1)
+	var at Time
+	eng.Schedule(5*time.Second, func() { at = eng.Now() })
+	eng.Run(time.Minute)
+	if at != 5*time.Second {
+		t.Errorf("Now inside event = %v, want 5s", at)
+	}
+	if eng.Now() != time.Minute {
+		t.Errorf("Now after Run = %v, want 1m (clock advances to horizon)", eng.Now())
+	}
+}
+
+func TestEngineDoesNotRunEventsBeyondHorizon(t *testing.T) {
+	eng := NewEngine(1)
+	ran := false
+	eng.Schedule(2*time.Minute, func() { ran = true })
+	eng.Run(time.Minute)
+	if ran {
+		t.Fatal("event beyond horizon executed")
+	}
+	if eng.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", eng.Pending())
+	}
+	eng.Run(3 * time.Minute)
+	if !ran {
+		t.Fatal("event not executed on later Run")
+	}
+}
+
+func TestEnginePastEventsClampToNow(t *testing.T) {
+	eng := NewEngine(1)
+	var at Time
+	eng.Schedule(10*time.Second, func() {
+		// Scheduled "in the past": must run at current time, not rewind.
+		eng.Schedule(1*time.Second, func() { at = eng.Now() })
+	})
+	eng.Run(time.Minute)
+	if at != 10*time.Second {
+		t.Fatalf("past-scheduled event ran at %v, want 10s", at)
+	}
+}
+
+func TestEngineAfterNegativeDuration(t *testing.T) {
+	eng := NewEngine(1)
+	ran := false
+	eng.After(-time.Second, func() { ran = true })
+	eng.Run(time.Second)
+	if !ran {
+		t.Fatal("After with negative duration did not run")
+	}
+}
+
+func TestEngineEveryCadence(t *testing.T) {
+	eng := NewEngine(1)
+	var times []Time
+	if err := eng.Every(time.Second, 2*time.Second, func() {
+		times = append(times, eng.Now())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(9 * time.Second)
+	want := []Time{1 * time.Second, 3 * time.Second, 5 * time.Second, 7 * time.Second, 9 * time.Second}
+	if len(times) != len(want) {
+		t.Fatalf("got %d ticks %v, want %d", len(times), times, len(want))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestEngineEveryRejectsNonPositiveInterval(t *testing.T) {
+	eng := NewEngine(1)
+	if err := eng.Every(0, 0, func() {}); err == nil {
+		t.Fatal("Every accepted zero interval")
+	}
+	if err := eng.Every(0, -time.Second, func() {}); err == nil {
+		t.Fatal("Every accepted negative interval")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	eng := NewEngine(1)
+	count := 0
+	for i := 1; i <= 5; i++ {
+		eng.Schedule(Time(i)*time.Second, func() {
+			count++
+			if count == 2 {
+				eng.Stop()
+			}
+		})
+	}
+	eng.Run(time.Minute)
+	if count != 2 {
+		t.Fatalf("executed %d events after Stop, want 2", count)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		eng := NewEngine(seed)
+		var draws []int64
+		for i := 0; i < 50; i++ {
+			eng.After(time.Duration(i)*time.Millisecond, func() {
+				draws = append(draws, eng.Rand().Int63n(1000))
+			})
+		}
+		eng.Run(time.Second)
+		return draws
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different draws at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(7)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical draw sequences")
+	}
+}
+
+func TestEngineSchedulePanicsOnNilCallback(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule accepted a nil callback")
+		}
+	}()
+	NewEngine(1).Schedule(0, nil)
+}
+
+// Property: for any set of event offsets, events run in non-decreasing time
+// order and the executed count matches the number of events inside the
+// horizon.
+func TestEngineOrderingProperty(t *testing.T) {
+	prop := func(offsets []uint16) bool {
+		eng := NewEngine(99)
+		horizon := 30 * time.Second
+		within := 0
+		var last Time = -1
+		ok := true
+		for _, off := range offsets {
+			at := time.Duration(off) * time.Millisecond
+			if at <= horizon {
+				within++
+			}
+			eng.Schedule(at, func() {
+				if eng.Now() < last {
+					ok = false
+				}
+				last = eng.Now()
+			})
+		}
+		n := eng.Run(horizon)
+		return ok && n == within
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrServiceUnavailable is returned for calls to a service with an
+	// active "service unavailable" fault (the paper's
+	// http-service-unavailable injection: connections are refused before
+	// the target ever sees them).
+	ErrServiceUnavailable = errors.New("service unavailable")
+
+	// ErrQueueFull is returned when a bounded request queue overflows.
+	ErrQueueFull = errors.New("request queue full")
+
+	// ErrInjectedFault is returned by an error-rate fault (extension fault
+	// type; the target handles the request but responds with an error).
+	ErrInjectedFault = errors.New("injected handler fault")
+
+	// ErrCallTimeout is returned when a CallStep's per-attempt timeout
+	// elapses before the response arrives.
+	ErrCallTimeout = errors.New("call timed out")
+)
+
+// UnknownServiceError reports a call routed to a service name that is not
+// registered in the cluster. It indicates a topology bug, not a fault.
+type UnknownServiceError struct {
+	Name string
+}
+
+func (e *UnknownServiceError) Error() string {
+	return fmt.Sprintf("unknown service %q", e.Name)
+}
+
+// UnknownEndpointError reports a call to an endpoint a service does not
+// expose.
+type UnknownEndpointError struct {
+	Service  string
+	Endpoint string
+}
+
+func (e *UnknownEndpointError) Error() string {
+	return fmt.Sprintf("service %q has no endpoint %q", e.Service, e.Endpoint)
+}
+
+// DownstreamError wraps a failure observed while calling a downstream
+// service; it is what propagates hop by hop back along the response path.
+type DownstreamError struct {
+	Caller   string
+	Target   string
+	Endpoint string
+	Err      error
+}
+
+func (e *DownstreamError) Error() string {
+	return fmt.Sprintf("%s: call %s/%s: %v", e.Caller, e.Target, e.Endpoint, e.Err)
+}
+
+// Unwrap exposes the underlying cause for errors.Is/errors.As matching.
+func (e *DownstreamError) Unwrap() error { return e.Err }

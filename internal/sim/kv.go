@@ -1,0 +1,64 @@
+package sim
+
+// KVOpKind enumerates operations understood by key-value store services
+// (the paper's node D is a Redis holding the `items` and `dummy` counters).
+type KVOpKind int
+
+const (
+	// KVGet reads the current value of a key (0 when absent).
+	KVGet KVOpKind = iota + 1
+	// KVIncrBy adds Delta (possibly negative) to a key and returns the new
+	// value.
+	KVIncrBy
+	// KVDecrIfPositive decrements a key only when its value is positive;
+	// the result Value is 1 when the decrement happened and 0 otherwise.
+	KVDecrIfPositive
+	// KVSet overwrites a key with Delta.
+	KVSet
+)
+
+// String returns the redis-like name of the operation.
+func (k KVOpKind) String() string {
+	switch k {
+	case KVGet:
+		return "GET"
+	case KVIncrBy:
+		return "INCRBY"
+	case KVDecrIfPositive:
+		return "DECRPOS"
+	case KVSet:
+		return "SET"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// KVOp is one key-value store operation carried by a request to a KV
+// service.
+type KVOp struct {
+	Kind  KVOpKind
+	Key   string
+	Delta int64
+}
+
+// apply mutates the store state and returns the operation result value.
+func (op KVOp) apply(kv map[string]int64) int64 {
+	switch op.Kind {
+	case KVGet:
+		return kv[op.Key]
+	case KVIncrBy:
+		kv[op.Key] += op.Delta
+		return kv[op.Key]
+	case KVDecrIfPositive:
+		if kv[op.Key] > 0 {
+			kv[op.Key]--
+			return 1
+		}
+		return 0
+	case KVSet:
+		kv[op.Key] = op.Delta
+		return kv[op.Key]
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNodeValidation(t *testing.T) {
+	eng := NewEngine(91)
+	c := NewCluster(eng)
+	c.MustAddService(ServiceConfig{Name: "svc"})
+	if err := c.AddNode(NodeConfig{Name: "", Cores: 1}); err == nil {
+		t.Error("empty node name accepted")
+	}
+	if err := c.AddNode(NodeConfig{Name: "n", Cores: 0}); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if err := c.AddNode(NodeConfig{Name: "n", Cores: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddNode(NodeConfig{Name: "n", Cores: 2}); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if err := c.Place("ghost", "n"); err == nil {
+		t.Error("placing unknown service accepted")
+	}
+	if err := c.Place("svc", "ghost"); err == nil {
+		t.Error("placing on unknown node accepted")
+	}
+	if err := c.Place("svc", "n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NodeActive("ghost"); err == nil {
+		t.Error("NodeActive for unknown node accepted")
+	}
+}
+
+func TestUncontendedComputeUnchanged(t *testing.T) {
+	eng := NewEngine(92)
+	c := NewCluster(eng, WithNetworkDelay(0, 0))
+	c.MustAddService(ServiceConfig{Name: "svc", Endpoints: []Endpoint{{Name: "/", Steps: []Step{
+		Compute{Mean: 50 * time.Millisecond},
+	}}}})
+	var doneAt Time
+	c.Call("client", "svc", "/", func(Result) { doneAt = eng.Now() })
+	eng.Run(time.Second)
+	if doneAt != 50*time.Millisecond {
+		t.Fatalf("unplaced service compute took %v, want exactly 50ms", doneAt)
+	}
+}
+
+func TestContentionStretchesWallNotCPU(t *testing.T) {
+	eng := NewEngine(93)
+	c := NewCluster(eng, WithNetworkDelay(0, 0))
+	if err := c.AddNode(NodeConfig{Name: "n1", Cores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"p", "q"} {
+		c.MustAddService(ServiceConfig{Name: name, Endpoints: []Endpoint{{Name: "/", Steps: []Step{
+			Compute{Mean: 100 * time.Millisecond},
+		}}}})
+		if err := c.Place(name, "n1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var pDone, qDone Time
+	c.Call("client", "p", "/", func(Result) { pDone = eng.Now() })
+	c.Call("client", "q", "/", func(Result) { qDone = eng.Now() })
+	eng.Run(time.Second)
+
+	// Two 100ms jobs sharing one core: the second to start sees pressure
+	// 2 and stretches to ~200ms.
+	last := pDone
+	if qDone > last {
+		last = qDone
+	}
+	if last < 190*time.Millisecond {
+		t.Fatalf("contended jobs finished by %v; expected ~200ms stretch", last)
+	}
+	// CPU accounting records demand, not stretched wall time.
+	p, _ := c.Service("p")
+	q, _ := c.Service("q")
+	total := p.Counters().CPUSeconds + q.Counters().CPUSeconds
+	if total < 0.19 || total > 0.21 {
+		t.Fatalf("total cpu %.3fs, want 0.2s (work, not wall)", total)
+	}
+}
+
+func TestNoisyNeighborInflatesVictimBusyOnly(t *testing.T) {
+	// victim and neighbor share a node; a load spike on the neighbor must
+	// inflate the victim's busy time while leaving its CPU-per-request
+	// ratio intact — the latent interference confounder.
+	run := func(neighborRPS int) (busyPerReq, cpuPerReq float64) {
+		eng := NewEngine(94)
+		c := NewCluster(eng)
+		if err := c.AddNode(NodeConfig{Name: "n1", Cores: 2}); err != nil {
+			t.Fatal(err)
+		}
+		c.MustAddService(ServiceConfig{Name: "victim", Endpoints: []Endpoint{{Name: "/", Steps: []Step{
+			Compute{Mean: 10 * time.Millisecond},
+		}}}})
+		c.MustAddService(ServiceConfig{Name: "neighbor", Capacity: 64, Endpoints: []Endpoint{{Name: "/", Steps: []Step{
+			Compute{Mean: 10 * time.Millisecond},
+		}}}})
+		for _, svc := range []string{"victim", "neighbor"} {
+			if err := c.Place(svc, "n1"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.Every(0, 50*time.Millisecond, func() {
+			c.Call("client", "victim", "/", nil)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if neighborRPS > 0 {
+			gap := time.Second / time.Duration(neighborRPS)
+			if err := eng.Every(0, gap, func() {
+				c.Call("client", "neighbor", "/", nil)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.Run(time.Minute)
+		v, _ := c.Service("victim")
+		cnt := v.Counters()
+		reqs := float64(cnt.RequestsReceived)
+		return cnt.BusySeconds / reqs, cnt.CPUSeconds / reqs
+	}
+
+	quietBusy, quietCPU := run(0)
+	noisyBusy, noisyCPU := run(400)
+	if noisyBusy < quietBusy*1.5 {
+		t.Fatalf("victim busy/req %.4f -> %.4f; neighbor spike should inflate occupancy", quietBusy, noisyBusy)
+	}
+	rel := noisyCPU / quietCPU
+	if rel < 0.95 || rel > 1.05 {
+		t.Fatalf("victim cpu/req changed %.4f -> %.4f; CPU demand must be interference-free", quietCPU, noisyCPU)
+	}
+}

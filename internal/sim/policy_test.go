@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRetriesMaskTransientFaults(t *testing.T) {
+	eng := NewEngine(51)
+	c := NewCluster(eng)
+	c.MustAddService(ServiceConfig{Name: "flaky", Endpoints: []Endpoint{{Name: "/"}}})
+	c.MustAddService(ServiceConfig{Name: "caller", Endpoints: []Endpoint{{Name: "work", Steps: []Step{
+		CallStep{Target: "flaky", Endpoint: "/", Retries: 5},
+	}}}})
+	flaky, _ := c.Service("flaky")
+	flaky.SetErrorRate(0.5)
+
+	ok, failed := 0, 0
+	for i := 0; i < 100; i++ {
+		eng.After(time.Duration(i)*20*time.Millisecond, func() {
+			c.Call("client", "caller", "work", func(r Result) {
+				if r.Err == nil {
+					ok++
+				} else {
+					failed++
+				}
+			})
+		})
+	}
+	eng.Run(time.Minute)
+	if ok+failed != 100 {
+		t.Fatalf("completed %d calls, want 100", ok+failed)
+	}
+	// P(6 consecutive failures) = 0.5^6 ≈ 1.6%: retries mask nearly all.
+	if failed > 10 {
+		t.Fatalf("%d/100 calls failed despite 5 retries against a 50%% fault", failed)
+	}
+	// But the masking is visible in telemetry: the caller logged an error
+	// per failed attempt (the paper's §III-B point that observability
+	// depends on code-level error handling).
+	caller, _ := c.Service("caller")
+	if got := caller.Counters().ErrorLogMessages; got < 30 {
+		t.Fatalf("caller logged %d errors; retries should still surface failed attempts (~50+)", got)
+	}
+}
+
+func TestRetriesAgainstHardFaultStillFail(t *testing.T) {
+	eng := NewEngine(52)
+	c := NewCluster(eng)
+	c.MustAddService(ServiceConfig{Name: "dead", Endpoints: []Endpoint{{Name: "/"}}})
+	c.MustAddService(ServiceConfig{Name: "caller", Endpoints: []Endpoint{{Name: "work", Steps: []Step{
+		CallStep{Target: "dead", Endpoint: "/", Retries: 3},
+	}}}})
+	dead, _ := c.Service("dead")
+	dead.SetUnavailable(true)
+
+	var res *Result
+	c.Call("client", "caller", "work", func(r Result) { res = &r })
+	eng.Run(time.Second)
+	if res == nil || !errors.Is(res.Err, ErrServiceUnavailable) {
+		t.Fatalf("hard fault should still fail after retries, got %+v", res)
+	}
+	caller, _ := c.Service("caller")
+	// 1 original + 3 retries = 4 observed failures.
+	if got := caller.Counters().ErrorsObserved; got != 4 {
+		t.Fatalf("caller observed %d errors, want 4 (retry storm visible)", got)
+	}
+	// And the dead service was attempted 4 times at the network level:
+	// each refused attempt bumps the caller's tx.
+	if got := caller.Counters().RequestsSent; got != 4 {
+		t.Fatalf("caller sent %d requests, want 4", got)
+	}
+}
+
+func TestCallTimeoutFiresOnSlowDownstream(t *testing.T) {
+	eng := NewEngine(53)
+	c := NewCluster(eng, WithNetworkDelay(0, 0))
+	c.MustAddService(ServiceConfig{Name: "slow", Endpoints: []Endpoint{{Name: "/", Steps: []Step{
+		Compute{Mean: 500 * time.Millisecond},
+	}}}})
+	c.MustAddService(ServiceConfig{Name: "caller", Endpoints: []Endpoint{{Name: "work", Steps: []Step{
+		CallStep{Target: "slow", Endpoint: "/", Timeout: 50 * time.Millisecond},
+	}}}})
+
+	var res *Result
+	var doneAt Time
+	c.Call("client", "caller", "work", func(r Result) {
+		res = &r
+		doneAt = eng.Now()
+	})
+	eng.Run(2 * time.Second)
+	if res == nil || !errors.Is(res.Err, ErrCallTimeout) {
+		t.Fatalf("want ErrCallTimeout, got %+v", res)
+	}
+	if doneAt > 100*time.Millisecond {
+		t.Fatalf("timed-out call completed at %v, want ~50ms", doneAt)
+	}
+	// The downstream still did the (wasted) work.
+	slow, _ := c.Service("slow")
+	if slow.Counters().RequestsReceived != 1 {
+		t.Fatal("downstream never received the request")
+	}
+	eng.Run(3 * time.Second)
+	if slow.Counters().ResponsesOK != 1 {
+		t.Fatal("downstream response was not produced (late responses should be discarded, not prevented)")
+	}
+}
+
+func TestCallTimeoutNotTriggeredOnFastResponse(t *testing.T) {
+	eng := NewEngine(54)
+	c := NewCluster(eng)
+	c.MustAddService(ServiceConfig{Name: "fast", Endpoints: []Endpoint{{Name: "/", Steps: []Step{
+		Compute{Mean: time.Millisecond},
+	}}}})
+	c.MustAddService(ServiceConfig{Name: "caller", Endpoints: []Endpoint{{Name: "work", Steps: []Step{
+		CallStep{Target: "fast", Endpoint: "/", Timeout: time.Second},
+	}}}})
+	var res *Result
+	c.Call("client", "caller", "work", func(r Result) { res = &r })
+	eng.Run(5 * time.Second)
+	if res == nil || res.Err != nil {
+		t.Fatalf("fast call failed under generous timeout: %+v", res)
+	}
+	// The caller must complete exactly once despite the armed timer.
+	caller, _ := c.Service("caller")
+	if got := caller.Counters().ResponsesOK; got != 1 {
+		t.Fatalf("caller produced %d responses, want 1", got)
+	}
+}
+
+func TestTimeoutWithRetriesRecoversFromOneSlowAttempt(t *testing.T) {
+	// A service that is slow only while extra latency is injected: the
+	// first attempt times out; the fault is cleared before the retry,
+	// which then succeeds.
+	eng := NewEngine(55)
+	c := NewCluster(eng, WithNetworkDelay(0, 0))
+	c.MustAddService(ServiceConfig{Name: "svc", Endpoints: []Endpoint{{Name: "/", Steps: []Step{
+		Compute{Mean: time.Millisecond},
+	}}}})
+	c.MustAddService(ServiceConfig{Name: "caller", Endpoints: []Endpoint{{Name: "work", Steps: []Step{
+		CallStep{Target: "svc", Endpoint: "/", Timeout: 100 * time.Millisecond, Retries: 2},
+	}}}})
+	svc, _ := c.Service("svc")
+	svc.SetExtraLatency(time.Second)
+	eng.After(150*time.Millisecond, func() { svc.SetExtraLatency(0) })
+
+	var res *Result
+	c.Call("client", "caller", "work", func(r Result) { res = &r })
+	eng.Run(10 * time.Second)
+	if res == nil || res.Err != nil {
+		t.Fatalf("retry after timeout should succeed, got %+v", res)
+	}
+}

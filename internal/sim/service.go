@@ -1,0 +1,442 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Default tuning constants. They are deliberately modest: the experiments in
+// this repository care about distribution *shifts*, not absolute latencies.
+const (
+	// DefaultCapacity is the number of requests a service handles
+	// concurrently when ServiceConfig.Capacity is zero.
+	DefaultCapacity = 16
+	// DefaultKVOpCost is the CPU time a key-value store spends per
+	// operation when ServiceConfig.KVOpCost is zero.
+	DefaultKVOpCost = 300 * time.Microsecond
+	// errorRateFaultCost is the handler time consumed before an
+	// error-rate fault responds with an injected error.
+	errorRateFaultCost = 500 * time.Microsecond
+)
+
+// ServiceConfig declares one microservice of the cluster.
+type ServiceConfig struct {
+	// Name identifies the service; it must be unique within the cluster.
+	Name string
+	// Capacity bounds concurrent request handling (worker threads).
+	// Zero means DefaultCapacity.
+	Capacity int
+	// QueueLimit bounds the backlog of admitted-but-unserved requests.
+	// Zero means unbounded.
+	QueueLimit int
+	// Endpoints lists the handlers this service exposes. Ignored for KV
+	// services.
+	Endpoints []Endpoint
+	// KV marks the service as a key-value store (the CausalBench node D).
+	KV bool
+	// KVOpCost is the CPU cost of one KV operation; zero means
+	// DefaultKVOpCost.
+	KVOpCost time.Duration
+	// SuppressErrorLogs prevents the service from writing error log lines
+	// when downstream calls fail — the "developer catches the exception
+	// silently" behaviour from §III-B of the paper. The zero value keeps
+	// the conventional behaviour of logging every observed error.
+	SuppressErrorLogs bool
+	// DropTraceContext models a service without tracing instrumentation:
+	// its downstream calls start fresh traces instead of continuing the
+	// caller's, breaking the span tree (the partial-adoption reality the
+	// paper's introduction describes).
+	DropTraceContext bool
+}
+
+// faultState carries the active chaos injections of a service. The paper's
+// evaluation uses only Unavailable; the rest are extension fault types.
+type faultState struct {
+	unavailable  bool
+	extraLatency time.Duration
+	errorRate    float64
+	paused       bool
+}
+
+// Result is the outcome of a call delivered to the caller's continuation.
+type Result struct {
+	// Err is nil on success.
+	Err error
+	// Value carries the result of KV operations.
+	Value int64
+}
+
+// workItem is one admitted request waiting for (or occupying) a worker slot.
+type workItem struct {
+	from      string
+	endpoint  string
+	kvOp      *KVOp
+	respond   func(Result)
+	trace     traceCtx
+	startedAt Time
+}
+
+// Service is one simulated microservice: a named queueing station with a
+// fixed worker capacity, declarative request handlers, cumulative telemetry
+// counters, and chaos-controllable fault state.
+type Service struct {
+	cluster   *Cluster
+	cfg       ServiceConfig
+	endpoints map[string]*Endpoint
+	counters  Counters
+	fault     faultState
+	busy      int
+	queue     []workItem
+	kv        map[string]int64
+	node      *node
+	// logEvery tracks per-(endpoint,step) execution counts for LogEveryN.
+	logEvery map[logEveryKey]uint64
+}
+
+type logEveryKey struct {
+	endpoint string
+	step     int
+}
+
+func newService(c *Cluster, cfg ServiceConfig) (*Service, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("sim: service name must not be empty")
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.Capacity < 0 {
+		return nil, fmt.Errorf("sim: service %q: capacity must be positive, got %d", cfg.Name, cfg.Capacity)
+	}
+	if cfg.KVOpCost == 0 {
+		cfg.KVOpCost = DefaultKVOpCost
+	}
+	s := &Service{
+		cluster:   c,
+		cfg:       cfg,
+		endpoints: make(map[string]*Endpoint, len(cfg.Endpoints)),
+		logEvery:  make(map[logEveryKey]uint64),
+	}
+	if cfg.KV {
+		s.kv = make(map[string]int64)
+	}
+	for i := range cfg.Endpoints {
+		ep := &cfg.Endpoints[i]
+		if _, dup := s.endpoints[ep.Name]; dup {
+			return nil, fmt.Errorf("sim: service %q: duplicate endpoint %q", cfg.Name, ep.Name)
+		}
+		s.endpoints[ep.Name] = ep
+	}
+	return s, nil
+}
+
+// Name returns the service name.
+func (s *Service) Name() string { return s.cfg.Name }
+
+// Counters returns a copy of the cumulative telemetry counters.
+func (s *Service) Counters() Counters { return s.counters }
+
+// IsKV reports whether the service is a key-value store.
+func (s *Service) IsKV() bool { return s.cfg.KV }
+
+// Endpoints returns the endpoint names the service exposes, in declaration
+// order.
+func (s *Service) Endpoints() []string {
+	names := make([]string, 0, len(s.cfg.Endpoints))
+	for i := range s.cfg.Endpoints {
+		names = append(names, s.cfg.Endpoints[i].Name)
+	}
+	return names
+}
+
+// KVValue reads a key directly from a KV service's state, bypassing the
+// simulation. It exists for tests and inspection; simulated components must
+// use CallKV.
+func (s *Service) KVValue(key string) int64 { return s.kv[key] }
+
+// SetUnavailable toggles the paper's http-service-unavailable fault: while
+// set, every call to the service fails fast without reaching it.
+func (s *Service) SetUnavailable(v bool) { s.fault.unavailable = v }
+
+// Unavailable reports whether the service-unavailable fault is active.
+func (s *Service) Unavailable() bool { return s.fault.unavailable }
+
+// SetExtraLatency injects d of additional delay at the start of every
+// handler execution (extension fault type).
+func (s *Service) SetExtraLatency(d time.Duration) { s.fault.extraLatency = d }
+
+// SetErrorRate makes the fraction p of handled requests fail with
+// ErrInjectedFault (extension fault type). p is clamped to [0, 1].
+func (s *Service) SetErrorRate(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	s.fault.errorRate = p
+}
+
+// SetPaused suspends background pollers attached to this service
+// (process-kill extension fault). It has no effect on request handling.
+func (s *Service) SetPaused(v bool) { s.fault.paused = v }
+
+// log records one console log line.
+func (s *Service) log(isError bool) {
+	s.counters.LogMessages++
+	if isError {
+		s.counters.ErrorLogMessages++
+	}
+}
+
+// observeDownstreamError records a failed downstream call and, unless the
+// service suppresses error logs, writes an error log line. This is the
+// mechanism by which faults become visible on the response path (§III-A).
+func (s *Service) observeDownstreamError() {
+	s.counters.ErrorsObserved++
+	if !s.cfg.SuppressErrorLogs {
+		s.log(true)
+	}
+}
+
+// handleArrival admits a request (already past the network) into the queue.
+func (s *Service) handleArrival(item workItem) {
+	s.counters.RxPackets++
+	if s.cfg.QueueLimit > 0 && s.busy >= s.cfg.Capacity && len(s.queue) >= s.cfg.QueueLimit {
+		s.counters.QueueDrops++
+		s.respond(item, Result{Err: fmt.Errorf("%s: %w", s.cfg.Name, ErrQueueFull)})
+		return
+	}
+	s.counters.RequestsReceived++
+	s.queue = append(s.queue, item)
+	s.dispatch()
+}
+
+// dispatch starts handlers while worker slots and queued work are available.
+func (s *Service) dispatch() {
+	for s.busy < s.cfg.Capacity && len(s.queue) > 0 {
+		item := s.queue[0]
+		s.queue = s.queue[1:]
+		s.busy++
+		s.start(item)
+	}
+}
+
+// start begins executing one admitted request on an occupied worker slot.
+func (s *Service) start(item workItem) {
+	item.startedAt = s.cluster.eng.Now()
+	begin := func() {
+		if p := s.fault.errorRate; p > 0 && s.cluster.eng.Rand().Float64() < p {
+			s.addCPU(errorRateFaultCost)
+			s.finish(item, Result{Err: fmt.Errorf("%s: %w", s.cfg.Name, ErrInjectedFault)})
+			return
+		}
+		if s.cfg.KV {
+			s.startKV(item)
+			return
+		}
+		if item.kvOp != nil {
+			s.finish(item, Result{Err: fmt.Errorf("%s: kv operation sent to non-kv service", s.cfg.Name)})
+			return
+		}
+		ep, ok := s.endpoints[item.endpoint]
+		if !ok {
+			s.finish(item, Result{Err: &UnknownEndpointError{Service: s.cfg.Name, Endpoint: item.endpoint}})
+			return
+		}
+		s.runSteps(item, ep, 0)
+	}
+	if d := s.fault.extraLatency; d > 0 {
+		s.cluster.eng.After(d, begin)
+		return
+	}
+	begin()
+}
+
+// startKV executes a key-value operation after its CPU cost elapses. The
+// cost carries one third of jitter so that the store's CPU metrics have the
+// continuous variance of a real container rather than a deterministic
+// per-op constant.
+func (s *Service) startKV(item workItem) {
+	if item.kvOp == nil {
+		s.finish(item, Result{Err: fmt.Errorf("%s: non-kv request sent to kv service", s.cfg.Name)})
+		return
+	}
+	op := *item.kvOp
+	cost := s.sampleCompute(Compute{Mean: s.cfg.KVOpCost, Jitter: s.cfg.KVOpCost / 3})
+	s.computeOn(cost, func() {
+		val := op.apply(s.kv)
+		s.finish(item, Result{Value: val})
+	})
+}
+
+// runSteps executes the endpoint program from step index i onward in
+// continuation-passing style over the event loop.
+func (s *Service) runSteps(item workItem, ep *Endpoint, i int) {
+	if i >= len(ep.Steps) {
+		s.finish(item, Result{})
+		return
+	}
+	next := func() { s.runSteps(item, ep, i+1) }
+	switch step := ep.Steps[i].(type) {
+	case Compute:
+		s.computeOn(s.sampleCompute(step), next)
+	case CallStep:
+		observe := func(res Result) {
+			if res.Err != nil {
+				s.observeDownstreamError()
+			}
+		}
+		if step.Async {
+			s.issueCall(item, workItem{from: s.cfg.Name, endpoint: step.Endpoint, respond: observe}, step.Target)
+			next()
+			return
+		}
+		s.callWithPolicy(item, step, func(res Result) {
+			if res.Err != nil {
+				if !step.IgnoreError {
+					s.finish(item, Result{Err: &DownstreamError{
+						Caller:   s.cfg.Name,
+						Target:   step.Target,
+						Endpoint: step.Endpoint,
+						Err:      res.Err,
+					}})
+					return
+				}
+			}
+			next()
+		})
+	case KVIncr:
+		s.runKVStep(item, KVCall{Store: step.Store, Op: KVIncrBy, Key: step.Key, Delta: step.Delta}, next)
+	case KVCall:
+		s.runKVStep(item, step, next)
+	case LogEveryN:
+		key := logEveryKey{endpoint: ep.Name, step: i}
+		s.logEvery[key]++
+		n := step.N
+		if n <= 1 {
+			n = 1
+		}
+		if s.logEvery[key]%n == 0 {
+			s.log(step.Error)
+		}
+		next()
+	case LogSampled:
+		if step.P > 0 && s.cluster.eng.Rand().Float64() < step.P {
+			s.log(step.Error)
+		}
+		next()
+	default:
+		s.finish(item, Result{Err: fmt.Errorf("%s: endpoint %q: unsupported step %T", s.cfg.Name, ep.Name, step)})
+	}
+}
+
+// runKVStep executes one key-value store step with CallStep-like error
+// semantics.
+func (s *Service) runKVStep(item workItem, step KVCall, next func()) {
+	op := KVOp{Kind: step.Op, Key: step.Key, Delta: step.Delta}
+	s.issueCall(item, workItem{from: s.cfg.Name, kvOp: &op, respond: func(res Result) {
+		if res.Err != nil {
+			s.observeDownstreamError()
+			if !step.IgnoreError {
+				s.finish(item, Result{Err: &DownstreamError{
+					Caller:   s.cfg.Name,
+					Target:   step.Store,
+					Endpoint: op.Kind.String() + " " + step.Key,
+					Err:      res.Err,
+				}})
+				return
+			}
+		}
+		next()
+	}}, step.Store)
+}
+
+// callWithPolicy issues a synchronous downstream call applying the step's
+// retry and timeout policy. Every failed attempt is observed (error log
+// included unless suppressed); done receives the final outcome.
+func (s *Service) callWithPolicy(parent workItem, step CallStep, done func(Result)) {
+	attempt := 0
+	var tryOnce func()
+	tryOnce = func() {
+		settled := false
+		handle := func(res Result) {
+			if settled {
+				// A response racing a fired timeout (or vice versa)
+				// is discarded.
+				return
+			}
+			settled = true
+			if res.Err == nil {
+				done(res)
+				return
+			}
+			s.observeDownstreamError()
+			if attempt < step.Retries {
+				attempt++
+				tryOnce()
+				return
+			}
+			done(res)
+		}
+		s.issueCall(parent, workItem{from: s.cfg.Name, endpoint: step.Endpoint, respond: handle}, step.Target)
+		if step.Timeout > 0 {
+			s.cluster.eng.After(step.Timeout, func() {
+				handle(Result{Err: fmt.Errorf("%s/%s after %v: %w", step.Target, step.Endpoint, step.Timeout, ErrCallTimeout)})
+			})
+		}
+	}
+	tryOnce()
+}
+
+// issueCall sends a downstream request on behalf of the handler executing
+// parent, propagating (or, for un-instrumented services, dropping) its trace
+// context.
+func (s *Service) issueCall(parent workItem, call workItem, target string) {
+	ctx := parent.trace
+	if s.cfg.DropTraceContext {
+		ctx = traceCtx{}
+	}
+	s.cluster.callTraced(s.cluster.childCtx(ctx), s.cfg.Name, target, call)
+}
+
+// sampleCompute draws a compute duration uniformly from Mean±Jitter,
+// clamped to be non-negative.
+func (s *Service) sampleCompute(c Compute) time.Duration {
+	d := c.Mean
+	if c.Jitter > 0 {
+		span := 2 * int64(c.Jitter)
+		d += time.Duration(s.cluster.eng.Rand().Int63n(span)) - c.Jitter
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// addCPU accrues handler CPU time to the service's counters.
+func (s *Service) addCPU(d time.Duration) {
+	if d > 0 {
+		s.counters.CPUSeconds += d.Seconds()
+	}
+}
+
+// finish releases the worker slot, accounts the response, and sends it back
+// to the caller across the network.
+func (s *Service) finish(item workItem, res Result) {
+	s.busy--
+	s.counters.BusySeconds += (s.cluster.eng.Now() - item.startedAt).Seconds()
+	if res.Err != nil {
+		s.counters.ResponsesErr++
+	} else {
+		s.counters.ResponsesOK++
+	}
+	s.respond(item, res)
+	s.dispatch()
+}
+
+// respond transmits a response packet back to the caller.
+func (s *Service) respond(item workItem, res Result) {
+	s.counters.TxPackets++
+	s.cluster.deliverResponse(item.from, item.respond, res)
+}

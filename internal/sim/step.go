@@ -1,0 +1,100 @@
+package sim
+
+import "time"
+
+// Step is one element of an endpoint's handler program. Handlers are declared
+// as a sequence of steps executed in order; a failing Call step with the
+// default error policy aborts the remainder and propagates the error to the
+// caller (mirroring an uncaught exception in a request handler).
+type Step interface {
+	isStep()
+}
+
+// Compute models CPU work: the handler occupies its capacity slot for the
+// sampled duration and the service's CPUSeconds counter advances by the same
+// amount. The duration is sampled uniformly from [Mean-Jitter, Mean+Jitter].
+type Compute struct {
+	Mean   time.Duration
+	Jitter time.Duration
+}
+
+func (Compute) isStep() {}
+
+// CallStep models a synchronous downstream request: the handler blocks (while
+// still holding its capacity slot) until the target responds. If the call
+// fails and IgnoreError is false, the handler writes an error log (unless the
+// service suppresses error logs), aborts, and returns the error to its own
+// caller — this is how errors propagate along the response path. With
+// IgnoreError set, the handler swallows the failure and continues, modelling
+// a developer who catches the exception without logging (§III-B).
+//
+// Async issues the request without waiting for (or acting on) the response;
+// async calls ignore Retries and Timeout.
+//
+// Retries re-issues a failed synchronous call up to Retries extra times
+// before giving up — each failed attempt is observed (and logged) like any
+// downstream error, so retry storms inflate error-log telemetry exactly as
+// they do in production. Timeout bounds each attempt; a response arriving
+// after the timeout is discarded (the downstream work is already wasted).
+type CallStep struct {
+	Target      string
+	Endpoint    string
+	Async       bool
+	IgnoreError bool
+	Retries     int
+	Timeout     time.Duration
+}
+
+func (CallStep) isStep() {}
+
+// KVIncr increments a counter key on a key-value store service by Delta
+// (which may be negative). It is sugar for a synchronous CallStep against the
+// store's "incr" endpoint, so faults on the store propagate exactly like any
+// other downstream failure.
+type KVIncr struct {
+	Store string
+	Key   string
+	Delta int64
+}
+
+func (KVIncr) isStep() {}
+
+// KVCall is the general form of KVIncr: it performs any key-value operation
+// against a store as a synchronous call. IgnoreError mirrors
+// CallStep.IgnoreError.
+type KVCall struct {
+	Store       string
+	Op          KVOpKind
+	Key         string
+	Delta       int64
+	IgnoreError bool
+}
+
+func (KVCall) isStep() {}
+
+// LogEveryN writes one log line every Nth time this endpoint runs the step
+// (the paper's node E writes "I am okay!" every hundredth request). N<=1 logs
+// on every execution. Error selects the error log level.
+type LogEveryN struct {
+	N     uint64
+	Error bool
+}
+
+func (LogEveryN) isStep() {}
+
+// LogSampled writes one log line per execution with probability P — the
+// stochastic counterpart of LogEveryN{N: 1/P}. Rate-equivalent, but the
+// per-window log counts carry the Poisson variance that real aggregated log
+// telemetry has, instead of LogEveryN's quantized near-deterministic counts.
+type LogSampled struct {
+	P     float64
+	Error bool
+}
+
+func (LogSampled) isStep() {}
+
+// Endpoint is a named handler: a sequence of steps executed per request.
+type Endpoint struct {
+	Name  string
+	Steps []Step
+}

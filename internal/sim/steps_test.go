@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLogSampledRateEquivalence(t *testing.T) {
+	eng := NewEngine(21)
+	c := NewCluster(eng)
+	c.MustAddService(ServiceConfig{Name: "svc", Endpoints: []Endpoint{{Name: "work", Steps: []Step{
+		LogSampled{P: 0.1},
+	}}}})
+	const n = 5000
+	for i := 0; i < n; i++ {
+		eng.After(time.Duration(i)*time.Millisecond, func() {
+			c.Call("client", "svc", "work", nil)
+		})
+	}
+	eng.Run(10 * time.Second)
+	svc, _ := c.Service("svc")
+	logs := svc.Counters().LogMessages
+	// Binomial(5000, 0.1): mean 500, std ~21. Allow 5 sigma.
+	if logs < 390 || logs > 610 {
+		t.Fatalf("LogSampled{0.1} over %d requests wrote %d logs, want ~500", n, logs)
+	}
+	if svc.Counters().ErrorLogMessages != 0 {
+		t.Error("info-level sampled log counted as error")
+	}
+}
+
+func TestLogSampledErrorLevelAndZeroRate(t *testing.T) {
+	eng := NewEngine(22)
+	c := NewCluster(eng)
+	c.MustAddService(ServiceConfig{Name: "svc", Endpoints: []Endpoint{
+		{Name: "always", Steps: []Step{LogSampled{P: 1, Error: true}}},
+		{Name: "never", Steps: []Step{LogSampled{P: 0}}},
+	}})
+	for i := 0; i < 10; i++ {
+		c.Call("client", "svc", "always", nil)
+		c.Call("client", "svc", "never", nil)
+	}
+	eng.Run(time.Second)
+	svc, _ := c.Service("svc")
+	if got := svc.Counters().ErrorLogMessages; got != 10 {
+		t.Errorf("P=1 error logs = %d, want 10", got)
+	}
+	if got := svc.Counters().LogMessages; got != 10 {
+		t.Errorf("total logs = %d, want 10 (P=0 endpoint must not log)", got)
+	}
+}
+
+func TestKVCallStepGet(t *testing.T) {
+	eng := NewEngine(23)
+	c := NewCluster(eng)
+	c.MustAddService(ServiceConfig{Name: "store", KV: true})
+	c.MustAddService(ServiceConfig{Name: "svc", Endpoints: []Endpoint{{Name: "work", Steps: []Step{
+		KVCall{Store: "store", Op: KVIncrBy, Key: "k", Delta: 5},
+		KVCall{Store: "store", Op: KVGet, Key: "k"},
+	}}}})
+	var res *Result
+	c.Call("client", "svc", "work", func(r Result) { res = &r })
+	eng.Run(time.Second)
+	if res == nil || res.Err != nil {
+		t.Fatalf("kv pipeline failed: %+v", res)
+	}
+	store, _ := c.Service("store")
+	if store.KVValue("k") != 5 {
+		t.Fatalf("store k = %d, want 5", store.KVValue("k"))
+	}
+	if store.Counters().RequestsReceived != 2 {
+		t.Fatalf("store received %d ops, want 2", store.Counters().RequestsReceived)
+	}
+}
+
+func TestKVCallStepErrorPolicies(t *testing.T) {
+	eng := NewEngine(24)
+	c := NewCluster(eng)
+	c.MustAddService(ServiceConfig{Name: "store", KV: true})
+	c.MustAddService(ServiceConfig{Name: "after", Endpoints: []Endpoint{{Name: "ping"}}})
+	c.MustAddService(ServiceConfig{Name: "strict", Endpoints: []Endpoint{{Name: "work", Steps: []Step{
+		KVCall{Store: "store", Op: KVGet, Key: "k"},
+		CallStep{Target: "after", Endpoint: "ping"},
+	}}}})
+	c.MustAddService(ServiceConfig{Name: "lenient", Endpoints: []Endpoint{{Name: "work", Steps: []Step{
+		KVCall{Store: "store", Op: KVGet, Key: "k", IgnoreError: true},
+		CallStep{Target: "after", Endpoint: "ping"},
+	}}}})
+	store, _ := c.Service("store")
+	store.SetUnavailable(true)
+
+	var strictRes, lenientRes *Result
+	c.Call("client", "strict", "work", func(r Result) { strictRes = &r })
+	c.Call("client", "lenient", "work", func(r Result) { lenientRes = &r })
+	eng.Run(time.Second)
+
+	if strictRes == nil || !errors.Is(strictRes.Err, ErrServiceUnavailable) {
+		t.Fatalf("strict service should propagate the store failure, got %+v", strictRes)
+	}
+	if lenientRes == nil || lenientRes.Err != nil {
+		t.Fatalf("lenient service should swallow the store failure, got %+v", lenientRes)
+	}
+	after, _ := c.Service("after")
+	if after.Counters().RequestsReceived != 1 {
+		t.Fatalf("after received %d pings, want 1 (lenient only)", after.Counters().RequestsReceived)
+	}
+}
+
+func TestKVIncrStepIsSugarForKVCall(t *testing.T) {
+	eng := NewEngine(25)
+	c := NewCluster(eng)
+	c.MustAddService(ServiceConfig{Name: "store", KV: true})
+	c.MustAddService(ServiceConfig{Name: "svc", Endpoints: []Endpoint{{Name: "work", Steps: []Step{
+		KVIncr{Store: "store", Key: "n", Delta: 3},
+	}}}})
+	c.Call("client", "svc", "work", nil)
+	eng.Run(time.Second)
+	store, _ := c.Service("store")
+	if store.KVValue("n") != 3 {
+		t.Fatalf("n = %d, want 3", store.KVValue("n"))
+	}
+}
+
+func TestUnsupportedStepFailsRequest(t *testing.T) {
+	eng := NewEngine(26)
+	c := NewCluster(eng)
+	c.MustAddService(ServiceConfig{Name: "svc", Endpoints: []Endpoint{{Name: "work", Steps: []Step{
+		bogusStep{},
+	}}}})
+	var res *Result
+	c.Call("client", "svc", "work", func(r Result) { res = &r })
+	eng.Run(time.Second)
+	if res == nil || res.Err == nil {
+		t.Fatal("unsupported step should fail the request")
+	}
+}
+
+type bogusStep struct{}
+
+func (bogusStep) isStep() {}
+
+func TestKVOpKindStrings(t *testing.T) {
+	names := map[KVOpKind]string{
+		KVGet:            "GET",
+		KVIncrBy:         "INCRBY",
+		KVDecrIfPositive: "DECRPOS",
+		KVSet:            "SET",
+		KVOpKind(99):     "UNKNOWN",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestPollCtxRandIsDeterministic(t *testing.T) {
+	run := func() []int64 {
+		eng := NewEngine(27)
+		c := NewCluster(eng)
+		var draws []int64
+		_, err := c.AddPoller(PollerConfig{
+			Service:  ServiceConfig{Name: "w"},
+			Interval: 10 * time.Millisecond,
+			Body: func(ctx *PollCtx, done func()) {
+				draws = append(draws, ctx.Rand().Int63n(1000))
+				done()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(time.Second)
+		return draws
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("draw counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("poller RNG not deterministic across identical runs")
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// traceChain builds client -> a -> b -> c with a span recorder attached.
+func traceChain(t *testing.T, dropAtB bool) (*Engine, *Cluster, *[]Span) {
+	t.Helper()
+	eng := NewEngine(41)
+	var spans []Span
+	c := NewCluster(eng, WithSpanObserver(func(s Span) { spans = append(spans, s) }))
+	step := Compute{Mean: time.Millisecond}
+	c.MustAddService(ServiceConfig{Name: "c", Endpoints: []Endpoint{{Name: "/", Steps: []Step{step}}}})
+	c.MustAddService(ServiceConfig{
+		Name:             "b",
+		DropTraceContext: dropAtB,
+		Endpoints:        []Endpoint{{Name: "/", Steps: []Step{step, CallStep{Target: "c", Endpoint: "/"}}}},
+	})
+	c.MustAddService(ServiceConfig{Name: "a", Endpoints: []Endpoint{{Name: "/", Steps: []Step{step, CallStep{Target: "b", Endpoint: "/"}}}}})
+	return eng, c, &spans
+}
+
+func TestSpansFormOneTreePerRequest(t *testing.T) {
+	eng, c, spans := traceChain(t, false)
+	c.Call("client", "a", "/", nil)
+	eng.Run(time.Second)
+
+	if len(*spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3 (client->a, a->b, b->c)", len(*spans))
+	}
+	traceID := (*spans)[0].TraceID
+	byTo := make(map[string]Span, 3)
+	for _, s := range *spans {
+		if s.TraceID != traceID {
+			t.Fatalf("span %+v not in trace %d", s, traceID)
+		}
+		byTo[s.To] = s
+	}
+	root := byTo["a"]
+	if root.ParentID != 0 || root.From != "client" {
+		t.Errorf("root span wrong: %+v", root)
+	}
+	if byTo["b"].ParentID != root.SpanID {
+		t.Errorf("a->b span parent = %d, want %d", byTo["b"].ParentID, root.SpanID)
+	}
+	if byTo["c"].ParentID != byTo["b"].SpanID {
+		t.Errorf("b->c span parent = %d, want %d", byTo["c"].ParentID, byTo["b"].SpanID)
+	}
+	for _, s := range *spans {
+		if s.Err {
+			t.Errorf("healthy span marked Err: %+v", s)
+		}
+		if s.End <= s.Start {
+			t.Errorf("span has no duration: %+v", s)
+		}
+	}
+}
+
+func TestSpansMarkErrorsAlongResponsePath(t *testing.T) {
+	eng, c, spans := traceChain(t, false)
+	svc, _ := c.Service("c")
+	svc.SetUnavailable(true)
+	c.Call("client", "a", "/", nil)
+	eng.Run(time.Second)
+
+	if len(*spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(*spans))
+	}
+	for _, s := range *spans {
+		if !s.Err {
+			t.Errorf("span %s->%s not marked Err despite propagated failure", s.From, s.To)
+		}
+	}
+}
+
+func TestDropTraceContextBreaksTree(t *testing.T) {
+	eng, c, spans := traceChain(t, true)
+	c.Call("client", "a", "/", nil)
+	eng.Run(time.Second)
+
+	if len(*spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(*spans))
+	}
+	var rootTrace, leafTrace uint64
+	for _, s := range *spans {
+		switch s.To {
+		case "a":
+			rootTrace = s.TraceID
+		case "c":
+			leafTrace = s.TraceID
+			if s.ParentID != 0 {
+				t.Errorf("b->c span should be a fresh root after context drop, got parent %d", s.ParentID)
+			}
+		}
+	}
+	if rootTrace == leafTrace {
+		t.Fatal("un-instrumented b did not break the trace")
+	}
+}
+
+func TestKVSpansCarryOperation(t *testing.T) {
+	eng := NewEngine(42)
+	var spans []Span
+	c := NewCluster(eng, WithSpanObserver(func(s Span) { spans = append(spans, s) }))
+	c.MustAddService(ServiceConfig{Name: "store", KV: true})
+	c.CallKV("client", "store", KVOp{Kind: KVIncrBy, Key: "items", Delta: 1}, nil)
+	eng.Run(time.Second)
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(spans))
+	}
+	if spans[0].Endpoint != "INCRBY items" {
+		t.Errorf("kv span endpoint = %q, want \"INCRBY items\"", spans[0].Endpoint)
+	}
+}
+
+func TestNoObserverMeansNoOverheadPanics(t *testing.T) {
+	// Tracing disabled: calls must still work.
+	eng, c, _ := traceChain(t, false)
+	c.SetSpanObserver(nil)
+	ok := false
+	c.Call("client", "a", "/", func(r Result) { ok = r.Err == nil })
+	eng.Run(time.Second)
+	if !ok {
+		t.Fatal("call failed with tracing disabled")
+	}
+}
+
+func TestSpanIDsAreUniqueAndDeterministic(t *testing.T) {
+	run := func() []Span {
+		eng, c, spans := traceChain(t, false)
+		for i := 0; i < 10; i++ {
+			eng.After(time.Duration(i)*10*time.Millisecond, func() {
+				c.Call("client", "a", "/", nil)
+			})
+		}
+		eng.Run(time.Second)
+		return *spans
+	}
+	a, b := run(), run()
+	if len(a) != 30 || len(a) != len(b) {
+		t.Fatalf("span counts: %d vs %d, want 30", len(a), len(b))
+	}
+	seen := make(map[uint64]bool, len(a))
+	for i, s := range a {
+		if seen[s.SpanID] {
+			t.Fatalf("duplicate span id %d", s.SpanID)
+		}
+		seen[s.SpanID] = true
+		if s != b[i] {
+			t.Fatalf("span %d differs across identical runs:\n%+v\n%+v", i, s, b[i])
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BenjaminiHochberg applies the Benjamini–Hochberg step-up procedure to a
+// family of p-values, controlling the false discovery rate at level q. It
+// returns a parallel slice marking the rejected hypotheses.
+//
+// The localization pipeline runs one two-sample test per service per metric
+// — dozens of simultaneous hypotheses. Per-test α controls each test's
+// false-positive rate but lets the *family-wise* false-anomaly count grow
+// with the application; FDR control adapts the threshold to how much signal
+// is actually present: under a real fault many tiny p-values appear and the
+// effective threshold loosens, while on healthy data it tightens toward
+// q/m. Exposed as an alternative decision procedure (core.WithFDR).
+func BenjaminiHochberg(pvalues []float64, q float64) ([]bool, error) {
+	if q <= 0 || q >= 1 {
+		return nil, fmt.Errorf("stats: FDR level must be in (0,1), got %v", q)
+	}
+	m := len(pvalues)
+	if m == 0 {
+		return nil, nil
+	}
+	for i, p := range pvalues {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("stats: p-value %d out of range: %v", i, p)
+		}
+	}
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return pvalues[order[a]] < pvalues[order[b]] })
+
+	// Largest k with p_(k) <= k/m * q.
+	cutoff := -1
+	for rank, idx := range order {
+		k := float64(rank + 1)
+		if pvalues[idx] <= k/float64(m)*q {
+			cutoff = rank
+		}
+	}
+	rejected := make([]bool, m)
+	for rank := 0; rank <= cutoff; rank++ {
+		rejected[order[rank]] = true
+	}
+	return rejected, nil
+}

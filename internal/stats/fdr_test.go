@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBenjaminiHochbergTextbook(t *testing.T) {
+	// Classic example: with q=0.05 and m=6, the largest k with
+	// p_(k) <= k/6 * 0.05 decides.
+	pvals := []float64{0.001, 0.008, 0.039, 0.041, 0.042, 0.60}
+	rejected, err := BenjaminiHochberg(pvals, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thresholds: 0.0083, 0.0167, 0.025, 0.033, 0.0417, 0.05.
+	// p_(5)=0.042 > 0.0417, p_(4)=0.041 > 0.033... largest satisfied rank
+	// is k=2 (0.008 <= 0.0167).
+	want := []bool{true, true, false, false, false, false}
+	for i := range want {
+		if rejected[i] != want[i] {
+			t.Fatalf("rejected = %v, want %v", rejected, want)
+		}
+	}
+}
+
+func TestBenjaminiHochbergStepUpRescuesBorderline(t *testing.T) {
+	// The step-up property: a borderline p-value is rejected when enough
+	// smaller ones accompany it.
+	alone := []float64{0.04, 0.9, 0.9, 0.9}
+	rej, err := BenjaminiHochberg(alone, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rej[0] {
+		t.Fatal("0.04 alone among 4 tests should not clear 0.05/4")
+	}
+	accompanied := []float64{0.04, 0.001, 0.002, 0.003}
+	rej, err = BenjaminiHochberg(accompanied, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rej[0] {
+		t.Fatal("0.04 with three strong companions should be rejected (k=4 threshold 0.05)")
+	}
+}
+
+func TestBenjaminiHochbergAllNull(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	falseDiscoveries := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		pvals := make([]float64, 30)
+		for i := range pvals {
+			pvals[i] = rng.Float64()
+		}
+		rej, err := BenjaminiHochberg(pvals, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rej {
+			if r {
+				falseDiscoveries++
+				break // count trials with any discovery
+			}
+		}
+	}
+	// Under the global null, P(any rejection) <= q = 5%; allow slack.
+	if falseDiscoveries > 25 {
+		t.Fatalf("BH made discoveries in %d/%d all-null trials", falseDiscoveries, trials)
+	}
+}
+
+func TestBenjaminiHochbergValidation(t *testing.T) {
+	if _, err := BenjaminiHochberg([]float64{0.5}, 0); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := BenjaminiHochberg([]float64{1.5}, 0.05); err == nil {
+		t.Error("p>1 accepted")
+	}
+	rej, err := BenjaminiHochberg(nil, 0.05)
+	if err != nil || rej != nil {
+		t.Errorf("empty input: %v, %v", rej, err)
+	}
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MannWhitneyTest is the Mann–Whitney U (Wilcoxon rank-sum) two-sample test
+// with the normal approximation and tie correction. Unlike KS it is
+// sensitive to location shifts only, which makes it a natural alternative
+// decision rule for the pipeline: fault signatures are location collapses,
+// while the variance scaling caused by load changes should be ignored.
+// Exposed as an ablation (`core.WithTest`).
+type MannWhitneyTest struct{}
+
+var _ TwoSampleTest = MannWhitneyTest{}
+
+// Name implements TwoSampleTest.
+func (MannWhitneyTest) Name() string { return "mann-whitney" }
+
+// PValue implements TwoSampleTest. It returns the two-sided p-value for the
+// null hypothesis that x and y come from the same distribution against
+// location-shift alternatives.
+func (MannWhitneyTest) PValue(x, y []float64) (float64, error) {
+	n1, n2 := len(x), len(y)
+	if n1 == 0 || n2 == 0 {
+		return 0, fmt.Errorf("stats: mann-whitney needs non-empty samples (|x|=%d |y|=%d)", n1, n2)
+	}
+	// Rank the pooled sample with midranks for ties.
+	type obs struct {
+		v     float64
+		fromX bool
+	}
+	pooled := make([]obs, 0, n1+n2)
+	for _, v := range x {
+		pooled = append(pooled, obs{v: v, fromX: true})
+	}
+	for _, v := range y {
+		pooled = append(pooled, obs{v: v})
+	}
+	sort.Slice(pooled, func(i, j int) bool { return pooled[i].v < pooled[j].v })
+
+	n := n1 + n2
+	ranks := make([]float64, n)
+	tieTerm := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j < n && pooled[j].v == pooled[i].v {
+			j++
+		}
+		// Midrank for the tie group [i, j).
+		mid := float64(i+j+1) / 2 // ranks are 1-based: (i+1 + j) / 2
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		if t > 1 {
+			tieTerm += t*t*t - t
+		}
+		i = j
+	}
+
+	var r1 float64
+	for i, o := range pooled {
+		if o.fromX {
+			r1 += ranks[i]
+		}
+	}
+	fn1, fn2 := float64(n1), float64(n2)
+	u1 := r1 - fn1*(fn1+1)/2
+	mean := fn1 * fn2 / 2
+	fn := float64(n)
+	variance := fn1 * fn2 / 12 * ((fn + 1) - tieTerm/(fn*(fn-1)))
+	if variance <= 0 {
+		// All values tied: the samples are indistinguishable.
+		return 1, nil
+	}
+	// Continuity correction.
+	z := (math.Abs(u1-mean) - 0.5) / math.Sqrt(variance)
+	if z < 0 {
+		z = 0
+	}
+	return 2 * normalSF(z), nil
+}
+
+// normalSF is the standard normal survival function P(Z > z).
+func normalSF(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}

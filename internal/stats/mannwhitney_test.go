@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMannWhitneySameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var mw MannWhitneyTest
+	rejections := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		x := make([]float64, 25)
+		y := make([]float64, 25)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+			y[j] = rng.NormFloat64()
+		}
+		reject, err := Differs(mw, x, y, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reject {
+			rejections++
+		}
+	}
+	if rejections > 15 {
+		t.Fatalf("MW rejected %d/%d identical-distribution pairs at alpha=0.05", rejections, trials)
+	}
+}
+
+func TestMannWhitneyDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var mw MannWhitneyTest
+	detected := 0
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		x := make([]float64, 20)
+		y := make([]float64, 20)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+			y[j] = rng.NormFloat64() + 1.5
+		}
+		reject, err := Differs(mw, x, y, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reject {
+			detected++
+		}
+	}
+	if detected < 45 {
+		t.Fatalf("MW detected only %d/%d 1.5-sigma shifts", detected, trials)
+	}
+}
+
+func TestMannWhitneyIgnoresVarianceOnlyChange(t *testing.T) {
+	// The property that motivates offering MW: equal medians, different
+	// spreads should (mostly) not reject.
+	rng := rand.New(rand.NewSource(13))
+	var mw MannWhitneyTest
+	rejections := 0
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		x := make([]float64, 20)
+		y := make([]float64, 20)
+		for j := range x {
+			x[j] = rng.NormFloat64() * 3
+			y[j] = rng.NormFloat64()
+		}
+		reject, err := Differs(mw, x, y, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reject {
+			rejections++
+		}
+	}
+	if rejections > 12 {
+		t.Fatalf("MW rejected %d/%d variance-only changes; it should be location-sensitive only", rejections, trials)
+	}
+}
+
+func TestMannWhitneyAllTied(t *testing.T) {
+	var mw MannWhitneyTest
+	x := []float64{3, 3, 3}
+	y := []float64{3, 3, 3, 3}
+	p, err := mw.PValue(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("all-tied samples p = %v, want 1", p)
+	}
+}
+
+func TestMannWhitneyKnownValue(t *testing.T) {
+	// Disjoint samples: U = 0, the most extreme configuration.
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	y := []float64{11, 12, 13, 14, 15, 16, 17, 18}
+	var mw MannWhitneyTest
+	p, err := mw.PValue(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normal approximation for n=m=8, U=0: z ≈ (32-0.5)/9.52 ≈ 3.31,
+	// p ≈ 0.0009.
+	if p > 0.01 {
+		t.Fatalf("disjoint samples p = %v, want < 0.01", p)
+	}
+	// Symmetry.
+	p2, err := mw.PValue(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-p2) > 1e-12 {
+		t.Fatalf("MW not symmetric: %v vs %v", p, p2)
+	}
+}
+
+func TestMannWhitneyEmptySamples(t *testing.T) {
+	var mw MannWhitneyTest
+	if _, err := mw.PValue(nil, []float64{1}); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+}
+
+func TestNormalSF(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1.96, 0.025},
+		{3, 0.00135},
+	}
+	for _, c := range cases {
+		if got := normalSF(c.z); math.Abs(got-c.want) > 0.001 {
+			t.Errorf("normalSF(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PermutationTest is a randomization alternative to the asymptotic KS
+// p-value: it permutes the pooled sample R times and reports the fraction of
+// permutations whose KS statistic is at least as extreme as the observed
+// one. It is exact in expectation for any sample size (useful for the short
+// windows produced by abbreviated benchmark runs) at the cost of R
+// statistic evaluations.
+type PermutationTest struct {
+	// Rounds is the number of permutations; zero means DefaultRounds.
+	Rounds int
+	// Seed drives the permutation RNG so results are reproducible.
+	Seed int64
+}
+
+// DefaultRounds is the number of permutations used when Rounds is zero.
+const DefaultRounds = 200
+
+var _ TwoSampleTest = PermutationTest{}
+
+// Name implements TwoSampleTest.
+func (t PermutationTest) Name() string { return "permutation-ks" }
+
+// PValue implements TwoSampleTest.
+func (t PermutationTest) PValue(x, y []float64) (float64, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return 0, fmt.Errorf("stats: permutation test needs non-empty samples (|x|=%d |y|=%d)", len(x), len(y))
+	}
+	rounds := t.Rounds
+	if rounds <= 0 {
+		rounds = DefaultRounds
+	}
+	var ks KSTest
+	observed, err := ks.Statistic(x, y)
+	if err != nil {
+		return 0, err
+	}
+	pool := make([]float64, 0, len(x)+len(y))
+	pool = append(pool, x...)
+	pool = append(pool, y...)
+	rng := rand.New(rand.NewSource(t.Seed))
+	extreme := 0
+	px := make([]float64, len(x))
+	py := make([]float64, len(y))
+	for r := 0; r < rounds; r++ {
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		copy(px, pool[:len(x)])
+		copy(py, pool[len(x):])
+		d, err := ks.Statistic(px, py)
+		if err != nil {
+			return 0, err
+		}
+		if d >= observed {
+			extreme++
+		}
+	}
+	// The +1 correction keeps the p-value strictly positive, which avoids
+	// spuriously "certain" rejections at small R.
+	return (float64(extreme) + 1) / (float64(rounds) + 1), nil
+}

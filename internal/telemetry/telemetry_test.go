@@ -1,0 +1,264 @@
+package telemetry
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"causalfl/internal/sim"
+)
+
+// newLoadedCluster builds a one-service cluster receiving a steady request
+// stream.
+func newLoadedCluster(t *testing.T) (*sim.Engine, *sim.Cluster) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	c := sim.NewCluster(eng)
+	c.MustAddService(sim.ServiceConfig{Name: "svc", Endpoints: []sim.Endpoint{{
+		Name:  "work",
+		Steps: []sim.Step{sim.Compute{Mean: time.Millisecond}, sim.LogEveryN{N: 1}},
+	}}})
+	if err := eng.Every(0, 100*time.Millisecond, func() {
+		c.Call("client", "svc", "work", nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return eng, c
+}
+
+func TestSamplerCollectsDeltas(t *testing.T) {
+	eng, c := newLoadedCluster(t)
+	s, err := NewSampler(c, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(10 * time.Second)
+	samples := s.Drain()["svc"]
+	if len(samples) != 10 {
+		t.Fatalf("got %d samples in 10s at 1s cadence, want 10", len(samples))
+	}
+	for i, smp := range samples {
+		if want := time.Duration(i+1) * time.Second; smp.At != want {
+			t.Fatalf("sample %d at %v, want %v", i, smp.At, want)
+		}
+		// 10 requests/second arrive; deltas, not totals.
+		if smp.Deltas.RequestsReceived < 8 || smp.Deltas.RequestsReceived > 12 {
+			t.Fatalf("sample %d delta %d requests, want ~10 (cumulative leak?)",
+				i, smp.Deltas.RequestsReceived)
+		}
+		if smp.Deltas.LogMessages == 0 {
+			t.Fatalf("sample %d has no log messages", i)
+		}
+	}
+}
+
+func TestSamplerDrainClearsBuffer(t *testing.T) {
+	eng, c := newLoadedCluster(t)
+	s, err := NewSampler(c, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(5 * time.Second)
+	first := s.Drain()["svc"]
+	eng.Run(8 * time.Second)
+	second := s.Drain()["svc"]
+	if len(first) != 5 || len(second) != 3 {
+		t.Fatalf("drains returned %d and %d samples, want 5 and 3", len(first), len(second))
+	}
+	if second[0].At != 6*time.Second {
+		t.Fatalf("second drain starts at %v, want 6s", second[0].At)
+	}
+}
+
+func TestSamplerDiscard(t *testing.T) {
+	eng, c := newLoadedCluster(t)
+	s, err := NewSampler(c, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(3 * time.Second)
+	s.Discard()
+	eng.Run(5 * time.Second)
+	if got := len(s.Drain()["svc"]); got != 2 {
+		t.Fatalf("after discard got %d samples, want 2", got)
+	}
+}
+
+func TestSamplerDoubleStartRejected(t *testing.T) {
+	_, c := newLoadedCluster(t)
+	s, err := NewSampler(c, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err == nil {
+		t.Fatal("second Start accepted")
+	}
+}
+
+func TestNewSamplerValidation(t *testing.T) {
+	if _, err := NewSampler(nil, time.Second); err == nil {
+		t.Fatal("NewSampler accepted nil cluster")
+	}
+	_, c := newLoadedCluster(t)
+	s, err := NewSampler(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Interval() != DefaultSampleInterval {
+		t.Fatalf("zero interval defaulted to %v, want %v", s.Interval(), DefaultSampleInterval)
+	}
+}
+
+// makeSamples builds a synthetic per-interval series with the given request
+// deltas at 1s spacing.
+func makeSamples(deltas ...uint64) []Sample {
+	out := make([]Sample, len(deltas))
+	for i, d := range deltas {
+		out[i] = Sample{
+			At:     time.Duration(i+1) * time.Second,
+			Deltas: sim.Counters{RequestsReceived: d, CPUSeconds: float64(d) / 10},
+		}
+	}
+	return out
+}
+
+func TestHoppingWindowsSumsAndOverlaps(t *testing.T) {
+	// 8 one-second samples, window 4s, hop 2s -> windows [0,4) [2,6) [4,8).
+	samples := makeSamples(1, 2, 3, 4, 5, 6, 7, 8)
+	windows, err := HoppingWindows(samples, 4*time.Second, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 3 {
+		t.Fatalf("got %d windows, want 3", len(windows))
+	}
+	wantSums := []uint64{1 + 2 + 3 + 4, 3 + 4 + 5 + 6, 5 + 6 + 7 + 8}
+	for i, w := range windows {
+		if w.Sum.RequestsReceived != wantSums[i] {
+			t.Errorf("window %d sum = %d, want %d", i, w.Sum.RequestsReceived, wantSums[i])
+		}
+	}
+	if windows[1].Start != 2*time.Second || windows[1].End != 6*time.Second {
+		t.Errorf("window 1 spans [%v,%v), want [2s,6s)", windows[1].Start, windows[1].End)
+	}
+}
+
+func TestHoppingWindowsPaperGeometry(t *testing.T) {
+	// Ten minutes of 5s samples with 60s/30s windows must yield 19 windows,
+	// matching the paper's collection setup.
+	n := int((10 * time.Minute) / (5 * time.Second))
+	deltas := make([]uint64, n)
+	for i := range deltas {
+		deltas[i] = 10
+	}
+	samples := make([]Sample, n)
+	for i := range samples {
+		samples[i] = Sample{At: time.Duration(i+1) * 5 * time.Second, Deltas: sim.Counters{RequestsReceived: deltas[i]}}
+	}
+	windows, err := HoppingWindows(samples, DefaultWindowLength, DefaultWindowHop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 19 {
+		t.Fatalf("10min/60s/30s produced %d windows, want 19", len(windows))
+	}
+	for i, w := range windows {
+		if w.Sum.RequestsReceived != 120 {
+			t.Fatalf("window %d sum = %d, want 120 (12 samples × 10)", i, w.Sum.RequestsReceived)
+		}
+	}
+}
+
+func TestHoppingWindowsValidation(t *testing.T) {
+	samples := makeSamples(1, 2, 3)
+	if _, err := HoppingWindows(samples, 0, time.Second); err == nil {
+		t.Fatal("accepted zero window length")
+	}
+	if _, err := HoppingWindows(samples, time.Second, 0); err == nil {
+		t.Fatal("accepted zero hop")
+	}
+	if _, err := HoppingWindows(samples, time.Second, 2*time.Second); err == nil {
+		t.Fatal("accepted hop larger than window")
+	}
+	got, err := HoppingWindows(nil, time.Second, time.Second)
+	if err != nil || got != nil {
+		t.Fatalf("empty samples: got %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestHoppingWindowsTooShortSeries(t *testing.T) {
+	samples := makeSamples(1, 2) // 2s of data, 4s window
+	windows, err := HoppingWindows(samples, 4*time.Second, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 0 {
+		t.Fatalf("got %d windows from under-length series, want 0", len(windows))
+	}
+}
+
+func TestWindowsByService(t *testing.T) {
+	in := map[string][]Sample{
+		"a": makeSamples(1, 1, 1, 1),
+		"b": makeSamples(2, 2, 2, 2),
+	}
+	out, err := WindowsByService(in, 2*time.Second, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out["a"]) != 2 || len(out["b"]) != 2 {
+		t.Fatalf("window counts a=%d b=%d, want 2/2", len(out["a"]), len(out["b"]))
+	}
+	if out["b"][0].Sum.RequestsReceived != 4 {
+		t.Fatalf("b window sum = %d, want 4", out["b"][0].Sum.RequestsReceived)
+	}
+}
+
+// Property: with hop == length (tumbling windows) the total of window sums
+// equals the total of all samples that fall inside produced windows, and
+// windows never overlap.
+func TestTumblingWindowConservationProperty(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		deltas := make([]uint64, len(raw))
+		for i, v := range raw {
+			deltas[i] = uint64(v)
+		}
+		samples := makeSamples(deltas...)
+		const length = 3 * time.Second
+		windows, err := HoppingWindows(samples, length, length)
+		if err != nil {
+			return false
+		}
+		var winTotal uint64
+		for i, w := range windows {
+			winTotal += w.Sum.RequestsReceived
+			if i > 0 && w.Start != windows[i-1].End {
+				return false
+			}
+		}
+		covered := (len(deltas) / 3) * 3
+		var want uint64
+		for i := 0; i < covered; i++ {
+			want += deltas[i]
+		}
+		return winTotal == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+
+	"causalfl/internal/sim"
+)
+
+// Paper defaults: "metrics are smoothed by aggregating them using a hopping
+// window to create overlapping sixty second windows which are created every
+// thirty seconds" (§V-A).
+const (
+	DefaultWindowLength = 60 * time.Second
+	DefaultWindowHop    = 30 * time.Second
+)
+
+// Window is one hopping-window aggregate: counter deltas summed over
+// [Start, End).
+type Window struct {
+	Start sim.Time
+	End   sim.Time
+	Sum   sim.Counters
+}
+
+// HoppingWindows aggregates a service's samples into overlapping windows of
+// the given length created every hop. Windows are aligned to the first
+// sample's interval start and only fully covered windows are produced.
+func HoppingWindows(samples []Sample, length, hop time.Duration) ([]Window, error) {
+	if length <= 0 || hop <= 0 {
+		return nil, fmt.Errorf("telemetry: window length and hop must be positive (length=%v hop=%v)", length, hop)
+	}
+	if hop > length {
+		return nil, fmt.Errorf("telemetry: hop %v larger than window %v would drop samples", hop, length)
+	}
+	if len(samples) == 0 {
+		return nil, nil
+	}
+	// A sample stamped At covers the interval ending at At; the series
+	// origin is therefore the start of the first sample's interval. We
+	// recover the interval from consecutive stamps (or assume the first
+	// stamp equals one interval from origin, which holds for Sampler).
+	interval := samples[0].At
+	if len(samples) > 1 {
+		interval = samples[1].At - samples[0].At
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("telemetry: non-increasing sample timestamps")
+	}
+	origin := samples[0].At - interval
+	end := samples[len(samples)-1].At
+
+	var windows []Window
+	for start := origin; start+length <= end; start += hop {
+		w := Window{Start: start, End: start + length}
+		for _, smp := range samples {
+			// Sample covers (At-interval, At]; include it when the
+			// whole interval lies inside the window.
+			if smp.At-interval >= w.Start && smp.At <= w.End {
+				w.Sum = w.Sum.Add(smp.Deltas)
+			}
+		}
+		windows = append(windows, w)
+	}
+	return windows, nil
+}
+
+// WindowsByService applies HoppingWindows to every service in samples.
+func WindowsByService(samples map[string][]Sample, length, hop time.Duration) (map[string][]Window, error) {
+	out := make(map[string][]Window, len(samples))
+	for svc, s := range samples {
+		w, err := HoppingWindows(s, length, hop)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: windows for %s: %w", svc, err)
+		}
+		out[svc] = w
+	}
+	return out, nil
+}

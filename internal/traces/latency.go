@@ -1,0 +1,110 @@
+package traces
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"causalfl/internal/sim"
+)
+
+// Latency analysis over spans. Latency faults produce no errors and drop no
+// requests, so the error-blame heuristic of Localizer sees nothing; the
+// standard trace-side answer is self-time attribution: a span's duration
+// minus the time spent waiting on its children is the service's own
+// contribution, and the service whose self-time distribution inflates most
+// is the likely culprit.
+
+// SelfTimes computes, per service, the self-time samples of its spans: span
+// duration minus the summed durations of direct child spans (clamped at
+// zero for overlapping async children).
+func SelfTimes(spans []sim.Span) map[string][]time.Duration {
+	childSum := make(map[uint64]time.Duration)
+	for _, s := range spans {
+		if s.ParentID != 0 {
+			childSum[s.ParentID] += s.End - s.Start
+		}
+	}
+	out := make(map[string][]time.Duration)
+	for _, s := range spans {
+		self := (s.End - s.Start) - childSum[s.SpanID]
+		if self < 0 {
+			self = 0
+		}
+		out[s.To] = append(out[s.To], self)
+	}
+	return out
+}
+
+// LatencyRCA blames the service whose mean self-time grew the most,
+// relatively, between a healthy and a suspect span collection. Services
+// below minSamples spans in either collection are skipped. It returns the
+// ranked suspects (largest inflation first) with their inflation factors.
+type LatencyRCA struct {
+	// MinSamples is the minimum span count per service per collection
+	// (default 20).
+	MinSamples int
+	// MinInflation is the minimum mean self-time ratio to report a
+	// suspect at all (default 1.5x).
+	MinInflation float64
+}
+
+// Suspect is one ranked latency-RCA finding.
+type Suspect struct {
+	Service   string
+	Inflation float64 // mean self-time ratio, suspect / healthy
+}
+
+// Localize ranks services by self-time inflation.
+func (l *LatencyRCA) Localize(healthy, suspect []sim.Span) ([]Suspect, error) {
+	if len(healthy) == 0 || len(suspect) == 0 {
+		return nil, fmt.Errorf("traces: latency rca needs spans from both periods (healthy=%d suspect=%d)",
+			len(healthy), len(suspect))
+	}
+	minSamples := l.MinSamples
+	if minSamples == 0 {
+		minSamples = 20
+	}
+	minInflation := l.MinInflation
+	if minInflation == 0 {
+		minInflation = 1.5
+	}
+	before := SelfTimes(healthy)
+	after := SelfTimes(suspect)
+
+	var out []Suspect
+	for svc, afterSamples := range after {
+		beforeSamples := before[svc]
+		if len(beforeSamples) < minSamples || len(afterSamples) < minSamples {
+			continue
+		}
+		b := meanDuration(beforeSamples)
+		a := meanDuration(afterSamples)
+		if b <= 0 {
+			continue
+		}
+		inflation := float64(a) / float64(b)
+		if inflation >= minInflation {
+			out = append(out, Suspect{Service: svc, Inflation: inflation})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Inflation != out[j].Inflation {
+			return out[i].Inflation > out[j].Inflation
+		}
+		return out[i].Service < out[j].Service
+	})
+	return out, nil
+}
+
+// meanDuration averages a duration sample.
+func meanDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}

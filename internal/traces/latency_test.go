@@ -1,0 +1,92 @@
+package traces
+
+import (
+	"testing"
+	"time"
+
+	"causalfl/internal/apps/causalbench"
+	"causalfl/internal/load"
+	"causalfl/internal/sim"
+)
+
+func TestSelfTimesSubtractChildren(t *testing.T) {
+	// parent span 100ms with one child of 60ms: parent self-time 40ms.
+	spans := []sim.Span{
+		{TraceID: 1, SpanID: 1, From: "client", To: "a", Start: 0, End: 100 * time.Millisecond},
+		{TraceID: 1, SpanID: 2, ParentID: 1, From: "a", To: "b", Start: 20 * time.Millisecond, End: 80 * time.Millisecond},
+	}
+	self := SelfTimes(spans)
+	if got := self["a"][0]; got != 40*time.Millisecond {
+		t.Errorf("a self-time = %v, want 40ms", got)
+	}
+	if got := self["b"][0]; got != 60*time.Millisecond {
+		t.Errorf("b self-time = %v, want 60ms", got)
+	}
+}
+
+func TestSelfTimesClampNegative(t *testing.T) {
+	// Async children can overlap beyond the parent's duration.
+	spans := []sim.Span{
+		{TraceID: 1, SpanID: 1, From: "client", To: "a", Start: 0, End: 10 * time.Millisecond},
+		{TraceID: 1, SpanID: 2, ParentID: 1, From: "a", To: "b", Start: 0, End: 50 * time.Millisecond},
+	}
+	if got := SelfTimes(spans)["a"][0]; got != 0 {
+		t.Errorf("overlapped parent self-time = %v, want 0", got)
+	}
+}
+
+func TestLatencyRCAValidation(t *testing.T) {
+	l := &LatencyRCA{}
+	if _, err := l.Localize(nil, nil); err == nil {
+		t.Fatal("empty collections accepted")
+	}
+}
+
+// Integration: a latency fault on CausalBench node C inflates C's self-time
+// and nothing else's — the trace-side counterpart of the busy-metric
+// extension.
+func TestLatencyRCAOnCausalBench(t *testing.T) {
+	eng := sim.NewEngine(61)
+	app, err := causalbench.Build(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collector := NewCollector()
+	app.Cluster.SetSpanObserver(collector.Observe)
+	gen, err := load.NewGenerator(app, load.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(60 * time.Second)
+	healthy := collector.Drain()
+
+	svc, _ := app.Cluster.Service("C")
+	svc.SetExtraLatency(80 * time.Millisecond)
+	eng.Run(2 * time.Minute)
+	suspect := collector.Drain()
+
+	rca := &LatencyRCA{}
+	suspects, err := rca.Localize(healthy, suspect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suspects) == 0 {
+		t.Fatal("latency fault produced no suspects")
+	}
+	if suspects[0].Service != "C" {
+		t.Fatalf("top suspect = %+v, want C", suspects[0])
+	}
+	if suspects[0].Inflation < 5 {
+		t.Errorf("C inflation = %.1fx, want large (80ms on a ~3ms handler)", suspects[0].Inflation)
+	}
+	// Upstream callers must NOT be blamed: their wall time grew, but
+	// self-time attribution subtracts the slow child.
+	for _, s := range suspects {
+		if s.Service == "A" || s.Service == "B" {
+			t.Errorf("caller %s blamed (inflation %.1fx); self-time should absorb child waits", s.Service, s.Inflation)
+		}
+	}
+}

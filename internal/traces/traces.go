@@ -1,0 +1,174 @@
+// Package traces implements distributed-trace collection and a trace-based
+// root-cause baseline.
+//
+// The paper's introduction positions interventional causal learning against
+// tracing: "Distributed tracing helps to localize a particular class of
+// faults ... Yet, many cloud applications still lack support for tracing,
+// and tracing itself does not encompass all fault types. For example,
+// omission faults ... require costly manual inspection."
+//
+// This package makes those limits concrete and measurable: the Localizer
+// blames the deepest erroring span of failed request trees — the textbook
+// trace-RCA heuristic — which pinpoints any fault on a synchronous request
+// path but is structurally blind to (i) omission faults mediated by state
+// (CausalBench's D→F→G path carries no failed user span when G dies) and
+// (ii) spans lost to un-instrumented services (sim.ServiceConfig's
+// DropTraceContext).
+package traces
+
+import (
+	"fmt"
+	"sort"
+
+	"causalfl/internal/sim"
+)
+
+// Collector accumulates spans from a cluster's span observer.
+type Collector struct {
+	spans []sim.Span
+}
+
+// NewCollector returns an empty collector; attach its Observe method with
+// cluster.SetSpanObserver(collector.Observe).
+func NewCollector() *Collector {
+	return &Collector{}
+}
+
+// Observe implements sim.SpanObserver.
+func (c *Collector) Observe(span sim.Span) {
+	c.spans = append(c.spans, span)
+}
+
+// Len reports the number of collected spans.
+func (c *Collector) Len() int { return len(c.spans) }
+
+// Drain returns collected spans and clears the buffer.
+func (c *Collector) Drain() []sim.Span {
+	out := c.spans
+	c.spans = nil
+	return out
+}
+
+// Trace is one reassembled span tree.
+type Trace struct {
+	// ID is the trace id.
+	ID uint64
+	// Spans are the member spans, in SpanID order.
+	Spans []sim.Span
+	// Root is the index of the root span (ParentID 0), -1 if missing.
+	Root int
+}
+
+// Failed reports whether the trace's root call errored.
+func (t *Trace) Failed() bool {
+	return t.Root >= 0 && t.Spans[t.Root].Err
+}
+
+// Assemble groups spans into traces, sorted by trace id.
+func Assemble(spans []sim.Span) []Trace {
+	byID := make(map[uint64][]sim.Span)
+	for _, s := range spans {
+		byID[s.TraceID] = append(byID[s.TraceID], s)
+	}
+	ids := make([]uint64, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	out := make([]Trace, 0, len(ids))
+	for _, id := range ids {
+		members := byID[id]
+		sort.Slice(members, func(i, j int) bool { return members[i].SpanID < members[j].SpanID })
+		root := -1
+		for i, s := range members {
+			if s.ParentID == 0 {
+				root = i
+				break
+			}
+		}
+		out = append(out, Trace{ID: id, Spans: members, Root: root})
+	}
+	return out
+}
+
+// RootCause returns the service blamed by the deepest-error heuristic for
+// one failed trace: the callee of an erroring span none of whose child spans
+// errored (the frontier where the failure originated). Returns "" when the
+// trace has no erroring span.
+func RootCause(t Trace) string {
+	childErr := make(map[uint64]bool) // spanID -> has erroring child
+	for _, s := range t.Spans {
+		if s.Err && s.ParentID != 0 {
+			childErr[s.ParentID] = true
+		}
+	}
+	// Deepest erroring spans are those with no erroring children; among
+	// several (fan-out failures) pick the earliest started for
+	// determinism.
+	best := -1
+	for i, s := range t.Spans {
+		if !s.Err || childErr[s.SpanID] {
+			continue
+		}
+		if best == -1 || s.Start < t.Spans[best].Start {
+			best = i
+		}
+	}
+	if best == -1 {
+		return ""
+	}
+	return t.Spans[best].To
+}
+
+// Localizer is the trace-based root-cause baseline.
+type Localizer struct {
+	// ClientName restricts root spans to those issued by this caller
+	// (the load generator); empty accepts any root. Background-worker
+	// traces are deliberately excluded by default, as real user-facing
+	// trace pipelines sample user requests.
+	ClientName string
+}
+
+// Localize blames the majority root cause across failed user traces. When no
+// user trace failed — the omission-fault case — it has no evidence and
+// returns the full candidate universe.
+func (l *Localizer) Localize(spans []sim.Span, universe []string) ([]string, error) {
+	if len(universe) == 0 {
+		return nil, fmt.Errorf("traces: empty service universe")
+	}
+	votes := make(map[string]int)
+	for _, t := range Assemble(spans) {
+		if t.Root < 0 {
+			continue
+		}
+		if l.ClientName != "" && t.Spans[t.Root].From != l.ClientName {
+			continue
+		}
+		if !t.Failed() {
+			continue
+		}
+		if cause := RootCause(t); cause != "" {
+			votes[cause]++
+		}
+	}
+	best := 0
+	for _, n := range votes {
+		if n > best {
+			best = n
+		}
+	}
+	if best == 0 {
+		out := append([]string(nil), universe...)
+		sort.Strings(out)
+		return out, nil
+	}
+	var winners []string
+	for svc, n := range votes {
+		if n == best {
+			winners = append(winners, svc)
+		}
+	}
+	sort.Strings(winners)
+	return winners, nil
+}

@@ -1,0 +1,167 @@
+package traces
+
+import (
+	"testing"
+	"time"
+
+	"causalfl/internal/apps/causalbench"
+	"causalfl/internal/load"
+	"causalfl/internal/sim"
+)
+
+func span(trace, id, parent uint64, from, to string, start time.Duration, err bool) sim.Span {
+	return sim.Span{
+		TraceID: trace, SpanID: id, ParentID: parent,
+		From: from, To: to, Start: start, End: start + time.Millisecond, Err: err,
+	}
+}
+
+func TestAssembleGroupsAndFindsRoots(t *testing.T) {
+	spans := []sim.Span{
+		span(2, 5, 0, "client", "a", 0, false),
+		span(1, 3, 2, "b", "c", 2*time.Millisecond, false),
+		span(1, 2, 1, "a", "b", time.Millisecond, false),
+		span(1, 1, 0, "client", "a", 0, false),
+	}
+	traces := Assemble(spans)
+	if len(traces) != 2 {
+		t.Fatalf("assembled %d traces, want 2", len(traces))
+	}
+	if traces[0].ID != 1 || len(traces[0].Spans) != 3 {
+		t.Fatalf("trace 1 wrong: %+v", traces[0])
+	}
+	if traces[0].Root != 0 || traces[0].Spans[0].SpanID != 1 {
+		t.Fatalf("trace 1 root wrong: %+v", traces[0])
+	}
+	if traces[1].Failed() {
+		t.Error("healthy trace reported failed")
+	}
+}
+
+func TestRootCauseDeepestError(t *testing.T) {
+	// client -> a -> b -> c, with c the origin: all three spans error.
+	spans := []sim.Span{
+		span(1, 1, 0, "client", "a", 0, true),
+		span(1, 2, 1, "a", "b", time.Millisecond, true),
+		span(1, 3, 2, "b", "c", 2*time.Millisecond, true),
+	}
+	traces := Assemble(spans)
+	if got := RootCause(traces[0]); got != "c" {
+		t.Fatalf("RootCause = %q, want c (deepest error)", got)
+	}
+}
+
+func TestRootCauseMidTreeError(t *testing.T) {
+	// b failed but its call to c succeeded: blame b, not c.
+	spans := []sim.Span{
+		span(1, 1, 0, "client", "a", 0, true),
+		span(1, 2, 1, "a", "b", time.Millisecond, true),
+		span(1, 3, 2, "b", "c", 2*time.Millisecond, false),
+	}
+	traces := Assemble(spans)
+	if got := RootCause(traces[0]); got != "b" {
+		t.Fatalf("RootCause = %q, want b", got)
+	}
+}
+
+func TestRootCauseNoError(t *testing.T) {
+	spans := []sim.Span{span(1, 1, 0, "client", "a", 0, false)}
+	if got := RootCause(Assemble(spans)[0]); got != "" {
+		t.Fatalf("RootCause of healthy trace = %q, want empty", got)
+	}
+}
+
+func TestLocalizerMajority(t *testing.T) {
+	var spans []sim.Span
+	// Three failed traces blaming b, one blaming c.
+	for i := uint64(0); i < 3; i++ {
+		base := i * 10
+		spans = append(spans,
+			span(i+1, base+1, 0, "loadgen", "a", 0, true),
+			span(i+1, base+2, base+1, "a", "b", time.Millisecond, true),
+		)
+	}
+	spans = append(spans,
+		span(9, 91, 0, "loadgen", "a", 0, true),
+		span(9, 92, 91, "a", "c", time.Millisecond, true),
+	)
+	l := &Localizer{ClientName: "loadgen"}
+	got, err := l.Localize(spans, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Localize = %v, want {b}", got)
+	}
+}
+
+func TestLocalizerIgnoresBackgroundTraces(t *testing.T) {
+	spans := []sim.Span{
+		// A failed background-worker trace must not count.
+		span(1, 1, 0, "worker", "g", 0, true),
+	}
+	l := &Localizer{ClientName: "loadgen"}
+	got, err := l.Localize(spans, []string{"g", "h"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("background-only evidence should yield the full set, got %v", got)
+	}
+}
+
+func TestLocalizerValidation(t *testing.T) {
+	l := &Localizer{}
+	if _, err := l.Localize(nil, nil); err == nil {
+		t.Fatal("empty universe accepted")
+	}
+}
+
+// Integration: on CausalBench, the trace baseline pinpoints a request-path
+// fault (B) but is blind to the omission fault (G), which never appears in
+// any failed user trace — the paper's motivating limitation.
+func TestTraceBaselineOnCausalBench(t *testing.T) {
+	run := func(target string) []string {
+		eng := sim.NewEngine(31)
+		app, err := causalbench.Build(eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collector := NewCollector()
+		app.Cluster.SetSpanObserver(collector.Observe)
+		gen, err := load.NewGenerator(app, load.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := gen.Start(); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(30 * time.Second)
+		svc, ok := app.Cluster.Service(target)
+		if !ok {
+			t.Fatalf("no service %s", target)
+		}
+		svc.SetUnavailable(true)
+		collector.Drain()
+		eng.Run(90 * time.Second)
+		l := &Localizer{ClientName: load.ClientName}
+		got, err := l.Localize(collector.Drain(), app.Services())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	if got := run("B"); len(got) != 1 || got[0] != "B" {
+		t.Errorf("trace baseline on request-path fault B = %v, want {B}", got)
+	}
+	got := run("G")
+	for _, svc := range got {
+		if svc == "G" && len(got) == 1 {
+			t.Fatalf("trace baseline pinpointed the omission fault G — it should have no user-trace evidence (got %v)", got)
+		}
+	}
+	if len(got) < 9 {
+		t.Errorf("omission fault should leave the full 9-service set, got %v", got)
+	}
+}

@@ -1,0 +1,177 @@
+// Package webui serves a trained causal model over HTTP: human-readable
+// pages for the per-metric causal worlds and a JSON localization endpoint
+// that accepts production metric snapshots. It is the operator-facing
+// surface of the pipeline — in the paper's deployment story, the component
+// an SRE would query when production alarms fire.
+package webui
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+
+	"causalfl/internal/core"
+	"causalfl/internal/metrics"
+)
+
+// Server serves one trained model.
+type Server struct {
+	model     *core.Model
+	localizer *core.Localizer
+	mux       *http.ServeMux
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// NewServer validates the model and builds the handler.
+func NewServer(model *core.Model) (*Server, error) {
+	if model == nil {
+		return nil, fmt.Errorf("webui: nil model")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, fmt.Errorf("webui: %w", err)
+	}
+	localizer, err := core.NewLocalizer()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{model: model, localizer: localizer, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/worlds", s.handleWorlds)
+	s.mux.HandleFunc("/localize", s.handleLocalize)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>causalfl</title></head><body>
+<h1>causalfl — interventional causal fault localization</h1>
+<p>Model: {{.Services}} services, {{.Metrics}} metrics, {{.Targets}} trained
+targets, &alpha;={{printf "%.2f" .Alpha}}.</p>
+<ul>
+<li><a href="/worlds">Per-metric causal worlds</a></li>
+<li><code>POST /localize</code> with a production snapshot JSON body
+(the <code>metrics.Snapshot</code> format) returns the candidate fault set.</li>
+<li><a href="/healthz">Health</a></li>
+</ul>
+</body></html>
+`))
+
+// handleIndex renders the overview.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	data := struct {
+		Services, Metrics, Targets int
+		Alpha                      float64
+	}{len(s.model.Services), len(s.model.Metrics), len(s.model.Targets), s.model.Alpha}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := indexTmpl.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+var worldsTmpl = template.Must(template.New("worlds").Parse(`<!DOCTYPE html>
+<html><head><title>causal worlds</title></head><body>
+<h1>Per-metric causal worlds</h1>
+<p>C(s, M): the services whose metric-M distribution shifts when a fault is
+injected into s. One world per metric — they genuinely differ.</p>
+{{range .Worlds}}
+<h2>metric {{.Metric}}</h2>
+<table border="1" cellpadding="4">
+<tr><th>injected service</th><th>causal set</th></tr>
+{{range .Rows}}<tr><td>{{.Target}}</td><td>{{.Set}}</td></tr>
+{{end}}
+</table>
+{{end}}
+</body></html>
+`))
+
+// handleWorlds renders the causal sets.
+func (s *Server) handleWorlds(w http.ResponseWriter, _ *http.Request) {
+	type row struct{ Target, Set string }
+	type world struct {
+		Metric string
+		Rows   []row
+	}
+	var data struct{ Worlds []world }
+	for _, metric := range s.model.Metrics {
+		wld := world{Metric: metric}
+		for _, target := range s.model.Targets {
+			set, err := s.model.CausalSet(metric, target)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			wld.Rows = append(wld.Rows, row{Target: target, Set: join(set)})
+		}
+		data.Worlds = append(data.Worlds, wld)
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := worldsTmpl.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// localizeResponse is the JSON shape of POST /localize.
+type localizeResponse struct {
+	Candidates []string            `json:"candidates"`
+	Votes      map[string]float64  `json:"votes"`
+	Anomalies  map[string][]string `json:"anomalies"`
+}
+
+// handleLocalize runs Algorithm 2 on a posted snapshot.
+func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a metrics.Snapshot JSON body", http.StatusMethodNotAllowed)
+		return
+	}
+	var snap metrics.Snapshot
+	if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
+		http.Error(w, fmt.Sprintf("decode snapshot: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := snap.Validate(); err != nil {
+		http.Error(w, fmt.Sprintf("invalid snapshot: %v", err), http.StatusBadRequest)
+		return
+	}
+	loc, err := s.localizer.Localize(s.model, &snap)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("localize: %v", err), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(localizeResponse{
+		Candidates: loc.Candidates,
+		Votes:      loc.Votes,
+		Anomalies:  loc.Anomalies,
+	}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleHealthz reports liveness.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"status":"ok","targets":%d}`, len(s.model.Targets))
+}
+
+// join renders a set compactly.
+func join(set []string) string {
+	out := ""
+	for i, s := range set {
+		if i > 0 {
+			out += ", "
+		}
+		out += s
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package webui
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"causalfl/internal/core"
+	"causalfl/internal/metrics"
+)
+
+// trainedModel builds a small model over services {x, y} where a fault in x
+// shifts metric m on both.
+func trainedModel(t *testing.T) (*core.Model, *metrics.Snapshot) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	mk := func(shift bool) *metrics.Snapshot {
+		snap := metrics.NewSnapshot([]string{"m"}, []string{"x", "y"})
+		for _, svc := range []string{"x", "y"} {
+			series := make([]float64, 15)
+			off := 0.0
+			if shift {
+				off = 9
+			}
+			for i := range series {
+				series[i] = 5 + off + rng.NormFloat64()*0.4
+			}
+			snap.Data["m"][svc] = series
+		}
+		return snap
+	}
+	baseline := mk(false)
+	learner, err := core.NewLearner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := learner.Learn(baseline, map[string]*metrics.Snapshot{"x": mk(true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, mk(true) // production data matching the x world
+}
+
+func newTestServer(t *testing.T) (*Server, *metrics.Snapshot) {
+	t.Helper()
+	model, production := trainedModel(t)
+	s, err := NewServer(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, production
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := NewServer(&core.Model{}); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET / = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"causalfl", "/worlds", "/localize"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+}
+
+func TestIndexRejectsUnknownPaths(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /nope = %d, want 404", rec.Code)
+	}
+}
+
+func TestWorldsPage(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/worlds", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /worlds = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "metric m") {
+		t.Errorf("worlds page missing metric heading:\n%s", body)
+	}
+	if !strings.Contains(body, "x, y") {
+		t.Errorf("worlds page missing causal set:\n%s", body)
+	}
+}
+
+func TestLocalizeEndpoint(t *testing.T) {
+	s, production := newTestServer(t)
+	blob, err := json.Marshal(production)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/localize", bytes.NewReader(blob)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /localize = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Candidates []string            `json:"candidates"`
+		Anomalies  map[string][]string `json:"anomalies"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Candidates) != 1 || resp.Candidates[0] != "x" {
+		t.Fatalf("candidates = %v, want {x}", resp.Candidates)
+	}
+	if len(resp.Anomalies) == 0 {
+		t.Error("response lacks anomaly explanation")
+	}
+}
+
+func TestLocalizeRejectsBadRequests(t *testing.T) {
+	s, _ := newTestServer(t)
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/localize", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /localize = %d, want 405", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/localize", strings.NewReader("{")))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed body = %d, want 400", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/localize", strings.NewReader(`{"metrics":[],"services":[],"data":{}}`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("invalid snapshot = %d, want 400", rec.Code)
+	}
+
+	// A structurally valid snapshot with the wrong metrics fails inside
+	// the localizer.
+	wrong := metrics.NewSnapshot([]string{"other"}, []string{"x", "y"})
+	wrong.Data["other"]["x"] = []float64{1, 2}
+	wrong.Data["other"]["y"] = []float64{1, 2}
+	blob, err := json.Marshal(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/localize", bytes.NewReader(blob)))
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("metric-mismatched snapshot = %d, want 422", rec.Code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ok"`) {
+		t.Fatalf("healthz = %d %s", rec.Code, rec.Body.String())
+	}
+}
