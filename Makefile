@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet fmt bench report tables figures clean
+.PHONY: all check build test test-short race vet fmt bench report tables figures clean
 
-all: build vet test
+all: check
+
+# The default verification path: compile, static checks, full tests, and the
+# race detector over the library packages.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -15,6 +19,9 @@ test:
 # Skips the simulation campaigns; unit and property tests only.
 test-short:
 	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/...
 
 vet:
 	$(GO) vet ./...

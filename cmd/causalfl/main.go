@@ -13,7 +13,7 @@
 //	causalfl compare  -app causalbench|robotshop [-quick]
 //	causalfl topology -app causalbench|robotshop
 //	causalfl extensions [-quick] [-seed N]
-//	causalfl sweep    -app causalbench|robotshop [-seeds N] [-mult M] [-quick]
+//	causalfl sweep    -app causalbench|robotshop [-seeds N] [-mult M] [-quick] [-degraded]
 //	causalfl scale    [-quick] [-seed N]
 //	causalfl collect  -app causalbench|robotshop -out data.json [-quick]
 //	causalfl learn    -data data.json [-out model.json] [-alpha 0.05]
@@ -441,8 +441,21 @@ func cmdSweep(args []string) error {
 	var cf commonFlags
 	cf.register(fs)
 	count := fs.Int("seeds", 5, "number of seeds to sweep")
+	degraded := fs.Bool("degraded", false, "sweep scrape-loss fractions (0-50%) instead of seeds")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *degraded {
+		build, err := builderFor(cf.app)
+		if err != nil {
+			return err
+		}
+		result, err := eval.RunDegradationSweep(eval.Options{Seed: cf.seed, Quick: cf.quick}, build, cf.app, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(result)
+		return nil
 	}
 	if *count < 1 {
 		return fmt.Errorf("sweep needs at least one seed")

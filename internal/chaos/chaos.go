@@ -5,7 +5,9 @@
 // The paper's evaluation uses a single fault type, http-service-unavailable,
 // implemented on Kubernetes by pointing the service at a dead port; here it
 // flips the target into fail-fast refusal mode. Latency, error-rate and
-// process-pause faults are provided as extensions for ablation studies.
+// process-pause faults are provided as extensions for ablation studies, and
+// scrape-loss / sample-corruption faults degrade the observability plane
+// itself (the telemetry-robustness experiments inject those).
 package chaos
 
 import (
@@ -28,6 +30,15 @@ const (
 	ErrorRate
 	// Pause suspends the target's background pollers.
 	Pause
+	// ScrapeLoss is a telemetry-plane fault: the fraction Rate of sampler
+	// scrapes of the target return nothing, as if the exporter timed out or
+	// the collection pipeline dropped the datapoints. The service itself is
+	// untouched.
+	ScrapeLoss
+	// SampleCorruption is a telemetry-plane fault: the fraction Rate of
+	// scrapes of the target yield mangled readings (NaN/Inf/spike values),
+	// modelling exporter bugs and transport corruption.
+	SampleCorruption
 )
 
 // String returns the fault type name.
@@ -41,9 +52,22 @@ func (f FaultType) String() string {
 		return "error-rate"
 	case Pause:
 		return "pause"
+	case ScrapeLoss:
+		return "scrape-loss"
+	case SampleCorruption:
+		return "sample-corruption"
 	default:
 		return "unknown"
 	}
+}
+
+// Telemetry reports whether the fault acts on the observability plane
+// (degrading what monitoring sees) rather than on the service itself.
+// Telemetry faults coexist with service faults on the same target: degraded
+// monitoring of a broken service is exactly the scenario the
+// graceful-degradation pipeline must survive.
+func (f FaultType) Telemetry() bool {
+	return f == ScrapeLoss || f == SampleCorruption
 }
 
 // Fault describes one injection.
@@ -51,17 +75,53 @@ type Fault struct {
 	Type FaultType
 	// Delay is the added latency for Latency faults.
 	Delay time.Duration
-	// Rate is the failure probability for ErrorRate faults.
+	// Rate is the probability parameter of ErrorRate, ScrapeLoss and
+	// SampleCorruption faults.
 	Rate float64
+}
+
+// Validate checks the fault's parameters against its type. It is consulted
+// by Inject and ScheduleWindow so malformed faults fail loudly at injection
+// time instead of silently doing nothing (or something else) later.
+func (f Fault) Validate() error {
+	if f.Type == 0 {
+		return fmt.Errorf("chaos: fault has zero-valued type (forgot to set Fault.Type?)")
+	}
+	if f.Delay < 0 {
+		return fmt.Errorf("chaos: %s fault has negative delay %v", f.Type, f.Delay)
+	}
+	if f.Rate < 0 || f.Rate > 1 {
+		return fmt.Errorf("chaos: %s fault rate %v outside [0,1]", f.Type, f.Rate)
+	}
+	switch f.Type {
+	case ServiceUnavailable, Pause:
+		return nil
+	case Latency:
+		if f.Delay == 0 {
+			return fmt.Errorf("chaos: latency fault needs a positive delay")
+		}
+		return nil
+	case ErrorRate, ScrapeLoss, SampleCorruption:
+		if f.Rate == 0 {
+			return fmt.Errorf("chaos: %s fault needs a rate in (0,1]", f.Type)
+		}
+		return nil
+	default:
+		return fmt.Errorf("chaos: unknown fault type %d", f.Type)
+	}
 }
 
 // Unavailable is the paper's fault.
 func Unavailable() Fault { return Fault{Type: ServiceUnavailable} }
 
 // Injector applies and clears faults on a cluster, tracking what is active.
+// Service-plane and telemetry-plane faults are booked separately: each plane
+// holds at most one fault per service, but a telemetry fault may ride on top
+// of a service fault (degraded monitoring of a broken service).
 type Injector struct {
-	cluster *sim.Cluster
-	active  map[string]Fault
+	cluster   *sim.Cluster
+	active    map[string]Fault
+	telemetry map[string]Fault
 }
 
 // NewInjector creates an injector for cluster.
@@ -69,79 +129,131 @@ func NewInjector(cluster *sim.Cluster) (*Injector, error) {
 	if cluster == nil {
 		return nil, fmt.Errorf("chaos: nil cluster")
 	}
-	return &Injector{cluster: cluster, active: make(map[string]Fault)}, nil
+	return &Injector{
+		cluster:   cluster,
+		active:    make(map[string]Fault),
+		telemetry: make(map[string]Fault),
+	}, nil
 }
 
-// Inject applies f to the named service. One fault per service at a time,
-// matching the paper's one-fault-at-a-time protocol.
+// book returns the fault ledger of f's plane.
+func (i *Injector) book(f Fault) map[string]Fault {
+	if f.Type.Telemetry() {
+		return i.telemetry
+	}
+	return i.active
+}
+
+// Inject applies f to the named service. One fault per service per plane at
+// a time, matching the paper's one-fault-at-a-time protocol.
 func (i *Injector) Inject(target string, f Fault) error {
 	svc, ok := i.cluster.Service(target)
 	if !ok {
 		return fmt.Errorf("chaos: inject: %w", &sim.UnknownServiceError{Name: target})
 	}
-	if prev, busy := i.active[target]; busy {
+	if err := f.Validate(); err != nil {
+		return fmt.Errorf("chaos: inject %s: %w", target, err)
+	}
+	book := i.book(f)
+	if prev, busy := book[target]; busy {
 		return fmt.Errorf("chaos: %s already has an active %s fault", target, prev.Type)
 	}
 	switch f.Type {
 	case ServiceUnavailable:
 		svc.SetUnavailable(true)
 	case Latency:
-		if f.Delay <= 0 {
-			return fmt.Errorf("chaos: latency fault needs a positive delay, got %v", f.Delay)
-		}
 		svc.SetExtraLatency(f.Delay)
 	case ErrorRate:
-		if f.Rate <= 0 || f.Rate > 1 {
-			return fmt.Errorf("chaos: error-rate fault needs a rate in (0,1], got %v", f.Rate)
-		}
 		svc.SetErrorRate(f.Rate)
 	case Pause:
 		svc.SetPaused(true)
-	default:
-		return fmt.Errorf("chaos: unknown fault type %d", f.Type)
+	case ScrapeLoss:
+		svc.SetScrapeLossRate(f.Rate)
+	case SampleCorruption:
+		svc.SetSampleCorruptionRate(f.Rate)
 	}
-	i.active[target] = f
+	book[target] = f
 	return nil
 }
 
-// Clear removes the active fault from target.
+// Clear removes the target's service-plane fault; when only a
+// telemetry-plane fault is active, it removes that instead. The asymmetry is
+// deliberate: clearing an injected service fault at a phase boundary must not
+// also lift a long-lived telemetry degradation riding on the same target
+// (use ClearTelemetry for that).
 func (i *Injector) Clear(target string) error {
 	svc, ok := i.cluster.Service(target)
 	if !ok {
 		return fmt.Errorf("chaos: clear: %w", &sim.UnknownServiceError{Name: target})
 	}
-	f, busy := i.active[target]
+	if f, busy := i.active[target]; busy {
+		switch f.Type {
+		case ServiceUnavailable:
+			svc.SetUnavailable(false)
+		case Latency:
+			svc.SetExtraLatency(0)
+		case ErrorRate:
+			svc.SetErrorRate(0)
+		case Pause:
+			svc.SetPaused(false)
+		}
+		delete(i.active, target)
+		return nil
+	}
+	if _, busy := i.telemetry[target]; busy {
+		return i.ClearTelemetry(target)
+	}
+	return fmt.Errorf("chaos: %s has no active fault", target)
+}
+
+// ClearTelemetry removes the target's telemetry-plane fault.
+func (i *Injector) ClearTelemetry(target string) error {
+	svc, ok := i.cluster.Service(target)
+	if !ok {
+		return fmt.Errorf("chaos: clear: %w", &sim.UnknownServiceError{Name: target})
+	}
+	f, busy := i.telemetry[target]
 	if !busy {
-		return fmt.Errorf("chaos: %s has no active fault", target)
+		return fmt.Errorf("chaos: %s has no active telemetry fault", target)
 	}
 	switch f.Type {
-	case ServiceUnavailable:
-		svc.SetUnavailable(false)
-	case Latency:
-		svc.SetExtraLatency(0)
-	case ErrorRate:
-		svc.SetErrorRate(0)
-	case Pause:
-		svc.SetPaused(false)
+	case ScrapeLoss:
+		svc.SetScrapeLossRate(0)
+	case SampleCorruption:
+		svc.SetSampleCorruptionRate(0)
 	}
-	delete(i.active, target)
+	delete(i.telemetry, target)
 	return nil
 }
 
-// ClearAll removes every active fault.
+// ClearAll removes every active fault on both planes.
 func (i *Injector) ClearAll() error {
 	for target := range i.active {
 		if err := i.Clear(target); err != nil {
 			return err
 		}
 	}
+	for target := range i.telemetry {
+		if err := i.ClearTelemetry(target); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// Active returns the services with an active fault.
+// Active returns the services with an active service-plane fault.
 func (i *Injector) Active() map[string]Fault {
 	out := make(map[string]Fault, len(i.active))
 	for k, v := range i.active {
+		out[k] = v
+	}
+	return out
+}
+
+// ActiveTelemetry returns the services with an active telemetry-plane fault.
+func (i *Injector) ActiveTelemetry() map[string]Fault {
+	out := make(map[string]Fault, len(i.telemetry))
+	for k, v := range i.telemetry {
 		out[k] = v
 	}
 	return out
@@ -153,6 +265,9 @@ func (i *Injector) Active() map[string]Fault {
 func (i *Injector) ScheduleWindow(target string, f Fault, start sim.Time, duration time.Duration, onErr func(error)) error {
 	if duration <= 0 {
 		return fmt.Errorf("chaos: schedule window needs positive duration, got %v", duration)
+	}
+	if err := f.Validate(); err != nil {
+		return fmt.Errorf("chaos: schedule %s: %w", target, err)
 	}
 	if _, ok := i.cluster.Service(target); !ok {
 		return fmt.Errorf("chaos: schedule: %w", &sim.UnknownServiceError{Name: target})

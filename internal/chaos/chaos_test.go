@@ -194,3 +194,153 @@ func TestFaultTypeStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestFaultValidateDirectly(t *testing.T) {
+	bad := []Fault{
+		{},                                    // zero type
+		{Type: ServiceUnavailable, Delay: -1}, // negative delay
+		{Type: Latency, Delay: -time.Second},  // negative delay
+		{Type: ErrorRate, Rate: -0.1},         // negative rate
+		{Type: ScrapeLoss},                    // missing rate
+		{Type: ScrapeLoss, Rate: 1.5},         // rate out of range
+		{Type: SampleCorruption, Rate: -1},    // rate out of range
+		{Type: FaultType(99), Rate: 0.5},      // unknown type
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("case %d: fault %+v validated", i, f)
+		}
+	}
+	good := []Fault{
+		Unavailable(),
+		{Type: Latency, Delay: time.Millisecond},
+		{Type: ErrorRate, Rate: 0.5},
+		{Type: Pause},
+		{Type: ScrapeLoss, Rate: 0.2},
+		{Type: SampleCorruption, Rate: 1},
+	}
+	for i, f := range good {
+		if err := f.Validate(); err != nil {
+			t.Errorf("case %d: fault %+v rejected: %v", i, f, err)
+		}
+	}
+}
+
+func TestTelemetryFaultCoexistsWithServiceFault(t *testing.T) {
+	_, cluster, inj := newCluster(t)
+	if err := inj.Inject("svc", Fault{Type: ScrapeLoss, Rate: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	// A service-plane fault rides on the same target without conflict.
+	if err := inj.Inject("svc", Unavailable()); err != nil {
+		t.Fatalf("service fault under telemetry fault rejected: %v", err)
+	}
+	// But a second telemetry fault is one-per-plane.
+	if err := inj.Inject("svc", Fault{Type: SampleCorruption, Rate: 0.1}); err == nil {
+		t.Fatal("second telemetry fault on same service accepted")
+	}
+	if len(inj.Active()) != 1 || len(inj.ActiveTelemetry()) != 1 {
+		t.Fatalf("Active=%v ActiveTelemetry=%v", inj.Active(), inj.ActiveTelemetry())
+	}
+	// Clear removes the service-plane fault first, leaving the telemetry
+	// degradation in place (a campaign clearing its injected fault must
+	// not silently lift a long-lived scrape-loss fault).
+	if err := inj.Clear("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if len(inj.Active()) != 0 {
+		t.Fatalf("service fault survived Clear: %v", inj.Active())
+	}
+	if len(inj.ActiveTelemetry()) != 1 {
+		t.Fatalf("telemetry fault did not survive Clear: %v", inj.ActiveTelemetry())
+	}
+	svc, _ := cluster.Service("svc")
+	if svc.ScrapeLossRate() == 0 {
+		t.Fatal("scrape-loss rate lifted by Clear")
+	}
+	// With no service fault left, Clear falls back to the telemetry plane.
+	if err := inj.Clear("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if len(inj.ActiveTelemetry()) != 0 {
+		t.Fatalf("telemetry fault survived second Clear: %v", inj.ActiveTelemetry())
+	}
+	if svc.ScrapeLossRate() != 0 {
+		t.Fatal("scrape-loss rate not reset")
+	}
+}
+
+func TestClearTelemetry(t *testing.T) {
+	_, cluster, inj := newCluster(t)
+	if err := inj.ClearTelemetry("svc"); err == nil {
+		t.Fatal("ClearTelemetry on healthy service accepted")
+	}
+	if err := inj.Inject("svc", Fault{Type: SampleCorruption, Rate: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	svc, _ := cluster.Service("svc")
+	if svc.SampleCorruptionRate() != 0.5 {
+		t.Fatalf("corruption rate = %v", svc.SampleCorruptionRate())
+	}
+	if err := inj.ClearTelemetry("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if svc.SampleCorruptionRate() != 0 {
+		t.Fatal("corruption rate not reset")
+	}
+}
+
+func TestClearAllBothPlanes(t *testing.T) {
+	_, _, inj := newCluster(t)
+	if err := inj.Inject("svc", Unavailable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Inject("svc", Fault{Type: ScrapeLoss, Rate: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.ClearAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(inj.Active()) != 0 || len(inj.ActiveTelemetry()) != 0 {
+		t.Fatalf("ClearAll left Active=%v ActiveTelemetry=%v", inj.Active(), inj.ActiveTelemetry())
+	}
+}
+
+func TestScheduleWindowNilOnErr(t *testing.T) {
+	eng, _, inj := newCluster(t)
+	// Occupy the service plane for the whole run so the scheduled window's
+	// Inject (and its deferred Clear, which finds a different fault than it
+	// installed) both fail — with a nil onErr those failures must be
+	// swallowed, not panic.
+	if err := inj.Inject("svc", Unavailable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.ScheduleWindow("svc", Fault{Type: Latency, Delay: time.Second}, time.Second, 2*time.Second, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Clear("svc"); err != nil {
+		t.Fatal(err)
+	}
+	// Now the window's Clear at t=3s fires on a service with no fault at
+	// all; it errors into the nil callback.
+	eng.Run(5 * time.Second)
+}
+
+func TestScheduleWindowRejectsInvalidFault(t *testing.T) {
+	_, _, inj := newCluster(t)
+	if err := inj.ScheduleWindow("svc", Fault{Type: ErrorRate}, 0, time.Second, nil); err == nil {
+		t.Error("invalid fault accepted by ScheduleWindow")
+	}
+}
+
+func TestTelemetryFaultTypeStrings(t *testing.T) {
+	if got := ScrapeLoss.String(); got != "scrape-loss" {
+		t.Errorf("ScrapeLoss.String() = %q", got)
+	}
+	if got := SampleCorruption.String(); got != "sample-corruption" {
+		t.Errorf("SampleCorruption.String() = %q", got)
+	}
+	if !ScrapeLoss.Telemetry() || !SampleCorruption.Telemetry() || ServiceUnavailable.Telemetry() {
+		t.Error("Telemetry() plane classification wrong")
+	}
+}

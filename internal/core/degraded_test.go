@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"causalfl/internal/metrics"
+)
+
+// TestLocalizePartialSnapshots drives Localize through the degraded-input
+// table: every case must return a result — possibly an abstention — with a
+// degradation report attached, and must never error or panic.
+func TestLocalizePartialSnapshots(t *testing.T) {
+	f := newFixture()
+	model := f.trainModel(t)
+	lo, err := NewLocalizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	allNaN := func() *metrics.Snapshot {
+		snap := metrics.NewSnapshot(f.metrics, f.services)
+		for _, m := range f.metrics {
+			for _, svc := range f.services {
+				series := make([]float64, 20)
+				for i := range series {
+					series[i] = math.NaN()
+				}
+				snap.Data[m][svc] = series
+			}
+		}
+		return snap
+	}
+
+	tests := []struct {
+		name          string
+		production    func() *metrics.Snapshot
+		wantAbstain   bool
+		wantDegraded  bool   // snapshot-level report must flag degradation
+		wantCandidate string // checked only when non-empty
+	}{
+		{
+			name: "empty snapshot",
+			production: func() *metrics.Snapshot {
+				return metrics.NewSnapshot(f.metrics, f.services)
+			},
+			wantAbstain:  true,
+			wantDegraded: true,
+		},
+		{
+			name: "fully missing metric",
+			production: func() *metrics.Snapshot {
+				snap := f.snapshot(f.groundTruth()["a"])
+				delete(snap.Data, "m2")
+				return snap
+			},
+			wantCandidate: "a",
+		},
+		{
+			name: "fully missing service",
+			production: func() *metrics.Snapshot {
+				snap := f.snapshot(f.groundTruth()["c"])
+				for _, m := range f.metrics {
+					delete(snap.Data[m], "d")
+				}
+				return snap
+			},
+			wantCandidate: "c",
+		},
+		{
+			name:         "all series NaN",
+			production:   allNaN,
+			wantAbstain:  true,
+			wantDegraded: true,
+		},
+		{
+			// Series exist and are finite, just too short to test: the
+			// snapshot-level report stays clean; the abstention evidence
+			// lives in MetricCoverage instead.
+			name: "short series below min samples",
+			production: func() *metrics.Snapshot {
+				snap := metrics.NewSnapshot(f.metrics, f.services)
+				for _, m := range f.metrics {
+					for _, svc := range f.services {
+						snap.Data[m][svc] = []float64{1, 2}
+					}
+				}
+				return snap
+			},
+			wantAbstain: true,
+		},
+	}
+
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			loc, err := lo.Localize(model, tt.production())
+			if err != nil {
+				t.Fatalf("Localize errored on degraded input: %v", err)
+			}
+			if loc.Degradation == nil {
+				t.Fatal("no degradation report attached")
+			}
+			if loc.Abstained != tt.wantAbstain {
+				t.Fatalf("Abstained = %v, want %v (candidates %v, coverage %v)",
+					loc.Abstained, tt.wantAbstain, loc.Candidates, loc.MetricCoverage)
+			}
+			if tt.wantAbstain {
+				if loc.Candidates != nil {
+					t.Fatalf("abstention carries candidates %v", loc.Candidates)
+				}
+				// Abstention must come with coverage evidence.
+				for m, cov := range loc.MetricCoverage {
+					if cov != 0 {
+						t.Errorf("abstained but metric %s coverage = %v", m, cov)
+					}
+				}
+				if tt.wantDegraded && !loc.Degradation.Degraded() {
+					t.Error("abstained but degradation report claims clean")
+				}
+				return
+			}
+			if tt.wantCandidate != "" && !setEqual(loc.Candidates, tt.wantCandidate) {
+				t.Fatalf("candidates = %v, want {%s}", loc.Candidates, tt.wantCandidate)
+			}
+		})
+	}
+}
+
+func TestLocalizeMissingMetricReportsCoverage(t *testing.T) {
+	f := newFixture()
+	model := f.trainModel(t)
+	lo, err := NewLocalizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	production := f.snapshot(f.groundTruth()["a"])
+	delete(production.Data, "m2")
+	loc, err := lo.Localize(model, production)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loc.MetricCoverage["m2"]; got != 0 {
+		t.Errorf("dark metric m2 coverage = %v, want 0", got)
+	}
+	if got := loc.MetricCoverage["m1"]; got != 1 {
+		t.Errorf("intact metric m1 coverage = %v, want 1", got)
+	}
+	if _, ok := loc.Anomalies["m2"]; ok {
+		t.Error("dark metric m2 contributed an anomaly set")
+	}
+	if loc.Degradation.MissingPairs != len(f.services) {
+		t.Errorf("MissingPairs = %d, want %d", loc.Degradation.MissingPairs, len(f.services))
+	}
+}
+
+func TestLocalizeDownWeightsPartialMetrics(t *testing.T) {
+	f := newFixture()
+	model := f.trainModel(t)
+	lo, err := NewLocalizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fault in a. m1 is fully covered; m2 lost half its services (c and d),
+	// so its vote for a carries weight 0.5 instead of 1.
+	production := f.snapshot(f.groundTruth()["a"])
+	delete(production.Data["m2"], "c")
+	delete(production.Data["m2"], "d")
+	loc, err := lo.Localize(model, production)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !setEqual(loc.Candidates, "a") {
+		t.Fatalf("candidates = %v, want {a}", loc.Candidates)
+	}
+	if got := loc.MetricCoverage["m2"]; got != 0.5 {
+		t.Fatalf("m2 coverage = %v, want 0.5", got)
+	}
+	const eps = 1e-9
+	if got := loc.Votes["a"]; math.Abs(got-1.5) > eps {
+		t.Fatalf("votes for a = %v, want 1.5 (1.0 from m1 + 0.5 from half-covered m2)", got)
+	}
+}
+
+func TestLocalizeCleanSnapshotUnchanged(t *testing.T) {
+	f := newFixture()
+	model := f.trainModel(t)
+	lo, err := NewLocalizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := lo.Localize(model, f.snapshot(f.groundTruth()["c"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Abstained {
+		t.Fatal("clean snapshot abstained")
+	}
+	if !setEqual(loc.Candidates, "c") {
+		t.Fatalf("candidates = %v, want {c}", loc.Candidates)
+	}
+	for m, cov := range loc.MetricCoverage {
+		if cov != 1 {
+			t.Errorf("clean metric %s coverage = %v, want 1", m, cov)
+		}
+	}
+	if loc.Degradation.Degraded() {
+		t.Errorf("clean snapshot flagged degraded: %s", loc.Degradation)
+	}
+}
+
+func TestLearnerSkipsMissingPairs(t *testing.T) {
+	f := newFixture()
+	baseline := f.snapshot(nil)
+	interventions := make(map[string]*metrics.Snapshot)
+	for target, worlds := range f.groundTruth() {
+		interventions[target] = f.snapshot(worlds)
+	}
+	// Service d's series is gone from the intervention-on-a dataset: the
+	// learner must still train, just without testing that pair.
+	delete(interventions["a"].Data["m1"], "d")
+	l, err := NewLearner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := l.Learn(baseline, interventions)
+	if err != nil {
+		t.Fatalf("Learn errored on incomplete intervention data: %v", err)
+	}
+	got, err := model.CausalSet("m1", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d was never in C(a, m1); the untestable pair changes nothing here,
+	// but the causal set must still be recovered from the remaining pairs.
+	if !setEqual(got, "a", "b") {
+		t.Fatalf("C(a,m1) = %v, want {a,b}", got)
+	}
+}
+
+func TestLearnerMinSamplesOption(t *testing.T) {
+	if _, err := NewLearner(WithMinSamples(0)); err == nil {
+		t.Error("accepted min samples 0")
+	}
+	l, err := NewLearner(WithMinSamples(10))
+	if err != nil || l.minSamples != 10 {
+		t.Errorf("WithMinSamples not applied: %+v err=%v", l, err)
+	}
+	if _, err := NewLocalizer(WithLocalizerMinSamples(0)); err == nil {
+		t.Error("localizer accepted min samples 0")
+	}
+}

@@ -10,6 +10,12 @@ import (
 // DefaultAlpha is the significance level for the two-sample tests.
 const DefaultAlpha = 0.05
 
+// DefaultMinSamples is the smallest series length a KS comparison is run on.
+// Below four points per side the KS statistic's resolution is so coarse that
+// rejection is effectively arbitrary; degraded pairs shorter than this are
+// skipped rather than tested.
+const DefaultMinSamples = 4
+
 // LearnerOption customizes a Learner.
 type LearnerOption func(*Learner) error
 
@@ -51,11 +57,25 @@ func WithFDR(q float64) LearnerOption {
 	}
 }
 
+// WithMinSamples overrides the minimum series length required to run a KS
+// comparison on a (metric, service) pair (default DefaultMinSamples). Pairs
+// with fewer finite points on either side are skipped, not tested.
+func WithMinSamples(n int) LearnerOption {
+	return func(l *Learner) error {
+		if n < 1 {
+			return fmt.Errorf("core: min samples must be >= 1, got %d", n)
+		}
+		l.minSamples = n
+		return nil
+	}
+}
+
 // Learner implements Algorithm 1: fault-injection-driven causal learning.
 type Learner struct {
-	alpha float64
-	test  stats.TwoSampleTest
-	fdrQ  float64
+	alpha      float64
+	test       stats.TwoSampleTest
+	fdrQ       float64
+	minSamples int
 }
 
 // NewLearner constructs a learner with the paper's defaults: the KS test at
@@ -63,7 +83,7 @@ type Learner struct {
 // operationally meaningless micro-shifts on near-deterministic metrics do
 // not pollute the causal sets.
 func NewLearner(opts ...LearnerOption) (*Learner, error) {
-	l := &Learner{alpha: DefaultAlpha, test: stats.GuardedTest{Inner: stats.KSTest{}}}
+	l := &Learner{alpha: DefaultAlpha, test: stats.GuardedTest{Inner: stats.KSTest{}}, minSamples: DefaultMinSamples}
 	for _, opt := range opts {
 		if err := opt(l); err != nil {
 			return nil, err
@@ -74,7 +94,10 @@ func NewLearner(opts ...LearnerOption) (*Learner, error) {
 
 // Learn runs Algorithm 1 over collected datasets: baseline is D_0 (fault
 // free) and interventions maps each injected service s to its dataset D_s.
-// Both must cover the same metric and service universe.
+// Both are declared over the same metric and service universe, but may be
+// incomplete: (metric, service) pairs that are missing, or too short to test
+// on either side, are skipped rather than failing the whole campaign. On a
+// complete clean grid the result is identical to strict learning.
 //
 // For every metric M and injected service s it computes
 //
@@ -85,7 +108,7 @@ func (l *Learner) Learn(baseline *metrics.Snapshot, interventions map[string]*me
 	if baseline == nil {
 		return nil, fmt.Errorf("core: learn: nil baseline")
 	}
-	if err := baseline.Validate(); err != nil {
+	if err := baseline.ValidateTolerant(); err != nil {
 		return nil, fmt.Errorf("core: learn: baseline: %w", err)
 	}
 	if len(interventions) == 0 {
@@ -132,10 +155,16 @@ func (l *Learner) Learn(baseline *metrics.Snapshot, interventions map[string]*me
 }
 
 // learnTarget fills C(target, M) for every metric from one intervention
-// dataset.
+// dataset. Pairs missing from either side, or with fewer than minSamples
+// points, are skipped: under degraded telemetry an untestable pair simply
+// contributes no edge, it does not abort learning.
 func (l *Learner) learnTarget(model *Model, target string, snap *metrics.Snapshot) error {
-	if err := snap.Validate(); err != nil {
+	if err := snap.ValidateTolerant(); err != nil {
 		return fmt.Errorf("core: learn: intervention %q: %w", target, err)
+	}
+	minSamples := l.minSamples
+	if minSamples < 1 {
+		minSamples = DefaultMinSamples
 	}
 	for _, m := range model.Metrics {
 		set := map[string]bool{target: true} // Algorithm 1 line 9
@@ -145,13 +174,10 @@ func (l *Learner) learnTarget(model *Model, target string, snap *metrics.Snapsho
 			if svc == target {
 				continue
 			}
-			faulted, err := snap.Series(m, svc)
-			if err != nil {
-				return fmt.Errorf("core: learn: intervention %q: %w", target, err)
-			}
-			base, err := model.Baseline.Series(m, svc)
-			if err != nil {
-				return fmt.Errorf("core: learn: baseline: %w", err)
+			faulted, okF := snap.SeriesOK(m, svc)
+			base, okB := model.Baseline.SeriesOK(m, svc)
+			if !okF || !okB || len(faulted) < minSamples || len(base) < minSamples {
+				continue
 			}
 			p, err := l.test.PValue(faulted, base)
 			if err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"causalfl/internal/metrics"
@@ -91,17 +92,30 @@ func WithVoteRule(rule VoteRule) LocalizerOption {
 	}
 }
 
+// WithLocalizerMinSamples overrides the minimum finite series length required
+// to test a (metric, service) pair (default DefaultMinSamples).
+func WithLocalizerMinSamples(n int) LocalizerOption {
+	return func(lo *Localizer) error {
+		if n < 1 {
+			return fmt.Errorf("core: min samples must be >= 1, got %d", n)
+		}
+		lo.minSamples = n
+		return nil
+	}
+}
+
 // Localizer implements Algorithm 2: majority-voting fault localization.
 type Localizer struct {
-	alpha float64
-	test  stats.TwoSampleTest
-	rule  VoteRule
-	fdrQ  float64
+	alpha      float64
+	test       stats.TwoSampleTest
+	rule       VoteRule
+	fdrQ       float64
+	minSamples int
 }
 
 // NewLocalizer constructs a localizer with the paper's defaults.
 func NewLocalizer(opts ...LocalizerOption) (*Localizer, error) {
-	lo := &Localizer{test: stats.GuardedTest{Inner: stats.KSTest{}}, rule: IntersectionVote}
+	lo := &Localizer{test: stats.GuardedTest{Inner: stats.KSTest{}}, rule: IntersectionVote, minSamples: DefaultMinSamples}
 	for _, opt := range opts {
 		if err := opt(lo); err != nil {
 			return nil, err
@@ -114,9 +128,14 @@ func NewLocalizer(opts ...LocalizerOption) (*Localizer, error) {
 type Localization struct {
 	// Candidates is the estimated fault-location set: every service tied
 	// at the maximum vote count. Ideally a singleton; ties shrink
-	// informativeness. When no metric cast a vote the candidate set is
-	// all trained targets — the algorithm learned nothing.
+	// informativeness. When no metric cast a vote but data was available,
+	// the candidate set is all trained targets — the algorithm learned
+	// nothing. When Abstained is set, Candidates is nil.
 	Candidates []string
+	// Abstained marks a localization that could not run at all: every
+	// metric was too degraded to test even one (metric, service) pair.
+	// The degradation evidence is in MetricCoverage and Degradation.
+	Abstained bool
 	// Votes maps each candidate target to its accumulated (possibly
 	// fractional, when per-metric winners tie) vote mass.
 	Votes map[string]float64
@@ -126,9 +145,22 @@ type Localization struct {
 	// MetricWinners records the per-metric argmax set (the services that
 	// tied for the best match under that metric).
 	MetricWinners map[string][]string
+	// MetricCoverage maps each metric to the fraction of the model's
+	// services whose production series was testable, in [0,1]. All 1 on
+	// clean data.
+	MetricCoverage map[string]float64
+	// Degradation summarizes the production snapshot measured against the
+	// model's metric×service grid.
+	Degradation *metrics.DegradationReport
 }
 
-// Localize runs Algorithm 2 against production data.
+// Localize runs Algorithm 2 against production data. The production snapshot
+// may be incomplete or contain non-finite values: untestable (metric,
+// service) pairs are skipped, votes from partially covered metrics are
+// down-weighted by their coverage, and when every metric is completely dark
+// the result is an explicit abstention (Abstained=true, nil Candidates) with
+// the coverage evidence attached — never an error or panic. On a clean
+// full-grid snapshot the result is identical to strict localization.
 func (lo *Localizer) Localize(model *Model, production *metrics.Snapshot) (*Localization, error) {
 	if model == nil {
 		return nil, fmt.Errorf("core: localize: nil model")
@@ -139,25 +171,36 @@ func (lo *Localizer) Localize(model *Model, production *metrics.Snapshot) (*Loca
 	if production == nil {
 		return nil, fmt.Errorf("core: localize: nil production snapshot")
 	}
-	if err := production.Validate(); err != nil {
-		return nil, fmt.Errorf("core: localize: production: %w", err)
-	}
 	alpha := lo.alpha
 	if alpha == 0 {
 		alpha = model.Alpha
 	}
 
 	out := &Localization{
-		Votes:         make(map[string]float64, len(model.Targets)),
-		Anomalies:     make(map[string][]string, len(model.Metrics)),
-		MetricWinners: make(map[string][]string, len(model.Metrics)),
+		Votes:          make(map[string]float64, len(model.Targets)),
+		Anomalies:      make(map[string][]string, len(model.Metrics)),
+		MetricWinners:  make(map[string][]string, len(model.Metrics)),
+		MetricCoverage: make(map[string]float64, len(model.Metrics)),
+		Degradation:    metrics.AssessOver(production, model.Metrics, model.Services),
 	}
 
+	testedAny := false
 	for _, metric := range model.Metrics {
-		anom, err := anomalies(lo.test, alpha, lo.fdrQ, model.Baseline, production, metric)
+		anom, tested, err := lo.anomaliesTolerant(alpha, model, production, metric)
 		if err != nil {
 			return nil, err
 		}
+		coverage := 0.0
+		if n := len(model.Services); n > 0 {
+			coverage = float64(tested) / float64(n)
+		}
+		out.MetricCoverage[metric] = coverage
+		if tested == 0 {
+			// The metric is completely dark: no pair was testable, so
+			// it can neither vote nor attest health.
+			continue
+		}
+		testedAny = true
 		out.Anomalies[metric] = anom
 		if len(anom) == 0 {
 			// Nothing anomalous under this metric: abstain rather
@@ -200,14 +243,21 @@ func (lo *Localizer) Localize(model *Model, production *metrics.Snapshot) (*Loca
 			winners = mostParsimonious(model, metric, winners)
 		}
 		out.MetricWinners[metric] = winners
-		// Ties split the metric's single vote evenly, keeping the total
-		// vote mass one per voting metric.
-		share := 1.0 / float64(len(winners))
+		// Ties split the metric's vote evenly; a partially covered metric
+		// casts proportionally less mass (coverage 1 on clean data, so
+		// the weighting is invisible there) — a metric that saw half its
+		// services should not outvote one that saw them all.
+		share := coverage / float64(len(winners))
 		for _, w := range winners {
 			out.Votes[w] += share
 		}
 	}
 
+	if !testedAny {
+		// Every metric was dark: abstain explicitly instead of guessing.
+		out.Abstained = true
+		return out, nil
+	}
 	out.Candidates = argmaxVotes(out.Votes)
 	if len(out.Candidates) == 0 {
 		// No metric voted: return the uninformative full candidate set.
@@ -215,6 +265,70 @@ func (lo *Localizer) Localize(model *Model, production *metrics.Snapshot) (*Loca
 		sort.Strings(out.Candidates)
 	}
 	return out, nil
+}
+
+// anomaliesTolerant computes A(metric) on a possibly-degraded production
+// snapshot. A (metric, service) pair is tested only when both the model
+// baseline and production carry at least minSamples finite points for it;
+// untestable pairs are skipped. It returns the anomalous set and how many
+// services were actually tested (the metric's coverage numerator).
+func (lo *Localizer) anomaliesTolerant(alpha float64, model *Model, production *metrics.Snapshot, metric string) ([]string, int, error) {
+	minSamples := lo.minSamples
+	if minSamples < 1 {
+		minSamples = DefaultMinSamples
+	}
+	var family []string
+	var pvals []float64
+	for _, svc := range model.Services {
+		base, okB := model.Baseline.SeriesOK(metric, svc)
+		prod, okP := production.SeriesOK(metric, svc)
+		if !okB || !okP {
+			continue
+		}
+		prod = finiteValues(prod)
+		if len(base) < minSamples || len(prod) < minSamples {
+			continue
+		}
+		p, err := lo.test.PValue(prod, base)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: anomaly test %s on %s: %w", metric, svc, err)
+		}
+		family = append(family, svc)
+		pvals = append(pvals, p)
+	}
+	shifted, err := decideFamily(pvals, alpha, lo.fdrQ)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: anomalies: %w", err)
+	}
+	set := make(map[string]bool)
+	for i, svc := range family {
+		if shifted[i] {
+			set[svc] = true
+		}
+	}
+	return sortedSet(set), len(family), nil
+}
+
+// finiteValues returns the finite entries of s. When every entry is finite —
+// the steady-state case — it returns s itself without allocating.
+func finiteValues(s []float64) []float64 {
+	clean := true
+	for _, v := range s {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	out := make([]float64, 0, len(s))
+	for _, v := range s {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // mostParsimonious shrinks a tied winner list to the targets with the
@@ -277,9 +391,11 @@ func (lo *Localizer) LocalizeMulti(model *Model, production *metrics.Snapshot, k
 	}
 
 	// Anomalies per metric, computed once and consumed round by round.
+	// The tolerant path skips untestable pairs, so degraded production
+	// snapshots narrow the anomaly evidence instead of erroring.
 	remaining := make(map[string]map[string]bool, len(model.Metrics))
 	for _, metric := range model.Metrics {
-		anom, err := anomalies(lo.test, alpha, lo.fdrQ, model.Baseline, production, metric)
+		anom, _, err := lo.anomaliesTolerant(alpha, model, production, metric)
 		if err != nil {
 			return nil, err
 		}

@@ -104,7 +104,9 @@ func (m *Model) Validate() error {
 			}
 		}
 	}
-	return m.Baseline.Validate()
+	// Tolerant on purpose: a baseline learned from degraded telemetry may
+	// legitimately lack (metric, service) pairs that repair dropped.
+	return m.Baseline.ValidateTolerant()
 }
 
 // Describe renders the model's causal worlds as text: one block per metric,

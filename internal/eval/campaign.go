@@ -64,6 +64,48 @@ type Config struct {
 	// Fault is the injected fault (default the paper's
 	// http-service-unavailable).
 	Fault chaos.Fault
+	// Degraded, when set, degrades the telemetry plane for the whole
+	// campaign and routes collection through the lossy pipeline (retrying
+	// sampler, coverage-aware windows, snapshot repair). Nil reproduces
+	// the clean pipeline bit for bit.
+	Degraded *DegradedTelemetry
+}
+
+// DegradedTelemetry configures campaign-wide telemetry degradation: every
+// service's scrapes fail with probability ScrapeLoss and are corrupted with
+// probability Corruption, independently per tick. Collection then runs the
+// full robustness pipeline. With both rates zero the configuration is inert:
+// no randomness is drawn and the collected snapshots equal the clean path's.
+type DegradedTelemetry struct {
+	// ScrapeLoss is the per-tick probability that a scrape returns
+	// nothing, in [0,1].
+	ScrapeLoss float64
+	// Corruption is the per-tick probability that a scrape's reading is
+	// mangled (NaN/Inf/spike), in [0,1].
+	Corruption float64
+	// Retry re-reads failed scrapes before declaring a tick missing.
+	// Zero Attempts disables retrying.
+	Retry telemetry.RetryPolicy
+	// MinWindowCoverage marks windows with less tick coverage than this
+	// as missing (NaN). Zero selects the BuildSnapshotDegraded default.
+	MinWindowCoverage float64
+	// Repair is the snapshot repair policy. The zero value imputes with
+	// the default thresholds.
+	Repair metrics.RepairPolicy
+}
+
+// validate checks the degradation rates.
+func (d *DegradedTelemetry) validate() error {
+	if d.ScrapeLoss < 0 || d.ScrapeLoss > 1 {
+		return fmt.Errorf("eval: scrape-loss fraction %v outside [0,1]", d.ScrapeLoss)
+	}
+	if d.Corruption < 0 || d.Corruption > 1 {
+		return fmt.Errorf("eval: corruption fraction %v outside [0,1]", d.Corruption)
+	}
+	if d.MinWindowCoverage < 0 || d.MinWindowCoverage > 1 {
+		return fmt.Errorf("eval: min window coverage %v outside [0,1]", d.MinWindowCoverage)
+	}
+	return nil
 }
 
 // withDefaults fills zero fields.
@@ -113,6 +155,11 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Fault.Type == 0 {
 		c.Fault = chaos.Unavailable()
 	}
+	if c.Degraded != nil {
+		if err := c.Degraded.validate(); err != nil {
+			return c, err
+		}
+	}
 	return c, nil
 }
 
@@ -146,13 +193,30 @@ func newSession(cfg Config, multiplier float64, seed int64) (*session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("eval: load generator: %w", err)
 	}
-	sampler, err := telemetry.NewSampler(app.Cluster, cfg.SampleInterval)
+	var samplerOpts []telemetry.SamplerOption
+	if cfg.Degraded != nil && cfg.Degraded.Retry.Attempts > 0 {
+		samplerOpts = append(samplerOpts, telemetry.WithRetry(cfg.Degraded.Retry))
+	}
+	sampler, err := telemetry.NewSampler(app.Cluster, cfg.SampleInterval, samplerOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("eval: sampler: %w", err)
 	}
 	injector, err := chaos.NewInjector(app.Cluster)
 	if err != nil {
 		return nil, fmt.Errorf("eval: injector: %w", err)
+	}
+	if cfg.Degraded != nil {
+		// Ambient degradation is environment state, not an injected
+		// experiment fault: set the rates directly so the injector's
+		// telemetry-plane ledger stays free for per-target injections.
+		for _, name := range app.Cluster.ServiceNames() {
+			svc, ok := app.Cluster.Service(name)
+			if !ok {
+				continue
+			}
+			svc.SetScrapeLossRate(cfg.Degraded.ScrapeLoss)
+			svc.SetSampleCorruptionRate(cfg.Degraded.Corruption)
+		}
 	}
 	if err := gen.Start(); err != nil {
 		return nil, fmt.Errorf("eval: start load: %w", err)
@@ -189,6 +253,14 @@ func (s *session) collect(d time.Duration) (*metrics.Snapshot, error) {
 	windows, err := telemetry.WindowsByService(s.sampler.Drain(), s.cfg.WindowLength, s.cfg.WindowHop)
 	if err != nil {
 		return nil, fmt.Errorf("eval: collect: %w", err)
+	}
+	if d := s.cfg.Degraded; d != nil {
+		snap, err := metrics.BuildSnapshotDegraded(windows, s.app.Services(), s.cfg.Metrics, d.MinWindowCoverage)
+		if err != nil {
+			return nil, fmt.Errorf("eval: collect: %w", err)
+		}
+		repaired, _ := metrics.Repair(snap, d.Repair)
+		return repaired, nil
 	}
 	snap, err := metrics.BuildSnapshot(windows, s.app.Services(), s.cfg.Metrics)
 	if err != nil {

@@ -18,8 +18,15 @@ type Outcome struct {
 	// criterion: the output is a set of candidate root causes).
 	Correct bool
 	// Informativeness is (n-x)/(n-1) with n services and x candidates
-	// (§VI-A): 1.0 pins a single location, 0 excludes nothing.
+	// (§VI-A): 1.0 pins a single location, 0 excludes nothing. An
+	// abstention scores 0: naming nobody excludes nobody.
 	Informativeness float64
+	// Abstained marks a localization that declined to answer because the
+	// telemetry was too degraded to test anything.
+	Abstained bool
+	// Coverage is the localization's mean per-metric coverage (1 on clean
+	// data).
+	Coverage float64
 	// Votes is the localizer's vote mass per candidate target.
 	Votes map[string]float64
 }
@@ -33,13 +40,26 @@ func newOutcome(target string, loc *core.Localization, nServices int) Outcome {
 			break
 		}
 	}
-	return Outcome{
+	o := Outcome{
 		Target:          target,
 		Candidates:      append([]string(nil), loc.Candidates...),
 		Correct:         correct,
 		Informativeness: Informativeness(nServices, len(loc.Candidates)),
+		Abstained:       loc.Abstained,
+		Coverage:        1,
 		Votes:           loc.Votes,
 	}
+	if n := len(loc.MetricCoverage); n > 0 {
+		sum := 0.0
+		for _, c := range loc.MetricCoverage {
+			sum += c
+		}
+		o.Coverage = sum / float64(n)
+	}
+	if o.Abstained {
+		o.Informativeness = 0
+	}
+	return o
 }
 
 // Informativeness computes (n-x)/(n-1) (paper §VI-A), clamped to [0, 1].

@@ -13,6 +13,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 
 	"causalfl/internal/sim"
 	"causalfl/internal/telemetry"
@@ -181,6 +182,46 @@ func BuildSnapshot(windows map[string][]telemetry.Window, services []string, set
 			series := make([]float64, len(ws))
 			for i, w := range ws {
 				series[i] = m.Extract(w.Sum)
+			}
+			snap.Data[m.Name][svc] = series
+		}
+	}
+	return snap, nil
+}
+
+// BuildSnapshotDegraded is BuildSnapshot for lossy collection: windows whose
+// coverage falls below minCoverage yield NaN (a marker for Repair to impute
+// or drop), and raw count metrics on partially covered windows are upscaled
+// by 1/coverage so a window that saw 80% of its ticks still estimates the
+// full-window count. Derived ratio metrics are left alone — numerator and
+// denominator shrink by the same factor, so the ratio is already unbiased.
+// minCoverage <= 0 selects 0.5. On fully covered windows the result is
+// identical to BuildSnapshot.
+func BuildSnapshotDegraded(windows map[string][]telemetry.Window, services []string, set []Metric, minCoverage float64) (*Snapshot, error) {
+	if len(set) == 0 {
+		return nil, fmt.Errorf("metrics: empty metric set")
+	}
+	if len(services) == 0 {
+		return nil, fmt.Errorf("metrics: empty service list")
+	}
+	if minCoverage <= 0 {
+		minCoverage = 0.5
+	}
+	snap := NewSnapshot(Names(set), services)
+	for _, m := range set {
+		for _, svc := range services {
+			ws := windows[svc]
+			series := make([]float64, len(ws))
+			for i, w := range ws {
+				cov := w.Coverage()
+				switch {
+				case cov < minCoverage:
+					series[i] = math.NaN()
+				case m.Derived || cov >= 1:
+					series[i] = m.Extract(w.Sum)
+				default:
+					series[i] = m.Extract(w.Sum) / cov
+				}
 			}
 			snap.Data[m.Name][svc] = series
 		}

@@ -1,0 +1,308 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// RepairMode selects how Repair treats non-finite points inside a series.
+type RepairMode int
+
+const (
+	// RepairImpute replaces non-finite points by linear interpolation
+	// between the nearest finite neighbours (edge points copy the nearest
+	// finite value). It preserves series length, which keeps window
+	// alignment across services intact.
+	RepairImpute RepairMode = iota
+	// RepairDrop removes non-finite points, shortening the series. Honest
+	// about what was observed, at the cost of window alignment.
+	RepairDrop
+)
+
+// String returns the mode name.
+func (m RepairMode) String() string {
+	switch m {
+	case RepairImpute:
+		return "impute"
+	case RepairDrop:
+		return "drop"
+	default:
+		return "unknown"
+	}
+}
+
+// RepairPolicy controls Repair.
+type RepairPolicy struct {
+	// Mode selects imputation or dropping for non-finite points.
+	Mode RepairMode
+	// MinSeriesCoverage drops a (metric, service) pair whose fraction of
+	// finite points falls below it. Zero selects the default (0.5).
+	MinSeriesCoverage float64
+	// MinSeriesPoints drops a pair with fewer finite points than this.
+	// Zero selects the default (4, the minimum for a meaningful KS test).
+	MinSeriesPoints int
+}
+
+// DefaultRepairPolicy imputes, requires half the points finite, and at least
+// four finite points per series.
+func DefaultRepairPolicy() RepairPolicy {
+	return RepairPolicy{Mode: RepairImpute, MinSeriesCoverage: 0.5, MinSeriesPoints: 4}
+}
+
+func (p RepairPolicy) withDefaults() RepairPolicy {
+	if p.MinSeriesCoverage <= 0 {
+		p.MinSeriesCoverage = 0.5
+	}
+	if p.MinSeriesPoints <= 0 {
+		p.MinSeriesPoints = 4
+	}
+	return p
+}
+
+// DroppedPair identifies a (metric, service) series removed by Repair.
+type DroppedPair struct {
+	Metric  string
+	Service string
+}
+
+// DegradationReport quantifies how far a snapshot is from the complete
+// metric×service grid the paper assumes, and what repair did about it.
+type DegradationReport struct {
+	// TotalPoints counts every stored window value before repair.
+	TotalPoints int
+	// FinitePoints counts stored values that were finite before repair.
+	FinitePoints int
+	// ScrubbedPoints counts non-finite values removed or replaced.
+	ScrubbedPoints int
+	// ImputedPoints counts values filled in by interpolation.
+	ImputedPoints int
+	// DroppedPoints counts values discarded (RepairDrop mode and dropped
+	// pairs).
+	DroppedPoints int
+	// DroppedPairs lists series removed for insufficient coverage.
+	DroppedPairs []DroppedPair
+	// MissingPairs counts declared (metric, service) pairs with no series
+	// at all (before repair).
+	MissingPairs int
+	// MetricCoverage maps each metric to the fraction of declared services
+	// with a usable series after repair, in [0,1].
+	MetricCoverage map[string]float64
+}
+
+// Degraded reports whether the snapshot deviates from a clean full grid.
+func (r *DegradationReport) Degraded() bool {
+	return r.ScrubbedPoints > 0 || r.DroppedPoints > 0 || len(r.DroppedPairs) > 0 || r.MissingPairs > 0
+}
+
+// Coverage returns the overall fraction of declared pairs that remain usable,
+// averaging MetricCoverage over metrics (1 when no metrics are tracked).
+func (r *DegradationReport) Coverage() float64 {
+	if len(r.MetricCoverage) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, c := range r.MetricCoverage {
+		sum += c
+	}
+	return sum / float64(len(r.MetricCoverage))
+}
+
+// String renders a one-paragraph summary.
+func (r *DegradationReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "degradation: %d/%d points finite, %d scrubbed, %d imputed, %d dropped, %d pairs dropped, %d pairs missing, coverage %.2f",
+		r.FinitePoints, r.TotalPoints, r.ScrubbedPoints, r.ImputedPoints, r.DroppedPoints, len(r.DroppedPairs), r.MissingPairs, r.Coverage())
+	if len(r.MetricCoverage) > 0 {
+		names := make([]string, 0, len(r.MetricCoverage))
+		for m := range r.MetricCoverage {
+			names = append(names, m)
+		}
+		sort.Strings(names)
+		b.WriteString(" [")
+		for i, m := range names {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s=%.2f", m, r.MetricCoverage[m])
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// Sanitize scrubs a snapshot under the default repair policy and returns the
+// cleaned copy plus its degradation report. The input is not modified. The
+// result always passes ValidateTolerant (assuming the universe is declared).
+func Sanitize(s *Snapshot) (*Snapshot, *DegradationReport) {
+	return Repair(s, DefaultRepairPolicy())
+}
+
+// Repair returns a cleaned copy of s: non-finite values are imputed or
+// dropped per the policy, and (metric, service) pairs left with too little
+// finite data are removed entirely. The input is not modified. A clean
+// full-grid snapshot round-trips unchanged (beyond being copied).
+func Repair(s *Snapshot, policy RepairPolicy) (*Snapshot, *DegradationReport) {
+	policy = policy.withDefaults()
+	out := NewSnapshot(s.Metrics, s.Services)
+	rep := &DegradationReport{MetricCoverage: make(map[string]float64, len(s.Metrics))}
+
+	for _, m := range s.Metrics {
+		bySvc := s.Data[m]
+		usable := 0
+		for _, svc := range s.Services {
+			series, ok := bySvc[svc]
+			if !ok {
+				rep.MissingPairs++
+				continue
+			}
+			finite := 0
+			for _, v := range series {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) {
+					finite++
+				}
+			}
+			rep.TotalPoints += len(series)
+			rep.FinitePoints += finite
+			coverage := 0.0
+			if len(series) > 0 {
+				coverage = float64(finite) / float64(len(series))
+			}
+			if finite < policy.MinSeriesPoints || coverage < policy.MinSeriesCoverage {
+				rep.ScrubbedPoints += len(series) - finite
+				rep.DroppedPoints += finite
+				rep.DroppedPairs = append(rep.DroppedPairs, DroppedPair{Metric: m, Service: svc})
+				continue
+			}
+			repaired, scrubbed, imputed, dropped := repairSeries(series, policy.Mode)
+			rep.ScrubbedPoints += scrubbed
+			rep.ImputedPoints += imputed
+			rep.DroppedPoints += dropped
+			out.Data[m][svc] = repaired
+			usable++
+		}
+		if len(s.Services) > 0 {
+			rep.MetricCoverage[m] = float64(usable) / float64(len(s.Services))
+		}
+	}
+	sort.Slice(rep.DroppedPairs, func(i, j int) bool {
+		a, b := rep.DroppedPairs[i], rep.DroppedPairs[j]
+		if a.Metric != b.Metric {
+			return a.Metric < b.Metric
+		}
+		return a.Service < b.Service
+	})
+	return out, rep
+}
+
+// repairSeries cleans one series, returning the repaired copy and the counts
+// of scrubbed (non-finite encountered), imputed, and dropped points.
+func repairSeries(series []float64, mode RepairMode) (out []float64, scrubbed, imputed, dropped int) {
+	clean := true
+	for _, v := range series {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return append([]float64(nil), series...), 0, 0, 0
+	}
+	if mode == RepairDrop {
+		out = make([]float64, 0, len(series))
+		for _, v := range series {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				scrubbed++
+				dropped++
+				continue
+			}
+			out = append(out, v)
+		}
+		return out, scrubbed, 0, dropped
+	}
+	// Impute: linear interpolation between the nearest finite neighbours;
+	// runs touching an edge copy the nearest finite value.
+	out = append([]float64(nil), series...)
+	n := len(out)
+	for i := 0; i < n; i++ {
+		if !math.IsNaN(out[i]) && !math.IsInf(out[i], 0) {
+			continue
+		}
+		scrubbed++
+		// Find the nearest finite neighbours in the ORIGINAL series so a
+		// run of bad points interpolates across the whole run rather than
+		// chaining off freshly imputed values one step back.
+		lo, hi := -1, -1
+		for j := i - 1; j >= 0; j-- {
+			if !math.IsNaN(series[j]) && !math.IsInf(series[j], 0) {
+				lo = j
+				break
+			}
+		}
+		for j := i + 1; j < n; j++ {
+			if !math.IsNaN(series[j]) && !math.IsInf(series[j], 0) {
+				hi = j
+				break
+			}
+		}
+		switch {
+		case lo >= 0 && hi >= 0:
+			t := float64(i-lo) / float64(hi-lo)
+			out[i] = series[lo] + t*(series[hi]-series[lo])
+		case lo >= 0:
+			out[i] = series[lo]
+		case hi >= 0:
+			out[i] = series[hi]
+		default:
+			// Unreachable when the caller enforces MinSeriesPoints >= 1,
+			// but degrade to zero rather than leaving the NaN in place.
+			out[i] = 0
+		}
+		imputed++
+	}
+	return out, scrubbed, imputed, 0
+}
+
+// Assess computes a DegradationReport for s without repairing it, measured
+// against s's own declared universe.
+func Assess(s *Snapshot) *DegradationReport {
+	return AssessOver(s, s.Metrics, s.Services)
+}
+
+// AssessOver computes a DegradationReport for s measured against an external
+// universe (e.g. the trained model's grid), counting pairs the universe
+// declares but s lacks as missing.
+func AssessOver(s *Snapshot, metricNames, services []string) *DegradationReport {
+	rep := &DegradationReport{MetricCoverage: make(map[string]float64, len(metricNames))}
+	for _, m := range metricNames {
+		var bySvc map[string][]float64
+		if s != nil {
+			bySvc = s.Data[m]
+		}
+		usable := 0
+		for _, svc := range services {
+			series, ok := bySvc[svc]
+			if !ok {
+				rep.MissingPairs++
+				continue
+			}
+			finite := 0
+			for _, v := range series {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) {
+					finite++
+				}
+			}
+			rep.TotalPoints += len(series)
+			rep.FinitePoints += finite
+			rep.ScrubbedPoints += len(series) - finite
+			if finite > 0 {
+				usable++
+			}
+		}
+		if len(services) > 0 {
+			rep.MetricCoverage[m] = float64(usable) / float64(len(services))
+		}
+	}
+	return rep
+}

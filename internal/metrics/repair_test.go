@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"encoding/binary"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// degradedSnapshot builds a 2-metric × 2-service snapshot with a mix of
+// clean, corrupted, and missing series.
+func degradedSnapshot() *Snapshot {
+	s := NewSnapshot([]string{"m1", "m2"}, []string{"a", "b"})
+	s.Data["m1"]["a"] = []float64{1, 2, 3, 4, 5, 6}
+	s.Data["m1"]["b"] = []float64{1, math.NaN(), 3, 4, math.Inf(1), 6}
+	s.Data["m2"]["a"] = []float64{math.NaN(), math.NaN(), math.NaN(), math.NaN(), 5, 6}
+	// m2/b is missing entirely.
+	return s
+}
+
+func TestRepairCleanRoundTrip(t *testing.T) {
+	s := NewSnapshot([]string{"m"}, []string{"a", "b"})
+	s.Data["m"]["a"] = []float64{1, 2, 3, 4, 5}
+	s.Data["m"]["b"] = []float64{5, 4, 3, 2, 1}
+	out, rep := Sanitize(s)
+	if rep.Degraded() {
+		t.Fatalf("clean snapshot reported degraded: %s", rep)
+	}
+	if rep.Coverage() != 1 {
+		t.Fatalf("clean coverage = %v, want 1", rep.Coverage())
+	}
+	if !reflect.DeepEqual(out.Data, s.Data) {
+		t.Fatalf("clean repair changed data: %v vs %v", out.Data, s.Data)
+	}
+	// Must be a copy, not an alias.
+	out.Data["m"]["a"][0] = 99
+	if s.Data["m"]["a"][0] == 99 {
+		t.Fatal("Repair aliased the input series")
+	}
+}
+
+func TestRepairImputesLinear(t *testing.T) {
+	s := NewSnapshot([]string{"m"}, []string{"a"})
+	s.Data["m"]["a"] = []float64{math.NaN(), 2, math.NaN(), math.NaN(), 8, math.Inf(-1)}
+	out, rep := Repair(s, RepairPolicy{Mode: RepairImpute, MinSeriesCoverage: 0.1, MinSeriesPoints: 2})
+	got := out.Data["m"]["a"]
+	// Leading edge copies 2; the interior run interpolates 2→8 across the
+	// original neighbours (indices 1 and 4); the trailing edge copies 8.
+	want := []float64{2, 2, 4, 6, 8, 8}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("imputed series = %v, want %v", got, want)
+	}
+	if rep.ScrubbedPoints != 4 || rep.ImputedPoints != 4 || rep.DroppedPoints != 0 {
+		t.Fatalf("report = %s, want 4 scrubbed / 4 imputed / 0 dropped", rep)
+	}
+	if err := out.ValidateTolerant(); err != nil {
+		t.Fatalf("repaired snapshot invalid: %v", err)
+	}
+}
+
+func TestRepairDropMode(t *testing.T) {
+	s := NewSnapshot([]string{"m"}, []string{"a"})
+	s.Data["m"]["a"] = []float64{1, math.NaN(), 3, math.Inf(1), 5, 7}
+	out, rep := Repair(s, RepairPolicy{Mode: RepairDrop, MinSeriesCoverage: 0.1, MinSeriesPoints: 2})
+	got := out.Data["m"]["a"]
+	want := []float64{1, 3, 5, 7}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("dropped series = %v, want %v", got, want)
+	}
+	if rep.ScrubbedPoints != 2 || rep.DroppedPoints != 2 || rep.ImputedPoints != 0 {
+		t.Fatalf("report = %s, want 2 scrubbed / 2 dropped / 0 imputed", rep)
+	}
+}
+
+func TestRepairDropsHopelessPairs(t *testing.T) {
+	out, rep := Sanitize(degradedSnapshot())
+	// m2/a has 2/6 finite points: below both the 4-point floor and 0.5
+	// coverage, so the pair goes away entirely.
+	if _, ok := out.SeriesOK("m2", "a"); ok {
+		t.Fatal("hopeless pair m2/a survived repair")
+	}
+	wantDropped := []DroppedPair{{Metric: "m2", Service: "a"}}
+	if !reflect.DeepEqual(rep.DroppedPairs, wantDropped) {
+		t.Fatalf("DroppedPairs = %v, want %v", rep.DroppedPairs, wantDropped)
+	}
+	if rep.MissingPairs != 1 {
+		t.Fatalf("MissingPairs = %d, want 1 (m2/b)", rep.MissingPairs)
+	}
+	// m1/b had only 2 bad points out of 6: repaired, not dropped.
+	series, ok := out.SeriesOK("m1", "b")
+	if !ok || len(series) != 6 {
+		t.Fatalf("m1/b = %v (ok=%v), want repaired length-6 series", series, ok)
+	}
+	if got := rep.MetricCoverage["m1"]; got != 1 {
+		t.Errorf("m1 coverage = %v, want 1", got)
+	}
+	if got := rep.MetricCoverage["m2"]; got != 0 {
+		t.Errorf("m2 coverage = %v, want 0", got)
+	}
+	if !rep.Degraded() {
+		t.Error("report not flagged degraded")
+	}
+	if err := out.ValidateTolerant(); err != nil {
+		t.Fatalf("repaired snapshot invalid: %v", err)
+	}
+}
+
+func TestAssessDoesNotRepair(t *testing.T) {
+	s := degradedSnapshot()
+	rep := Assess(s)
+	if rep.TotalPoints != 18 || rep.FinitePoints != 12 {
+		t.Fatalf("assess counted %d/%d finite, want 12/18", rep.FinitePoints, rep.TotalPoints)
+	}
+	if rep.MissingPairs != 1 {
+		t.Fatalf("MissingPairs = %d, want 1", rep.MissingPairs)
+	}
+	// The snapshot itself is untouched.
+	if !math.IsNaN(s.Data["m1"]["b"][1]) {
+		t.Fatal("Assess modified the snapshot")
+	}
+}
+
+func TestAssessOverExternalUniverse(t *testing.T) {
+	s := NewSnapshot([]string{"m1"}, []string{"a"})
+	s.Data["m1"]["a"] = []float64{1, 2, 3}
+	rep := AssessOver(s, []string{"m1", "m2"}, []string{"a", "b"})
+	if rep.MissingPairs != 3 {
+		t.Fatalf("MissingPairs = %d, want 3 (m1/b, m2/a, m2/b)", rep.MissingPairs)
+	}
+	if got := rep.MetricCoverage["m1"]; got != 0.5 {
+		t.Errorf("m1 coverage = %v, want 0.5", got)
+	}
+	if got := rep.MetricCoverage["m2"]; got != 0 {
+		t.Errorf("m2 coverage = %v, want 0", got)
+	}
+	// Nil snapshot: everything is missing, nothing panics.
+	rep = AssessOver(nil, []string{"m"}, []string{"a"})
+	if rep.MissingPairs != 1 || rep.Coverage() != 0 {
+		t.Fatalf("nil snapshot: %s", rep)
+	}
+}
+
+// FuzzSanitize checks the repair invariants on arbitrary byte-derived series:
+// the sanitized snapshot always passes ValidateTolerant, and no series ever
+// gains points.
+func FuzzSanitize(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{})
+	f.Add([]byte{0x7f, 0xf8, 0, 0, 0, 0, 0, 0}) // NaN bit pattern
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode the payload into two series of float64s (possibly NaN/Inf).
+		var series [2][]float64
+		for i := 0; i+8 <= len(data); i += 8 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[i : i+8]))
+			series[(i/8)%2] = append(series[(i/8)%2], v)
+		}
+		s := NewSnapshot([]string{"m"}, []string{"a", "b"})
+		if len(series[0]) > 0 {
+			s.Data["m"]["a"] = series[0]
+		}
+		if len(series[1]) > 0 {
+			s.Data["m"]["b"] = series[1]
+		}
+		out, rep := Sanitize(s)
+		if err := out.ValidateTolerant(); err != nil {
+			t.Fatalf("sanitized snapshot invalid: %v (report %s)", err, rep)
+		}
+		for _, svc := range s.Services {
+			in, inOK := s.SeriesOK("m", svc)
+			got, gotOK := out.SeriesOK("m", svc)
+			if gotOK && !inOK {
+				t.Fatalf("service %s: series appeared from nowhere", svc)
+			}
+			if gotOK && len(got) > len(in) {
+				t.Fatalf("service %s: series grew from %d to %d points", svc, len(in), len(got))
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -43,6 +44,18 @@ func (s *Snapshot) Series(m, svc string) ([]float64, error) {
 	return series, nil
 }
 
+// SeriesOK returns the window-value series of metric m for service svc, and
+// whether that (metric, service) pair is present. It is the lookup to use on
+// possibly-degraded snapshots where a missing pair is data, not an error.
+func (s *Snapshot) SeriesOK(m, svc string) ([]float64, bool) {
+	bySvc, ok := s.Data[m]
+	if !ok {
+		return nil, false
+	}
+	series, ok := bySvc[svc]
+	return series, ok
+}
+
 // Validate checks structural consistency: every metric has a series for
 // every service, and within one metric all series have equal length.
 func (s *Snapshot) Validate() error {
@@ -68,6 +81,44 @@ func (s *Snapshot) Validate() error {
 			} else if len(series) != want {
 				return fmt.Errorf("metrics: metric %q service %q has %d windows, want %d",
 					m, svc, len(series), want)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateTolerant checks a possibly-degraded snapshot: the universe must be
+// declared, every stored series must belong to a declared (metric, service)
+// pair, and every stored value must be finite. Unlike Validate it permits
+// missing pairs and unequal series lengths — those are legitimate outcomes of
+// lossy collection that the tolerant learner/localizer path handles.
+func (s *Snapshot) ValidateTolerant() error {
+	if len(s.Metrics) == 0 {
+		return fmt.Errorf("metrics: snapshot has no metrics")
+	}
+	if len(s.Services) == 0 {
+		return fmt.Errorf("metrics: snapshot has no services")
+	}
+	declaredM := make(map[string]bool, len(s.Metrics))
+	for _, m := range s.Metrics {
+		declaredM[m] = true
+	}
+	declaredS := make(map[string]bool, len(s.Services))
+	for _, svc := range s.Services {
+		declaredS[svc] = true
+	}
+	for m, bySvc := range s.Data {
+		if !declaredM[m] {
+			return fmt.Errorf("metrics: snapshot stores undeclared metric %q", m)
+		}
+		for svc, series := range bySvc {
+			if !declaredS[svc] {
+				return fmt.Errorf("metrics: metric %q stores undeclared service %q", m, svc)
+			}
+			for i, v := range series {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("metrics: metric %q service %q has non-finite value %v at window %d", m, svc, v, i)
+				}
 			}
 		}
 	}

@@ -75,6 +75,12 @@ func Sections() []Section {
 		{"Extension — scalability", func(o eval.Options) (fmt.Stringer, error) {
 			return eval.RunScalabilityExtension(o)
 		}},
+		{"Extension — degraded telemetry (CausalBench)", func(o eval.Options) (fmt.Stringer, error) {
+			return eval.RunDegradationSweep(o, causalbench.Build, causalbench.Name, nil)
+		}},
+		{"Extension — degraded telemetry (Robot-shop)", func(o eval.Options) (fmt.Stringer, error) {
+			return eval.RunDegradationSweep(o, robotshop.Build, robotshop.Name, nil)
+		}},
 	}
 }
 

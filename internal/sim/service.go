@@ -51,11 +51,15 @@ type ServiceConfig struct {
 
 // faultState carries the active chaos injections of a service. The paper's
 // evaluation uses only Unavailable; the rest are extension fault types.
+// scrapeLoss and corruption act on the observability plane: they degrade what
+// a telemetry scrape of the service reports without touching the service.
 type faultState struct {
 	unavailable  bool
 	extraLatency time.Duration
 	errorRate    float64
 	paused       bool
+	scrapeLoss   float64
+	corruption   float64
 }
 
 // Result is the outcome of a call delivered to the caller's continuation.
@@ -180,6 +184,61 @@ func (s *Service) SetErrorRate(p float64) {
 // SetPaused suspends background pollers attached to this service
 // (process-kill extension fault). It has no effect on request handling.
 func (s *Service) SetPaused(v bool) { s.fault.paused = v }
+
+// SetScrapeLossRate makes the fraction p of telemetry scrapes of this service
+// fail (telemetry-plane fault: the service keeps running, its monitoring goes
+// dark intermittently). p is clamped to [0, 1].
+func (s *Service) SetScrapeLossRate(p float64) { s.fault.scrapeLoss = clamp01(p) }
+
+// ScrapeLossRate reports the active scrape-loss fraction.
+func (s *Service) ScrapeLossRate() float64 { return s.fault.scrapeLoss }
+
+// SetSampleCorruptionRate makes the fraction p of telemetry scrapes of this
+// service return corrupted readings (telemetry-plane fault). p is clamped to
+// [0, 1].
+func (s *Service) SetSampleCorruptionRate(p float64) { s.fault.corruption = clamp01(p) }
+
+// SampleCorruptionRate reports the active sample-corruption fraction.
+func (s *Service) SampleCorruptionRate() float64 { return s.fault.corruption }
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// ScrapeResult is one attempted telemetry read of a service's counters.
+type ScrapeResult struct {
+	// Counters holds the cumulative counters at scrape time. Meaningless
+	// when Missing is set.
+	Counters Counters
+	// Missing marks a scrape dropped by an active scrape-loss fault.
+	Missing bool
+	// Corrupt marks a reading mangled by an active sample-corruption
+	// fault. The counters themselves are the true values; the collector is
+	// responsible for mangling the derived sample, so that the cumulative
+	// stream it differences against stays consistent.
+	Corrupt bool
+}
+
+// Scrape reads the cumulative counters the way a monitoring scrape would,
+// subject to the service's telemetry-plane fault state. With no telemetry
+// fault active it consumes no randomness, so fault-free runs are
+// bit-identical to runs that never call into the fault path.
+func (s *Service) Scrape() ScrapeResult {
+	if p := s.fault.scrapeLoss; p > 0 && s.cluster.eng.Rand().Float64() < p {
+		return ScrapeResult{Missing: true}
+	}
+	res := ScrapeResult{Counters: s.counters}
+	if p := s.fault.corruption; p > 0 && s.cluster.eng.Rand().Float64() < p {
+		res.Corrupt = true
+	}
+	return res
+}
 
 // log records one console log line.
 func (s *Service) log(isError bool) {

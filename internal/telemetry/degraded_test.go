@@ -1,0 +1,291 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"causalfl/internal/sim"
+)
+
+// lossAt flips the service's scrape-loss rate at a scheduled virtual time.
+func lossAt(t *testing.T, eng *sim.Engine, c *sim.Cluster, at sim.Time, rate float64) {
+	t.Helper()
+	svc, ok := c.Service("svc")
+	if !ok {
+		t.Fatal("no svc")
+	}
+	eng.Schedule(at, func() { svc.SetScrapeLossRate(rate) })
+}
+
+func TestSamplerRecordsGapsNotZeros(t *testing.T) {
+	eng, c := newLoadedCluster(t)
+	s, err := NewSampler(c, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Ticks 3, 4, 5 fail; ticks 1-2 and 6-8 succeed.
+	lossAt(t, eng, c, 2500*time.Millisecond, 1)
+	lossAt(t, eng, c, 5500*time.Millisecond, 0)
+	eng.Run(8 * time.Second)
+	samples := s.Drain()["svc"]
+	if len(samples) != 8 {
+		t.Fatalf("got %d samples, want 8 (gaps must be recorded, not dropped)", len(samples))
+	}
+	for i, smp := range samples {
+		tick := i + 1
+		wantMissing := tick >= 3 && tick <= 5
+		if smp.Missing != wantMissing {
+			t.Errorf("tick %d Missing=%v, want %v", tick, smp.Missing, wantMissing)
+		}
+		if wantMissing && smp.Deltas.RequestsReceived != 0 {
+			t.Errorf("tick %d missing sample carries deltas %+v", tick, smp.Deltas)
+		}
+	}
+	// The first sample after the gap spans it and carries the counter mass
+	// accumulated across the whole outage (~40 requests over 4 intervals).
+	rec := samples[5]
+	if rec.Span != 4 {
+		t.Fatalf("recovery sample span = %d, want 4", rec.Span)
+	}
+	if rec.Deltas.RequestsReceived < 32 || rec.Deltas.RequestsReceived > 48 {
+		t.Fatalf("recovery sample deltas = %d requests, want ~40 (mass lost?)", rec.Deltas.RequestsReceived)
+	}
+	if gaps := s.Gaps()["svc"]; gaps != 3 {
+		t.Fatalf("Gaps = %d, want 3", gaps)
+	}
+}
+
+func TestSamplerRetryRecoversWithinInterval(t *testing.T) {
+	eng, c := newLoadedCluster(t)
+	s, err := NewSampler(c, time.Second, WithRetry(RetryPolicy{
+		Attempts: 3, BaseDelay: 100 * time.Millisecond, MaxDelay: 400 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Tick 3 fails at 3s, but the exporter is healthy again at 3.05s, so
+	// the first re-read at 3.1s succeeds.
+	lossAt(t, eng, c, 2500*time.Millisecond, 1)
+	lossAt(t, eng, c, 3050*time.Millisecond, 0)
+	eng.Run(6 * time.Second)
+	samples := s.Drain()["svc"]
+	if len(samples) != 6 {
+		t.Fatalf("got %d samples, want 6", len(samples))
+	}
+	for i, smp := range samples {
+		if smp.Missing {
+			t.Fatalf("tick %d missing despite successful retry", i+1)
+		}
+		if smp.Span > 1 {
+			t.Fatalf("tick %d span = %d, want 1 (retry kept the tick whole)", i+1, smp.Span)
+		}
+		if smp.At != time.Duration(i+1)*time.Second {
+			t.Fatalf("tick %d stamped %v, want nominal tick time", i+1, smp.At)
+		}
+	}
+	if gaps := s.Gaps()["svc"]; gaps != 0 {
+		t.Fatalf("Gaps = %d, want 0 (retry succeeded)", gaps)
+	}
+}
+
+func TestSamplerRetryExhaustionDeclaresMiss(t *testing.T) {
+	eng, c := newLoadedCluster(t)
+	s, err := NewSampler(c, time.Second, WithRetry(RetryPolicy{
+		Attempts: 2, BaseDelay: 100 * time.Millisecond, MaxDelay: 200 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The outage outlasts every retry of tick 3.
+	lossAt(t, eng, c, 2500*time.Millisecond, 1)
+	lossAt(t, eng, c, 3500*time.Millisecond, 0)
+	eng.Run(6 * time.Second)
+	samples := s.Drain()["svc"]
+	if len(samples) != 6 {
+		t.Fatalf("got %d samples, want 6", len(samples))
+	}
+	if !samples[2].Missing {
+		t.Fatal("tick 3 not marked missing after retry exhaustion")
+	}
+	if samples[3].Missing || samples[3].Span != 2 {
+		t.Fatalf("tick 4 = %+v, want recovery with span 2", samples[3])
+	}
+	if gaps := s.Gaps()["svc"]; gaps != 1 {
+		t.Fatalf("Gaps = %d, want 1", gaps)
+	}
+}
+
+func TestWithRetryValidation(t *testing.T) {
+	_, c := newLoadedCluster(t)
+	bad := []RetryPolicy{
+		{Attempts: -1},
+		{Attempts: 2, BaseDelay: 0},
+		{Attempts: 2, BaseDelay: 200 * time.Millisecond, MaxDelay: 100 * time.Millisecond},
+		// Total worst-case backoff exceeds the sampling interval.
+		{Attempts: 5, BaseDelay: 400 * time.Millisecond, MaxDelay: 400 * time.Millisecond},
+	}
+	for i, p := range bad {
+		if _, err := NewSampler(c, time.Second, WithRetry(p)); err == nil {
+			t.Errorf("case %d: retry policy %+v accepted", i, p)
+		}
+	}
+	if _, err := NewSampler(c, time.Second, WithRetry(DefaultRetryPolicy())); err != nil {
+		t.Fatalf("default retry policy rejected: %v", err)
+	}
+	// Attempts: 0 disables retrying and needs no delays.
+	if _, err := NewSampler(c, time.Second, WithRetry(RetryPolicy{})); err != nil {
+		t.Fatalf("zero retry policy rejected: %v", err)
+	}
+}
+
+func TestSamplerCorruptionMarksSamples(t *testing.T) {
+	eng, c := newLoadedCluster(t)
+	svc, _ := c.Service("svc")
+	svc.SetSampleCorruptionRate(1)
+	s, err := NewSampler(c, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(10 * time.Second)
+	samples := s.Drain()["svc"]
+	if len(samples) != 10 {
+		t.Fatalf("got %d samples, want 10", len(samples))
+	}
+	mangled := 0
+	for i, smp := range samples {
+		if !smp.Corrupt {
+			t.Fatalf("tick %d not marked corrupt at rate 1", i+1)
+		}
+		d := smp.Deltas
+		if math.IsNaN(d.CPUSeconds) || math.IsInf(d.CPUSeconds, 0) || d.RequestsReceived > 1000 {
+			mangled++
+		}
+	}
+	if mangled == 0 {
+		t.Fatal("corruption flagged but no sample value was actually mangled")
+	}
+}
+
+func TestWindowCoverageAccounting(t *testing.T) {
+	// 1s samples, tumbling 2s windows. Tick 2 is missing; tick 3 spans the
+	// gap but its stretch (1s,3s] crosses the window boundary at 2s, so it
+	// lands in neither window — both report half coverage.
+	samples := []Sample{
+		{At: 1 * time.Second, Deltas: sim.Counters{RequestsReceived: 10}},
+		{At: 2 * time.Second, Missing: true},
+		{At: 3 * time.Second, Deltas: sim.Counters{RequestsReceived: 20}, Span: 2},
+		{At: 4 * time.Second, Deltas: sim.Counters{RequestsReceived: 10}},
+	}
+	windows, err := HoppingWindows(samples, 2*time.Second, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 2 {
+		t.Fatalf("got %d windows, want 2", len(windows))
+	}
+	for i, w := range windows {
+		if w.Expected != 2 {
+			t.Errorf("window %d expected = %d, want 2", i, w.Expected)
+		}
+		if w.Covered != 1 {
+			t.Errorf("window %d covered = %d, want 1", i, w.Covered)
+		}
+		if w.Coverage() != 0.5 {
+			t.Errorf("window %d coverage = %v, want 0.5", i, w.Coverage())
+		}
+	}
+	if windows[0].Sum.RequestsReceived != 10 || windows[1].Sum.RequestsReceived != 10 {
+		t.Errorf("window sums = %d, %d; want 10, 10 (boundary-crossing span excluded)",
+			windows[0].Sum.RequestsReceived, windows[1].Sum.RequestsReceived)
+	}
+}
+
+func TestWindowSpanRecoveryInsideWindow(t *testing.T) {
+	// The gap and its recovery land inside one 4s window: the counter mass
+	// survives and the window is fully covered.
+	samples := []Sample{
+		{At: 1 * time.Second, Deltas: sim.Counters{RequestsReceived: 10}},
+		{At: 2 * time.Second, Missing: true},
+		{At: 3 * time.Second, Deltas: sim.Counters{RequestsReceived: 20}, Span: 2},
+		{At: 4 * time.Second, Deltas: sim.Counters{RequestsReceived: 10}},
+	}
+	windows, err := HoppingWindows(samples, 4*time.Second, 4*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 1 {
+		t.Fatalf("got %d windows, want 1", len(windows))
+	}
+	w := windows[0]
+	if w.Sum.RequestsReceived != 40 {
+		t.Errorf("window sum = %d, want 40 (span recovery lost mass)", w.Sum.RequestsReceived)
+	}
+	if w.Coverage() != 1 {
+		t.Errorf("coverage = %v, want 1 (span covers the gap)", w.Coverage())
+	}
+}
+
+func TestFullyCoveredWindowsMatchLegacyBehavior(t *testing.T) {
+	// Clean samples: coverage is exactly 1 everywhere and sums equal the
+	// pre-degradation behavior.
+	samples := makeSamples(1, 2, 3, 4, 5, 6, 7, 8)
+	windows, err := HoppingWindows(samples, 4*time.Second, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range windows {
+		if w.Coverage() != 1 {
+			t.Errorf("window %d coverage = %v, want 1", i, w.Coverage())
+		}
+		if w.Covered != w.Expected {
+			t.Errorf("window %d covered %d/%d", i, w.Covered, w.Expected)
+		}
+	}
+}
+
+func TestLateRetryDoesNotLeakAcrossDrain(t *testing.T) {
+	eng, c := newLoadedCluster(t)
+	s, err := NewSampler(c, time.Second, WithRetry(RetryPolicy{
+		Attempts: 3, BaseDelay: 100 * time.Millisecond, MaxDelay: 400 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Tick 3 fails and its retries are pending when the phase boundary
+	// (Drain at 3.05s) passes; the exporter recovers at 3.2s so a retry
+	// completes at 3.3s — into the *new* phase's buffer if unguarded.
+	lossAt(t, eng, c, 2500*time.Millisecond, 1)
+	lossAt(t, eng, c, 3200*time.Millisecond, 0)
+	eng.Run(3050 * time.Millisecond)
+	first := s.Drain()["svc"]
+	eng.Run(6 * time.Second)
+	second := s.Drain()["svc"]
+	if len(first) != 2 {
+		t.Fatalf("first drain has %d samples, want 2", len(first))
+	}
+	for i, smp := range second {
+		if smp.At <= 3050*time.Millisecond {
+			t.Fatalf("second drain sample %d stamped %v — late retry leaked across Drain", i, smp.At)
+		}
+	}
+	// The fresh buffer must still be windowable (monotonic timestamps).
+	if _, err := HoppingWindows(second, 2*time.Second, time.Second); err != nil {
+		t.Fatalf("second drain not windowable: %v", err)
+	}
+}

@@ -2,10 +2,18 @@
 // into the time-series datasets the paper's pipeline consumes: raw samples on
 // a fixed tick, then overlapping hopping windows (sixty-second windows every
 // thirty seconds in the paper's setup, §V-A).
+//
+// Collection is degradation-aware: scrapes can fail (scrape-loss faults) or
+// return mangled readings (sample-corruption faults). The sampler records
+// gaps instead of fabricating zero deltas, optionally re-reads failed scrapes
+// with capped exponential backoff, and folds the counter mass accumulated
+// across a gap into the first successful scrape after it (cumulative counters
+// lose granularity across a gap, not information).
 package telemetry
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"causalfl/internal/sim"
@@ -23,35 +31,120 @@ type Sample struct {
 	At sim.Time
 	// Deltas holds counter increments over the interval.
 	Deltas sim.Counters
+	// Missing marks a tick whose scrape failed (after any retries). The
+	// deltas are zero-valued and MUST NOT be interpreted as "the service
+	// did nothing" — downstream window aggregation counts the tick as
+	// uncovered instead.
+	Missing bool
+	// Span counts how many sampling intervals the deltas cover. It is 1 in
+	// steady state; the first successful scrape after a gap carries the
+	// whole gap's counter mass, so its span is 1 + the missed ticks. Zero
+	// means 1 (legacy construction).
+	Span int
+	// Corrupt marks deltas mangled by a sample-corruption fault
+	// (diagnostic; the values themselves carry the corruption).
+	Corrupt bool
 }
 
-// Sampler periodically snapshots every service's counters and stores the
+// RetryPolicy controls how the sampler re-reads failed scrapes before
+// declaring the tick missing: up to Attempts re-reads, the first after
+// BaseDelay, doubling up to MaxDelay. The total backoff must fit inside one
+// sampling interval so a late reading never collides with the next tick.
+type RetryPolicy struct {
+	// Attempts is the number of re-reads after the initial failure.
+	Attempts int
+	// BaseDelay is the delay before the first re-read.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy re-reads three times at 100/200/400ms, well inside the
+// default five-second sampling interval.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Attempts: 3, BaseDelay: 100 * time.Millisecond, MaxDelay: 800 * time.Millisecond}
+}
+
+// totalBackoff sums the worst-case delay of all attempts.
+func (p RetryPolicy) totalBackoff() time.Duration {
+	total := time.Duration(0)
+	delay := p.BaseDelay
+	for i := 0; i < p.Attempts; i++ {
+		if delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+		total += delay
+		delay *= 2
+	}
+	return total
+}
+
+// SamplerOption customizes a Sampler.
+type SamplerOption func(*Sampler) error
+
+// WithRetry enables retrying collection under the given policy.
+func WithRetry(p RetryPolicy) SamplerOption {
+	return func(s *Sampler) error {
+		if p.Attempts < 0 {
+			return fmt.Errorf("telemetry: retry attempts must be non-negative, got %d", p.Attempts)
+		}
+		if p.Attempts > 0 {
+			if p.BaseDelay <= 0 {
+				return fmt.Errorf("telemetry: retry base delay must be positive, got %v", p.BaseDelay)
+			}
+			if p.MaxDelay < p.BaseDelay {
+				return fmt.Errorf("telemetry: retry max delay %v below base delay %v", p.MaxDelay, p.BaseDelay)
+			}
+			if total := p.totalBackoff(); total >= s.interval {
+				return fmt.Errorf("telemetry: retry backoff %v does not fit inside the %v sampling interval", total, s.interval)
+			}
+		}
+		s.retry = p
+		return nil
+	}
+}
+
+// Sampler periodically scrapes every service's counters and stores the
 // per-interval deltas. Create it, Start it once, and Drain it at phase
 // boundaries (end of baseline, end of each fault injection) to collect the
 // datasets D_0 and D_s of the paper.
 type Sampler struct {
 	cluster  *sim.Cluster
 	interval time.Duration
+	retry    RetryPolicy
 	prev     map[string]sim.Counters
+	lastAt   map[string]sim.Time
 	series   map[string][]Sample
-	started  bool
+	gaps     map[string]int
+	// floor drops late retry completions from a phase that was already
+	// discarded or drained.
+	floor   sim.Time
+	started bool
 }
 
 // NewSampler creates a sampler for every service currently registered in the
 // cluster. interval <= 0 selects DefaultSampleInterval.
-func NewSampler(c *sim.Cluster, interval time.Duration) (*Sampler, error) {
+func NewSampler(c *sim.Cluster, interval time.Duration, opts ...SamplerOption) (*Sampler, error) {
 	if c == nil {
 		return nil, fmt.Errorf("telemetry: sampler needs a cluster")
 	}
 	if interval <= 0 {
 		interval = DefaultSampleInterval
 	}
-	return &Sampler{
+	s := &Sampler{
 		cluster:  c,
 		interval: interval,
 		prev:     make(map[string]sim.Counters),
+		lastAt:   make(map[string]sim.Time),
 		series:   make(map[string][]Sample),
-	}, nil
+		gaps:     make(map[string]int),
+	}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Interval reports the sampling cadence.
@@ -64,22 +157,125 @@ func (s *Sampler) Start() error {
 		return fmt.Errorf("telemetry: sampler already started")
 	}
 	s.started = true
-	// Prime the baseline so the first tick yields deltas, not totals.
+	// Prime the baseline so the first tick yields deltas, not totals. The
+	// prime reads true counters directly: it is collector-internal state,
+	// not a published sample, so telemetry faults do not apply.
+	now := s.cluster.Engine().Now()
 	for name, cnt := range s.cluster.CountersByService() {
 		s.prev[name] = cnt
+		s.lastAt[name] = now
 	}
 	eng := s.cluster.Engine()
 	return eng.Every(eng.Now()+s.interval, s.interval, s.tick)
 }
 
-// tick reads every counter and appends one Sample per service.
+// tick scrapes every service and appends one Sample (or gap) per service.
+// Services are visited in registration order so that any randomness consumed
+// by the scrape fault path is drawn deterministically.
 func (s *Sampler) tick() {
 	now := s.cluster.Engine().Now()
-	for name, cnt := range s.cluster.CountersByService() {
-		delta := cnt.Sub(s.prev[name])
-		s.prev[name] = cnt
-		s.series[name] = append(s.series[name], Sample{At: now, Deltas: delta})
+	for _, name := range s.cluster.ServiceNames() {
+		svc, ok := s.cluster.Service(name)
+		if !ok {
+			continue
+		}
+		res := svc.Scrape()
+		if !res.Missing {
+			s.record(name, now, res)
+			continue
+		}
+		if s.retry.Attempts <= 0 {
+			s.miss(name, now)
+			continue
+		}
+		s.retryScrape(name, now, 1, s.retry.BaseDelay)
 	}
+}
+
+// retryScrape re-reads a failed scrape after a backoff, doubling the delay up
+// to the policy cap, and declares the tick missing once attempts run out. The
+// recorded sample keeps the nominal tick timestamp: the reading is late by at
+// most the total backoff, which WithRetry bounds below one interval.
+func (s *Sampler) retryScrape(name string, tickAt sim.Time, attempt int, delay time.Duration) {
+	s.cluster.Engine().After(delay, func() {
+		svc, ok := s.cluster.Service(name)
+		if !ok {
+			return
+		}
+		res := svc.Scrape()
+		if !res.Missing {
+			s.record(name, tickAt, res)
+			return
+		}
+		if attempt >= s.retry.Attempts {
+			s.miss(name, tickAt)
+			return
+		}
+		next := delay * 2
+		if next > s.retry.MaxDelay {
+			next = s.retry.MaxDelay
+		}
+		s.retryScrape(name, tickAt, attempt+1, next)
+	})
+}
+
+// record appends one successful reading, folding any preceding gap into the
+// sample's span.
+func (s *Sampler) record(name string, tickAt sim.Time, res sim.ScrapeResult) {
+	if tickAt < s.floor {
+		// A retry completed after the phase it belonged to was drained
+		// or discarded; publishing it would corrupt the fresh buffer.
+		s.prev[name] = res.Counters
+		s.lastAt[name] = tickAt
+		return
+	}
+	delta := res.Counters.Sub(s.prev[name])
+	s.prev[name] = res.Counters
+	span := 1
+	if last, ok := s.lastAt[name]; ok {
+		if n := int((tickAt - last) / s.interval); n > 1 {
+			span = n
+		}
+	}
+	s.lastAt[name] = tickAt
+	if res.Corrupt {
+		delta = corruptCounters(delta, s.cluster.Engine().Rand())
+	}
+	s.series[name] = append(s.series[name], Sample{At: tickAt, Deltas: delta, Span: span, Corrupt: res.Corrupt})
+}
+
+// miss appends a gap marker for a tick whose scrape never succeeded.
+func (s *Sampler) miss(name string, tickAt sim.Time) {
+	s.gaps[name]++
+	if tickAt < s.floor {
+		return
+	}
+	s.series[name] = append(s.series[name], Sample{At: tickAt, Missing: true})
+}
+
+// corruptCounters mangles one per-interval delta the way broken exporters
+// and lossy transports do: non-finite readings on the float-valued counters
+// or a multiplicative spike across the board.
+func corruptCounters(c sim.Counters, rng interface{ Intn(int) int }) sim.Counters {
+	switch rng.Intn(3) {
+	case 0:
+		c.CPUSeconds = math.NaN()
+		c.BusySeconds = math.NaN()
+	case 1:
+		c.CPUSeconds = math.Inf(1)
+		c.BusySeconds = math.Inf(1)
+	default:
+		const spike = 1000
+		c.RequestsReceived *= spike
+		c.RequestsSent *= spike
+		c.LogMessages *= spike
+		c.ErrorLogMessages *= spike
+		c.RxPackets *= spike
+		c.TxPackets *= spike
+		c.CPUSeconds *= spike
+		c.BusySeconds *= spike
+	}
+	return c
 }
 
 // Drain returns all samples accumulated since the previous Drain and clears
@@ -87,9 +283,24 @@ func (s *Sampler) tick() {
 func (s *Sampler) Drain() map[string][]Sample {
 	out := s.series
 	s.series = make(map[string][]Sample, len(out))
+	s.floor = s.cluster.Engine().Now()
 	return out
 }
 
 // Discard drops accumulated samples without returning them (used to skip a
 // settling period after injecting or removing a fault).
-func (s *Sampler) Discard() { s.series = make(map[string][]Sample) }
+func (s *Sampler) Discard() {
+	s.series = make(map[string][]Sample)
+	s.floor = s.cluster.Engine().Now()
+}
+
+// Gaps returns, per service, the number of ticks whose scrape failed for
+// good since the sampler started (retries that eventually succeeded do not
+// count).
+func (s *Sampler) Gaps() map[string]int {
+	out := make(map[string]int, len(s.gaps))
+	for k, v := range s.gaps {
+		out[k] = v
+	}
+	return out
+}

@@ -21,6 +21,25 @@ type Window struct {
 	Start sim.Time
 	End   sim.Time
 	Sum   sim.Counters
+	// Expected is the number of sampling intervals the window spans;
+	// Covered is how many of them contributed data. Covered < Expected
+	// marks a window degraded by scrape loss. Zero Expected means the
+	// window predates coverage accounting and is treated as fully covered.
+	Expected int
+	Covered  int
+}
+
+// Coverage returns the fraction of the window's sampling intervals backed by
+// data, in [0,1]. Windows without coverage accounting report 1.
+func (w Window) Coverage() float64 {
+	if w.Expected <= 0 {
+		return 1
+	}
+	c := float64(w.Covered) / float64(w.Expected)
+	if c > 1 {
+		return 1
+	}
+	return c
 }
 
 // HoppingWindows aggregates a service's samples into overlapping windows of
@@ -49,16 +68,31 @@ func HoppingWindows(samples []Sample, length, hop time.Duration) ([]Window, erro
 	}
 	origin := samples[0].At - interval
 	end := samples[len(samples)-1].At
+	expected := int(length / interval)
 
 	var windows []Window
 	for start := origin; start+length <= end; start += hop {
-		w := Window{Start: start, End: start + length}
+		w := Window{Start: start, End: start + length, Expected: expected}
 		for _, smp := range samples {
-			// Sample covers (At-interval, At]; include it when the
-			// whole interval lies inside the window.
-			if smp.At-interval >= w.Start && smp.At <= w.End {
-				w.Sum = w.Sum.Add(smp.Deltas)
+			if smp.Missing {
+				continue
 			}
+			span := smp.Span
+			if span < 1 {
+				span = 1
+			}
+			// Sample covers (At-span*interval, At]; include it when the
+			// whole covered stretch lies inside the window. A recovery
+			// sample whose span crosses the window boundary is excluded
+			// from both windows — its mass cannot be split, so the
+			// affected windows honestly report under-coverage instead.
+			if smp.At-sim.Time(span)*sim.Time(interval) >= w.Start && smp.At <= w.End {
+				w.Sum = w.Sum.Add(smp.Deltas)
+				w.Covered += span
+			}
+		}
+		if w.Covered > w.Expected {
+			w.Covered = w.Expected
 		}
 		windows = append(windows, w)
 	}

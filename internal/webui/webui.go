@@ -124,6 +124,7 @@ func (s *Server) handleWorlds(w http.ResponseWriter, _ *http.Request) {
 // localizeResponse is the JSON shape of POST /localize.
 type localizeResponse struct {
 	Candidates []string            `json:"candidates"`
+	Abstained  bool                `json:"abstained,omitempty"`
 	Votes      map[string]float64  `json:"votes"`
 	Anomalies  map[string][]string `json:"anomalies"`
 }
@@ -139,8 +140,19 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("decode snapshot: %v", err), http.StatusBadRequest)
 		return
 	}
-	if err := snap.Validate(); err != nil {
+	// Tolerant validation: production snapshots may legitimately arrive
+	// with missing (metric, service) pairs when telemetry is degraded; the
+	// localizer handles those (abstaining if need be) rather than erroring.
+	if err := snap.ValidateTolerant(); err != nil {
 		http.Error(w, fmt.Sprintf("invalid snapshot: %v", err), http.StatusBadRequest)
+		return
+	}
+	// The localizer tolerates degraded snapshots (missing pairs, short
+	// series), but the HTTP contract stays strict about the *declared*
+	// universe: a snapshot over different metrics or services is a client
+	// mix-up, not telemetry degradation.
+	if err := universeMatches(s.model, &snap); err != nil {
+		http.Error(w, fmt.Sprintf("localize: %v", err), http.StatusUnprocessableEntity)
 		return
 	}
 	loc, err := s.localizer.Localize(s.model, &snap)
@@ -151,11 +163,36 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(localizeResponse{
 		Candidates: loc.Candidates,
+		Abstained:  loc.Abstained,
 		Votes:      loc.Votes,
 		Anomalies:  loc.Anomalies,
 	}); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// universeMatches checks that the posted snapshot declares every metric and
+// service the model was trained on.
+func universeMatches(model *core.Model, snap *metrics.Snapshot) error {
+	declaredM := make(map[string]bool, len(snap.Metrics))
+	for _, m := range snap.Metrics {
+		declaredM[m] = true
+	}
+	for _, m := range model.Metrics {
+		if !declaredM[m] {
+			return fmt.Errorf("snapshot does not declare model metric %q", m)
+		}
+	}
+	declaredS := make(map[string]bool, len(snap.Services))
+	for _, svc := range snap.Services {
+		declaredS[svc] = true
+	}
+	for _, svc := range model.Services {
+		if !declaredS[svc] {
+			return fmt.Errorf("snapshot does not declare model service %q", svc)
+		}
+	}
+	return nil
 }
 
 // handleHealthz reports liveness.

@@ -175,3 +175,45 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("healthz = %d %s", rec.Code, rec.Body.String())
 	}
 }
+
+func TestLocalizeAcceptsDegradedSnapshots(t *testing.T) {
+	s, production := newTestServer(t)
+
+	post := func(snap *metrics.Snapshot) (*httptest.ResponseRecorder, localizeResponse) {
+		t.Helper()
+		blob, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/localize", bytes.NewReader(blob)))
+		var resp localizeResponse
+		if rec.Code == http.StatusOK {
+			if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rec, resp
+	}
+
+	// A declared pair is missing: the localizer runs on what remains.
+	partial := production.Clone()
+	delete(partial.Data["m"], "y")
+	rec, resp := post(partial)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("partial snapshot = %d, want 200: %s", rec.Code, rec.Body)
+	}
+	if resp.Abstained {
+		t.Fatalf("partial snapshot abstained: %+v", resp)
+	}
+
+	// Every series is gone (universe still declared): explicit abstention.
+	dark := metrics.NewSnapshot([]string{"m"}, []string{"x", "y"})
+	rec, resp = post(dark)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("dark snapshot = %d, want 200: %s", rec.Code, rec.Body)
+	}
+	if !resp.Abstained || len(resp.Candidates) != 0 {
+		t.Fatalf("dark snapshot should abstain with no candidates, got %+v", resp)
+	}
+}
