@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short race vet fmt bench report tables figures clean
+.PHONY: all check build test test-short race vet lint lint-json fmt bench report tables figures clean
 
 all: check
 
-# The default verification path: compile, static checks, full tests, and the
-# race detector over the library packages.
-check: build vet test race
+# The default verification path: compile, static checks (go vet plus the
+# project's own causalfl-vet analyzers), full tests, and the race detector
+# over the library packages.
+check: build vet lint test race
 
 build:
 	$(GO) build ./...
@@ -25,6 +26,15 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Project-invariant static analysis (determinism, statistical hygiene,
+# topology validity) over the whole module, examples included. See
+# docs/STATIC_ANALYSIS.md; suppressions live in vet-baseline.json.
+lint:
+	$(GO) run ./cmd/causalfl-vet -baseline vet-baseline.json
+
+lint-json:
+	$(GO) run ./cmd/causalfl-vet -baseline vet-baseline.json -json
 
 fmt:
 	gofmt -l -w .

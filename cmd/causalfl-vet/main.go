@@ -1,0 +1,112 @@
+// Command causalfl-vet runs the project's static analyzers: source hygiene
+// passes (determinism, statistical correctness, library safety) plus the
+// domain linters that validate the application catalog. See
+// docs/STATIC_ANALYSIS.md for the pass catalogue and the suppression model.
+//
+// Usage:
+//
+//	causalfl-vet [-dir .] [-baseline vet-baseline.json] [-json] \
+//	             [-passes p1,p2] [-list] [-write-baseline]
+//
+// Exit status: 0 when no fresh findings (and no stale baseline entries),
+// 1 when findings remain, 2 on usage or analysis errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"causalfl/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("causalfl-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "module root to analyze")
+	baselinePath := fs.String("baseline", "", "baseline (suppression) file; missing file means empty baseline")
+	writeBaseline := fs.Bool("write-baseline", false, "write current findings to -baseline and exit 0")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable JSON report")
+	passes := fs.String("passes", "", "comma-separated pass selection (default: all)")
+	list := fs.Bool("list", false, "list available passes and exit")
+	skipDomain := fs.Bool("skip-domain", false, "skip the catalog domain linters")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, line := range analysis.PassNames() {
+			fmt.Fprintln(stdout, line)
+		}
+		return 0
+	}
+
+	opts := analysis.Options{Dir: *dir, SkipDomain: *skipDomain}
+	if *passes != "" {
+		for _, name := range strings.Split(*passes, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				opts.Passes = append(opts.Passes, name)
+			}
+		}
+	}
+	res, err := analysis.Run(opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "causalfl-vet: %v\n", err)
+		return 2
+	}
+
+	if *writeBaseline {
+		if *baselinePath == "" {
+			fmt.Fprintln(stderr, "causalfl-vet: -write-baseline requires -baseline")
+			return 2
+		}
+		if err := analysis.BaselineFromFindings(res.Findings).Write(*baselinePath); err != nil {
+			fmt.Fprintf(stderr, "causalfl-vet: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote %d baseline entr(ies) to %s\n", len(res.Findings), *baselinePath)
+		return 0
+	}
+
+	baseline := &analysis.Baseline{}
+	if *baselinePath != "" {
+		baseline, err = analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "causalfl-vet: %v\n", err)
+			return 2
+		}
+	}
+	fresh, suppressed, stale := baseline.Filter(res.Findings)
+
+	if *jsonOut {
+		if err := analysis.WriteJSON(stdout, fresh, suppressed, stale, res.TypeErrors); err != nil {
+			fmt.Fprintf(stderr, "causalfl-vet: %v\n", err)
+			return 2
+		}
+	} else {
+		if err := analysis.WriteText(stdout, fresh); err != nil {
+			fmt.Fprintf(stderr, "causalfl-vet: %v\n", err)
+			return 2
+		}
+		for _, e := range stale {
+			fmt.Fprintf(stdout, "stale baseline entry: %s: %s (%s)\n", e.File, e.Message, e.Pass)
+		}
+		for _, te := range res.TypeErrors {
+			fmt.Fprintf(stderr, "causalfl-vet: type-check (non-fatal): %s\n", te)
+		}
+		fmt.Fprintf(stdout, "causalfl-vet: %d package(s), %s\n", res.Packages, analysis.Summary(len(fresh), suppressed, len(stale)))
+	}
+
+	// Stale entries fail the run too: a suppression that matches nothing is
+	// either a fixed finding (delete the entry) or a typo (fix it).
+	if len(fresh) > 0 || len(stale) > 0 {
+		return 1
+	}
+	return 0
+}

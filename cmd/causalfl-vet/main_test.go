@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFixtureModule lays out a small module with two seeded violations: a
+// library panic in internal/sim and a global math/rand draw in an examples
+// command (which also proves the walker descends into examples/).
+func writeFixtureModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module fixturemod\n\ngo 1.22\n",
+		"internal/sim/bad.go": `package sim
+
+func Build(ok bool) {
+	if !ok {
+		panic("seeded violation")
+	}
+}
+`,
+		"examples/demo/main.go": `package main
+
+import "math/rand"
+
+func main() { _ = rand.Intn(10) }
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatalf("write %s: %v", name, err)
+		}
+	}
+	return dir
+}
+
+func runVet(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestSeededViolationsFailTheRun(t *testing.T) {
+	dir := writeFixtureModule(t)
+	code, stdout, _ := runVet(t, "-dir", dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, stdout)
+	}
+	for _, want := range []string{
+		"internal/sim/bad.go:5", "panic in library package", "(paniclib)",
+		"examples/demo/main.go:5", "global math/rand source", "(globalrand)",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestJSONReportIsMachineReadable(t *testing.T) {
+	dir := writeFixtureModule(t)
+	code, stdout, _ := runVet(t, "-dir", dir, "-json")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var report struct {
+		Findings []struct {
+			Pass    string `json:"pass"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Message string `json:"message"`
+		} `json:"findings"`
+		Suppressed int `json:"suppressed"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &report); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout)
+	}
+	if len(report.Findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %+v", len(report.Findings), report.Findings)
+	}
+	f := report.Findings[1]
+	if f.Pass != "paniclib" || f.File != "internal/sim/bad.go" || f.Line != 5 || f.Col == 0 {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+}
+
+func TestBaselineWorkflow(t *testing.T) {
+	dir := writeFixtureModule(t)
+	baseline := filepath.Join(dir, "baseline.json")
+
+	// Adopt: write the baseline, then the same tree passes.
+	if code, _, stderr := runVet(t, "-dir", dir, "-baseline", baseline, "-write-baseline"); code != 0 {
+		t.Fatalf("write-baseline exit = %d: %s", code, stderr)
+	}
+	if code, stdout, _ := runVet(t, "-dir", dir, "-baseline", baseline); code != 0 {
+		t.Fatalf("baselined tree exit = %d:\n%s", code, stdout)
+	}
+
+	// Fix one violation: its baseline entry is now stale, which also fails.
+	bad := filepath.Join(dir, "examples", "demo", "main.go")
+	if err := os.WriteFile(bad, []byte("package main\n\nfunc main() {}\n"), 0o644); err != nil {
+		t.Fatalf("fix violation: %v", err)
+	}
+	code, stdout, _ := runVet(t, "-dir", dir, "-baseline", baseline)
+	if code != 1 {
+		t.Fatalf("stale baseline exit = %d, want 1:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "stale baseline entry") {
+		t.Errorf("output does not report the stale entry:\n%s", stdout)
+	}
+}
+
+func TestPassSelection(t *testing.T) {
+	dir := writeFixtureModule(t)
+	code, stdout, _ := runVet(t, "-dir", dir, "-passes", "globalrand")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if strings.Contains(stdout, "paniclib") {
+		t.Errorf("unselected pass ran:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "globalrand") {
+		t.Errorf("selected pass did not run:\n%s", stdout)
+	}
+
+	if code, _, stderr := runVet(t, "-dir", dir, "-passes", "no-such-pass"); code != 2 {
+		t.Fatalf("unknown pass exit = %d, want 2: %s", code, stderr)
+	}
+}
+
+func TestListPasses(t *testing.T) {
+	code, stdout, _ := runVet(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, pass := range []string{"globalrand", "walltime", "floateq", "paniclib", "errcheck-io", "magic-alpha", "topology", "metric-class"} {
+		if !strings.Contains(stdout, pass) {
+			t.Errorf("-list missing %q:\n%s", pass, stdout)
+		}
+	}
+}
+
+func TestBadDirIsAUsageError(t *testing.T) {
+	if code, _, _ := runVet(t, "-dir", filepath.Join(t.TempDir(), "missing")); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

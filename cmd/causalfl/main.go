@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strings"
@@ -212,6 +213,27 @@ func cmdFigures(args []string) error {
 	}
 }
 
+// writeOutput runs write against a freshly created file at path, or stdout
+// when path is empty. The file is closed explicitly and the close error
+// returned — for buffered file writes, the close error is the write error.
+func writeOutput(path string, write func(io.Writer) error) error {
+	if path == "" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	if err := write(f); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	return nil
+}
+
 func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ContinueOnError)
 	var cf commonFlags
@@ -228,16 +250,7 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return fmt.Errorf("create %s: %w", *out, err)
-		}
-		defer f.Close()
-		w = f
-	}
-	if err := model.WriteJSON(w); err != nil {
+	if err := writeOutput(*out, model.WriteJSON); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "trained %d causal worlds over %d targets (alpha=%.2f)\n",
@@ -507,16 +520,7 @@ func cmdCollect(args []string) error {
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return fmt.Errorf("create %s: %w", *out, err)
-		}
-		defer f.Close()
-		w = f
-	}
-	if err := data.WriteJSON(w, cf.app); err != nil {
+	if err := writeOutput(*out, func(w io.Writer) error { return data.WriteJSON(w, cf.app) }); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "collected baseline + %d intervention datasets from %s\n",
@@ -556,16 +560,7 @@ func cmdLearn(args []string) error {
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
-	if *out != "" {
-		file, err := os.Create(*out)
-		if err != nil {
-			return fmt.Errorf("create %s: %w", *out, err)
-		}
-		defer file.Close()
-		w = file
-	}
-	if err := model.WriteJSON(w); err != nil {
+	if err := writeOutput(*out, model.WriteJSON); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "learned %d causal worlds over %d targets from %s data\n",
@@ -603,16 +598,9 @@ func cmdReport(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return fmt.Errorf("create %s: %w", *out, err)
-		}
-		defer f.Close()
-		w = f
-	}
-	return report.Generate(eval.Options{Seed: *seed, Quick: *quick}, w)
+	return writeOutput(*out, func(w io.Writer) error {
+		return report.Generate(eval.Options{Seed: *seed, Quick: *quick}, w)
+	})
 }
 
 func cmdServe(args []string) error {

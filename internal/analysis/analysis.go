@@ -1,0 +1,244 @@
+// Package analysis implements causalfl-vet: a project-invariant static
+// analyzer for determinism, statistical correctness and topology validity.
+//
+// The paper's methodology only holds when runs are reproducible (every
+// stochastic choice seeded, no wall-clock reads in deterministic code) and
+// the causal model is well-formed (acyclic call graphs, every dependent
+// metric paired with an independent divisor). Those invariants are cheap to
+// break in review and expensive to debug after the fact, so this package
+// machine-enforces them in two layers:
+//
+//   - Code analyzers walk every package of the module with go/ast +
+//     go/types (stdlib only) and flag hygiene violations: global math/rand
+//     use, wall-clock reads in deterministic packages, floating-point
+//     equality, panics in library paths, discarded snapshot-I/O errors, and
+//     magic significance levels.
+//
+//   - Domain linters validate the declarative application definitions in
+//     internal/apps/* through the catalog introspection hooks: call-graph
+//     acyclicity, fault-injectability of every declared service, and
+//     metric-classification completeness.
+//
+// Findings not covered by the committed baseline file (or an inline
+// `//vet:allow pass -- reason` directive) fail the build; see
+// docs/STATIC_ANALYSIS.md.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Analyzer is one code pass, run once per loaded package.
+type Analyzer struct {
+	// Name is the pass identifier used in findings, directives, baseline
+	// entries and -passes selections.
+	Name string
+	// Doc is the one-line description `causalfl-vet -list` prints.
+	Doc string
+	// Run inspects one package and reports findings.
+	Run func(*Pass)
+}
+
+// DomainAnalyzer is one project-level pass over the application catalog
+// rather than over source syntax.
+type DomainAnalyzer struct {
+	Name string
+	Doc  string
+	// Run reports findings through report.
+	Run func(report func(Finding))
+}
+
+// Pass gives a code analyzer its per-package view.
+type Pass struct {
+	// Analyzer is the running pass.
+	Analyzer *Analyzer
+	// Module is the loaded module (shared).
+	Module *Module
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// Fset positions all files.
+	Fset   *token.FileSet
+	report func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Finding{
+		Pass:    p.Analyzer.Name,
+		File:    p.Module.Rel(position),
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// InternalPath reports whether the package under analysis lives below the
+// given module-relative prefix (e.g. "internal/sim").
+func (p *Pass) InternalPath(prefix string) bool {
+	full := p.Module.Path + "/" + prefix
+	return p.Pkg.ImportPath == full || len(p.Pkg.ImportPath) > len(full) && p.Pkg.ImportPath[:len(full)+1] == full+"/"
+}
+
+// Options configures a run.
+type Options struct {
+	// Dir is the module root to analyze.
+	Dir string
+	// Passes selects analyzers by name; empty means all.
+	Passes []string
+	// SkipDomain disables the catalog linters. The engine itself also
+	// skips them when the scanned module is not this project (fixture
+	// modules in tests), since domain passes introspect the compiled-in
+	// catalog, not the scanned source.
+	SkipDomain bool
+}
+
+// Result is the outcome of a run, before baseline filtering.
+type Result struct {
+	// Findings is sorted by position.
+	Findings []Finding
+	// TypeErrors describes loader degradation: passes ran, but
+	// type-sensitive checks may have been incomplete.
+	TypeErrors []string
+	// Packages counts the packages analyzed.
+	Packages int
+}
+
+// selectedSet normalizes the pass selection; nil means "all".
+func selectedSet(names []string) (map[string]bool, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	known := map[string]bool{}
+	for _, a := range CodeAnalyzers() {
+		known[a.Name] = true
+	}
+	for _, d := range DomainAnalyzers() {
+		known[d.Name] = true
+	}
+	set := map[string]bool{}
+	for _, name := range names {
+		if !known[name] {
+			return nil, fmt.Errorf("analysis: unknown pass %q", name)
+		}
+		set[name] = true
+	}
+	return set, nil
+}
+
+// Run loads the module at opts.Dir and executes the selected analyzers.
+func Run(opts Options) (*Result, error) {
+	selected, err := selectedSet(opts.Passes)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := LoadModule(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Packages: len(mod.Packages)}
+	for _, pkg := range mod.Packages {
+		for _, terr := range pkg.TypeErrors {
+			res.TypeErrors = append(res.TypeErrors, fmt.Sprintf("%s: %v", pkg.ImportPath, terr))
+		}
+	}
+
+	var findings []Finding
+	collect := func(f Finding) { findings = append(findings, f) }
+	for _, pkg := range mod.Packages {
+		for _, a := range CodeAnalyzers() {
+			if selected != nil && !selected[a.Name] {
+				continue
+			}
+			a.Run(&Pass{Analyzer: a, Module: mod, Pkg: pkg, Fset: mod.Fset, report: collect})
+		}
+	}
+	// Domain passes validate this project's compiled-in catalog; running
+	// them while scanning some other module would attribute their findings
+	// to the wrong tree.
+	if !opts.SkipDomain && mod.Path == ProjectModule {
+		for _, d := range DomainAnalyzers() {
+			if selected != nil && !selected[d.Name] {
+				continue
+			}
+			d.Run(collect)
+		}
+	}
+
+	res.Findings = filterAllowed(mod, findings)
+	sortFindings(res.Findings)
+	return res, nil
+}
+
+// ProjectModule is the module path whose catalog the domain linters verify.
+const ProjectModule = "causalfl"
+
+// filterAllowed drops findings suppressed by inline directives.
+func filterAllowed(mod *Module, findings []Finding) []Finding {
+	// Parse directives lazily, once per file that has findings.
+	byFile := map[string]allowSet{}
+	fileFor := func(rel string) (allowSet, bool) {
+		if set, ok := byFile[rel]; ok {
+			return set, set != nil
+		}
+		for _, pkg := range mod.Packages {
+			for i, name := range pkg.FileNames {
+				if name == rel {
+					set := parseDirectives(mod.Fset, pkg.Files[i])
+					byFile[rel] = set
+					return set, true
+				}
+			}
+		}
+		byFile[rel] = nil
+		return nil, false
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		if f.Line > 0 {
+			if set, ok := fileFor(f.File); ok && set.allows(f.Line, f.Pass) {
+				continue
+			}
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+// RunPassOnPackage executes one code analyzer over an already loaded
+// package — the fixture entry point for the table-driven pass tests.
+// Inline directives are honored, findings are sorted.
+func RunPassOnPackage(a *Analyzer, mod *Module, pkg *Package) []Finding {
+	var findings []Finding
+	a.Run(&Pass{Analyzer: a, Module: mod, Pkg: pkg, Fset: mod.Fset, report: func(f Finding) {
+		findings = append(findings, f)
+	}})
+	findings = filterAllowed(mod, findings)
+	sortFindings(findings)
+	return findings
+}
+
+// PassNames lists every analyzer name (code passes first, then domain),
+// each with its doc line, for -list output.
+func PassNames() []string {
+	var out []string
+	for _, a := range CodeAnalyzers() {
+		out = append(out, fmt.Sprintf("%-12s %s", a.Name, a.Doc))
+	}
+	for _, d := range DomainAnalyzers() {
+		out = append(out, fmt.Sprintf("%-12s %s", d.Name, d.Doc))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// walkFiles applies fn to every file of the package with its directives
+// pre-parsed — a convenience for passes.
+func (p *Pass) walkFiles(fn func(file *ast.File, relName string)) {
+	for i, file := range p.Pkg.Files {
+		fn(file, p.Pkg.FileNames[i])
+	}
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The baseline (suppression) file lets `causalfl-vet` be adopted on a tree
+// with pre-existing findings without blocking CI: known findings are
+// committed to the baseline and only *new* findings fail the build. Entries
+// are line-insensitive (pass + file + message) so unrelated edits do not
+// invalidate them, and duplicate entries suppress one occurrence each.
+
+// BaselineEntry identifies one suppressed finding.
+type BaselineEntry struct {
+	Pass    string `json:"pass"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+// key mirrors Finding.Key.
+func (e BaselineEntry) key() string {
+	return e.Pass + "\x00" + e.File + "\x00" + e.Message
+}
+
+// Baseline is the committed set of accepted findings.
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty baseline,
+// so a clean tree needs no file at all.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: read baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parse baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// BaselineFromFindings builds the baseline that accepts exactly the given
+// findings, sorted for a stable committed file.
+func BaselineFromFindings(fs []Finding) *Baseline {
+	entries := make([]BaselineEntry, 0, len(fs))
+	for _, f := range fs {
+		entries = append(entries, BaselineEntry{Pass: f.Pass, File: f.File, Message: f.Message})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].File != entries[j].File {
+			return entries[i].File < entries[j].File
+		}
+		if entries[i].Pass != entries[j].Pass {
+			return entries[i].Pass < entries[j].Pass
+		}
+		return entries[i].Message < entries[j].Message
+	})
+	return &Baseline{Findings: entries}
+}
+
+// Write saves the baseline as indented JSON.
+func (b *Baseline) Write(path string) error {
+	entries := b.Findings
+	if entries == nil {
+		entries = []BaselineEntry{}
+	}
+	data, err := json.MarshalIndent(Baseline{Findings: entries}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("analysis: encode baseline: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("analysis: write baseline: %w", err)
+	}
+	return nil
+}
+
+// Filter splits findings into fresh (not baselined) and suppressed, and
+// reports stale baseline entries that matched nothing. Each baseline entry
+// suppresses at most one finding, so a regression that duplicates an already
+// baselined finding still fails the build.
+func (b *Baseline) Filter(fs []Finding) (fresh []Finding, suppressed int, stale []BaselineEntry) {
+	budget := make(map[string]int, len(b.Findings))
+	for _, e := range b.Findings {
+		budget[e.key()]++
+	}
+	for _, f := range fs {
+		if budget[f.Key()] > 0 {
+			budget[f.Key()]--
+			suppressed++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, e := range b.Findings {
+		if budget[e.key()] > 0 {
+			budget[e.key()]--
+			stale = append(stale, e)
+		}
+	}
+	return fresh, suppressed, stale
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineFilterSplitsFreshSuppressedStale(t *testing.T) {
+	findings := []Finding{
+		{Pass: "paniclib", File: "a.go", Line: 3, Message: "panic in library"},
+		{Pass: "floateq", File: "b.go", Line: 7, Message: "float =="},
+		{Pass: "floateq", File: "b.go", Line: 9, Message: "float =="}, // same key, different line
+	}
+	b := &Baseline{Findings: []BaselineEntry{
+		{Pass: "paniclib", File: "a.go", Message: "panic in library"},
+		{Pass: "floateq", File: "b.go", Message: "float =="},
+		{Pass: "walltime", File: "gone.go", Message: "time.Now"}, // fixed long ago
+	}}
+	fresh, suppressed, stale := b.Filter(findings)
+	// One floateq entry suppresses one of the two occurrences; the second
+	// occurrence is a regression and must surface.
+	if suppressed != 2 {
+		t.Errorf("suppressed = %d, want 2", suppressed)
+	}
+	if len(fresh) != 1 || fresh[0].Line != 9 {
+		t.Errorf("fresh = %+v, want the second floateq occurrence", fresh)
+	}
+	if len(stale) != 1 || stale[0].File != "gone.go" {
+		t.Errorf("stale = %+v, want the walltime leftover", stale)
+	}
+}
+
+func TestBaselineIsLineInsensitive(t *testing.T) {
+	b := BaselineFromFindings([]Finding{{Pass: "p", File: "f.go", Line: 10, Col: 2, Message: "m"}})
+	moved := []Finding{{Pass: "p", File: "f.go", Line: 99, Col: 5, Message: "m"}}
+	fresh, suppressed, stale := b.Filter(moved)
+	if len(fresh) != 0 || suppressed != 1 || len(stale) != 0 {
+		t.Errorf("moved finding not suppressed: fresh=%v suppressed=%d stale=%v", fresh, suppressed, stale)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	want := BaselineFromFindings([]Finding{
+		{Pass: "b", File: "y.go", Message: "two"},
+		{Pass: "a", File: "x.go", Message: "one"},
+	})
+	if err := want.Write(path); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if len(got.Findings) != 2 {
+		t.Fatalf("round trip lost entries: %+v", got.Findings)
+	}
+	// BaselineFromFindings sorts; x.go before y.go.
+	if got.Findings[0].File != "x.go" || got.Findings[1].File != "y.go" {
+		t.Errorf("entries not sorted: %+v", got.Findings)
+	}
+}
+
+func TestLoadBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatalf("missing baseline should be empty, got error: %v", err)
+	}
+	if len(b.Findings) != 0 {
+		t.Errorf("missing baseline has %d entries", len(b.Findings))
+	}
+}
+
+func TestFindingPositionAndKey(t *testing.T) {
+	f := Finding{Pass: "paniclib", File: "internal/sim/x.go", Line: 12, Col: 3, Message: "boom"}
+	if got := f.Position(); got != "internal/sim/x.go:12:3" {
+		t.Errorf("Position = %q", got)
+	}
+	domain := Finding{Pass: "topology", File: "internal/apps/catalog", Message: "cycle"}
+	if got := domain.Position(); got != "internal/apps/catalog" {
+		t.Errorf("positionless Position = %q", got)
+	}
+	if f.Key() == domain.Key() {
+		t.Error("distinct findings share a key")
+	}
+	shifted := Finding{Pass: "paniclib", File: "internal/sim/x.go", Line: 99, Col: 1, Message: "boom"}
+	if f.Key() != shifted.Key() {
+		t.Error("key is not line-insensitive")
+	}
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives complement the baseline file for findings that are
+// intentional forever (not just grandfathered):
+//
+//	var Wall Clock = Func(time.Now) //vet:allow walltime -- the blessed source
+//
+// A directive allows the named passes on its own line and on the following
+// line (covering both trailing and preceding placement). The "-- reason"
+// suffix is mandatory so every suppression documents itself; reasonless
+// directives are ignored (and the finding stands).
+
+const directivePrefix = "vet:allow"
+
+// allowSet records which passes are allowed on which lines of one file.
+type allowSet map[int]map[string]bool
+
+// allows reports whether pass is suppressed at line.
+func (a allowSet) allows(line int, pass string) bool {
+	return a[line][pass]
+}
+
+// parseDirectives scans a file's comments for vet:allow directives.
+func parseDirectives(fset *token.FileSet, file *ast.File) allowSet {
+	set := allowSet{}
+	for _, group := range file.Comments {
+		for _, comment := range group.List {
+			text := strings.TrimPrefix(comment.Text, "//")
+			text = strings.TrimPrefix(text, "/*")
+			text = strings.TrimSuffix(text, "*/")
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, directivePrefix)
+			if !ok {
+				continue
+			}
+			spec, reason, hasReason := strings.Cut(rest, "--")
+			if !hasReason || strings.TrimSpace(reason) == "" {
+				continue
+			}
+			line := fset.Position(comment.Pos()).Line
+			for _, pass := range strings.Split(spec, ",") {
+				pass = strings.TrimSpace(pass)
+				if pass == "" {
+					continue
+				}
+				for _, l := range []int{line, line + 1} {
+					if set[l] == nil {
+						set[l] = map[string]bool{}
+					}
+					set[l][pass] = true
+				}
+			}
+		}
+	}
+	return set
+}

@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"causalfl/internal/apps"
+	"causalfl/internal/apps/catalog"
+	"causalfl/internal/metrics"
+	"causalfl/internal/sim"
+)
+
+// Domain linters: instead of walking source syntax they walk the application
+// catalog (internal/apps/catalog) and verify the properties the paper's
+// method assumes of every benchmark topology — an acyclic call graph (the
+// causal sets C(s, M) are built over ancestors; a cycle makes "upstream"
+// meaningless), full fault-injection coverage (§VI injects into every
+// service that has a port; anything else needs an explicit excuse), and a
+// coherent metric classification (every dependent metric divided by a
+// declared independent one, §V-A).
+
+// catalogFile is the pseudo-position domain findings carry: they describe
+// declarations, not a single source line.
+const catalogFile = "internal/apps/catalog"
+
+// domainSeed is the fixed seed used to instantiate catalog apps for
+// verification; any value works (topologies are seed-independent), it is
+// pinned for reproducible output.
+const domainSeed = 1
+
+// FindCycle returns one cycle in the edge set as a service sequence
+// (first == last), or nil if the graph is acyclic. Exported for the fuzz
+// harness, which feeds it adversarial edge sets.
+func FindCycle(edges []apps.Edge) []string {
+	next := map[string][]string{}
+	nodes := map[string]bool{}
+	for _, e := range edges {
+		next[e.From] = append(next[e.From], e.To)
+		nodes[e.From] = true
+		nodes[e.To] = true
+	}
+	sorted := make([]string, 0, len(nodes))
+	for n := range nodes {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, succ := range next {
+		sort.Strings(succ)
+	}
+
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on the current DFS path
+		black = 2 // done
+	)
+	color := map[string]int{}
+	var path []string
+	var dfs func(n string) []string
+	dfs = func(n string) []string {
+		color[n] = gray
+		path = append(path, n)
+		for _, m := range next[n] {
+			switch color[m] {
+			case gray:
+				// Found: slice the path from m's first occurrence.
+				for i, p := range path {
+					if p == m {
+						return append(append([]string(nil), path[i:]...), m)
+					}
+				}
+			case white:
+				if cyc := dfs(m); cyc != nil {
+					return cyc
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		color[n] = black
+		return nil
+	}
+	for _, n := range sorted {
+		if color[n] == white {
+			if cyc := dfs(n); cyc != nil {
+				return cyc
+			}
+		}
+	}
+	return nil
+}
+
+// buildDefinitions instantiates every catalog app once, reporting builder
+// failures as findings and returning the successfully built (def, app) pairs.
+func buildDefinitions(report func(Finding)) []builtDef {
+	domainFinding := func(format string, args ...any) {
+		report(Finding{Pass: "topology", File: catalogFile, Message: fmt.Sprintf(format, args...)})
+	}
+	defs, err := catalog.Definitions()
+	if err != nil {
+		domainFinding("catalog enumeration failed: %v", err)
+		return nil
+	}
+	var built []builtDef
+	for _, def := range defs {
+		if def.Build == nil {
+			domainFinding("app %s: definition has no builder", def.Name)
+			continue
+		}
+		app, err := def.Build(sim.NewEngine(domainSeed))
+		if err != nil {
+			domainFinding("app %s: builder failed: %v", def.Name, err)
+			continue
+		}
+		built = append(built, builtDef{def: def, app: app})
+	}
+	return built
+}
+
+type builtDef struct {
+	def apps.Definition
+	app *apps.App
+}
+
+func topologyAnalyzer() *DomainAnalyzer {
+	d := &DomainAnalyzer{
+		Name: "topology",
+		Doc:  "verifies catalog app topologies: validity, acyclicity, fault-injection coverage, reachability",
+	}
+	d.Run = func(report func(Finding)) {
+		finding := func(format string, args ...any) {
+			report(Finding{Pass: d.Name, File: catalogFile, Message: fmt.Sprintf(format, args...)})
+		}
+		for _, b := range buildDefinitions(report) {
+			def, app := b.def, b.app
+			if err := def.Validate(); err != nil {
+				finding("app %s: invalid definition: %v", def.Name, err)
+			}
+			if err := app.Validate(); err != nil {
+				finding("app %s: invalid app: %v", def.Name, err)
+				continue
+			}
+			if def.Name != app.Name {
+				finding("app %s: definition name disagrees with built app name %q", def.Name, app.Name)
+			}
+
+			// Acyclicity: causal sets are ancestor sets; cycles break them.
+			if cyc := FindCycle(app.Edges); cyc != nil {
+				finding("app %s: call graph has a cycle: %v", def.Name, cyc)
+			}
+
+			// Injection coverage: every service is a fault target or is
+			// excused with a reason; never both, and excuses must name
+			// real services.
+			targets := map[string]bool{}
+			for _, t := range app.FaultTargets {
+				targets[t] = true
+			}
+			for _, svc := range app.Services() {
+				if targets[svc] && def.NonInjectable[svc] != "" {
+					finding("app %s: service %s is both a fault target and excused (%q)", def.Name, svc, def.NonInjectable[svc])
+				}
+				if !targets[svc] && def.NonInjectable[svc] == "" {
+					finding("app %s: service %s is neither a fault target nor excused via NonInjectable", def.Name, svc)
+				}
+			}
+			services := map[string]bool{}
+			for _, svc := range app.Services() {
+				services[svc] = true
+			}
+			excused := make([]string, 0, len(def.NonInjectable))
+			for svc := range def.NonInjectable {
+				excused = append(excused, svc)
+			}
+			sort.Strings(excused)
+			for _, svc := range excused {
+				if !services[svc] {
+					finding("app %s: NonInjectable excuses %q, which is not a service of the app", def.Name, svc)
+				}
+			}
+
+			// Reachability: traffic enters through flows; background
+			// (non-injectable) services are autonomous sources. Everything
+			// must be reachable from one of the two, or no telemetry ever
+			// covers it.
+			reach := map[string]bool{}
+			var frontier []string
+			seed := func(svc string) {
+				if services[svc] && !reach[svc] {
+					reach[svc] = true
+					frontier = append(frontier, svc)
+				}
+			}
+			for _, f := range app.Flows {
+				seed(f.Entry)
+			}
+			for _, svc := range excused {
+				seed(svc)
+			}
+			next := map[string][]string{}
+			for _, e := range app.Edges {
+				next[e.From] = append(next[e.From], e.To)
+			}
+			for len(frontier) > 0 {
+				n := frontier[0]
+				frontier = frontier[1:]
+				for _, m := range next[n] {
+					seed(m)
+				}
+			}
+			for _, svc := range app.Services() {
+				if !reach[svc] {
+					finding("app %s: service %s is unreachable from every flow entry and background source", def.Name, svc)
+				}
+			}
+		}
+	}
+	return d
+}
+
+func metricClassAnalyzer() *DomainAnalyzer {
+	d := &DomainAnalyzer{
+		Name: "metric-class",
+		Doc:  "verifies metric classifications: class consistency per app, dependent⊘independent shape of every derived preset metric",
+	}
+	d.Run = func(report func(Finding)) {
+		finding := func(format string, args ...any) {
+			report(Finding{Pass: d.Name, File: catalogFile, Message: fmt.Sprintf(format, args...)})
+		}
+		defs, err := catalog.Definitions()
+		if err != nil {
+			finding("catalog enumeration failed: %v", err)
+			return
+		}
+		for _, def := range defs {
+			if err := def.Metrics.Validate(); err != nil {
+				finding("app %s: %v", def.Name, err)
+			}
+		}
+
+		// Preset audit: every derived metric the pipeline can be asked to
+		// compute must divide a dependent raw metric by an independent one
+		// (§V-A). The classification of record is metrics.Classify().
+		class := metrics.Classify()
+		for _, name := range metrics.PresetNames() {
+			set, err := metrics.Preset(name)
+			if err != nil {
+				finding("preset %s: %v", name, err)
+				continue
+			}
+			for _, m := range set {
+				if !m.Derived {
+					if _, known := class[m.Name]; !known {
+						finding("preset %s: raw metric %s is not a known raw metric", name, m.Name)
+					}
+					continue
+				}
+				if m.Numerator == "" || m.Denominator == "" {
+					finding("preset %s: derived metric %s does not record its numerator/denominator", name, m.Name)
+					continue
+				}
+				if c, known := class[m.Numerator]; !known {
+					finding("preset %s: derived metric %s has unknown numerator %q", name, m.Name, m.Numerator)
+				} else if c != metrics.Dependent {
+					finding("preset %s: derived metric %s divides independent metric %q (numerator must be dependent)", name, m.Name, m.Numerator)
+				}
+				if c, known := class[m.Denominator]; !known {
+					finding("preset %s: derived metric %s has unknown denominator %q", name, m.Name, m.Denominator)
+				} else if c != metrics.Independent {
+					finding("preset %s: derived metric %s is normalized by dependent metric %q (denominator must be independent)", name, m.Name, m.Denominator)
+				}
+			}
+		}
+	}
+	return d
+}

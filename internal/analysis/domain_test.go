@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"causalfl/internal/apps"
+)
+
+// collectDomain runs one domain analyzer and returns its findings.
+func collectDomain(t *testing.T, name string) []Finding {
+	t.Helper()
+	for _, d := range DomainAnalyzers() {
+		if d.Name != name {
+			continue
+		}
+		var out []Finding
+		d.Run(func(f Finding) { out = append(out, f) })
+		return out
+	}
+	t.Fatalf("no domain analyzer named %q", name)
+	return nil
+}
+
+// The shipped catalog must be clean: every app acyclic, fully covered by
+// fault injection (or excused), reachable, and consistently classified.
+func TestCatalogPassesDomainLinters(t *testing.T) {
+	for _, name := range []string{"topology", "metric-class"} {
+		if findings := collectDomain(t, name); len(findings) != 0 {
+			t.Errorf("%s found %d problem(s) in the shipped catalog:\n%s", name, len(findings), renderFindings(findings))
+		}
+	}
+}
+
+func TestFindCycle(t *testing.T) {
+	cases := []struct {
+		name  string
+		edges []apps.Edge
+		want  bool
+	}{
+		{name: "empty", edges: nil, want: false},
+		{name: "chain", edges: []apps.Edge{{From: "a", To: "b"}, {From: "b", To: "c"}}, want: false},
+		{name: "diamond", edges: []apps.Edge{
+			{From: "a", To: "b"}, {From: "a", To: "c"},
+			{From: "b", To: "d"}, {From: "c", To: "d"},
+		}, want: false},
+		{name: "self loop", edges: []apps.Edge{{From: "a", To: "a"}}, want: true},
+		{name: "two cycle", edges: []apps.Edge{{From: "a", To: "b"}, {From: "b", To: "a"}}, want: true},
+		{name: "deep cycle", edges: []apps.Edge{
+			{From: "root", To: "a"}, {From: "a", To: "b"},
+			{From: "b", To: "c"}, {From: "c", To: "a"},
+		}, want: true},
+		{name: "duplicate edges stay acyclic", edges: []apps.Edge{
+			{From: "a", To: "b"}, {From: "a", To: "b"},
+		}, want: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cyc := FindCycle(tc.edges)
+			if (cyc != nil) != tc.want {
+				t.Fatalf("FindCycle = %v, want cycle=%v", cyc, tc.want)
+			}
+			if cyc != nil {
+				if len(cyc) < 2 || cyc[0] != cyc[len(cyc)-1] {
+					t.Errorf("cycle %v is not closed", cyc)
+				}
+				onPath := map[string]bool{}
+				for _, n := range cyc[:len(cyc)-1] {
+					if onPath[n] {
+						t.Errorf("cycle %v revisits %s", cyc, n)
+					}
+					onPath[n] = true
+				}
+			}
+		})
+	}
+}
+
+func TestFindCycleIsDeterministic(t *testing.T) {
+	edges := []apps.Edge{
+		{From: "c", To: "a"}, {From: "a", To: "b"}, {From: "b", To: "c"},
+		{From: "z", To: "y"}, {From: "y", To: "z"},
+	}
+	first := strings.Join(FindCycle(edges), "->")
+	for i := 0; i < 20; i++ {
+		if got := strings.Join(FindCycle(edges), "->"); got != first {
+			t.Fatalf("run %d returned %q, first run returned %q", i, got, first)
+		}
+	}
+}

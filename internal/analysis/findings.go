@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Finding is one reported violation. File is module-relative (domain
+// findings, which describe declarations rather than a source line, carry the
+// synthetic locus "internal/apps/catalog" with no line), so findings are
+// stable across checkouts and usable as baseline keys.
+type Finding struct {
+	// Pass names the analyzer that produced the finding.
+	Pass string `json:"pass"`
+	// File is the module-relative path, or the synthetic catalog locus for
+	// domain findings about an application definition.
+	File string `json:"file"`
+	// Line and Col are 1-based; zero when the finding has no position.
+	Line int `json:"line,omitempty"`
+	Col  int `json:"col,omitempty"`
+	// Message describes the violation and the expected remedy.
+	Message string `json:"message"`
+}
+
+// Position renders the machine-readable "file:line:col" locus (file alone
+// when the finding has no position).
+func (f Finding) Position() string {
+	if f.Line == 0 {
+		return f.File
+	}
+	return fmt.Sprintf("%s:%d:%d", f.File, f.Line, f.Col)
+}
+
+// Key is the line-insensitive identity used by the baseline: pass, file and
+// message, but not line/col, so unrelated edits that shift code do not
+// invalidate suppressions.
+func (f Finding) Key() string {
+	return f.Pass + "\x00" + f.File + "\x00" + f.Message
+}
+
+// String renders the finding in the conventional compiler format.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position(), f.Message, f.Pass)
+}
+
+// sortFindings orders findings by file, line, column, pass, message.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Message < b.Message
+	})
+}
+
+// WriteText renders findings one per line.
+func WriteText(w io.Writer, fs []Finding) error {
+	for _, f := range fs {
+		if _, err := fmt.Fprintln(w, f.String()); err != nil {
+			return fmt.Errorf("analysis: write findings: %w", err)
+		}
+	}
+	return nil
+}
+
+// jsonReport is the machine-readable output schema of `causalfl-vet -json`.
+type jsonReport struct {
+	// Findings are the violations not covered by the baseline.
+	Findings []Finding `json:"findings"`
+	// Suppressed counts findings covered by the baseline.
+	Suppressed int `json:"suppressed"`
+	// Stale lists baseline entries that no fresh finding matched; they
+	// should be removed from the baseline file.
+	Stale []BaselineEntry `json:"stale,omitempty"`
+	// TypeErrors surface loader degradation (passes still ran on the
+	// syntax, but type-sensitive checks may have been incomplete).
+	TypeErrors []string `json:"type_errors,omitempty"`
+}
+
+// WriteJSON renders the full machine-readable report.
+func WriteJSON(w io.Writer, fs []Finding, suppressed int, stale []BaselineEntry, typeErrors []string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if fs == nil {
+		fs = []Finding{}
+	}
+	if err := enc.Encode(jsonReport{Findings: fs, Suppressed: suppressed, Stale: stale, TypeErrors: typeErrors}); err != nil {
+		return fmt.Errorf("analysis: encode findings: %w", err)
+	}
+	return nil
+}
+
+// Summary renders the one-line outcome that closes a text run.
+func Summary(fresh, suppressed, stale int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d finding(s)", fresh)
+	if suppressed > 0 {
+		fmt.Fprintf(&b, ", %d baselined", suppressed)
+	}
+	if stale > 0 {
+		fmt.Fprintf(&b, ", %d stale baseline entr(ies)", stale)
+	}
+	return b.String()
+}

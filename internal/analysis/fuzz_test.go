@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"fmt"
+	"testing"
+
+	"causalfl/internal/apps"
+)
+
+// edgesFromBytes decodes fuzz input into an edge set over a small node space
+// (16 nodes), so random inputs routinely produce shared nodes, duplicate
+// edges, self loops and cycles.
+func edgesFromBytes(data []byte) []apps.Edge {
+	var edges []apps.Edge
+	for i := 0; i+1 < len(data); i += 2 {
+		edges = append(edges, apps.Edge{
+			From: fmt.Sprintf("n%d", data[i]%16),
+			To:   fmt.Sprintf("n%d", data[i+1]%16),
+		})
+	}
+	return edges
+}
+
+// FuzzTopology feeds the topology linter's cycle detector adversarial edge
+// sets: it must never panic, any reported cycle must be a genuine closed
+// simple cycle over the input edges, and an injected cycle must always be
+// flagged.
+func FuzzTopology(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 2, 3, 3, 4})       // chain
+	f.Add([]byte{1, 1})                   // self loop
+	f.Add([]byte{1, 2, 2, 1})             // two-cycle
+	f.Add([]byte{1, 2, 1, 3, 2, 4, 3, 4}) // diamond
+	f.Fuzz(func(t *testing.T, data []byte) {
+		edges := edgesFromBytes(data)
+		cyc := FindCycle(edges)
+		if cyc != nil {
+			if len(cyc) < 2 || cyc[0] != cyc[len(cyc)-1] {
+				t.Fatalf("cycle %v is not closed", cyc)
+			}
+			present := map[apps.Edge]bool{}
+			for _, e := range edges {
+				present[e] = true
+			}
+			for i := 0; i+1 < len(cyc); i++ {
+				if !present[apps.Edge{From: cyc[i], To: cyc[i+1]}] {
+					t.Fatalf("cycle %v uses edge %s->%s, which is not in the input", cyc, cyc[i], cyc[i+1])
+				}
+			}
+		}
+		// Whatever the input graph looks like, grafting a two-cycle onto it
+		// must be detected. The node names cannot collide with the n0..n15
+		// space above.
+		withCycle := append(append([]apps.Edge(nil), edges...),
+			apps.Edge{From: "injected-x", To: "injected-y"},
+			apps.Edge{From: "injected-y", To: "injected-x"})
+		if FindCycle(withCycle) == nil {
+			t.Fatal("injected two-cycle was not flagged")
+		}
+	})
+}

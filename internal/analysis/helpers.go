@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"strconv"
+	"strings"
+)
+
+// pkgSelector resolves a selector expression whose X is a package name,
+// returning the imported package's path and the selected identifier. It
+// prefers type information and falls back to the file's import table when
+// the type-check was incomplete.
+func pkgSelector(pkg *Package, file *ast.File, sel *ast.SelectorExpr) (pkgPath, name string, ok bool) {
+	ident, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	if pkg.Info != nil {
+		if obj, found := pkg.Info.Uses[ident]; found {
+			pkgName, isPkg := obj.(*types.PkgName)
+			if !isPkg {
+				return "", "", false
+			}
+			return pkgName.Imported().Path(), sel.Sel.Name, true
+		}
+	}
+	// Syntactic fallback: match the identifier against import local names.
+	for _, imp := range file.Imports {
+		target, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		local := path.Base(target)
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
+		if local == ident.Name {
+			return target, sel.Sel.Name, true
+		}
+	}
+	return "", "", false
+}
+
+// isTestSupportFile reports files whose findings the code passes skip:
+// nothing here yet beyond the _test.go exclusion the loader already applies,
+// but files named *_fixtures.go could be added.
+func isTestSupportFile(name string) bool {
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// enclosingFuncs returns, for every node visited by fn, the innermost
+// function declaration name ("" at package level). It drives the Must*
+// exemption of the paniclib pass.
+type funcStack struct {
+	names []string
+}
+
+func (s *funcStack) push(name string) { s.names = append(s.names, name) }
+func (s *funcStack) pop()             { s.names = s.names[:len(s.names)-1] }
+func (s *funcStack) current() string {
+	if len(s.names) == 0 {
+		return ""
+	}
+	return s.names[len(s.names)-1]
+}
+
+// walkWithFuncs traverses file, keeping track of the enclosing named
+// function declaration (function literals inherit the declaration's name).
+func walkWithFuncs(file *ast.File, visit func(n ast.Node, enclosing string)) {
+	var stack funcStack
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if decl, isFunc := n.(*ast.FuncDecl); isFunc {
+			stack.push(decl.Name.Name)
+			if decl.Body != nil {
+				ast.Inspect(decl.Body, walk)
+			}
+			stack.pop()
+			return false
+		}
+		if n != nil {
+			visit(n, stack.current())
+		}
+		return true
+	}
+	ast.Inspect(file, walk)
+}

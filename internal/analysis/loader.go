@@ -1,0 +1,341 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The loader walks a module directory, parses every package with go/parser
+// and type-checks it with go/types — stdlib only, no golang.org/x/tools.
+// Module-internal imports are resolved from the packages being loaded (in
+// dependency order); standard-library imports go through the compiler's
+// source importer. Type-check errors degrade gracefully: passes always see
+// the syntax, and type-sensitive checks skip what they cannot prove.
+
+// Package is one loaded, parsed and (best-effort) type-checked package.
+type Package struct {
+	// ImportPath is the full import path (module path + relative dir).
+	ImportPath string
+	// RelDir is the module-relative directory ("." for the module root).
+	RelDir string
+	// Name is the package name ("main" for commands and examples).
+	Name string
+	// Files holds the parsed syntax; FileNames holds the matching
+	// module-relative paths.
+	Files     []*ast.File
+	FileNames []string
+	// Types is the checked package; it may be incomplete when TypeErrors
+	// is non-empty.
+	Types *types.Package
+	// Info carries the type-checker's expression and identifier records.
+	Info *types.Info
+	// TypeErrors collects soft type-check errors.
+	TypeErrors []error
+}
+
+// Module is a fully loaded module.
+type Module struct {
+	// Path is the module path from go.mod.
+	Path string
+	// Dir is the absolute module root.
+	Dir string
+	// Fset positions all parsed files (including source-imported stdlib).
+	Fset *token.FileSet
+	// Packages is sorted by import path.
+	Packages []*Package
+}
+
+// Rel converts a position to a module-relative "path" string.
+func (m *Module) Rel(pos token.Position) string {
+	rel, err := filepath.Rel(m.Dir, pos.Filename)
+	if err != nil {
+		return pos.Filename
+	}
+	return filepath.ToSlash(rel)
+}
+
+// modulePath extracts the module path from go.mod.
+func modulePath(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: %s is not a module root: %w", dir, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			name := strings.TrimSpace(rest)
+			if unquoted, err := strconv.Unquote(name); err == nil {
+				name = unquoted
+			}
+			if name != "" {
+				return name, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", dir)
+}
+
+// skipDir reports directories the walker never descends into.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// LoadModule parses and type-checks every package under dir.
+func LoadModule(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: resolve %s: %w", dir, err)
+	}
+	modPath, err := modulePath(abs)
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{Path: modPath, Dir: abs, Fset: token.NewFileSet()}
+
+	// Collect package directories.
+	var pkgDirs []string
+	err = filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != abs && skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				pkgDirs = append(pkgDirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: walk %s: %w", abs, err)
+	}
+	sort.Strings(pkgDirs)
+
+	// Parse each directory into a Package.
+	byPath := make(map[string]*Package, len(pkgDirs))
+	for _, pkgDir := range pkgDirs {
+		rel, err := filepath.Rel(abs, pkgDir)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: relativize %s: %w", pkgDir, err)
+		}
+		rel = filepath.ToSlash(rel)
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + rel
+		}
+		pkg := &Package{ImportPath: importPath, RelDir: rel}
+		entries, err := os.ReadDir(pkgDir)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: read %s: %w", pkgDir, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			file, err := parser.ParseFile(mod.Fset, filepath.Join(pkgDir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				pkg.TypeErrors = append(pkg.TypeErrors, err)
+				continue
+			}
+			// External-test packages (pkg_test) never ship; ignore them.
+			if strings.HasSuffix(file.Name.Name, "_test") {
+				continue
+			}
+			if pkg.Name == "" {
+				pkg.Name = file.Name.Name
+			}
+			if file.Name.Name != pkg.Name {
+				pkg.TypeErrors = append(pkg.TypeErrors,
+					fmt.Errorf("%s: package %s conflicts with %s", name, file.Name.Name, pkg.Name))
+				continue
+			}
+			relFile := name
+			if rel != "." {
+				relFile = rel + "/" + name
+			}
+			pkg.Files = append(pkg.Files, file)
+			pkg.FileNames = append(pkg.FileNames, relFile)
+		}
+		if len(pkg.Files) == 0 {
+			continue
+		}
+		byPath[importPath] = pkg
+		mod.Packages = append(mod.Packages, pkg)
+	}
+
+	typeCheck(mod, byPath)
+	return mod, nil
+}
+
+// moduleImporter resolves module-internal imports from the loaded set and
+// everything else through the compiler's source importer.
+type moduleImporter struct {
+	modPath string
+	local   map[string]*types.Package
+	std     types.Importer
+}
+
+func (i *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == i.modPath || strings.HasPrefix(path, i.modPath+"/") {
+		if pkg, ok := i.local[path]; ok && pkg != nil {
+			return pkg, nil
+		}
+		return nil, fmt.Errorf("module package %s not loaded (import cycle or earlier failure)", path)
+	}
+	return i.std.Import(path)
+}
+
+// typeCheck checks every package in dependency order so that internal
+// imports resolve to already-checked packages.
+func typeCheck(mod *Module, byPath map[string]*Package) {
+	// Topological order over module-internal imports (Kahn). Go forbids
+	// import cycles, so leftovers indicate a parse problem; they are
+	// checked last, best-effort.
+	deps := make(map[string][]string, len(mod.Packages))
+	indegree := make(map[string]int, len(mod.Packages))
+	for _, pkg := range mod.Packages {
+		indegree[pkg.ImportPath] = 0
+	}
+	for _, pkg := range mod.Packages {
+		seen := map[string]bool{}
+		for _, file := range pkg.Files {
+			for _, imp := range file.Imports {
+				target, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || seen[target] {
+					continue
+				}
+				seen[target] = true
+				if _, internal := byPath[target]; internal {
+					deps[target] = append(deps[target], pkg.ImportPath)
+					indegree[pkg.ImportPath]++
+				}
+			}
+		}
+	}
+	var queue []string
+	for path, n := range indegree {
+		if n == 0 {
+			queue = append(queue, path)
+		}
+	}
+	sort.Strings(queue)
+	var order []string
+	for len(queue) > 0 {
+		path := queue[0]
+		queue = queue[1:]
+		order = append(order, path)
+		next := deps[path]
+		sort.Strings(next)
+		for _, dependent := range next {
+			indegree[dependent]--
+			if indegree[dependent] == 0 {
+				queue = append(queue, dependent)
+			}
+		}
+	}
+	if len(order) < len(mod.Packages) {
+		var rest []string
+		for path, n := range indegree {
+			if n > 0 {
+				rest = append(rest, path)
+			}
+		}
+		sort.Strings(rest)
+		order = append(order, rest...)
+	}
+
+	imp := &moduleImporter{
+		modPath: mod.Path,
+		local:   make(map[string]*types.Package, len(mod.Packages)),
+		std:     importer.ForCompiler(mod.Fset, "source", nil),
+	}
+	for _, path := range order {
+		pkg := byPath[path]
+		checkPackage(mod.Fset, pkg, imp)
+		imp.local[path] = pkg.Types
+	}
+}
+
+// checkPackage runs go/types over one package with soft errors.
+func checkPackage(fset *token.FileSet, pkg *Package, imp types.Importer) {
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	checked, err := conf.Check(pkg.ImportPath, fset, pkg.Files, info)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	pkg.Types = checked
+	pkg.Info = info
+}
+
+// CheckSource loads a single in-memory package from source strings — the
+// fixture entry point the analyzer tests use. files maps file name to
+// source. The package is type-checked with stdlib imports available. The
+// module path is the first segment of importPath, so a fixture at
+// "fixturemod/internal/sim" exercises path-restricted passes the same way
+// the real module does.
+func CheckSource(importPath string, files map[string]string) (*Module, *Package, error) {
+	modPath := importPath
+	if i := strings.Index(importPath, "/"); i >= 0 {
+		modPath = importPath[:i]
+	}
+	mod := &Module{Path: modPath, Dir: "/fixture", Fset: token.NewFileSet()}
+	pkg := &Package{ImportPath: importPath, RelDir: "."}
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		file, err := parser.ParseFile(mod.Fset, filepath.Join(mod.Dir, name), files[name], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysis: parse fixture %s: %w", name, err)
+		}
+		if pkg.Name == "" {
+			pkg.Name = file.Name.Name
+		}
+		pkg.Files = append(pkg.Files, file)
+		pkg.FileNames = append(pkg.FileNames, name)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil, fmt.Errorf("analysis: fixture %s has no files", importPath)
+	}
+	imp := &moduleImporter{
+		modPath: "fixture-has-no-internal-imports",
+		local:   map[string]*types.Package{},
+		std:     importer.ForCompiler(mod.Fset, "source", nil),
+	}
+	checkPackage(mod.Fset, pkg, imp)
+	mod.Packages = []*Package{pkg}
+	return mod, pkg, nil
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Significance thresholds scattered as bare literals drift: one caller tests
+// at 0.05, another at 0.01, and the evaluation section quietly stops
+// describing the code. Every alpha / p-value threshold must be a named
+// constant in internal/stats (DefaultAlpha, StrictAlpha, ...). The pass is
+// slot-directed rather than value-directed: 0.05 as a packet-loss rate is
+// fine, 0.05 flowing into a parameter, variable, field, or comparison named
+// alpha/pval is not.
+
+// alphaLiterals are the conventional significance levels worth policing.
+// Stored as exact rationals so source literals compare exactly.
+var alphaLiterals = []constant.Value{
+	constant.MakeFromLiteral("0.05", token.FLOAT, 0),
+	constant.MakeFromLiteral("0.01", token.FLOAT, 0),
+	constant.MakeFromLiteral("0.025", token.FLOAT, 0),
+	constant.MakeFromLiteral("0.005", token.FLOAT, 0),
+	constant.MakeFromLiteral("0.001", token.FLOAT, 0),
+	constant.MakeFromLiteral("0.1", token.FLOAT, 0),
+}
+
+// statsConstPackage is the one module package allowed to spell significance
+// levels as literals, and only in const declarations.
+const statsConstPackage = "internal/stats"
+
+// alphaSlotName reports whether an identifier names a significance slot.
+func alphaSlotName(name string) bool {
+	lower := strings.ToLower(name)
+	if lower == "p" || lower == "q" || lower == "pvalue" {
+		return true
+	}
+	return strings.Contains(lower, "alpha") || strings.Contains(lower, "pval")
+}
+
+func magicAlphaAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "magic-alpha",
+		Doc:  "forbids bare significance-level literals (0.05, 0.01, ...) outside internal/stats constants",
+	}
+	a.Run = func(p *Pass) {
+		info := p.Pkg.Info
+		isAlphaLiteral := func(e ast.Expr) bool {
+			lit, isLit := e.(*ast.BasicLit)
+			if !isLit || lit.Kind != token.FLOAT {
+				return false
+			}
+			val := constant.MakeFromLiteral(lit.Value, token.FLOAT, 0)
+			if val.Kind() == constant.Unknown {
+				return false
+			}
+			for _, known := range alphaLiterals {
+				if constant.Compare(val, token.EQL, known) {
+					return true
+				}
+			}
+			return false
+		}
+		report := func(e ast.Expr, slot string) {
+			p.Reportf(e.Pos(), "bare significance level %s flows into %s; use a named constant from internal/stats (e.g. stats.DefaultAlpha)", e.(*ast.BasicLit).Value, slot)
+		}
+		paramName := func(call *ast.CallExpr, argIndex int) string {
+			if info == nil {
+				return ""
+			}
+			tv, ok := info.Types[call.Fun]
+			if !ok || tv.Type == nil {
+				return ""
+			}
+			sig, isSig := tv.Type.Underlying().(*types.Signature)
+			if !isSig {
+				return ""
+			}
+			params := sig.Params()
+			if params.Len() == 0 {
+				return ""
+			}
+			i := argIndex
+			if sig.Variadic() && i >= params.Len()-1 {
+				i = params.Len() - 1
+			}
+			if i >= params.Len() {
+				return ""
+			}
+			return params.At(i).Name()
+		}
+
+		p.walkFiles(func(file *ast.File, relName string) {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.GenDecl:
+					// Const declarations in internal/stats are the one
+					// blessed home; still descend to catch literals in
+					// var initializers there.
+					if node.Tok == token.CONST && p.InternalPath(statsConstPackage) {
+						return false
+					}
+					for _, spec := range node.Specs {
+						vs, isValue := spec.(*ast.ValueSpec)
+						if !isValue {
+							continue
+						}
+						for i, value := range vs.Values {
+							if i < len(vs.Names) && alphaSlotName(vs.Names[i].Name) && isAlphaLiteral(value) {
+								report(value, node.Tok.String()+" "+vs.Names[i].Name)
+							}
+						}
+					}
+				case *ast.AssignStmt:
+					for i, rhs := range node.Rhs {
+						if i >= len(node.Lhs) || !isAlphaLiteral(rhs) {
+							continue
+						}
+						if ident, isIdent := node.Lhs[i].(*ast.Ident); isIdent && alphaSlotName(ident.Name) {
+							report(rhs, "assignment to "+ident.Name)
+						}
+						if sel, isSel := node.Lhs[i].(*ast.SelectorExpr); isSel && alphaSlotName(sel.Sel.Name) {
+							report(rhs, "assignment to field "+sel.Sel.Name)
+						}
+					}
+				case *ast.KeyValueExpr:
+					if key, isIdent := node.Key.(*ast.Ident); isIdent && alphaSlotName(key.Name) && isAlphaLiteral(node.Value) {
+						report(node.Value, "field "+key.Name)
+					}
+				case *ast.CallExpr:
+					for i, arg := range node.Args {
+						if !isAlphaLiteral(arg) {
+							continue
+						}
+						if name := paramName(node, i); name != "" && alphaSlotName(name) {
+							report(arg, "parameter "+name)
+						}
+					}
+				case *ast.BinaryExpr:
+					switch node.Op {
+					case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+					default:
+						return true
+					}
+					check := func(lit, other ast.Expr) {
+						if !isAlphaLiteral(lit) {
+							return
+						}
+						if ident, isIdent := other.(*ast.Ident); isIdent && alphaSlotName(ident.Name) {
+							report(lit, "comparison with "+ident.Name)
+						}
+					}
+					check(node.X, node.Y)
+					check(node.Y, node.X)
+				}
+				return true
+			})
+		})
+	}
+	return a
+}

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Snapshot and model persistence is the contract between training and
+// localization: a silently failed WriteJSON corrupts the artifact the next
+// stage trusts. The pass flags two shapes of discarded I/O errors:
+//
+//   - a statement that calls an I/O-shaped function (Write*/Read*/Save*/
+//     Load*/Encode*/Decode*/Close/Flush/Sync) returning an error and drops
+//     the result on the floor;
+//   - `defer f.Close()` where f came from os.Create/os.OpenFile — the close
+//     flushes buffered writes, so its error is the write error.
+//
+// Explicitly assigning to underscore (`_ = w.Close()`) stays legal: it is a
+// visible, reviewable acknowledgment. In-memory writers that cannot fail
+// (strings.Builder, bytes.Buffer) are exempt.
+
+var errcheckPrefixes = []string{"Write", "Read", "Save", "Load", "Encode", "Decode"}
+var errcheckExact = map[string]bool{"Close": true, "Flush": true, "Sync": true}
+
+// ioShaped reports whether a callee name looks like persistence I/O.
+func ioShaped(name string) bool {
+	if errcheckExact[name] {
+		return true
+	}
+	for _, prefix := range errcheckPrefixes {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func errcheckIOAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "errcheck-io",
+		Doc:  "forbids discarding errors from snapshot/model I/O calls (incl. deferred Close of created files)",
+	}
+	a.Run = func(p *Pass) {
+		info := p.Pkg.Info
+		if info == nil {
+			return
+		}
+		returnsError := func(call *ast.CallExpr) bool {
+			tv, ok := info.Types[call]
+			if !ok || tv.Type == nil {
+				return false
+			}
+			switch t := tv.Type.(type) {
+			case *types.Tuple:
+				return t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type())
+			default:
+				return isErrorType(t)
+			}
+		}
+		calleeName := func(call *ast.CallExpr) (string, ast.Expr) {
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				return fun.Name, nil
+			case *ast.SelectorExpr:
+				return fun.Sel.Name, fun.X
+			}
+			return "", nil
+		}
+		infallibleWriter := func(recv ast.Expr) bool {
+			if recv == nil {
+				return false
+			}
+			tv, ok := info.Types[recv]
+			if !ok || tv.Type == nil {
+				return false
+			}
+			t := tv.Type
+			if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			named, isNamed := t.(*types.Named)
+			if !isNamed {
+				return false
+			}
+			obj := named.Obj()
+			if obj.Pkg() == nil {
+				return false
+			}
+			full := obj.Pkg().Path() + "." + obj.Name()
+			return full == "strings.Builder" || full == "bytes.Buffer"
+		}
+
+		p.walkFiles(func(file *ast.File, relName string) {
+			// Shape 1: discarded I/O-shaped call results.
+			ast.Inspect(file, func(n ast.Node) bool {
+				stmt, isExpr := n.(*ast.ExprStmt)
+				if !isExpr {
+					return true
+				}
+				call, isCall := stmt.X.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				name, recv := calleeName(call)
+				if name == "" || !ioShaped(name) || !returnsError(call) || infallibleWriter(recv) {
+					return true
+				}
+				p.Reportf(call.Pos(), "error returned by %s is discarded; snapshot/model I/O failures must be checked (use `_ =` only with a reason)", name)
+				return true
+			})
+			// Shape 2: defer Close on writable files.
+			ast.Inspect(file, func(n ast.Node) bool {
+				fn, isFunc := n.(*ast.FuncDecl)
+				if !isFunc || fn.Body == nil {
+					return true
+				}
+				created := map[types.Object]bool{}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					assign, isAssign := n.(*ast.AssignStmt)
+					if !isAssign || len(assign.Rhs) != 1 {
+						return true
+					}
+					call, isCall := assign.Rhs[0].(*ast.CallExpr)
+					if !isCall {
+						return true
+					}
+					sel, isSel := call.Fun.(*ast.SelectorExpr)
+					if !isSel {
+						return true
+					}
+					pkgPath, name, ok := pkgSelector(p.Pkg, file, sel)
+					if !ok || pkgPath != "os" || (name != "Create" && name != "OpenFile") {
+						return true
+					}
+					if ident, isIdent := assign.Lhs[0].(*ast.Ident); isIdent {
+						if obj := info.Defs[ident]; obj != nil {
+							created[obj] = true
+						} else if obj := info.Uses[ident]; obj != nil {
+							created[obj] = true
+						}
+					}
+					return true
+				})
+				if len(created) == 0 {
+					return true
+				}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					deferStmt, isDefer := n.(*ast.DeferStmt)
+					if !isDefer {
+						return true
+					}
+					sel, isSel := deferStmt.Call.Fun.(*ast.SelectorExpr)
+					if !isSel || sel.Sel.Name != "Close" {
+						return true
+					}
+					ident, isIdent := sel.X.(*ast.Ident)
+					if !isIdent {
+						return true
+					}
+					if obj := info.Uses[ident]; obj != nil && created[obj] {
+						p.Reportf(deferStmt.Pos(), "deferred Close discards the write error of created file %s; close explicitly and check the error", ident.Name)
+					}
+					return true
+				})
+				return true
+			})
+		})
+	}
+	return a
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() == nil && obj.Name() == "error"
+}

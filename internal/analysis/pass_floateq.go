@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Exact equality on floating-point values is almost always a latent bug in
+// statistical code: two mathematically equal quantities computed along
+// different paths rarely compare equal bit-for-bit. The pass flags ==/!=
+// where either operand has a floating-point type, with two exemptions:
+//
+//   - comparison against the exact constant zero — the project's sentinel
+//     convention ("zero means default") and the "no traffic at all" checks
+//     are bit-exact by construction;
+//   - x != x — the portable NaN test.
+
+func floatEqAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "floateq",
+		Doc:  "forbids ==/!= on floating-point operands (except exact-zero sentinels and x != x NaN tests)",
+	}
+	a.Run = func(p *Pass) {
+		info := p.Pkg.Info
+		if info == nil {
+			return
+		}
+		isFloat := func(e ast.Expr) bool {
+			tv, ok := info.Types[e]
+			if !ok || tv.Type == nil {
+				return false
+			}
+			basic, ok := tv.Type.Underlying().(*types.Basic)
+			return ok && basic.Info()&types.IsFloat != 0
+		}
+		isZeroConst := func(e ast.Expr) bool {
+			tv, ok := info.Types[e]
+			if !ok || tv.Value == nil {
+				return false
+			}
+			return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+		}
+		p.walkFiles(func(file *ast.File, relName string) {
+			ast.Inspect(file, func(n ast.Node) bool {
+				bin, isBin := n.(*ast.BinaryExpr)
+				if !isBin || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(bin.X) && !isFloat(bin.Y) {
+					return true
+				}
+				if isZeroConst(bin.X) || isZeroConst(bin.Y) {
+					return true
+				}
+				// x != x / x == x: the NaN idiom.
+				if xi, ok := bin.X.(*ast.Ident); ok {
+					if yi, ok := bin.Y.(*ast.Ident); ok && xi.Name == yi.Name {
+						return true
+					}
+				}
+				p.Reportf(bin.Pos(), "floating-point %s comparison is unreliable; compare with an explicit tolerance (or math.Abs(a-b) < eps)", bin.Op)
+				return true
+			})
+		})
+	}
+	return a
+}

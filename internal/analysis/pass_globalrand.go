@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// The simulator's reproducibility contract (internal/sim doc comment) is
+// that every stochastic choice flows from a seeded source: the engine's
+// Rand() for simulation code, rand.New(rand.NewSource(seed)) for offline
+// tooling. Package-level math/rand functions draw from the global,
+// process-wide source, which silently couples runs together and breaks the
+// "a run is a pure function of configuration and seed" guarantee, so any
+// use outside the constructor allowlist is a finding.
+
+// randConstructors are the math/rand selectors that build a seeded source
+// rather than drawing from the global one.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// Types and interfaces, not draws.
+	"Rand":   true,
+	"Source": true,
+	"Zipf":   true,
+}
+
+func globalRandAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "globalrand",
+		Doc:  "forbids the global math/rand source; randomness must come from a seeded *rand.Rand",
+	}
+	a.Run = func(p *Pass) {
+		p.walkFiles(func(file *ast.File, relName string) {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, isSel := n.(*ast.SelectorExpr)
+				if !isSel {
+					return true
+				}
+				pkgPath, name, ok := pkgSelector(p.Pkg, file, sel)
+				if !ok || (pkgPath != "math/rand" && pkgPath != "math/rand/v2") || randConstructors[name] {
+					return true
+				}
+				p.Reportf(sel.Pos(), "rand.%s draws from the global math/rand source; use the engine's Rand() or a rand.New(rand.NewSource(seed)) local to the run", name)
+				return true
+			})
+		})
+	}
+	return a
+}

@@ -1,0 +1,326 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// findAnalyzer resolves a code pass by name.
+func findAnalyzer(t *testing.T, name string) *Analyzer {
+	t.Helper()
+	for _, a := range CodeAnalyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no code analyzer named %q", name)
+	return nil
+}
+
+// wantFinding is one golden finding: position plus a fragment the message
+// must contain.
+type wantFinding struct {
+	file     string
+	line     int
+	fragment string
+}
+
+// runFixture type-checks an in-memory package and runs one pass over it.
+func runFixture(t *testing.T, pass, importPath string, files map[string]string) []Finding {
+	t.Helper()
+	mod, pkg, err := CheckSource(importPath, files)
+	if err != nil {
+		t.Fatalf("CheckSource: %v", err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("fixture does not type-check: %v", terr)
+	}
+	return RunPassOnPackage(findAnalyzer(t, pass), mod, pkg)
+}
+
+func checkFindings(t *testing.T, got []Finding, want []wantFinding) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d finding(s), want %d:\n%s", len(got), len(want), renderFindings(got))
+	}
+	for i, w := range want {
+		f := got[i]
+		if f.File != w.file || f.Line != w.line || !strings.Contains(f.Message, w.fragment) {
+			t.Errorf("finding %d = %s, want %s:%d containing %q", i, f, w.file, w.line, w.fragment)
+		}
+	}
+}
+
+func renderFindings(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	return b.String()
+}
+
+func TestCodePasses(t *testing.T) {
+	cases := []struct {
+		name       string
+		pass       string
+		importPath string
+		files      map[string]string
+		want       []wantFinding
+	}{
+		{
+			name:       "globalrand flags package-level draws",
+			pass:       "globalrand",
+			importPath: "fixturemod/internal/sim",
+			files: map[string]string{"a.go": `package sim
+
+import "math/rand"
+
+func draw() (int, *rand.Rand) {
+	seeded := rand.New(rand.NewSource(1)) // constructors are fine
+	return rand.Intn(10), seeded          // global draw is not
+}
+`},
+			want: []wantFinding{{file: "a.go", line: 7, fragment: "global math/rand source"}},
+		},
+		{
+			name:       "globalrand flags aliased import",
+			pass:       "globalrand",
+			importPath: "fixturemod/pkg",
+			files: map[string]string{"a.go": `package pkg
+
+import mrand "math/rand"
+
+func draw() float64 { return mrand.Float64() }
+`},
+			want: []wantFinding{{file: "a.go", line: 5, fragment: "rand.Float64"}},
+		},
+		{
+			name:       "walltime flags clock reads in restricted packages only",
+			pass:       "walltime",
+			importPath: "fixturemod/internal/sim",
+			files: map[string]string{"a.go": `package sim
+
+import "time"
+
+const tick = 50 * time.Millisecond // duration arithmetic is fine
+
+func now() time.Time { return time.Now() }
+`},
+			want: []wantFinding{{file: "a.go", line: 7, fragment: "time.Now reads the wall clock"}},
+		},
+		{
+			name:       "walltime ignores unrestricted packages",
+			pass:       "walltime",
+			importPath: "fixturemod/cmd/tool",
+			files: map[string]string{"a.go": `package tool
+
+import "time"
+
+func now() time.Time { return time.Now() }
+`},
+			want: nil,
+		},
+		{
+			name:       "walltime honors an allow directive with a reason",
+			pass:       "walltime",
+			importPath: "fixturemod/internal/clock",
+			files: map[string]string{"a.go": `package clock
+
+import "time"
+
+//vet:allow walltime -- the one blessed wall-clock source
+func now() time.Time { return time.Now() }
+`},
+			want: nil,
+		},
+		{
+			name:       "walltime ignores a reasonless directive",
+			pass:       "walltime",
+			importPath: "fixturemod/internal/clock",
+			files: map[string]string{"a.go": `package clock
+
+import "time"
+
+//vet:allow walltime
+func now() time.Time { return time.Now() }
+`},
+			want: []wantFinding{{file: "a.go", line: 6, fragment: "time.Now"}},
+		},
+		{
+			name:       "floateq flags equality but keeps the exemptions",
+			pass:       "floateq",
+			importPath: "fixturemod/internal/stats",
+			files: map[string]string{"a.go": `package stats
+
+func compare(a, b float64, n, m int) []bool {
+	return []bool{
+		a == b,  // flagged
+		a != b,  // flagged
+		a == 0,  // zero sentinel: exempt
+		0.0 != b, // zero sentinel: exempt
+		a != a,  // NaN idiom: exempt
+		n == m,  // ints: not a float comparison
+	}
+}
+`},
+			want: []wantFinding{
+				{file: "a.go", line: 5, fragment: "floating-point == comparison"},
+				{file: "a.go", line: 6, fragment: "floating-point != comparison"},
+			},
+		},
+		{
+			name:       "paniclib flags library panics but not Must helpers",
+			pass:       "paniclib",
+			importPath: "fixturemod/internal/sim",
+			files: map[string]string{"a.go": `package sim
+
+import "errors"
+
+func Build(ok bool) error {
+	if !ok {
+		panic("bad topology") // flagged
+	}
+	return nil
+}
+
+func MustBuild() {
+	if err := Build(false); err != nil {
+		panic(err) // Must* convention: exempt
+	}
+}
+
+var errSentinel = errors.New("x")
+`},
+			want: []wantFinding{{file: "a.go", line: 7, fragment: "panic in library package"}},
+		},
+		{
+			name:       "paniclib ignores package main",
+			pass:       "paniclib",
+			importPath: "fixturemod/cmd/tool",
+			files: map[string]string{"a.go": `package main
+
+func main() { panic("commands may crash") }
+`},
+			want: nil,
+		},
+		{
+			name:       "errcheck-io flags discarded writes and deferred Close of created files",
+			pass:       "errcheck-io",
+			importPath: "fixturemod/internal/metrics",
+			files: map[string]string{"a.go": `package metrics
+
+import (
+	"os"
+	"strings"
+)
+
+func save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()          // flagged: write errors vanish in the close
+	f.WriteString("payload") // flagged: discarded write error
+	var b strings.Builder
+	b.WriteString("ok") // in-memory: exempt
+	_ = f.Sync()        // explicit discard: exempt
+	return nil
+}
+
+func read(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // read-only file: exempt
+	return nil
+}
+`},
+			want: []wantFinding{
+				{file: "a.go", line: 13, fragment: "deferred Close discards the write error"},
+				{file: "a.go", line: 14, fragment: "error returned by WriteString is discarded"},
+			},
+		},
+		{
+			name:       "magic-alpha flags literals flowing into significance slots",
+			pass:       "magic-alpha",
+			importPath: "fixturemod/internal/core",
+			files: map[string]string{"a.go": `package core
+
+func test(alpha float64) bool { return alpha > 0 }
+
+func runAll(ps []float64) (int, bool) {
+	alpha := 0.05       // flagged: assignment to alpha
+	lossRate := 0.05    // a rate, not a significance level: exempt
+	hits := 0
+	for _, p := range ps {
+		if p < 0.01 { // flagged: comparison with p
+			hits++
+		}
+	}
+	_ = lossRate
+	return hits, test(0.05) && test(alpha) // flagged: parameter alpha
+}
+`},
+			want: []wantFinding{
+				{file: "a.go", line: 6, fragment: "assignment to alpha"},
+				{file: "a.go", line: 10, fragment: "comparison with p"},
+				{file: "a.go", line: 15, fragment: "parameter alpha"},
+			},
+		},
+		{
+			name:       "magic-alpha allows constants in internal/stats",
+			pass:       "magic-alpha",
+			importPath: "fixturemod/internal/stats",
+			files: map[string]string{"a.go": `package stats
+
+const (
+	DefaultAlpha = 0.05
+	StrictAlpha  = 0.01
+)
+`},
+			want: nil,
+		},
+		{
+			name:       "magic-alpha flags constants outside internal/stats",
+			pass:       "magic-alpha",
+			importPath: "fixturemod/internal/core",
+			files: map[string]string{"a.go": `package core
+
+const localAlpha = 0.05
+`},
+			want: []wantFinding{{file: "a.go", line: 3, fragment: "const localAlpha"}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkFindings(t, runFixture(t, tc.pass, tc.importPath, tc.files), tc.want)
+		})
+	}
+}
+
+func TestPassNamesAreUniqueAndDocumented(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range CodeAnalyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("code analyzer %+v is incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate pass name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, d := range DomainAnalyzers() {
+		if d.Name == "" || d.Doc == "" || d.Run == nil {
+			t.Errorf("domain analyzer %+v is incomplete", d)
+		}
+		if seen[d.Name] {
+			t.Errorf("duplicate pass name %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+	if len(PassNames()) != len(seen) {
+		t.Errorf("PassNames lists %d entries, want %d", len(PassNames()), len(seen))
+	}
+}

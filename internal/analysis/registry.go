@@ -1,0 +1,24 @@
+package analysis
+
+// CodeAnalyzers returns every source-level pass, in documentation order.
+// Adding a pass means adding it here (and documenting it in
+// docs/STATIC_ANALYSIS.md); names must be unique across both layers because
+// they key directives, baseline entries and -passes selections.
+func CodeAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		globalRandAnalyzer(),
+		wallTimeAnalyzer(),
+		floatEqAnalyzer(),
+		panicLibAnalyzer(),
+		errcheckIOAnalyzer(),
+		magicAlphaAnalyzer(),
+	}
+}
+
+// DomainAnalyzers returns every catalog-level pass.
+func DomainAnalyzers() []*DomainAnalyzer {
+	return []*DomainAnalyzer{
+		topologyAnalyzer(),
+		metricClassAnalyzer(),
+	}
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// moduleRoot locates the repository root from the test's working directory
+// (internal/analysis) by walking up to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("getwd: %v", err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestSelfScanMatchesCommittedBaseline runs the full analyzer over this
+// repository and asserts the committed baseline covers exactly the current
+// findings: nothing fresh (a new violation must be fixed or baselined) and
+// nothing stale (a fixed violation must leave the baseline).
+func TestSelfScanMatchesCommittedBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full module type-check; skipped in -short")
+	}
+	root := moduleRoot(t)
+	res, err := Run(Options{Dir: root})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Packages == 0 {
+		t.Fatal("self scan loaded no packages")
+	}
+	for _, te := range res.TypeErrors {
+		t.Errorf("type-check degradation: %s", te)
+	}
+	// The scan must cover the whole tree, examples and commands included.
+	wantPkgs := []string{"internal/sim", "internal/analysis", "cmd/causalfl-vet", "examples/quickstart"}
+	seen := map[string]bool{}
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	for _, pkg := range mod.Packages {
+		seen[pkg.RelDir] = true
+	}
+	for _, want := range wantPkgs {
+		if !seen[want] {
+			t.Errorf("self scan did not load %s", want)
+		}
+	}
+
+	baseline, err := LoadBaseline(filepath.Join(root, "vet-baseline.json"))
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	fresh, _, stale := baseline.Filter(res.Findings)
+	for _, f := range fresh {
+		t.Errorf("unbaselined finding: %s", f)
+	}
+	for _, e := range stale {
+		t.Errorf("stale baseline entry: %s: %s (%s)", e.File, e.Message, e.Pass)
+	}
+}

@@ -1,0 +1,41 @@
+// Package catalog enumerates every benchmark application the project
+// defines. It is the single registry the domain linters (internal/analysis)
+// and future tooling walk; adding an application to the repository means
+// adding its Definition here, which automatically puts it under
+// `causalfl-vet`'s topology and metric-classification checks.
+//
+// The registry lives in its own package (rather than internal/apps) because
+// the app packages import internal/apps for the App/Builder types; a
+// registry inside internal/apps would create an import cycle.
+package catalog
+
+import (
+	"fmt"
+
+	"causalfl/internal/apps"
+	"causalfl/internal/apps/causalbench"
+	"causalfl/internal/apps/patterns"
+	"causalfl/internal/apps/robotshop"
+	"causalfl/internal/apps/synth"
+)
+
+// synthCatalogConfig pins the generated topology the linters verify: the
+// mid-size scalability configuration with the project's default seed.
+var synthCatalogConfig = synth.Config{Services: 18, Seed: 42}
+
+// Definitions returns the declarative description of every application, in
+// stable order: the two paper benchmarks, the three illustration patterns,
+// and one representative generated topology.
+func Definitions() ([]apps.Definition, error) {
+	defs := []apps.Definition{
+		causalbench.Definition(),
+		robotshop.Definition(),
+	}
+	defs = append(defs, patterns.Definitions()...)
+	synthDef, err := synth.Definition(synthCatalogConfig)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: synth definition: %w", err)
+	}
+	defs = append(defs, synthDef)
+	return defs, nil
+}

@@ -1,0 +1,83 @@
+package catalog
+
+import (
+	"testing"
+
+	"causalfl/internal/sim"
+)
+
+// The catalog is the domain linters' ground truth: every entry must carry a
+// valid declarative definition and a builder that produces a valid app.
+func TestEveryDefinitionBuildsAndValidates(t *testing.T) {
+	defs, err := Definitions()
+	if err != nil {
+		t.Fatalf("Definitions: %v", err)
+	}
+	if len(defs) < 4 {
+		t.Fatalf("catalog has %d entries, expected at least the two benchmarks, the patterns and synth", len(defs))
+	}
+	seen := map[string]bool{}
+	for _, def := range defs {
+		if seen[def.Name] {
+			t.Errorf("duplicate catalog entry %q", def.Name)
+		}
+		seen[def.Name] = true
+		if err := def.Validate(); err != nil {
+			t.Errorf("definition %s: %v", def.Name, err)
+			continue
+		}
+		app, err := def.Build(sim.NewEngine(1))
+		if err != nil {
+			t.Errorf("build %s: %v", def.Name, err)
+			continue
+		}
+		if err := app.Validate(); err != nil {
+			t.Errorf("app %s: %v", def.Name, err)
+		}
+		if app.Name != def.Name {
+			t.Errorf("definition %q builds app named %q", def.Name, app.Name)
+		}
+	}
+	for _, want := range []string{"causalbench", "robotshop"} {
+		if !seen[want] {
+			t.Errorf("catalog is missing %s", want)
+		}
+	}
+}
+
+// Two builds of the same definition must agree on topology — the catalog
+// feeds linters that reason about the static structure, so generation has to
+// be deterministic and engine-seed independent.
+func TestDefinitionsAreDeterministic(t *testing.T) {
+	defsA, err := Definitions()
+	if err != nil {
+		t.Fatalf("Definitions: %v", err)
+	}
+	defsB, err := Definitions()
+	if err != nil {
+		t.Fatalf("Definitions: %v", err)
+	}
+	if len(defsA) != len(defsB) {
+		t.Fatalf("catalog size changed between calls: %d vs %d", len(defsA), len(defsB))
+	}
+	for i := range defsA {
+		appA, err := defsA[i].Build(sim.NewEngine(1))
+		if err != nil {
+			t.Fatalf("build %s: %v", defsA[i].Name, err)
+		}
+		appB, err := defsB[i].Build(sim.NewEngine(99))
+		if err != nil {
+			t.Fatalf("build %s: %v", defsB[i].Name, err)
+		}
+		if len(appA.Edges) != len(appB.Edges) {
+			t.Errorf("%s: edge count differs across engine seeds: %d vs %d", defsA[i].Name, len(appA.Edges), len(appB.Edges))
+			continue
+		}
+		for j := range appA.Edges {
+			if appA.Edges[j] != appB.Edges[j] {
+				t.Errorf("%s: edge %d differs across engine seeds: %v vs %v", defsA[i].Name, j, appA.Edges[j], appB.Edges[j])
+				break
+			}
+		}
+	}
+}

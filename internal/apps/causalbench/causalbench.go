@@ -168,6 +168,20 @@ var (
 	_ apps.Builder = BuildQuiet
 )
 
+// Definition is the declarative description the domain linters
+// (internal/analysis) validate: topology, injectability excuses, and metric
+// classification, without running a campaign.
+func Definition() apps.Definition {
+	return apps.Definition{
+		Name:  Name,
+		Build: Build,
+		NonInjectable: map[string]string{
+			"F": "background poller with no exposed port; the dead-port injection needs a port",
+		},
+		Metrics: apps.DefaultMetricClassification(),
+	}
+}
+
 // eLogRate returns E's info-log sampling rate, zero when logging is off.
 func eLogRate(enabled bool) float64 {
 	if !enabled {

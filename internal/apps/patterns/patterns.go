@@ -173,6 +173,24 @@ var (
 	_ apps.Builder = BuildConfounder
 )
 
+// Definitions returns the declarative descriptions of the three illustration
+// topologies for the domain linters (internal/analysis).
+func Definitions() []apps.Definition {
+	mc := apps.DefaultMetricClassification()
+	return []apps.Definition{
+		{Name: Pattern1Name, Build: BuildPattern1, Metrics: mc},
+		{
+			Name:  Pattern2Name,
+			Build: BuildPattern2,
+			NonInjectable: map[string]string{
+				"F": "background drain worker with no exposed port; the dead-port injection needs a port",
+			},
+			Metrics: mc,
+		},
+		{Name: ConfounderName, Build: BuildConfounder, Metrics: mc},
+	}
+}
+
 // addDrainWorker registers a background worker that drains one unit at a
 // time from store/key and calls target once per unit, mirroring CausalBench's
 // node F without its logging rules.

@@ -1,0 +1,132 @@
+package apps
+
+import (
+	"fmt"
+
+	"causalfl/internal/metrics"
+)
+
+// This file holds the introspection hooks the domain linters
+// (internal/analysis) consume: a declarative Definition per benchmark
+// application and the metric classification its derived metrics rely on.
+// Keeping the declarations here — rather than deriving them from a running
+// simulation — is what lets `causalfl-vet` validate topology and statistical
+// hygiene without executing a campaign.
+
+// MetricClassification declares which observability metrics of an
+// application are externally driven (independent) and which are consequences
+// of that drive (dependent), plus the independent divisor that
+// de-confounds each dependent metric (§V-A's derived-metric recipe).
+type MetricClassification struct {
+	// Independent lists metrics that are legal divisors.
+	Independent []string
+	// Dependent lists metrics that need a divisor.
+	Dependent []string
+	// Divisor maps each dependent metric to the independent metric that
+	// normalizes it.
+	Divisor map[string]string
+}
+
+// Validate checks the classification's internal consistency: the classes are
+// disjoint, every dependent metric has a divisor, every divisor is declared
+// independent, and every name is a raw metric the pipeline knows.
+func (mc MetricClassification) Validate() error {
+	known := metrics.Classify()
+	indep := make(map[string]bool, len(mc.Independent))
+	for _, name := range mc.Independent {
+		if _, ok := known[name]; !ok {
+			return fmt.Errorf("apps: independent metric %q is not a known raw metric", name)
+		}
+		if indep[name] {
+			return fmt.Errorf("apps: independent metric %q declared twice", name)
+		}
+		indep[name] = true
+	}
+	dep := make(map[string]bool, len(mc.Dependent))
+	for _, name := range mc.Dependent {
+		if _, ok := known[name]; !ok {
+			return fmt.Errorf("apps: dependent metric %q is not a known raw metric", name)
+		}
+		if indep[name] {
+			return fmt.Errorf("apps: metric %q declared both independent and dependent", name)
+		}
+		if dep[name] {
+			return fmt.Errorf("apps: dependent metric %q declared twice", name)
+		}
+		dep[name] = true
+	}
+	for _, name := range mc.Dependent {
+		div, ok := mc.Divisor[name]
+		if !ok {
+			return fmt.Errorf("apps: dependent metric %q has no independent divisor", name)
+		}
+		if !indep[div] {
+			return fmt.Errorf("apps: divisor %q of %q is not declared independent", div, name)
+		}
+	}
+	for name := range mc.Divisor {
+		if !dep[name] {
+			return fmt.Errorf("apps: divisor declared for %q, which is not a dependent metric", name)
+		}
+	}
+	return nil
+}
+
+// DefaultMetricClassification is the classification shared by the benchmark
+// applications: packets/requests received are the external drive, everything
+// else is normalized by received packets (the paper's divisor of choice —
+// cAdvisor reports it for every container, port or not).
+func DefaultMetricClassification() MetricClassification {
+	return MetricClassification{
+		Independent: []string{metrics.RxPackets.Name, metrics.ReqRate.Name},
+		Dependent: []string{
+			metrics.MsgRate.Name, metrics.ErrLogRate.Name,
+			metrics.CPU.Name, metrics.TxPackets.Name, metrics.Busy.Name,
+		},
+		Divisor: map[string]string{
+			metrics.MsgRate.Name:    metrics.RxPackets.Name,
+			metrics.ErrLogRate.Name: metrics.RxPackets.Name,
+			metrics.CPU.Name:        metrics.RxPackets.Name,
+			metrics.TxPackets.Name:  metrics.RxPackets.Name,
+			metrics.Busy.Name:       metrics.RxPackets.Name,
+		},
+	}
+}
+
+// Definition is the static, declarative description of a benchmark
+// application: everything the domain linters can verify without running a
+// simulation (plus the Builder to instantiate it when a check needs the
+// concrete service list).
+type Definition struct {
+	// Name identifies the application.
+	Name string
+	// Build instantiates the application on an engine.
+	Build Builder
+	// NonInjectable maps each service deliberately absent from FaultTargets
+	// to the reason (e.g. "background worker with no exposed port"). Every
+	// service of the built app must be either a fault target or excused
+	// here; the topology linter enforces it.
+	NonInjectable map[string]string
+	// Metrics classifies the metrics the application is evaluated with.
+	Metrics MetricClassification
+}
+
+// Validate checks the definition's declarative parts (the parts that need no
+// engine): name, builder presence, excuse reasons, metric classification.
+func (d Definition) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("apps: definition has no name")
+	}
+	if d.Build == nil {
+		return fmt.Errorf("apps: definition %s has no builder", d.Name)
+	}
+	for svc, reason := range d.NonInjectable {
+		if reason == "" {
+			return fmt.Errorf("apps: definition %s excuses %q from fault injection without a reason", d.Name, svc)
+		}
+	}
+	if err := d.Metrics.Validate(); err != nil {
+		return fmt.Errorf("apps: definition %s: %w", d.Name, err)
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"causalfl/internal/metrics"
+	"causalfl/internal/sim"
+)
+
+func TestDefaultMetricClassificationIsValid(t *testing.T) {
+	if err := DefaultMetricClassification().Validate(); err != nil {
+		t.Fatalf("default classification invalid: %v", err)
+	}
+}
+
+func TestMetricClassificationValidateRejects(t *testing.T) {
+	rx := metrics.RxPackets.Name
+	cpu := metrics.CPU.Name
+	cases := []struct {
+		name string
+		mc   MetricClassification
+		want string
+	}{
+		{
+			name: "unknown independent",
+			mc:   MetricClassification{Independent: []string{"made_up"}},
+			want: "not a known raw metric",
+		},
+		{
+			name: "metric in both classes",
+			mc: MetricClassification{
+				Independent: []string{rx},
+				Dependent:   []string{rx},
+			},
+			want: "both independent and dependent",
+		},
+		{
+			name: "dependent without divisor",
+			mc: MetricClassification{
+				Independent: []string{rx},
+				Dependent:   []string{cpu},
+			},
+			want: "no independent divisor",
+		},
+		{
+			name: "divisor not independent",
+			mc: MetricClassification{
+				Independent: []string{rx},
+				Dependent:   []string{cpu},
+				Divisor:     map[string]string{cpu: cpu},
+			},
+			want: "not declared independent",
+		},
+		{
+			name: "divisor for a non-dependent metric",
+			mc: MetricClassification{
+				Independent: []string{rx},
+				Dependent:   []string{cpu},
+				Divisor:     map[string]string{cpu: rx, rx: rx},
+			},
+			want: "not a dependent metric",
+		},
+		{
+			name: "duplicate independent",
+			mc:   MetricClassification{Independent: []string{rx, rx}},
+			want: "declared twice",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.mc.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted an invalid classification")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDefinitionValidate(t *testing.T) {
+	builder := Builder(func(eng *sim.Engine) (*App, error) { return nil, nil })
+	valid := Definition{
+		Name:          "x",
+		Build:         builder,
+		NonInjectable: map[string]string{"bg": "no exposed port"},
+		Metrics:       DefaultMetricClassification(),
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid definition rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		def  Definition
+		want string
+	}{
+		{
+			name: "missing name",
+			def:  Definition{Build: builder, Metrics: DefaultMetricClassification()},
+			want: "no name",
+		},
+		{
+			name: "missing builder",
+			def:  Definition{Name: "x", Metrics: DefaultMetricClassification()},
+			want: "no builder",
+		},
+		{
+			name: "reasonless excuse",
+			def: Definition{
+				Name: "x", Build: builder,
+				NonInjectable: map[string]string{"bg": ""},
+				Metrics:       DefaultMetricClassification(),
+			},
+			want: "without a reason",
+		},
+		{
+			name: "broken classification",
+			def: Definition{
+				Name: "x", Build: builder,
+				Metrics: MetricClassification{Dependent: []string{metrics.CPU.Name}},
+			},
+			want: "no independent divisor",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.def.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted an invalid definition")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -174,6 +174,20 @@ func Build(eng *sim.Engine) (*apps.App, error) {
 
 var _ apps.Builder = Build
 
+// Definition is the declarative description the domain linters
+// (internal/analysis) validate: topology, injectability excuses, and metric
+// classification, without running a campaign.
+func Definition() apps.Definition {
+	return apps.Definition{
+		Name:  Name,
+		Build: Build,
+		NonInjectable: map[string]string{
+			"dispatch": "background queue consumer with no exposed port; the dead-port injection needs a port",
+		},
+		Metrics: apps.DefaultMetricClassification(),
+	}
+}
+
 // addDispatch registers the background order consumer: it drains the orders
 // queue from rabbitmq, burning CPU per order and logging every
 // dispatchLogEvery orders. Broker failures are logged as errors (the real

@@ -103,6 +103,31 @@ func Builder(cfg Config) (apps.Builder, error) {
 	return plan.build, nil
 }
 
+// Definition returns the declarative description of the configured topology
+// for the domain linters (internal/analysis). Generated drain workers are
+// the only services excused from fault injection: like CausalBench's node F,
+// they expose no port.
+func Definition(cfg Config) (apps.Definition, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return apps.Definition{}, err
+	}
+	p, err := plan(cfg)
+	if err != nil {
+		return apps.Definition{}, err
+	}
+	nonInjectable := make(map[string]string, len(p.workers))
+	for _, w := range p.workers {
+		nonInjectable[w.name] = "generated background drain worker with no exposed port"
+	}
+	return apps.Definition{
+		Name:          p.name,
+		Build:         p.build,
+		NonInjectable: nonInjectable,
+		Metrics:       apps.DefaultMetricClassification(),
+	}, nil
+}
+
 // topologyPlan is the deterministic blueprint of one generated application.
 type topologyPlan struct {
 	name         string
@@ -165,6 +190,7 @@ func plan(cfg Config) (*topologyPlan, error) {
 			op = sim.KVIncrBy
 			key = "queue:" + name
 		}
+		p.edges = append(p.edges, apps.Edge{From: name, To: store})
 		return sim.KVCall{Store: store, Op: op, Key: key, Delta: 1}
 	}
 	for layer := 0; layer < cfg.Layers; layer++ {

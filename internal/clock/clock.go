@@ -1,0 +1,51 @@
+// Package clock provides an injectable wall-clock source.
+//
+// The simulator runs on virtual time and must never consult the host clock,
+// but the evaluation harness reports real (host) training and evaluation
+// costs. Code that needs such timings receives a Clock instead of calling
+// time.Now directly, so tests can substitute a deterministic fake and the
+// determinism analyzer (internal/analysis, walltime pass) can keep the rest
+// of the codebase wall-clock-free.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies wall-clock readings.
+type Clock interface {
+	Now() time.Time
+}
+
+// Func adapts a plain function to the Clock interface.
+type Func func() time.Time
+
+// Now implements Clock.
+func (f Func) Now() time.Time { return f() }
+
+// Wall reads the host's real clock. It is the one sanctioned source of wall
+// time in the deterministic packages; everything else receives a Clock.
+var Wall Clock = Func(time.Now) //vet:allow walltime -- the single blessed wall-clock source
+
+// Fake is a deterministic Clock for tests: every reading advances the
+// current instant by Step before returning it, so consecutive calls yield
+// strictly increasing, perfectly predictable times. It is safe for
+// concurrent use (the report generator reads its clock from worker
+// goroutines).
+type Fake struct {
+	mu sync.Mutex
+	// Current is the instant the previous reading returned (or the epoch
+	// the fake starts from).
+	Current time.Time
+	// Step is how far each reading advances the clock.
+	Step time.Duration
+}
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.Current = f.Current.Add(f.Step)
+	return f.Current
+}

@@ -1,0 +1,35 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeAdvancesByStep(t *testing.T) {
+	base := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	f := &Fake{Current: base, Step: 250 * time.Millisecond}
+	first := f.Now()
+	second := f.Now()
+	if got, want := first, base.Add(250*time.Millisecond); !got.Equal(want) {
+		t.Fatalf("first reading = %v, want %v", got, want)
+	}
+	if got, want := second.Sub(first), 250*time.Millisecond; got != want {
+		t.Fatalf("step between readings = %v, want %v", got, want)
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	fixed := time.Date(2030, 6, 15, 12, 0, 0, 0, time.UTC)
+	var c Clock = Func(func() time.Time { return fixed })
+	if !c.Now().Equal(fixed) {
+		t.Fatalf("Func adapter returned %v, want %v", c.Now(), fixed)
+	}
+}
+
+func TestWallIsMonotonicEnough(t *testing.T) {
+	a := Wall.Now()
+	b := Wall.Now()
+	if b.Before(a) {
+		t.Fatalf("wall clock went backwards: %v then %v", a, b)
+	}
+}

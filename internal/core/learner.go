@@ -7,8 +7,10 @@ import (
 	"causalfl/internal/stats"
 )
 
-// DefaultAlpha is the significance level for the two-sample tests.
-const DefaultAlpha = 0.05
+// DefaultAlpha is the significance level for the two-sample tests. It
+// aliases the project-wide constant so the statistical configuration lives
+// in internal/stats.
+const DefaultAlpha = stats.DefaultAlpha
 
 // DefaultMinSamples is the smallest series length a KS comparison is run on.
 // Below four points per side the KS statistic's resolution is so coarse that

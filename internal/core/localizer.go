@@ -231,6 +231,7 @@ func (lo *Localizer) Localize(model *Model, production *metrics.Snapshot) (*Loca
 			case score > best:
 				best = score
 				winners = []string{target}
+			//vet:allow floateq -- tied targets compute the same integer ratio; exact tie detection is the vote-splitting rule
 			case score == best:
 				winners = append(winners, target)
 			}
@@ -431,6 +432,7 @@ func (lo *Localizer) LocalizeMulti(model *Model, production *metrics.Snapshot, k
 				// F_0.5 = 1.25·P·R / (0.25·P + R).
 				score += 1.25 * precision * recall / (0.25*precision + recall)
 			}
+			//vet:allow floateq -- exact tie → alphabetical winner keeps greedy selection deterministic
 			if score > best || (score == best && score > 0 && (winner == "" || target < winner)) {
 				best = score
 				winner = target
@@ -463,6 +465,7 @@ func (l *Localization) Ranked() []string {
 	}
 	sort.Slice(out, func(i, j int) bool {
 		vi, vj := l.Votes[out[i]], l.Votes[out[j]]
+		//vet:allow floateq -- sort tie-break: exact equality falls through to the alphabetical order
 		if vi != vj {
 			return vi > vj
 		}

@@ -10,6 +10,7 @@ import (
 	"causalfl/internal/apps/patterns"
 	"causalfl/internal/apps/robotshop"
 	"causalfl/internal/baselines"
+	"causalfl/internal/clock"
 	"causalfl/internal/load"
 	"causalfl/internal/metrics"
 	"causalfl/internal/sim"
@@ -26,6 +27,18 @@ type Options struct {
 	// 60s/30s windows), cutting runtime roughly fourfold at slightly
 	// reduced statistical power. Benchmarks use it; headline runs do not.
 	Quick bool
+	// Clock supplies the wall-clock readings behind host-cost columns
+	// (scalability train/eval walls, report section timings). Nil means the
+	// host clock; tests inject a clock.Fake for deterministic timings.
+	Clock clock.Clock
+}
+
+// WallClock returns the configured clock, defaulting to the host clock.
+func (o Options) WallClock() clock.Clock {
+	if o.Clock != nil {
+		return o.Clock
+	}
+	return clock.Wall
 }
 
 // Apply merges the options into a campaign config, returning the config the

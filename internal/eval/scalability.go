@@ -52,6 +52,7 @@ var ScalabilitySizes = []int{9, 18, 36}
 // RunScalabilityExtension sweeps application sizes.
 func RunScalabilityExtension(o Options) (*ScalabilityResult, error) {
 	result := &ScalabilityResult{}
+	clk := o.WallClock()
 	for _, n := range ScalabilitySizes {
 		seed := o.Seed
 		if seed == 0 {
@@ -63,19 +64,19 @@ func RunScalabilityExtension(o Options) (*ScalabilityResult, error) {
 		}
 		cfg := o.Apply(Config{Build: build, Metrics: metrics.DerivedAll()})
 
-		trainStart := time.Now()
+		trainStart := clk.Now()
 		model, err := Train(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("eval: scalability n=%d train: %w", n, err)
 		}
-		trainWall := time.Since(trainStart)
+		trainWall := clk.Now().Sub(trainStart)
 
-		evalStart := time.Now()
+		evalStart := clk.Now()
 		report, err := Evaluate(cfg, model)
 		if err != nil {
 			return nil, fmt.Errorf("eval: scalability n=%d eval: %w", n, err)
 		}
-		evalWall := time.Since(evalStart)
+		evalWall := clk.Now().Sub(evalStart)
 
 		result.Rows = append(result.Rows, ScalabilityRow{
 			Services:        n,

@@ -1,0 +1,39 @@
+package metrics
+
+// Introspection hooks for the metric-classification linter
+// (internal/analysis): the paper's derived-metric recipe (§V-A) only
+// de-confounds load if every dependent metric is divided by an independent
+// one, so the classification below is machine-checked rather than implied
+// by metric names.
+
+// Class labels a raw metric's role in the derived-metric recipe.
+type Class string
+
+const (
+	// Independent metrics are externally driven (the load reaching the
+	// service); they are legal divisors.
+	Independent Class = "independent"
+	// Dependent metrics are consequences of the independent drive; each
+	// needs an independent divisor to be load-invariant.
+	Dependent Class = "dependent"
+)
+
+// KnownRaw returns every raw (non-derived) metric the pipeline defines.
+func KnownRaw() []Metric {
+	return []Metric{MsgRate, ErrLogRate, CPU, RxPackets, TxPackets, ReqRate, Busy}
+}
+
+// Classify returns the canonical class of every raw metric. Packets and
+// requests received are the external drive; everything a service does in
+// response — logging, CPU, transmissions, slot occupancy — is dependent.
+func Classify() map[string]Class {
+	return map[string]Class{
+		RxPackets.Name:  Independent,
+		ReqRate.Name:    Independent,
+		MsgRate.Name:    Dependent,
+		ErrLogRate.Name: Dependent,
+		CPU.Name:        Dependent,
+		TxPackets.Name:  Dependent,
+		Busy.Name:       Dependent,
+	}
+}

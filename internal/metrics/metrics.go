@@ -26,6 +26,12 @@ type Metric struct {
 	Name string
 	// Derived marks load-deconfounded ratio metrics.
 	Derived bool
+	// Numerator and Denominator record, for derived metrics, the raw
+	// metrics the ratio was built from (Derive sets them). They let the
+	// metric-classification linter check that every ratio divides a
+	// dependent metric by an independent one without parsing names.
+	Numerator   string
+	Denominator string
 	// Extract computes the metric value from one window's counter sums.
 	Extract func(sim.Counters) float64
 }
@@ -68,8 +74,10 @@ var (
 // does nothing has zero intensity, which keeps omission faults visible.
 func Derive(dep, indep Metric) Metric {
 	return Metric{
-		Name:    dep.Name + "_per_" + indep.Name,
-		Derived: true,
+		Name:        dep.Name + "_per_" + indep.Name,
+		Derived:     true,
+		Numerator:   dep.Name,
+		Denominator: indep.Name,
 		Extract: func(c sim.Counters) float64 {
 			d := dep.Extract(c)
 			i := indep.Extract(c)

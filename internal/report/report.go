@@ -110,6 +110,7 @@ func Generate(o eval.Options, w io.Writer) error {
 	if workers > len(sections) {
 		workers = len(sections)
 	}
+	clk := o.WallClock()
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -117,9 +118,9 @@ func Generate(o eval.Options, w io.Writer) error {
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				start := time.Now()
+				start := clk.Now()
 				result, err := sections[idx].Run(o)
-				outcomes[idx] = outcome{result: result, wall: time.Since(start).Round(time.Millisecond), err: err}
+				outcomes[idx] = outcome{result: result, wall: clk.Now().Sub(start).Round(time.Millisecond), err: err}
 			}
 		}()
 	}

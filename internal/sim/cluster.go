@@ -35,6 +35,9 @@ func WithFailFastDelay(d time.Duration) ClusterOption {
 
 // Cluster is a set of services sharing one event engine and network model.
 type Cluster struct {
+	// err records a construction error (nil engine). It surfaces from every
+	// fallible operation instead of panicking in library code.
+	err          error
 	eng          *Engine
 	services     map[string]*Service
 	order        []string
@@ -48,17 +51,19 @@ type Cluster struct {
 	nodes        map[string]*node
 }
 
-// NewCluster creates an empty cluster on eng.
+// NewCluster creates an empty cluster on eng. A nil engine is a
+// configuration error; it is reported by the first fallible operation
+// (AddService, AddPoller, Call) rather than by panicking here.
 func NewCluster(eng *Engine, opts ...ClusterOption) *Cluster {
-	if eng == nil {
-		panic("sim: NewCluster called with nil engine")
-	}
 	c := &Cluster{
 		eng:       eng,
 		services:  make(map[string]*Service),
 		netDelay:  DefaultNetworkDelay,
 		netJitter: DefaultNetworkJitter,
 		failFast:  DefaultFailFastDelay,
+	}
+	if eng == nil {
+		c.err = ErrNilEngine
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -71,6 +76,9 @@ func (c *Cluster) Engine() *Engine { return c.eng }
 
 // AddService registers a service defined by cfg.
 func (c *Cluster) AddService(cfg ServiceConfig) (*Service, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
 	if _, dup := c.services[cfg.Name]; dup {
 		return nil, fmt.Errorf("sim: duplicate service %q", cfg.Name)
 	}
@@ -143,6 +151,13 @@ func (c *Cluster) CallKV(from, store string, op KVOp, done func(Result)) {
 // for the call, the handler inherits the context for its own downstream
 // calls, and the span completes when the response reaches the caller.
 func (c *Cluster) callTraced(ctx traceCtx, from, target string, item workItem) {
+	if c.err != nil {
+		// No engine: fail synchronously without opening a span.
+		if item.respond != nil {
+			item.respond(Result{Err: c.err})
+		}
+		return
+	}
 	endpoint := item.endpoint
 	if item.kvOp != nil {
 		endpoint = item.kvOp.Kind.String() + " " + item.kvOp.Key
@@ -162,6 +177,11 @@ func (c *Cluster) callTraced(ctx traceCtx, from, target string, item workItem) {
 func (c *Cluster) call(from, target string, item workItem) {
 	if item.respond == nil {
 		item.respond = func(Result) {}
+	}
+	if c.err != nil {
+		// No engine to schedule on: fail the call synchronously.
+		item.respond(Result{Err: c.err})
+		return
 	}
 	if fromSvc, ok := c.services[from]; ok {
 		fromSvc.counters.RequestsSent++

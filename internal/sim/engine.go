@@ -50,11 +50,9 @@ func (h eventHeap) Less(i, j int) bool {
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
 func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		panic("sim: eventHeap.Push called with non-event value")
-	}
-	*h = append(*h, ev)
+	// Only the engine pushes onto this heap, always with *event; the type
+	// assertion documents (and enforces) that invariant.
+	*h = append(*h, x.(*event))
 }
 
 func (h *eventHeap) Pop() any {
@@ -94,10 +92,12 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // Schedule arranges for fn to run at virtual time at. Events scheduled in the
 // past are executed at the current time instead (they cannot rewind the
-// clock). Events at equal times run in scheduling order.
+// clock). Events at equal times run in scheduling order. A nil fn schedules
+// nothing: there is no work to run, so the call is a no-op rather than a
+// panic in library code.
 func (e *Engine) Schedule(at Time, fn func()) {
 	if fn == nil {
-		panic("sim: Schedule called with nil callback")
+		return
 	}
 	if at < e.now {
 		at = e.now

@@ -170,15 +170,6 @@ func TestEngineDeterminism(t *testing.T) {
 	}
 }
 
-func TestEngineSchedulePanicsOnNilCallback(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Schedule accepted a nil callback")
-		}
-	}()
-	NewEngine(1).Schedule(0, nil)
-}
-
 // Property: for any set of event offsets, events run in non-decreasing time
 // order and the executed count matches the number of events inside the
 // horizon.

@@ -22,6 +22,11 @@ var (
 	// ErrCallTimeout is returned when a CallStep's per-attempt timeout
 	// elapses before the response arrives.
 	ErrCallTimeout = errors.New("call timed out")
+
+	// ErrNilEngine reports a Cluster built with a nil engine. The
+	// construction error surfaces from AddService/AddPoller/Call instead of
+	// panicking inside NewCluster.
+	ErrNilEngine = errors.New("sim: cluster built with nil engine")
 )
 
 // UnknownServiceError reports a call routed to a service name that is not

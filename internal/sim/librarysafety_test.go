@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// The library paths of the simulator must not panic on misconfiguration;
+// these tests pin the returned-error behaviour the static analyzer's
+// paniclib pass enforces.
+
+func TestNilEngineClusterReturnsErrors(t *testing.T) {
+	c := NewCluster(nil)
+	if _, err := c.AddService(ServiceConfig{Name: "svc"}); !errors.Is(err, ErrNilEngine) {
+		t.Fatalf("AddService on nil-engine cluster: err = %v, want ErrNilEngine", err)
+	}
+	if _, err := c.AddPoller(PollerConfig{
+		Service:  ServiceConfig{Name: "w"},
+		Interval: 1,
+		Body:     func(ctx *PollCtx, done func()) { done() },
+	}); !errors.Is(err, ErrNilEngine) {
+		t.Fatalf("AddPoller on nil-engine cluster: err = %v, want ErrNilEngine", err)
+	}
+	called := false
+	c.Call("client", "svc", "/", func(res Result) {
+		called = true
+		if !errors.Is(res.Err, ErrNilEngine) {
+			t.Fatalf("Call on nil-engine cluster: err = %v, want ErrNilEngine", res.Err)
+		}
+	})
+	if !called {
+		t.Fatal("Call on nil-engine cluster never delivered its synchronous failure")
+	}
+}
+
+func TestMustAddServicePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddService on a nil-engine cluster did not panic")
+		}
+	}()
+	NewCluster(nil).MustAddService(ServiceConfig{Name: "svc"})
+}
+
+func TestScheduleNilCallbackIsNoOp(t *testing.T) {
+	eng := NewEngine(1)
+	eng.Schedule(0, nil)
+	if got := eng.Pending(); got != 0 {
+		t.Fatalf("Schedule(nil) enqueued %d events, want 0", got)
+	}
+	if got := eng.Run(1); got != 0 {
+		t.Fatalf("Run executed %d events after Schedule(nil), want 0", got)
+	}
+}

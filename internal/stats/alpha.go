@@ -1,0 +1,15 @@
+package stats
+
+// Significance-level constants. Every alpha / p-value threshold in the
+// project references a named constant here; bare numeric significance
+// literals elsewhere are rejected by the magic-alpha analyzer
+// (internal/analysis), which keeps the statistical configuration auditable
+// in one place.
+const (
+	// DefaultAlpha is the project-wide default significance level for the
+	// two-sample tests (the paper's KS decisions, §V-A).
+	DefaultAlpha = 0.05
+	// StrictAlpha is the conservative level used when many comparisons
+	// share one decision and no FDR correction is applied.
+	StrictAlpha = 0.01
+)

@@ -46,6 +46,7 @@ func (MannWhitneyTest) PValue(x, y []float64) (float64, error) {
 	tieTerm := 0.0
 	for i := 0; i < n; {
 		j := i
+		//vet:allow floateq -- midrank tie groups are defined by exact equality of observations
 		for j < n && pooled[j].v == pooled[i].v {
 			j++
 		}

@@ -89,6 +89,7 @@ func (l *LatencyRCA) Localize(healthy, suspect []sim.Span) ([]Suspect, error) {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
+		//vet:allow floateq -- sort tie-break: exact equality falls through to the alphabetical order
 		if out[i].Inflation != out[j].Inflation {
 			return out[i].Inflation > out[j].Inflation
 		}
