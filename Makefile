@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short race vet lint lint-json fmt bench report tables figures clean
+.PHONY: all check build test test-short race vet lint lint-json fmt bench bench-parallel report tables figures clean
 
 all: check
 
@@ -42,6 +42,12 @@ fmt:
 # Every table, figure, ablation and extension, abbreviated windows.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
+
+# Serial vs parallel wall-clock comparison of the causal-learning stages.
+# The JSON artifact records learn/localize/campaign timings at workers=1 and
+# workers=GOMAXPROCS; the outputs of both runs are identical by construction.
+bench-parallel:
+	$(GO) run ./cmd/causalfl bench -quick -out BENCH_parallel.json
 
 # Paper-length regeneration of the full evaluation.
 report:

@@ -10,7 +10,9 @@
 package causalfl
 
 import (
+	"context"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -41,7 +43,7 @@ func tableIBench(b *testing.B, build apps.Builder, mult float64) {
 			Metrics:        metrics.DerivedAll(),
 			TestMultiplier: mult,
 		})
-		model, report, err := eval.TrainAndEvaluate(cfg)
+		model, report, err := eval.TrainAndEvaluate(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -74,7 +76,7 @@ func tableIIBench(b *testing.B, build apps.Builder, preset string) {
 			Metrics:        union,
 			TestMultiplier: 4,
 		})
-		scores, err := eval.CompareTechniques(cfg, []baselines.Technique{
+		scores, err := eval.CompareTechniques(context.Background(), cfg, []baselines.Technique{
 			&baselines.Paper{MetricNames: metrics.Names(set)},
 		})
 		if err != nil {
@@ -116,7 +118,7 @@ func BenchmarkTableII_RobotShop_DerivedAll(b *testing.B) {
 func BenchmarkFig1_MetricDependentCausality(b *testing.B) {
 	var distinct float64
 	for i := 0; i < b.N; i++ {
-		result, err := eval.RunFig1(benchOpts)
+		result, err := eval.RunFig1(context.Background(), benchOpts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -139,7 +141,7 @@ func BenchmarkFig1_MetricDependentCausality(b *testing.B) {
 func BenchmarkFig2_LoadConfounder(b *testing.B) {
 	var shiftI, shiftC float64
 	for i := 0; i < b.N; i++ {
-		result, err := eval.RunFig2(benchOpts)
+		result, err := eval.RunFig2(context.Background(), benchOpts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -153,7 +155,7 @@ func BenchmarkFig2_LoadConfounder(b *testing.B) {
 func BenchmarkCausalSetsExample(b *testing.B) {
 	var match float64
 	for i := 0; i < b.N; i++ {
-		result, err := eval.RunCausalSetsExample(benchOpts)
+		result, err := eval.RunCausalSetsExample(context.Background(), benchOpts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -174,7 +176,7 @@ func baselineBench(b *testing.B, build apps.Builder, name string) {
 	b.Helper()
 	var ourAcc, errlogInfo float64
 	for i := 0; i < b.N; i++ {
-		result, err := eval.RunBaselineComparison(benchOpts, build, name)
+		result, err := eval.RunBaselineComparison(context.Background(), benchOpts, build, name)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -203,7 +205,7 @@ func ablationRun(b *testing.B, mutate func(*eval.Config)) (acc, info float64) {
 		TestMultiplier: 4,
 	})
 	mutate(&cfg)
-	_, report, err := eval.TrainAndEvaluate(cfg)
+	_, report, err := eval.TrainAndEvaluate(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -271,7 +273,7 @@ func benchVoteRule(b *testing.B, rule core.VoteRule) {
 			Metrics:        union,
 			TestMultiplier: 4,
 		})
-		scores, err := eval.CompareTechniques(cfg, []baselines.Technique{
+		scores, err := eval.CompareTechniques(context.Background(), cfg, []baselines.Technique{
 			&baselines.Paper{Rule: rule},
 		})
 		if err != nil {
@@ -302,7 +304,7 @@ func benchTestRule(b *testing.B, test stats.TwoSampleTest) {
 			Metrics:        metrics.DerivedAll(),
 			TestMultiplier: 4,
 		})
-		scores, err := eval.CompareTechniques(cfg, []baselines.Technique{
+		scores, err := eval.CompareTechniques(context.Background(), cfg, []baselines.Technique{
 			&baselines.Paper{Test: test},
 		})
 		if err != nil {
@@ -323,7 +325,7 @@ func benchDecision(b *testing.B, fdr float64) {
 			Metrics:        metrics.DerivedAll(),
 			TestMultiplier: 4,
 		})
-		scores, err := eval.CompareTechniques(cfg, []baselines.Technique{
+		scores, err := eval.CompareTechniques(context.Background(), cfg, []baselines.Technique{
 			&baselines.Paper{FDR: fdr},
 		})
 		if err != nil {
@@ -356,7 +358,7 @@ func BenchmarkAblation_TestPermutation(b *testing.B) {
 func BenchmarkExtension_FaultTypes(b *testing.B) {
 	var crossLatency, matchedLatency float64
 	for i := 0; i < b.N; i++ {
-		result, err := eval.RunFaultTypeExtension(benchOpts)
+		result, err := eval.RunFaultTypeExtension(context.Background(), benchOpts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -377,7 +379,7 @@ func BenchmarkExtension_FaultTypes(b *testing.B) {
 func BenchmarkExtension_MultiFault(b *testing.B) {
 	var both float64
 	for i := 0; i < b.N; i++ {
-		result, err := eval.RunMultiFaultExtension(benchOpts)
+		result, err := eval.RunMultiFaultExtension(context.Background(), benchOpts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -389,7 +391,7 @@ func BenchmarkExtension_MultiFault(b *testing.B) {
 func BenchmarkExtension_TraceComparison(b *testing.B) {
 	var traceAcc, ourAcc float64
 	for i := 0; i < b.N; i++ {
-		result, err := eval.RunTraceComparison(benchOpts)
+		result, err := eval.RunTraceComparison(context.Background(), benchOpts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -407,7 +409,7 @@ func BenchmarkExtension_SeedSweep(b *testing.B) {
 			Metrics:        metrics.DerivedAll(),
 			TestMultiplier: 4,
 		})
-		result, err := eval.SweepSeeds(cfg, []int64{1, 2, 3})
+		result, err := eval.SweepSeeds(context.Background(), cfg, []int64{1, 2, 3})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -420,7 +422,7 @@ func BenchmarkExtension_SeedSweep(b *testing.B) {
 func BenchmarkExtension_NonstationaryLoad(b *testing.B) {
 	var rawAcc, derivedAcc float64
 	for i := 0; i < b.N; i++ {
-		result, err := eval.RunNonstationaryExtension(benchOpts)
+		result, err := eval.RunNonstationaryExtension(context.Background(), benchOpts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -443,7 +445,7 @@ func BenchmarkExtension_NonstationaryLoad(b *testing.B) {
 func BenchmarkExtension_Interference(b *testing.B) {
 	var paperAlarm, extAlarm float64
 	for i := 0; i < b.N; i++ {
-		result, err := eval.RunInterferenceExtension(benchOpts)
+		result, err := eval.RunInterferenceExtension(context.Background(), benchOpts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -467,7 +469,7 @@ func BenchmarkExtension_Interference(b *testing.B) {
 func BenchmarkExtension_ContaminatedBaseline(b *testing.B) {
 	var clean, dirty float64
 	for i := 0; i < b.N; i++ {
-		result, err := eval.RunContaminationExtension(benchOpts)
+		result, err := eval.RunContaminationExtension(context.Background(), benchOpts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -480,7 +482,7 @@ func BenchmarkExtension_ContaminatedBaseline(b *testing.B) {
 func BenchmarkExtension_TrainingBudget(b *testing.B) {
 	var accHalf, accFull float64
 	for i := 0; i < b.N; i++ {
-		result, err := eval.RunBudgetExtension(benchOpts)
+		result, err := eval.RunBudgetExtension(context.Background(), benchOpts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -500,7 +502,7 @@ func BenchmarkExtension_TrainingBudget(b *testing.B) {
 func BenchmarkExtension_Scalability36(b *testing.B) {
 	var acc float64
 	for i := 0; i < b.N; i++ {
-		result, err := eval.RunScalabilityExtension(benchOpts)
+		result, err := eval.RunScalabilityExtension(context.Background(), benchOpts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -570,11 +572,11 @@ func BenchmarkMicro_Localize(b *testing.B) {
 		Build:   causalbench.Build,
 		Metrics: metrics.DerivedAll(),
 	})
-	model, err := eval.Train(cfg)
+	model, err := eval.Train(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
-	production, err := eval.CollectProduction(cfg, 1, "B", chaos.Unavailable(), 99)
+	production, err := eval.CollectProduction(context.Background(), cfg, 1, "B", chaos.Unavailable(), 99)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -584,7 +586,7 @@ func BenchmarkMicro_Localize(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := localizer.Localize(model, production); err != nil {
+		if _, err := localizer.Localize(context.Background(), model, production); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -605,4 +607,91 @@ func equalSets(a, c []string) bool {
 		}
 	}
 	return true
+}
+
+// --- Parallel engine (serial vs pooled) ------------------------------------
+
+// benchParallelLearn times Algorithm 1's KS matrix alone (collection done
+// once, untimed) at a fixed worker count. The learned model is identical at
+// every count; only the wall clock may differ.
+func benchParallelLearn(b *testing.B, workers int) {
+	b.Helper()
+	cfg := benchOpts.Apply(eval.Config{
+		Build:   causalbench.Build,
+		Metrics: metrics.DerivedAll(),
+	})
+	data, err := eval.CollectTraining(context.Background(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	learner, err := core.NewLearner(core.WithWorkers(workers))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := learner.Learn(context.Background(), data.Baseline, data.Interventions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallel_Learn_Serial(b *testing.B) { benchParallelLearn(b, 1) }
+func BenchmarkParallel_Learn_Pooled(b *testing.B) { benchParallelLearn(b, runtime.GOMAXPROCS(0)) }
+
+// benchParallelLocalize times Algorithm 2 at a fixed worker count.
+func benchParallelLocalize(b *testing.B, workers int) {
+	b.Helper()
+	cfg := benchOpts.Apply(eval.Config{
+		Build:   causalbench.Build,
+		Metrics: metrics.DerivedAll(),
+	})
+	model, err := eval.Train(context.Background(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	production, err := eval.CollectProduction(context.Background(), cfg, 1, "B", chaos.Unavailable(), 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	localizer, err := core.NewLocalizer(core.WithWorkers(workers))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := localizer.Localize(context.Background(), model, production); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallel_Localize_Serial(b *testing.B) { benchParallelLocalize(b, 1) }
+func BenchmarkParallel_Localize_Pooled(b *testing.B) {
+	benchParallelLocalize(b, runtime.GOMAXPROCS(0))
+}
+
+// benchParallelCampaign times the full train-and-evaluate campaign with
+// sharded rounds and per-case localization at a fixed worker count.
+func benchParallelCampaign(b *testing.B, workers int) {
+	b.Helper()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchOpts.Apply(eval.Config{
+			Build:   causalbench.Build,
+			Metrics: metrics.DerivedAll(),
+		})
+		cfg.Workers = workers
+		_, report, err := eval.Run(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = report.Accuracy
+	}
+	b.ReportMetric(acc, "accuracy")
+}
+
+func BenchmarkParallel_Campaign_Serial(b *testing.B) { benchParallelCampaign(b, 1) }
+func BenchmarkParallel_Campaign_Pooled(b *testing.B) {
+	benchParallelCampaign(b, runtime.GOMAXPROCS(0))
 }

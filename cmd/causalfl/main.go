@@ -18,72 +18,86 @@
 //	causalfl collect  -app causalbench|robotshop -out data.json [-quick]
 //	causalfl learn    -data data.json [-out model.json] [-alpha 0.05]
 //	causalfl worlds   -model model.json
-//	causalfl report   [-out report.md] [-quick] [-seed N]
+//	causalfl report   [-out report.md] [-quick] [-seed N] [-workers N]
+//	causalfl bench    [-quick] [-seed N] [-out BENCH_parallel.json]
 //	causalfl serve    -model model.json [-addr :8080]
 //	causalfl diff     -old old.json -new new.json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
+	"sort"
 	"strings"
+	"syscall"
 
 	"causalfl/internal/apps"
 	"causalfl/internal/apps/causalbench"
 	"causalfl/internal/apps/robotshop"
 	"causalfl/internal/chaos"
+	"causalfl/internal/clock"
 	"causalfl/internal/core"
 	"causalfl/internal/eval"
 	"causalfl/internal/metrics"
+	"causalfl/internal/parallel"
 	"causalfl/internal/report"
 	"causalfl/internal/sim"
 	"causalfl/internal/webui"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// The root context dies on Ctrl-C / SIGTERM, which drains the worker
+	// pools and aborts campaigns cleanly instead of mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		stop()
 		fmt.Fprintln(os.Stderr, "causalfl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (tables, figures, train, collect, learn, worlds, localize, evaluate, compare, topology, extensions, sweep, scale, report, serve, diff)")
+		return fmt.Errorf("missing subcommand (tables, figures, train, collect, learn, worlds, localize, evaluate, compare, topology, extensions, sweep, scale, bench, report, serve, diff)")
 	}
 	switch args[0] {
 	case "tables":
-		return cmdTables(args[1:])
+		return cmdTables(ctx, args[1:])
 	case "figures":
-		return cmdFigures(args[1:])
+		return cmdFigures(ctx, args[1:])
 	case "train":
-		return cmdTrain(args[1:])
+		return cmdTrain(ctx, args[1:])
 	case "localize":
-		return cmdLocalize(args[1:])
+		return cmdLocalize(ctx, args[1:])
 	case "evaluate":
-		return cmdEvaluate(args[1:])
+		return cmdEvaluate(ctx, args[1:])
 	case "compare":
-		return cmdCompare(args[1:])
+		return cmdCompare(ctx, args[1:])
 	case "topology":
 		return cmdTopology(args[1:])
 	case "extensions":
-		return cmdExtensions(args[1:])
+		return cmdExtensions(ctx, args[1:])
 	case "sweep":
-		return cmdSweep(args[1:])
+		return cmdSweep(ctx, args[1:])
 	case "scale":
-		return cmdScale(args[1:])
+		return cmdScale(ctx, args[1:])
+	case "bench":
+		return cmdBench(ctx, args[1:])
 	case "collect":
-		return cmdCollect(args[1:])
+		return cmdCollect(ctx, args[1:])
 	case "learn":
-		return cmdLearn(args[1:])
+		return cmdLearn(ctx, args[1:])
 	case "worlds":
 		return cmdWorlds(args[1:])
 	case "report":
-		return cmdReport(args[1:])
+		return cmdReport(ctx, args[1:])
 	case "serve":
 		return cmdServe(args[1:])
 	case "diff":
@@ -112,6 +126,7 @@ type commonFlags struct {
 	quick   bool
 	seed    int64
 	mult    float64
+	workers int
 }
 
 func (c *commonFlags) register(fs *flag.FlagSet) {
@@ -120,6 +135,12 @@ func (c *commonFlags) register(fs *flag.FlagSet) {
 	fs.BoolVar(&c.quick, "quick", false, "shortened collection windows (2.5min instead of 10min)")
 	fs.Int64Var(&c.seed, "seed", 42, "random seed")
 	fs.Float64Var(&c.mult, "mult", 1, "test load multiplier")
+	fs.IntVar(&c.workers, "workers", 0, "worker pool size for parallel stages (0 = GOMAXPROCS, 1 = serial); results are identical at every setting")
+}
+
+// options builds the experiment options shared by the Run* wrappers.
+func (c *commonFlags) options() eval.Options {
+	return eval.Options{Seed: c.seed, Quick: c.quick, Workers: c.workers}
 }
 
 func (c *commonFlags) config() (eval.Config, error) {
@@ -131,7 +152,7 @@ func (c *commonFlags) config() (eval.Config, error) {
 	if err != nil {
 		return eval.Config{}, err
 	}
-	cfg := eval.Options{Seed: c.seed, Quick: c.quick}.Apply(eval.Config{
+	cfg := c.options().Apply(eval.Config{
 		Build:          build,
 		Metrics:        set,
 		TestMultiplier: c.mult,
@@ -139,24 +160,25 @@ func (c *commonFlags) config() (eval.Config, error) {
 	return cfg, nil
 }
 
-func cmdTables(args []string) error {
+func cmdTables(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
 	table := fs.Int("table", 0, "table number (0 = both)")
 	quick := fs.Bool("quick", false, "shortened collection windows")
 	seed := fs.Int64("seed", 42, "random seed")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := eval.Options{Seed: *seed, Quick: *quick}
+	o := eval.Options{Seed: *seed, Quick: *quick, Workers: *workers}
 	if *table == 0 || *table == 1 {
-		result, err := eval.RunTableI(o)
+		result, err := eval.RunTableI(ctx, o)
 		if err != nil {
 			return err
 		}
 		fmt.Println(result)
 	}
 	if *table == 0 || *table == 2 {
-		result, err := eval.RunTableII(o)
+		result, err := eval.RunTableII(ctx, o)
 		if err != nil {
 			return err
 		}
@@ -168,38 +190,39 @@ func cmdTables(args []string) error {
 	return nil
 }
 
-func cmdFigures(args []string) error {
+func cmdFigures(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	fig := fs.String("fig", "", "figure: 1, 2, causal-sets or logging (empty = all)")
 	quick := fs.Bool("quick", false, "shortened collection windows")
 	seed := fs.Int64("seed", 42, "random seed")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := eval.Options{Seed: *seed, Quick: *quick}
+	o := eval.Options{Seed: *seed, Quick: *quick, Workers: *workers}
 	if *fig == "" || *fig == "1" {
-		result, err := eval.RunFig1(o)
+		result, err := eval.RunFig1(ctx, o)
 		if err != nil {
 			return err
 		}
 		fmt.Println(result)
 	}
 	if *fig == "" || *fig == "2" {
-		result, err := eval.RunFig2(o)
+		result, err := eval.RunFig2(ctx, o)
 		if err != nil {
 			return err
 		}
 		fmt.Println(result)
 	}
 	if *fig == "" || *fig == "causal-sets" {
-		result, err := eval.RunCausalSetsExample(o)
+		result, err := eval.RunCausalSetsExample(ctx, o)
 		if err != nil {
 			return err
 		}
 		fmt.Println(result)
 	}
 	if *fig == "" || *fig == "logging" {
-		result, err := eval.RunLoggingDiscipline(o)
+		result, err := eval.RunLoggingDiscipline(ctx, o)
 		if err != nil {
 			return err
 		}
@@ -234,7 +257,7 @@ func writeOutput(path string, write func(io.Writer) error) error {
 	return nil
 }
 
-func cmdTrain(args []string) error {
+func cmdTrain(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("train", flag.ContinueOnError)
 	var cf commonFlags
 	cf.register(fs)
@@ -246,7 +269,7 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	model, err := eval.Train(cfg)
+	model, err := eval.Train(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -258,7 +281,7 @@ func cmdTrain(args []string) error {
 	return nil
 }
 
-func cmdLocalize(args []string) error {
+func cmdLocalize(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("localize", flag.ContinueOnError)
 	var cf commonFlags
 	cf.register(fs)
@@ -306,26 +329,26 @@ func cmdLocalize(args []string) error {
 			return err
 		}
 		faults = strings.Split(*fault, ",")
-		production, err = eval.CollectProductionMulti(cfg, cf.mult, faults, chaos.Unavailable(), cf.seed+99)
+		production, err = eval.CollectProductionMulti(ctx, cfg, cf.mult, faults, chaos.Unavailable(), cf.seed+99)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("injected fault(s): %s (load %gx)\n", *fault, cf.mult)
 	}
 
-	localizer, err := core.NewLocalizer()
+	localizer, err := core.NewLocalizer(core.WithWorkers(cf.workers))
 	if err != nil {
 		return err
 	}
 	if len(faults) > 1 {
-		named, err := localizer.LocalizeMulti(model, production, len(faults))
+		named, err := localizer.LocalizeMulti(ctx, model, production, len(faults))
 		if err != nil {
 			return err
 		}
 		fmt.Printf("localized to:      %s (greedy explain-away, k=%d)\n", strings.Join(named, ", "), len(faults))
 		return nil
 	}
-	loc, err := localizer.Localize(model, production)
+	loc, err := localizer.Localize(ctx, model, production)
 	if err != nil {
 		return err
 	}
@@ -336,7 +359,7 @@ func cmdLocalize(args []string) error {
 	return nil
 }
 
-func cmdEvaluate(args []string) error {
+func cmdEvaluate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("evaluate", flag.ContinueOnError)
 	var cf commonFlags
 	cf.register(fs)
@@ -347,7 +370,7 @@ func cmdEvaluate(args []string) error {
 	if err != nil {
 		return err
 	}
-	model, report, err := eval.TrainAndEvaluate(cfg)
+	model, report, err := eval.Run(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -357,7 +380,7 @@ func cmdEvaluate(args []string) error {
 	return nil
 }
 
-func cmdCompare(args []string) error {
+func cmdCompare(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 	var cf commonFlags
 	cf.register(fs)
@@ -368,7 +391,7 @@ func cmdCompare(args []string) error {
 	if err != nil {
 		return err
 	}
-	result, err := eval.RunBaselineComparison(eval.Options{Seed: cf.seed, Quick: cf.quick}, build, cf.app)
+	result, err := eval.RunBaselineComparison(ctx, cf.options(), build, cf.app)
 	if err != nil {
 		return err
 	}
@@ -403,45 +426,46 @@ func cmdTopology(args []string) error {
 	return nil
 }
 
-func cmdExtensions(args []string) error {
+func cmdExtensions(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("extensions", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "shortened collection windows")
 	seed := fs.Int64("seed", 42, "random seed")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := eval.Options{Seed: *seed, Quick: *quick}
-	faultTypes, err := eval.RunFaultTypeExtension(o)
+	o := eval.Options{Seed: *seed, Quick: *quick, Workers: *workers}
+	faultTypes, err := eval.RunFaultTypeExtension(ctx, o)
 	if err != nil {
 		return err
 	}
 	fmt.Println(faultTypes)
-	multi, err := eval.RunMultiFaultExtension(o)
+	multi, err := eval.RunMultiFaultExtension(ctx, o)
 	if err != nil {
 		return err
 	}
 	fmt.Println(multi)
-	tracesVs, err := eval.RunTraceComparison(o)
+	tracesVs, err := eval.RunTraceComparison(ctx, o)
 	if err != nil {
 		return err
 	}
 	fmt.Println(tracesVs)
-	nonstationary, err := eval.RunNonstationaryExtension(o)
+	nonstationary, err := eval.RunNonstationaryExtension(ctx, o)
 	if err != nil {
 		return err
 	}
 	fmt.Println(nonstationary)
-	contamination, err := eval.RunContaminationExtension(o)
+	contamination, err := eval.RunContaminationExtension(ctx, o)
 	if err != nil {
 		return err
 	}
 	fmt.Println(contamination)
-	interference, err := eval.RunInterferenceExtension(o)
+	interference, err := eval.RunInterferenceExtension(ctx, o)
 	if err != nil {
 		return err
 	}
 	fmt.Println(interference)
-	budget, err := eval.RunBudgetExtension(o)
+	budget, err := eval.RunBudgetExtension(ctx, o)
 	if err != nil {
 		return err
 	}
@@ -449,7 +473,7 @@ func cmdExtensions(args []string) error {
 	return nil
 }
 
-func cmdSweep(args []string) error {
+func cmdSweep(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var cf commonFlags
 	cf.register(fs)
@@ -463,7 +487,7 @@ func cmdSweep(args []string) error {
 		if err != nil {
 			return err
 		}
-		result, err := eval.RunDegradationSweep(eval.Options{Seed: cf.seed, Quick: cf.quick}, build, cf.app, nil)
+		result, err := eval.RunDegradationSweep(ctx, cf.options(), build, cf.app, nil)
 		if err != nil {
 			return err
 		}
@@ -481,7 +505,7 @@ func cmdSweep(args []string) error {
 	for i := range seeds {
 		seeds[i] = cf.seed + int64(i)*101
 	}
-	result, err := eval.SweepSeeds(cfg, seeds)
+	result, err := eval.SweepSeeds(ctx, cfg, seeds)
 	if err != nil {
 		return err
 	}
@@ -489,14 +513,15 @@ func cmdSweep(args []string) error {
 	return nil
 }
 
-func cmdScale(args []string) error {
+func cmdScale(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("scale", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "shortened collection windows")
 	seed := fs.Int64("seed", 42, "random seed")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	result, err := eval.RunScalabilityExtension(eval.Options{Seed: *seed, Quick: *quick})
+	result, err := eval.RunScalabilityExtension(ctx, eval.Options{Seed: *seed, Quick: *quick, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -504,7 +529,7 @@ func cmdScale(args []string) error {
 	return nil
 }
 
-func cmdCollect(args []string) error {
+func cmdCollect(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("collect", flag.ContinueOnError)
 	var cf commonFlags
 	cf.register(fs)
@@ -516,7 +541,7 @@ func cmdCollect(args []string) error {
 	if err != nil {
 		return err
 	}
-	data, err := eval.CollectTraining(cfg)
+	data, err := eval.CollectTraining(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -528,11 +553,12 @@ func cmdCollect(args []string) error {
 	return nil
 }
 
-func cmdLearn(args []string) error {
+func cmdLearn(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("learn", flag.ContinueOnError)
 	dataPath := fs.String("data", "", "dataset JSON from `causalfl collect`")
 	out := fs.String("out", "", "write the trained model JSON to this file (default stdout)")
 	alpha := fs.Float64("alpha", 0, "KS significance level (default 0.05)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -548,7 +574,7 @@ func cmdLearn(args []string) error {
 	if err != nil {
 		return err
 	}
-	var opts []core.LearnerOption
+	opts := []core.Option{core.WithWorkers(*workers)}
 	if *alpha != 0 {
 		opts = append(opts, core.WithAlpha(*alpha))
 	}
@@ -556,7 +582,7 @@ func cmdLearn(args []string) error {
 	if err != nil {
 		return err
 	}
-	model, err := learner.Learn(data.Baseline, data.Interventions)
+	model, err := learner.Learn(ctx, data.Baseline, data.Interventions)
 	if err != nil {
 		return err
 	}
@@ -590,16 +616,135 @@ func cmdWorlds(args []string) error {
 	return nil
 }
 
-func cmdReport(args []string) error {
+// benchEntry is one timed stage of `causalfl bench`.
+type benchEntry struct {
+	Stage   string  `json:"stage"`
+	Workers int     `json:"workers"`
+	WallMS  float64 `json:"wall_ms"`
+}
+
+// benchReport is the JSON document `causalfl bench` emits.
+type benchReport struct {
+	App        string       `json:"app"`
+	Quick      bool         `json:"quick"`
+	Seed       int64        `json:"seed"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Entries    []benchEntry `json:"entries"`
+}
+
+// cmdBench times the campaign stages serially (workers=1) and with the full
+// pool, and writes the comparison as JSON. The outputs of both runs are
+// identical by construction — only the wall clock differs.
+func cmdBench(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var cf commonFlags
+	cf.register(fs)
+	out := fs.String("out", "", "write the benchmark JSON to this file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := cf.config()
+	if err != nil {
+		return err
+	}
+	pool := parallel.Workers(cf.workers)
+	result := benchReport{App: cf.app, Quick: cf.quick, Seed: cf.seed, GOMAXPROCS: pool}
+
+	// Shared inputs, collected once and untimed: the benchmark isolates
+	// the causal-learning stages, not simulator data collection.
+	data, err := eval.CollectTraining(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	targets := make([]string, 0, len(data.Interventions))
+	for target := range data.Interventions {
+		targets = append(targets, target)
+	}
+	sort.Strings(targets)
+	production, err := eval.CollectProduction(ctx, cfg, cfg.TestMultiplier, targets[0], chaos.Unavailable(), cf.seed+99)
+	if err != nil {
+		return err
+	}
+
+	alpha := cfg.Alpha
+	if alpha == 0 {
+		alpha = core.DefaultAlpha
+	}
+	counts := []int{1}
+	if pool > 1 {
+		counts = append(counts, pool)
+	}
+	var serial, parallelWall map[string]float64
+	for _, w := range counts {
+		walls := make(map[string]float64, 3)
+
+		learner, err := core.NewLearner(core.WithAlpha(alpha), core.WithWorkers(w))
+		if err != nil {
+			return err
+		}
+		start := clock.Wall.Now()
+		model, err := learner.Learn(ctx, data.Baseline, data.Interventions)
+		if err != nil {
+			return err
+		}
+		walls["learn"] = float64(clock.Wall.Now().Sub(start).Microseconds()) / 1e3
+
+		localizer, err := core.NewLocalizer(core.WithWorkers(w))
+		if err != nil {
+			return err
+		}
+		start = clock.Wall.Now()
+		if _, err := localizer.Localize(ctx, model, production); err != nil {
+			return err
+		}
+		walls["localize"] = float64(clock.Wall.Now().Sub(start).Microseconds()) / 1e3
+
+		c := cfg
+		c.Workers = w
+		start = clock.Wall.Now()
+		if _, _, err := eval.Run(ctx, c); err != nil {
+			return err
+		}
+		walls["campaign"] = float64(clock.Wall.Now().Sub(start).Microseconds()) / 1e3
+
+		for _, stage := range []string{"learn", "localize", "campaign"} {
+			result.Entries = append(result.Entries, benchEntry{Stage: stage, Workers: w, WallMS: walls[stage]})
+		}
+		if w == 1 {
+			serial = walls
+		} else {
+			parallelWall = walls
+		}
+	}
+
+	if err := writeOutput(*out, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(result)
+	}); err != nil {
+		return err
+	}
+	for _, stage := range []string{"learn", "localize", "campaign"} {
+		line := fmt.Sprintf("%-8s serial %.1fms", stage, serial[stage])
+		if parallelWall != nil && parallelWall[stage] > 0 {
+			line += fmt.Sprintf("  workers=%d %.1fms  (%.2fx)", pool, parallelWall[stage], serial[stage]/parallelWall[stage])
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	return nil
+}
+
+func cmdReport(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "shortened collection windows")
 	seed := fs.Int64("seed", 42, "random seed")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	out := fs.String("out", "", "write the Markdown report to this file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	return writeOutput(*out, func(w io.Writer) error {
-		return report.Generate(eval.Options{Seed: *seed, Quick: *quick}, w)
+		return report.Generate(ctx, eval.Options{Seed: *seed, Quick: *quick, Workers: *workers}, w)
 	})
 }
 

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -48,7 +49,7 @@ func run(quick bool, seed int64) error {
 		Metrics: append(metrics.RawAll(), metrics.DerivedAll()...),
 	})
 	fmt.Println("running the Algorithm 1 training campaign ...")
-	model, err := eval.Train(cfg)
+	model, err := eval.Train(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
@@ -68,14 +69,14 @@ func run(quick bool, seed int64) error {
 
 	// Localize with the derived set only (the paper's headline config).
 	cfg.Metrics = metrics.DerivedAll()
-	model, err = eval.Train(cfg)
+	model, err = eval.Train(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
 	for _, mult := range []float64{1, 4} {
 		c := cfg
 		c.TestMultiplier = mult
-		report, err := eval.Evaluate(c, model)
+		report, err := eval.Evaluate(context.Background(), c, model)
 		if err != nil {
 			return err
 		}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,7 +33,7 @@ func main() {
 }
 
 func run(quick bool, seed int64) error {
-	result, err := eval.RunFig2(eval.Options{Seed: seed, Quick: quick})
+	result, err := eval.RunFig2(context.Background(), eval.Options{Seed: seed, Quick: quick})
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -33,7 +34,7 @@ func run() error {
 	//    fault into every service, one at a time, and recording which
 	//    services' metric distributions shift.
 	fmt.Println("training: injecting one fault per service to learn causal sets ...")
-	model, err := eval.Train(cfg)
+	model, err := eval.Train(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
@@ -45,7 +46,7 @@ func run() error {
 	const culprit = "C"
 	fmt.Printf("production: secretly injecting %s into service %s ...\n",
 		chaos.ServiceUnavailable, culprit)
-	production, err := eval.CollectProduction(cfg, 1, culprit, chaos.Unavailable(), 1234)
+	production, err := eval.CollectProduction(context.Background(), cfg, 1, culprit, chaos.Unavailable(), 1234)
 	if err != nil {
 		return err
 	}
@@ -56,7 +57,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	loc, err := localizer.Localize(model, production)
+	loc, err := localizer.Localize(context.Background(), model, production)
 	if err != nil {
 		return err
 	}

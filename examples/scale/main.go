@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,7 +31,7 @@ func main() {
 }
 
 func run(quick bool, seed int64) error {
-	result, err := eval.RunScalabilityExtension(eval.Options{Seed: seed, Quick: quick})
+	result, err := eval.RunScalabilityExtension(context.Background(), eval.Options{Seed: seed, Quick: quick})
 	if err != nil {
 		return err
 	}

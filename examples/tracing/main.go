@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -29,7 +30,7 @@ func main() {
 }
 
 func run(quick bool, seed int64) error {
-	result, err := eval.RunTraceComparison(eval.Options{Seed: seed, Quick: quick})
+	result, err := eval.RunTraceComparison(context.Background(), eval.Options{Seed: seed, Quick: quick})
 	if err != nil {
 		return err
 	}

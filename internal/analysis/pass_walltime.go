@@ -26,6 +26,7 @@ var wallRestricted = []string{
 	"internal/load",
 	"internal/apps",
 	"internal/clock",
+	"internal/parallel",
 }
 
 // wallSelectors are the time-package selectors that read or react to the

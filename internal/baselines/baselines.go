@@ -20,6 +20,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -84,7 +85,7 @@ func (p *Paper) Train(baseline *metrics.Snapshot, interventions map[string]*metr
 	if err != nil {
 		return fmt.Errorf("baselines: %s: %w", p.Name(), err)
 	}
-	var opts []core.LearnerOption
+	var opts []core.Option
 	if p.Alpha != 0 {
 		opts = append(opts, core.WithAlpha(p.Alpha))
 	}
@@ -98,7 +99,7 @@ func (p *Paper) Train(baseline *metrics.Snapshot, interventions map[string]*metr
 	if err != nil {
 		return err
 	}
-	p.model, err = learner.Learn(baseline, interventions)
+	p.model, err = learner.Learn(context.Background(), baseline, interventions)
 	return err
 }
 
@@ -114,21 +115,21 @@ func (p *Paper) Localize(production *metrics.Snapshot) ([]string, error) {
 			return nil, err
 		}
 	}
-	var opts []core.LocalizerOption
+	var opts []core.Option
 	if p.Rule != 0 {
 		opts = append(opts, core.WithVoteRule(p.Rule))
 	}
 	if p.Test != nil {
-		opts = append(opts, core.WithLocalizerTest(p.Test))
+		opts = append(opts, core.WithTest(p.Test))
 	}
 	if p.FDR != 0 {
-		opts = append(opts, core.WithLocalizerFDR(p.FDR))
+		opts = append(opts, core.WithFDR(p.FDR))
 	}
 	localizer, err := core.NewLocalizer(opts...)
 	if err != nil {
 		return nil, err
 	}
-	loc, err := localizer.Localize(p.model, production)
+	loc, err := localizer.Localize(context.Background(), p.model, production)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +195,7 @@ func (s *SingleWorld) Train(baseline *metrics.Snapshot, interventions map[string
 	if err != nil {
 		return err
 	}
-	model, err := learner.Learn(baseline, interventions)
+	model, err := learner.Learn(context.Background(), baseline, interventions)
 	if err != nil {
 		return fmt.Errorf("baselines: single-world: %w", err)
 	}
@@ -253,14 +254,14 @@ func (s *SingleWorld) Localize(production *metrics.Snapshot) ([]string, error) {
 
 // jointAnomalies returns the services flagged by any metric.
 func jointAnomalies(alpha float64, baseline, production *metrics.Snapshot) (map[string]bool, error) {
-	test := defaultTest()
+	cfg := core.DetectConfig{Test: defaultTest(), Alpha: alpha}
 	out := make(map[string]bool)
 	for _, metric := range baseline.Metrics {
-		anom, err := core.Anomalies(test, alpha, baseline, production, metric)
+		det, err := core.Detect(context.Background(), cfg, baseline, production, metric)
 		if err != nil {
 			return nil, err
 		}
-		for _, svc := range anom {
+		for _, svc := range det.Anomalous {
 			out[svc] = true
 		}
 	}
@@ -303,14 +304,14 @@ func (o *Observational) Localize(production *metrics.Snapshot) ([]string, error)
 	if alpha == 0 {
 		alpha = core.DefaultAlpha
 	}
-	test := defaultTest()
+	cfg := core.DetectConfig{Test: defaultTest(), Alpha: alpha}
 	score := make(map[string]int, len(o.baseline.Services))
 	for _, metric := range o.baseline.Metrics {
-		anom, err := core.Anomalies(test, alpha, o.baseline, production, metric)
+		det, err := core.Detect(context.Background(), cfg, o.baseline, production, metric)
 		if err != nil {
 			return nil, err
 		}
-		for _, svc := range anom {
+		for _, svc := range det.Anomalous {
 			score[svc]++
 		}
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -76,7 +77,7 @@ func (f *fixture) trainModel(t *testing.T) *Model {
 	if err != nil {
 		t.Fatal(err)
 	}
-	model, err := l.Learn(baseline, interventions)
+	model, err := l.Learn(context.Background(), baseline, interventions)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,13 +140,13 @@ func TestLearnerValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := l.Learn(nil, map[string]*metrics.Snapshot{"a": baseline}); err == nil {
+	if _, err := l.Learn(context.Background(), nil, map[string]*metrics.Snapshot{"a": baseline}); err == nil {
 		t.Error("accepted nil baseline")
 	}
-	if _, err := l.Learn(baseline, nil); err == nil {
+	if _, err := l.Learn(context.Background(), baseline, nil); err == nil {
 		t.Error("accepted empty interventions")
 	}
-	if _, err := l.Learn(baseline, map[string]*metrics.Snapshot{"ghost": f.snapshot(nil)}); err == nil {
+	if _, err := l.Learn(context.Background(), baseline, map[string]*metrics.Snapshot{"ghost": f.snapshot(nil)}); err == nil {
 		t.Error("accepted intervention on service outside the universe")
 	}
 }
@@ -175,7 +176,7 @@ func TestLocalizerFindsInjectedFault(t *testing.T) {
 	}
 	for target, worlds := range f.groundTruth() {
 		production := f.snapshot(worlds)
-		loc, err := lo.Localize(model, production)
+		loc, err := lo.Localize(context.Background(), model, production)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -199,7 +200,7 @@ func TestLocalizerNoAnomaliesReturnsAllTargets(t *testing.T) {
 	// everywhere, so no metric votes. (A *fresh* healthy sample may still
 	// trip ~5% of the per-service tests at alpha=0.05 — that inherent
 	// false-positive rate is exercised by the campaign tests instead.)
-	loc, err := lo.Localize(model, model.Baseline)
+	loc, err := lo.Localize(context.Background(), model, model.Baseline)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestLocalizerTieSplitsVotes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loc, err := lo.Localize(model, production)
+	loc, err := lo.Localize(context.Background(), model, production)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func TestLocalizerJaccardPenalizesBroadSets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	locInter, err := inter.Localize(model, production)
+	locInter, err := inter.Localize(context.Background(), model, production)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +314,7 @@ func TestLocalizerJaccardPenalizesBroadSets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	locJac, err := jac.Localize(model, production)
+	locJac, err := jac.Localize(context.Background(), model, production)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,10 +330,10 @@ func TestLocalizerValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := lo.Localize(nil, f.snapshot(nil)); err == nil {
+	if _, err := lo.Localize(context.Background(), nil, f.snapshot(nil)); err == nil {
 		t.Error("accepted nil model")
 	}
-	if _, err := lo.Localize(model, nil); err == nil {
+	if _, err := lo.Localize(context.Background(), model, nil); err == nil {
 		t.Error("accepted nil production")
 	}
 	if _, err := NewLocalizer(WithVoteRule(VoteRule(99))); err == nil {
@@ -372,7 +373,7 @@ func TestModelJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loc, err := lo.Localize(back, f.snapshot(f.groundTruth()["a"]))
+	loc, err := lo.Localize(context.Background(), back, f.snapshot(f.groundTruth()["a"]))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -93,7 +94,7 @@ func TestLocalizePartialSnapshots(t *testing.T) {
 
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			loc, err := lo.Localize(model, tt.production())
+			loc, err := lo.Localize(context.Background(), model, tt.production())
 			if err != nil {
 				t.Fatalf("Localize errored on degraded input: %v", err)
 			}
@@ -135,7 +136,7 @@ func TestLocalizeMissingMetricReportsCoverage(t *testing.T) {
 	}
 	production := f.snapshot(f.groundTruth()["a"])
 	delete(production.Data, "m2")
-	loc, err := lo.Localize(model, production)
+	loc, err := lo.Localize(context.Background(), model, production)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestLocalizeDownWeightsPartialMetrics(t *testing.T) {
 	production := f.snapshot(f.groundTruth()["a"])
 	delete(production.Data["m2"], "c")
 	delete(production.Data["m2"], "d")
-	loc, err := lo.Localize(model, production)
+	loc, err := lo.Localize(context.Background(), model, production)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestLocalizeCleanSnapshotUnchanged(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loc, err := lo.Localize(model, f.snapshot(f.groundTruth()["c"]))
+	loc, err := lo.Localize(context.Background(), model, f.snapshot(f.groundTruth()["c"]))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestLearnerSkipsMissingPairs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	model, err := l.Learn(baseline, interventions)
+	model, err := l.Learn(context.Background(), baseline, interventions)
 	if err != nil {
 		t.Fatalf("Learn errored on incomplete intervention data: %v", err)
 	}

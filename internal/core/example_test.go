@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"causalfl/internal/core"
@@ -46,7 +47,7 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	model, err := learner.Learn(baseline, interventions)
+	model, err := learner.Learn(context.Background(), baseline, interventions)
 	if err != nil {
 		panic(err)
 	}
@@ -61,7 +62,7 @@ func Example() {
 		panic(err)
 	}
 	production := snapshot(map[string]bool{"backend": true, "frontend": true})
-	loc, err := localizer.Localize(model, production)
+	loc, err := localizer.Localize(context.Background(), model, production)
 	if err != nil {
 		panic(err)
 	}

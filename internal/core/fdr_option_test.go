@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestFDRPipelineStillLocalizes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	model, err := learner.Learn(baseline, interventions)
+	model, err := learner.Learn(context.Background(), baseline, interventions)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestFDRPipelineStillLocalizes(t *testing.T) {
 		t.Fatal(err)
 	}
 	for target, worlds := range f.groundTruth() {
-		loc, err := localizer.Localize(model, f.snapshot(worlds))
+		loc, err := localizer.Localize(context.Background(), model, f.snapshot(worlds))
 		if err != nil {
 			t.Fatal(err)
 		}

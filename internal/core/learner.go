@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"causalfl/internal/metrics"
+	"causalfl/internal/parallel"
 	"causalfl/internal/stats"
 )
 
@@ -18,80 +20,25 @@ const DefaultAlpha = stats.DefaultAlpha
 // skipped rather than tested.
 const DefaultMinSamples = 4
 
-// LearnerOption customizes a Learner.
-type LearnerOption func(*Learner) error
-
-// WithAlpha sets the significance level of the distribution-shift decision.
-func WithAlpha(alpha float64) LearnerOption {
-	return func(l *Learner) error {
-		if alpha <= 0 || alpha >= 1 {
-			return fmt.Errorf("core: alpha must be in (0,1), got %v", alpha)
-		}
-		l.alpha = alpha
-		return nil
-	}
-}
-
-// WithTest replaces the default KS test with another two-sample test.
-func WithTest(t stats.TwoSampleTest) LearnerOption {
-	return func(l *Learner) error {
-		if t == nil {
-			return fmt.Errorf("core: nil two-sample test")
-		}
-		l.test = t
-		return nil
-	}
-}
-
-// WithFDR switches the per-metric anomaly decision from per-test alpha
-// thresholds to Benjamini-Hochberg false-discovery-rate control at level q.
-// Algorithm 1 tests every other service per metric per intervention — a
-// multiple-testing family whose false-anomaly count grows with application
-// size under fixed alpha; FDR control keeps it proportional to the
-// discoveries actually made.
-func WithFDR(q float64) LearnerOption {
-	return func(l *Learner) error {
-		if q <= 0 || q >= 1 {
-			return fmt.Errorf("core: FDR level must be in (0,1), got %v", q)
-		}
-		l.fdrQ = q
-		return nil
-	}
-}
-
-// WithMinSamples overrides the minimum series length required to run a KS
-// comparison on a (metric, service) pair (default DefaultMinSamples). Pairs
-// with fewer finite points on either side are skipped, not tested.
-func WithMinSamples(n int) LearnerOption {
-	return func(l *Learner) error {
-		if n < 1 {
-			return fmt.Errorf("core: min samples must be >= 1, got %d", n)
-		}
-		l.minSamples = n
-		return nil
-	}
-}
-
 // Learner implements Algorithm 1: fault-injection-driven causal learning.
 type Learner struct {
-	alpha      float64
-	test       stats.TwoSampleTest
-	fdrQ       float64
-	minSamples int
+	settings
 }
 
 // NewLearner constructs a learner with the paper's defaults: the KS test at
 // alpha = 0.05, wrapped in a practical-equivalence guard so that
 // operationally meaningless micro-shifts on near-deterministic metrics do
 // not pollute the causal sets.
-func NewLearner(opts ...LearnerOption) (*Learner, error) {
-	l := &Learner{alpha: DefaultAlpha, test: stats.GuardedTest{Inner: stats.KSTest{}}, minSamples: DefaultMinSamples}
-	for _, opt := range opts {
-		if err := opt(l); err != nil {
-			return nil, err
-		}
+func NewLearner(opts ...Option) (*Learner, error) {
+	s, err := applyOptions(settings{
+		alpha:      DefaultAlpha,
+		test:       stats.GuardedTest{Inner: stats.KSTest{}},
+		minSamples: DefaultMinSamples,
+	}, opts)
+	if err != nil {
+		return nil, err
 	}
-	return l, nil
+	return &Learner{settings: s}, nil
 }
 
 // Learn runs Algorithm 1 over collected datasets: baseline is D_0 (fault
@@ -106,7 +53,14 @@ func NewLearner(opts ...LearnerOption) (*Learner, error) {
 //	C(s, M) = {s} ∪ { s' : KS(D_s(M, s'), D_0(M, s')) rejects at alpha }
 //
 // and returns the per-metric causal worlds as a Model.
-func (l *Learner) Learn(baseline *metrics.Snapshot, interventions map[string]*metrics.Snapshot) (*Model, error) {
+//
+// The (target × metric) cells are independent p-value families, so they fan
+// out across the learner's worker pool; each family's rejection decision is
+// made once inside its cell, and the causal sets are assembled in
+// deterministic target-major order. The output is byte-identical at every
+// worker count. Cancelling ctx stops the fan-out and returns the context
+// error.
+func (l *Learner) Learn(ctx context.Context, baseline *metrics.Snapshot, interventions map[string]*metrics.Snapshot) (*Model, error) {
 	if baseline == nil {
 		return nil, fmt.Errorf("core: learn: nil baseline")
 	}
@@ -134,129 +88,77 @@ func (l *Learner) Learn(baseline *metrics.Snapshot, interventions map[string]*me
 	}
 
 	// Deterministic target order: follow the service universe, then any
-	// extra map keys (rejected below).
+	// extra map keys (rejected below). Snapshot validation stays serial so
+	// skip and error decisions never depend on scheduling.
 	for target := range interventions {
 		if !known[target] {
 			return nil, fmt.Errorf("core: learn: intervention target %q is not in the service universe", target)
 		}
 	}
+	var targets []string
 	for _, target := range model.Services {
 		snap, ok := interventions[target]
 		if !ok {
 			continue
 		}
-		if err := l.learnTarget(model, target, snap); err != nil {
-			return nil, err
+		if err := snap.ValidateTolerant(); err != nil {
+			return nil, fmt.Errorf("core: learn: intervention %q: %w", target, err)
 		}
-		model.Targets = append(model.Targets, target)
+		targets = append(targets, target)
 	}
-	if len(model.Targets) != len(interventions) {
-		return nil, fmt.Errorf("core: learn: %d interventions but %d matched the universe", len(interventions), len(model.Targets))
+	if len(targets) != len(interventions) {
+		return nil, fmt.Errorf("core: learn: %d interventions but %d matched the universe", len(interventions), len(targets))
 	}
+
+	// One job per (target, metric) cell, indexed target-major so the
+	// lowest-index error is the one a sequential loop would hit first.
+	nm := len(model.Metrics)
+	sets, err := parallel.Map(ctx, l.workers, len(targets)*nm, func(_ context.Context, idx int) ([]string, error) {
+		return l.learnCell(model, targets[idx/nm], interventions[targets[idx/nm]], model.Metrics[idx%nm])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for idx, set := range sets {
+		model.CausalSets[model.Metrics[idx%nm]][targets[idx/nm]] = set
+	}
+	model.Targets = targets
 	return model, nil
 }
 
-// learnTarget fills C(target, M) for every metric from one intervention
-// dataset. Pairs missing from either side, or with fewer than minSamples
-// points, are skipped: under degraded telemetry an untestable pair simply
-// contributes no edge, it does not abort learning.
-func (l *Learner) learnTarget(model *Model, target string, snap *metrics.Snapshot) error {
-	if err := snap.ValidateTolerant(); err != nil {
-		return fmt.Errorf("core: learn: intervention %q: %w", target, err)
-	}
+// learnCell fills C(target, metric) from one intervention dataset: one
+// complete p-value family, tested and decided inside a single worker. Pairs
+// missing from either side, or with fewer than minSamples points, are
+// skipped: under degraded telemetry an untestable pair simply contributes no
+// edge, it does not abort learning.
+func (l *Learner) learnCell(model *Model, target string, snap *metrics.Snapshot, m string) ([]string, error) {
 	minSamples := l.minSamples
 	if minSamples < 1 {
 		minSamples = DefaultMinSamples
 	}
-	for _, m := range model.Metrics {
-		set := map[string]bool{target: true} // Algorithm 1 line 9
-		var family []string
-		var pvals []float64
-		for _, svc := range model.Services {
-			if svc == target {
-				continue
-			}
-			faulted, okF := snap.SeriesOK(m, svc)
-			base, okB := model.Baseline.SeriesOK(m, svc)
-			if !okF || !okB || len(faulted) < minSamples || len(base) < minSamples {
-				continue
-			}
-			p, err := l.test.PValue(faulted, base)
-			if err != nil {
-				return fmt.Errorf("core: learn: test %s on %s under fault in %s: %w", m, svc, target, err)
-			}
-			family = append(family, svc)
-			pvals = append(pvals, p)
-		}
-		shifted, err := decideFamily(pvals, l.alpha, l.fdrQ)
-		if err != nil {
-			return fmt.Errorf("core: learn: %w", err)
-		}
-		for i, svc := range family {
-			if shifted[i] {
-				set[svc] = true
-			}
-		}
-		model.CausalSets[m][target] = sortedSet(set)
-	}
-	return nil
-}
-
-// decideFamily turns a family of p-values into rejection decisions, either
-// with the paper's per-test alpha threshold or with BH FDR control when
-// fdrQ > 0.
-func decideFamily(pvals []float64, alpha, fdrQ float64) ([]bool, error) {
-	if fdrQ > 0 {
-		return stats.BenjaminiHochberg(pvals, fdrQ)
-	}
-	out := make([]bool, len(pvals))
-	for i, p := range pvals {
-		out[i] = p < alpha
-	}
-	return out, nil
-}
-
-// Anomalies computes the anomalous set A(M) for one metric by comparing each
-// service's production series against the model baseline (Algorithm 2 lines
-// 8–13). It is exported because the localizer, the baselines, and the
-// figure experiments all need it.
-func Anomalies(test stats.TwoSampleTest, alpha float64, baseline, production *metrics.Snapshot, metric string) ([]string, error) {
-	return anomalies(test, alpha, 0, baseline, production, metric)
-}
-
-// AnomaliesFDR is Anomalies with Benjamini-Hochberg FDR control at level q
-// over the per-service family instead of a per-test alpha.
-func AnomaliesFDR(test stats.TwoSampleTest, q float64, baseline, production *metrics.Snapshot, metric string) ([]string, error) {
-	if q <= 0 || q >= 1 {
-		return nil, fmt.Errorf("core: FDR level must be in (0,1), got %v", q)
-	}
-	return anomalies(test, 0, q, baseline, production, metric)
-}
-
-func anomalies(test stats.TwoSampleTest, alpha, fdrQ float64, baseline, production *metrics.Snapshot, metric string) ([]string, error) {
+	set := map[string]bool{target: true} // Algorithm 1 line 9
 	var family []string
 	var pvals []float64
-	for _, svc := range baseline.Services {
-		base, err := baseline.Series(metric, svc)
-		if err != nil {
-			return nil, err
+	for _, svc := range model.Services {
+		if svc == target {
+			continue
 		}
-		prod, err := production.Series(metric, svc)
-		if err != nil {
-			return nil, err
+		faulted, okF := snap.SeriesOK(m, svc)
+		base, okB := model.Baseline.SeriesOK(m, svc)
+		if !okF || !okB || len(faulted) < minSamples || len(base) < minSamples {
+			continue
 		}
-		p, err := test.PValue(prod, base)
+		p, err := l.test.PValue(faulted, base)
 		if err != nil {
-			return nil, fmt.Errorf("core: anomaly test %s on %s: %w", metric, svc, err)
+			return nil, fmt.Errorf("core: learn: test %s on %s under fault in %s: %w", m, svc, target, err)
 		}
 		family = append(family, svc)
 		pvals = append(pvals, p)
 	}
-	shifted, err := decideFamily(pvals, alpha, fdrQ)
+	shifted, err := decideFamily(pvals, l.alpha, l.fdrQ)
 	if err != nil {
-		return nil, fmt.Errorf("core: anomalies: %w", err)
+		return nil, fmt.Errorf("core: learn: %w", err)
 	}
-	set := make(map[string]bool)
 	for i, svc := range family {
 		if shifted[i] {
 			set[svc] = true

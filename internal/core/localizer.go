@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"causalfl/internal/metrics"
+	"causalfl/internal/parallel"
 	"causalfl/internal/stats"
 )
 
@@ -43,85 +45,36 @@ func (v VoteRule) String() string {
 	}
 }
 
-// LocalizerOption customizes a Localizer.
-type LocalizerOption func(*Localizer) error
-
-// WithLocalizerAlpha overrides the significance level (default: the model's
-// training alpha).
-func WithLocalizerAlpha(alpha float64) LocalizerOption {
-	return func(lo *Localizer) error {
-		if alpha <= 0 || alpha >= 1 {
-			return fmt.Errorf("core: alpha must be in (0,1), got %v", alpha)
-		}
-		lo.alpha = alpha
-		return nil
-	}
-}
-
-// WithLocalizerTest replaces the KS test.
-func WithLocalizerTest(t stats.TwoSampleTest) LocalizerOption {
-	return func(lo *Localizer) error {
-		if t == nil {
-			return fmt.Errorf("core: nil two-sample test")
-		}
-		lo.test = t
-		return nil
-	}
-}
-
-// WithLocalizerFDR switches the production anomaly decision to
-// Benjamini-Hochberg FDR control at level q (see core.WithFDR).
-func WithLocalizerFDR(q float64) LocalizerOption {
-	return func(lo *Localizer) error {
-		if q <= 0 || q >= 1 {
-			return fmt.Errorf("core: FDR level must be in (0,1), got %v", q)
-		}
-		lo.fdrQ = q
-		return nil
-	}
-}
-
-// WithVoteRule selects the per-metric scoring rule.
-func WithVoteRule(rule VoteRule) LocalizerOption {
-	return func(lo *Localizer) error {
-		if rule != IntersectionVote && rule != JaccardVote && rule != PureIntersectionVote {
-			return fmt.Errorf("core: unknown vote rule %d", rule)
-		}
-		lo.rule = rule
-		return nil
-	}
-}
-
-// WithLocalizerMinSamples overrides the minimum finite series length required
-// to test a (metric, service) pair (default DefaultMinSamples).
-func WithLocalizerMinSamples(n int) LocalizerOption {
-	return func(lo *Localizer) error {
-		if n < 1 {
-			return fmt.Errorf("core: min samples must be >= 1, got %d", n)
-		}
-		lo.minSamples = n
-		return nil
-	}
-}
-
 // Localizer implements Algorithm 2: majority-voting fault localization.
 type Localizer struct {
-	alpha      float64
-	test       stats.TwoSampleTest
-	rule       VoteRule
-	fdrQ       float64
-	minSamples int
+	settings
 }
 
 // NewLocalizer constructs a localizer with the paper's defaults.
-func NewLocalizer(opts ...LocalizerOption) (*Localizer, error) {
-	lo := &Localizer{test: stats.GuardedTest{Inner: stats.KSTest{}}, rule: IntersectionVote, minSamples: DefaultMinSamples}
-	for _, opt := range opts {
-		if err := opt(lo); err != nil {
-			return nil, err
-		}
+func NewLocalizer(opts ...Option) (*Localizer, error) {
+	s, err := applyOptions(settings{
+		test:       stats.GuardedTest{Inner: stats.KSTest{}},
+		rule:       IntersectionVote,
+		minSamples: DefaultMinSamples,
+	}, opts)
+	if err != nil {
+		return nil, err
 	}
-	return lo, nil
+	return &Localizer{settings: s}, nil
+}
+
+// detectConfig builds the per-metric Detect configuration. Workers stays 1:
+// the localizer fans out across metrics, and nesting a second pool inside
+// each metric would oversubscribe the scheduler without adding parallelism.
+func (lo *Localizer) detectConfig(alpha float64) DetectConfig {
+	return DetectConfig{
+		Test:       lo.test,
+		Alpha:      alpha,
+		FDR:        lo.fdrQ,
+		MinSamples: lo.minSamples,
+		Tolerant:   true,
+		Workers:    1,
+	}
 }
 
 // Localization is the output of Algorithm 2.
@@ -161,7 +114,12 @@ type Localization struct {
 // the result is an explicit abstention (Abstained=true, nil Candidates) with
 // the coverage evidence attached — never an error or panic. On a clean
 // full-grid snapshot the result is identical to strict localization.
-func (lo *Localizer) Localize(model *Model, production *metrics.Snapshot) (*Localization, error) {
+//
+// Anomaly detection fans out per metric across the localizer's worker pool;
+// each metric is one complete p-value family decided inside its worker, and
+// the vote aggregation runs serially over the metrics in model order, so the
+// result is byte-identical at every worker count.
+func (lo *Localizer) Localize(ctx context.Context, model *Model, production *metrics.Snapshot) (*Localization, error) {
 	if model == nil {
 		return nil, fmt.Errorf("core: localize: nil model")
 	}
@@ -184,12 +142,17 @@ func (lo *Localizer) Localize(model *Model, production *metrics.Snapshot) (*Loca
 		Degradation:    metrics.AssessOver(production, model.Metrics, model.Services),
 	}
 
+	cfg := lo.detectConfig(alpha)
+	detections, err := parallel.Map(ctx, lo.workers, len(model.Metrics), func(ctx context.Context, i int) (*Detection, error) {
+		return Detect(ctx, cfg, model.Baseline, production, model.Metrics[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	testedAny := false
-	for _, metric := range model.Metrics {
-		anom, tested, err := lo.anomaliesTolerant(alpha, model, production, metric)
-		if err != nil {
-			return nil, err
-		}
+	for i, metric := range model.Metrics {
+		anom, tested := detections[i].Anomalous, detections[i].Tested
 		coverage := 0.0
 		if n := len(model.Services); n > 0 {
 			coverage = float64(tested) / float64(n)
@@ -268,48 +231,6 @@ func (lo *Localizer) Localize(model *Model, production *metrics.Snapshot) (*Loca
 	return out, nil
 }
 
-// anomaliesTolerant computes A(metric) on a possibly-degraded production
-// snapshot. A (metric, service) pair is tested only when both the model
-// baseline and production carry at least minSamples finite points for it;
-// untestable pairs are skipped. It returns the anomalous set and how many
-// services were actually tested (the metric's coverage numerator).
-func (lo *Localizer) anomaliesTolerant(alpha float64, model *Model, production *metrics.Snapshot, metric string) ([]string, int, error) {
-	minSamples := lo.minSamples
-	if minSamples < 1 {
-		minSamples = DefaultMinSamples
-	}
-	var family []string
-	var pvals []float64
-	for _, svc := range model.Services {
-		base, okB := model.Baseline.SeriesOK(metric, svc)
-		prod, okP := production.SeriesOK(metric, svc)
-		if !okB || !okP {
-			continue
-		}
-		prod = finiteValues(prod)
-		if len(base) < minSamples || len(prod) < minSamples {
-			continue
-		}
-		p, err := lo.test.PValue(prod, base)
-		if err != nil {
-			return nil, 0, fmt.Errorf("core: anomaly test %s on %s: %w", metric, svc, err)
-		}
-		family = append(family, svc)
-		pvals = append(pvals, p)
-	}
-	shifted, err := decideFamily(pvals, alpha, lo.fdrQ)
-	if err != nil {
-		return nil, 0, fmt.Errorf("core: anomalies: %w", err)
-	}
-	set := make(map[string]bool)
-	for i, svc := range family {
-		if shifted[i] {
-			set[svc] = true
-		}
-	}
-	return sortedSet(set), len(family), nil
-}
-
 // finiteValues returns the finite entries of s. When every entry is finite —
 // the steady-state case — it returns s itself without allocating.
 func finiteValues(s []float64) []float64 {
@@ -373,7 +294,7 @@ func mostParsimonious(model *Model, metric string, winners []string) []string {
 // Weighting precision doubly means a world that predicts unobserved
 // anomalies is distrusted — whatever it fails to cover is simply explained
 // by the next round.
-func (lo *Localizer) LocalizeMulti(model *Model, production *metrics.Snapshot, k int) ([]string, error) {
+func (lo *Localizer) LocalizeMulti(ctx context.Context, model *Model, production *metrics.Snapshot, k int) ([]string, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("core: localize-multi needs k >= 1, got %d", k)
 	}
@@ -391,17 +312,21 @@ func (lo *Localizer) LocalizeMulti(model *Model, production *metrics.Snapshot, k
 		alpha = model.Alpha
 	}
 
-	// Anomalies per metric, computed once and consumed round by round.
-	// The tolerant path skips untestable pairs, so degraded production
-	// snapshots narrow the anomaly evidence instead of erroring.
+	// Anomalies per metric, computed once (fanned out across the worker
+	// pool) and consumed round by round. The tolerant path skips untestable
+	// pairs, so degraded production snapshots narrow the anomaly evidence
+	// instead of erroring.
+	cfg := lo.detectConfig(alpha)
+	detections, err := parallel.Map(ctx, lo.workers, len(model.Metrics), func(ctx context.Context, i int) (*Detection, error) {
+		return Detect(ctx, cfg, model.Baseline, production, model.Metrics[i])
+	})
+	if err != nil {
+		return nil, err
+	}
 	remaining := make(map[string]map[string]bool, len(model.Metrics))
-	for _, metric := range model.Metrics {
-		anom, _, err := lo.anomaliesTolerant(alpha, model, production, metric)
-		if err != nil {
-			return nil, err
-		}
-		set := make(map[string]bool, len(anom))
-		for _, s := range anom {
+	for i, metric := range model.Metrics {
+		set := make(map[string]bool, len(detections[i].Anomalous))
+		for _, s := range detections[i].Anomalous {
 			set[s] = true
 		}
 		remaining[metric] = set

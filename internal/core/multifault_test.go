@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"causalfl/internal/metrics"
@@ -55,7 +56,7 @@ func TestLocalizeMultiExplainsAwayTwoFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := lo.LocalizeMulti(model, production, 2)
+	got, err := lo.LocalizeMulti(context.Background(), model, production, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestLocalizeMultiStopsWhenExplained(t *testing.T) {
 	}
 	// Ask for more faults than exist: the loop must stop once anomalies
 	// are consumed rather than inventing culprits.
-	got, err := lo.LocalizeMulti(model, production, 3)
+	got, err := lo.LocalizeMulti(context.Background(), model, production, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestLocalizeMultiHealthyData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := lo.LocalizeMulti(model, model.Baseline, 2)
+	got, err := lo.LocalizeMulti(context.Background(), model, model.Baseline, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestLocalizeMultiShadowedPair(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	named, err := lo.LocalizeMulti(model, production, 2)
+	named, err := lo.LocalizeMulti(context.Background(), model, production, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,13 +164,13 @@ func TestLocalizeMultiValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := lo.LocalizeMulti(model, production, 0); err == nil {
+	if _, err := lo.LocalizeMulti(context.Background(), model, production, 0); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := lo.LocalizeMulti(nil, production, 1); err == nil {
+	if _, err := lo.LocalizeMulti(context.Background(), nil, production, 1); err == nil {
 		t.Error("nil model accepted")
 	}
-	if _, err := lo.LocalizeMulti(model, nil, 1); err == nil {
+	if _, err := lo.LocalizeMulti(context.Background(), model, nil, 1); err == nil {
 		t.Error("nil production accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -75,7 +76,7 @@ func TestPipelineInvariantsProperty(t *testing.T) {
 	}
 	prop := func(seed int64) bool {
 		baseline, interventions, production := randomCampaign(seed)
-		model, err := learner.Learn(baseline, interventions)
+		model, err := learner.Learn(context.Background(), baseline, interventions)
 		if err != nil {
 			t.Logf("seed %d: learn: %v", seed, err)
 			return false
@@ -108,7 +109,7 @@ func TestPipelineInvariantsProperty(t *testing.T) {
 				}
 			}
 		}
-		loc, err := localizer.Localize(model, production)
+		loc, err := localizer.Localize(context.Background(), model, production)
 		if err != nil {
 			t.Logf("seed %d: localize: %v", seed, err)
 			return false
@@ -123,7 +124,7 @@ func TestPipelineInvariantsProperty(t *testing.T) {
 			}
 		}
 		// Determinism: a second run is identical.
-		loc2, err := localizer.Localize(model, production)
+		loc2, err := localizer.Localize(context.Background(), model, production)
 		if err != nil || len(loc2.Candidates) != len(loc.Candidates) {
 			return false
 		}
@@ -153,11 +154,11 @@ func TestLocalizeMultiInvariantsProperty(t *testing.T) {
 	prop := func(seed int64, kRaw uint8) bool {
 		k := 1 + int(kRaw%4)
 		baseline, interventions, production := randomCampaign(seed)
-		model, err := learner.Learn(baseline, interventions)
+		model, err := learner.Learn(context.Background(), baseline, interventions)
 		if err != nil {
 			return false
 		}
-		named, err := localizer.LocalizeMulti(model, production, k)
+		named, err := localizer.LocalizeMulti(context.Background(), model, production, k)
 		if err != nil {
 			return false
 		}

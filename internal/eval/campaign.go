@@ -5,6 +5,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"causalfl/internal/core"
 	"causalfl/internal/load"
 	"causalfl/internal/metrics"
+	"causalfl/internal/parallel"
 	"causalfl/internal/sim"
 	"causalfl/internal/telemetry"
 )
@@ -64,6 +66,12 @@ type Config struct {
 	// Fault is the injected fault (default the paper's
 	// http-service-unavailable).
 	Fault chaos.Fault
+	// Workers bounds the worker pool that shards campaign rounds and
+	// parallelizes per-case localization. Zero selects GOMAXPROCS; one
+	// forces the serial reference path. Any value produces identical
+	// output — each round derives its own sub-seed, so rounds are
+	// order-independent.
+	Workers int
 	// Degraded, when set, degrades the telemetry plane for the whole
 	// campaign and routes collection through the lossy pipeline (retrying
 	// sampler, coverage-aware windows, snapshot repair). Nil reproduces
@@ -313,7 +321,10 @@ type TestCase struct {
 // baseline period followed by one fault injection per target, all in a
 // single continuous session at the training load (the paper injects one
 // fault at a time into a live deployment, §V-A).
-func CollectTraining(cfg Config) (*TrainingData, error) {
+// The session is one continuous virtual-time engine, so collection is
+// inherently serial; ctx is checked between faults so a cancelled campaign
+// stops at the next fault boundary.
+func CollectTraining(ctx context.Context, cfg Config) (*TrainingData, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -328,6 +339,9 @@ func CollectTraining(cfg Config) (*TrainingData, error) {
 	}
 	interventions := make(map[string]*metrics.Snapshot, len(s.targets))
 	for _, target := range s.targets {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		snap, err := s.collectWithFault(target, cfg.FaultDuration)
 		if err != nil {
 			return nil, fmt.Errorf("eval: train fault %s: %w", target, err)
@@ -341,44 +355,60 @@ func CollectTraining(cfg Config) (*TrainingData, error) {
 // returns one labelled test case per target and round. Each round uses a
 // fresh session and seed: the paper collects train and test datasets in
 // separate experiments.
-func CollectTests(cfg Config) ([]TestCase, error) {
+// Rounds are sharded across the campaign worker pool: each round derives its
+// own sub-seed and runs in a private session (engine, load, telemetry), so
+// rounds are independent and the assembled case list is identical to the
+// serial loop's at any worker count. Within a round the intervention sequence
+// stays serial — it is one continuous virtual-time session by design.
+func CollectTests(ctx context.Context, cfg Config) ([]TestCase, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	var cases []TestCase
-	for round := 0; round < cfg.Rounds; round++ {
+	rounds, err := parallel.Map(ctx, cfg.Workers, cfg.Rounds, func(ctx context.Context, round int) ([]TestCase, error) {
 		s, err := newSession(cfg, cfg.TestMultiplier, cfg.Seed+1009*int64(round+1))
 		if err != nil {
 			return nil, err
 		}
+		var cases []TestCase
 		for _, target := range s.targets {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			production, err := s.collectWithFault(target, cfg.FaultDuration)
 			if err != nil {
 				return nil, fmt.Errorf("eval: test fault %s: %w", target, err)
 			}
 			cases = append(cases, TestCase{Target: target, Production: production})
 		}
+		return cases, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var cases []TestCase
+	for _, r := range rounds {
+		cases = append(cases, r...)
 	}
 	return cases, nil
 }
 
 // Train executes the Algorithm 1 campaign: collect D_0, then inject one
 // fault at a time into every target and collect D_s, then learn the model.
-func Train(cfg Config) (*core.Model, error) {
+func Train(ctx context.Context, cfg Config) (*core.Model, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	data, err := CollectTraining(cfg)
+	data, err := CollectTraining(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	learner, err := core.NewLearner(core.WithAlpha(cfg.Alpha))
+	learner, err := core.NewLearner(core.WithAlpha(cfg.Alpha), core.WithWorkers(parallel.Workers(cfg.Workers)))
 	if err != nil {
 		return nil, err
 	}
-	model, err := learner.Learn(data.Baseline, data.Interventions)
+	model, err := learner.Learn(ctx, data.Baseline, data.Interventions)
 	if err != nil {
 		return nil, fmt.Errorf("eval: train: %w", err)
 	}
@@ -387,7 +417,10 @@ func Train(cfg Config) (*core.Model, error) {
 
 // Evaluate runs the production-side campaign: with the trained model, inject
 // each fault at the test multiplier and score the localizer's output.
-func Evaluate(cfg Config, model *core.Model) (*Report, error) {
+// Per-case localization fans out across the campaign worker pool; each case
+// is localized with a serial localizer (the case fan-out already saturates
+// the pool) and the outcomes are assembled in case order.
+func Evaluate(ctx context.Context, cfg Config, model *core.Model) (*Report, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -395,7 +428,7 @@ func Evaluate(cfg Config, model *core.Model) (*Report, error) {
 	if model == nil {
 		return nil, fmt.Errorf("eval: evaluate: nil model")
 	}
-	localizer, err := core.NewLocalizer()
+	localizer, err := core.NewLocalizer(core.WithWorkers(1))
 	if err != nil {
 		return nil, err
 	}
@@ -405,17 +438,22 @@ func Evaluate(cfg Config, model *core.Model) (*Report, error) {
 		ServiceCount: len(model.Services),
 		MetricNames:  append([]string(nil), model.Metrics...),
 	}
-	cases, err := CollectTests(cfg)
+	cases, err := CollectTests(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	for _, tc := range cases {
-		loc, err := localizer.Localize(model, tc.Production)
+	outcomes, err := parallel.Map(ctx, cfg.Workers, len(cases), func(ctx context.Context, i int) (Outcome, error) {
+		tc := cases[i]
+		loc, err := localizer.Localize(ctx, model, tc.Production)
 		if err != nil {
-			return nil, fmt.Errorf("eval: localize fault %s: %w", tc.Target, err)
+			return Outcome{}, fmt.Errorf("eval: localize fault %s: %w", tc.Target, err)
 		}
-		report.Outcomes = append(report.Outcomes, newOutcome(tc.Target, loc, len(model.Services)))
+		return newOutcome(tc.Target, loc, len(model.Services)), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	report.Outcomes = outcomes
 	report.finalize()
 	return report, nil
 }
@@ -434,15 +472,18 @@ func appName(cfg Config) string {
 // injects fault into target, and returns the production dataset collected
 // over the campaign's fault duration. It is the building block behind
 // Evaluate, exposed for diagnostics and the CLI's one-shot localize command.
-func CollectProduction(cfg Config, multiplier float64, target string, fault chaos.Fault, seed int64) (*metrics.Snapshot, error) {
-	return CollectProductionMulti(cfg, multiplier, []string{target}, fault, seed)
+func CollectProduction(ctx context.Context, cfg Config, multiplier float64, target string, fault chaos.Fault, seed int64) (*metrics.Snapshot, error) {
+	return CollectProductionMulti(ctx, cfg, multiplier, []string{target}, fault, seed)
 }
 
 // CollectProductionMulti is CollectProduction with several simultaneous
 // faults — the data source for the concurrent-fault localizer.
-func CollectProductionMulti(cfg Config, multiplier float64, targets []string, fault chaos.Fault, seed int64) (*metrics.Snapshot, error) {
+func CollectProductionMulti(ctx context.Context, cfg Config, multiplier float64, targets []string, fault chaos.Fault, seed int64) (*metrics.Snapshot, error) {
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("eval: collect production: no fault targets")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -462,16 +503,25 @@ func CollectProductionMulti(cfg Config, multiplier float64, targets []string, fa
 	return s.collect(cfg.FaultDuration)
 }
 
-// TrainAndEvaluate is the common train-then-test pipeline used by the table
-// experiments.
-func TrainAndEvaluate(cfg Config) (*core.Model, *Report, error) {
-	model, err := Train(cfg)
+// Run is the unified campaign entry point: collect training data, learn the
+// model, run the production-side campaign, score it. It is the pipeline
+// behind every table experiment and the CLI's train/eval commands.
+func Run(ctx context.Context, cfg Config) (*core.Model, *Report, error) {
+	model, err := Train(ctx, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	report, err := Evaluate(cfg, model)
+	report, err := Evaluate(ctx, cfg, model)
 	if err != nil {
 		return nil, nil, err
 	}
 	return model, report, nil
+}
+
+// TrainAndEvaluate is the common train-then-test pipeline used by the table
+// experiments.
+//
+// Deprecated: use Run, which is the same pipeline under the unified name.
+func TrainAndEvaluate(ctx context.Context, cfg Config) (*core.Model, *Report, error) {
+	return Run(ctx, cfg)
 }

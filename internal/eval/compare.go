@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -18,8 +19,8 @@ type TechniqueScore struct {
 // and scores them on one shared test campaign, so differences reflect the
 // methods rather than collection noise. cfg.Metrics must contain the union
 // of all metrics any technique projects.
-func CompareTechniques(cfg Config, techniques []baselines.Technique) ([]TechniqueScore, error) {
-	return CompareTechniquesSplit(cfg, cfg, techniques)
+func CompareTechniques(ctx context.Context, cfg Config, techniques []baselines.Technique) ([]TechniqueScore, error) {
+	return CompareTechniquesSplit(ctx, cfg, cfg, techniques)
 }
 
 // CompareTechniquesSplit is CompareTechniques with distinct training and
@@ -27,7 +28,7 @@ func CompareTechniques(cfg Config, techniques []baselines.Technique) ([]Techniqu
 // (load profile, fault type) deliberately differ from the controlled
 // training environment. Both configs must share the application and metric
 // set.
-func CompareTechniquesSplit(trainCfg, testCfg Config, techniques []baselines.Technique) ([]TechniqueScore, error) {
+func CompareTechniquesSplit(ctx context.Context, trainCfg, testCfg Config, techniques []baselines.Technique) ([]TechniqueScore, error) {
 	trainCfg, err := trainCfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -39,11 +40,11 @@ func CompareTechniquesSplit(trainCfg, testCfg Config, techniques []baselines.Tec
 	if len(techniques) == 0 {
 		return nil, fmt.Errorf("eval: compare: no techniques")
 	}
-	data, err := CollectTraining(trainCfg)
+	data, err := CollectTraining(ctx, trainCfg)
 	if err != nil {
 		return nil, err
 	}
-	cases, err := CollectTests(testCfg)
+	cases, err := CollectTests(ctx, testCfg)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -52,7 +53,7 @@ func TestDatasetRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	model, err := learner.Learn(back.Baseline, back.Interventions)
+	model, err := learner.Learn(context.Background(), back.Baseline, back.Interventions)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestModelDescribe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	model, err := learner.Learn(data.Baseline, data.Interventions)
+	model, err := learner.Learn(context.Background(), data.Baseline, data.Interventions)
 	if err != nil {
 		t.Fatal(err)
 	}

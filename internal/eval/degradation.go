@@ -1,11 +1,13 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"causalfl/internal/apps"
 	"causalfl/internal/metrics"
+	"causalfl/internal/parallel"
 	"causalfl/internal/telemetry"
 )
 
@@ -60,7 +62,7 @@ func DefaultLossFractions() []float64 {
 // *production* telemetry costs. The 0-loss point runs through the degraded
 // pipeline too; it reproduces the clean evaluation exactly (same seeds, same
 // localizations), which anchors the curve.
-func RunDegradationSweep(o Options, build apps.Builder, appName string, fractions []float64) (*DegradationSweepResult, error) {
+func RunDegradationSweep(ctx context.Context, o Options, build apps.Builder, appName string, fractions []float64) (*DegradationSweepResult, error) {
 	if len(fractions) == 0 {
 		fractions = DefaultLossFractions()
 	}
@@ -70,20 +72,25 @@ func RunDegradationSweep(o Options, build apps.Builder, appName string, fraction
 		}
 	}
 	cfg := o.Apply(Config{Build: build, Metrics: metrics.DerivedAll()})
-	model, err := Train(cfg)
+	model, err := Train(ctx, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("eval: degradation sweep %s: train: %w", appName, err)
 	}
 	result := &DegradationSweepResult{App: appName}
-	for _, f := range fractions {
+	// Loss fractions are independent evaluations of one read-only model:
+	// fan them out and assemble the curve in grid order. Each arm keeps its
+	// inner campaign serial so the pool is not oversubscribed.
+	points, err := parallel.Map(ctx, cfg.Workers, len(fractions), func(ctx context.Context, i int) (DegradationPoint, error) {
+		f := fractions[i]
 		c := cfg
+		c.Workers = 1
 		c.Degraded = &DegradedTelemetry{
 			ScrapeLoss: f,
 			Retry:      telemetry.DefaultRetryPolicy(),
 		}
-		report, err := Evaluate(c, model)
+		report, err := Evaluate(ctx, c, model)
 		if err != nil {
-			return nil, fmt.Errorf("eval: degradation sweep %s @%.0f%%: %w", appName, f*100, err)
+			return DegradationPoint{}, fmt.Errorf("eval: degradation sweep %s @%.0f%%: %w", appName, f*100, err)
 		}
 		point := DegradationPoint{
 			Loss:                f,
@@ -101,17 +108,21 @@ func RunDegradationSweep(o Options, build apps.Builder, appName string, fraction
 		if point.Campaigns > 0 {
 			point.MeanCoverage = coverage / float64(point.Campaigns)
 		}
-		result.Points = append(result.Points, point)
+		return point, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	result.Points = points
 	return result, nil
 }
 
 // RunDegradationSweeps runs the sweep on both benchmark applications with
 // the default loss grid.
-func RunDegradationSweeps(o Options) ([]*DegradationSweepResult, error) {
+func RunDegradationSweeps(ctx context.Context, o Options) ([]*DegradationSweepResult, error) {
 	var out []*DegradationSweepResult
 	for _, app := range benchmarkApps() {
-		r, err := RunDegradationSweep(o, app.Build, app.Name, nil)
+		r, err := RunDegradationSweep(ctx, o, app.Build, app.Name, nil)
 		if err != nil {
 			return nil, err
 		}

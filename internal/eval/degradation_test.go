@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -30,10 +31,10 @@ func TestDegradedTelemetryValidation(t *testing.T) {
 }
 
 func TestRunDegradationSweepRejectsBadFractions(t *testing.T) {
-	if _, err := RunDegradationSweep(Options{Quick: true}, causalbench.Build, causalbench.Name, []float64{-0.1}); err == nil {
+	if _, err := RunDegradationSweep(context.Background(), Options{Quick: true}, causalbench.Build, causalbench.Name, []float64{-0.1}); err == nil {
 		t.Error("accepted negative loss fraction")
 	}
-	if _, err := RunDegradationSweep(Options{Quick: true}, causalbench.Build, causalbench.Name, []float64{1.5}); err == nil {
+	if _, err := RunDegradationSweep(context.Background(), Options{Quick: true}, causalbench.Build, causalbench.Name, []float64{1.5}); err == nil {
 		t.Error("accepted loss fraction above 1")
 	}
 }
@@ -47,17 +48,17 @@ func TestZeroLossReproducesCleanEvaluation(t *testing.T) {
 	}
 	cfg := quickCfg()
 	cfg.Targets = []string{"B", "D"} // small sweep for speed
-	model, err := Train(cfg)
+	model, err := Train(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	clean, err := Evaluate(cfg, model)
+	clean, err := Evaluate(context.Background(), cfg, model)
 	if err != nil {
 		t.Fatal(err)
 	}
 	degradedCfg := cfg
 	degradedCfg.Degraded = &DegradedTelemetry{ScrapeLoss: 0, Retry: telemetry.DefaultRetryPolicy()}
-	degraded, err := Evaluate(degradedCfg, model)
+	degraded, err := Evaluate(context.Background(), degradedCfg, model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,11 +90,11 @@ func TestLossyCampaignCompletes(t *testing.T) {
 		Retry:      telemetry.DefaultRetryPolicy(),
 		Repair:     metrics.DefaultRepairPolicy(),
 	}
-	model, err := Train(cfg)
+	model, err := Train(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := Evaluate(cfg, model)
+	report, err := Evaluate(context.Background(), cfg, model)
 	if err != nil {
 		t.Fatalf("20%% scrape loss + 5%% corruption broke the campaign: %v", err)
 	}
@@ -111,7 +112,7 @@ func TestRunDegradationSweepQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test skipped in -short mode")
 	}
-	result, err := RunDegradationSweep(Options{Seed: 7, Quick: true}, causalbench.Build, causalbench.Name, []float64{0, 0.3})
+	result, err := RunDegradationSweep(context.Background(), Options{Seed: 7, Quick: true}, causalbench.Build, causalbench.Name, []float64{0, 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}

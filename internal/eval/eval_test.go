@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -54,7 +55,7 @@ func TestQuickCampaignEndToEnd(t *testing.T) {
 		t.Skip("campaign test skipped in -short mode")
 	}
 	cfg := quickCfg()
-	model, err := Train(cfg)
+	model, err := Train(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestQuickCampaignEndToEnd(t *testing.T) {
 		t.Fatalf("universe has %d services, want 9", len(model.Services))
 	}
 
-	report, err := Evaluate(cfg, model)
+	report, err := Evaluate(context.Background(), cfg, model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,11 +99,11 @@ func TestCampaignDeterminism(t *testing.T) {
 	run := func() string {
 		cfg := quickCfg()
 		cfg.Targets = []string{"B", "D"} // small sweep for speed
-		model, err := Train(cfg)
+		model, err := Train(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		report, err := Evaluate(cfg, model)
+		report, err := Evaluate(context.Background(), cfg, model)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -119,7 +120,7 @@ func TestCollectTrainingShape(t *testing.T) {
 	}
 	cfg := quickCfg()
 	cfg.Targets = []string{"C"}
-	data, err := CollectTraining(cfg)
+	data, err := CollectTraining(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestCollectTrainingShape(t *testing.T) {
 
 func TestEvaluateValidation(t *testing.T) {
 	cfg := quickCfg()
-	if _, err := Evaluate(cfg, nil); err == nil {
+	if _, err := Evaluate(context.Background(), cfg, nil); err == nil {
 		t.Fatal("Evaluate accepted nil model")
 	}
 }
@@ -177,7 +178,7 @@ func TestCompareTechniquesQuick(t *testing.T) {
 	ours := &baselines.Paper{MetricNames: metrics.Names(metrics.DerivedAll())}
 	errlog := baselines.ErrLogOnly()
 	random := &baselines.RandomGuess{Seed: 3}
-	scores, err := CompareTechniques(cfg, []baselines.Technique{ours, errlog, random})
+	scores, err := CompareTechniques(context.Background(), cfg, []baselines.Technique{ours, errlog, random})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestCompareTechniquesQuick(t *testing.T) {
 }
 
 func TestCompareTechniquesValidation(t *testing.T) {
-	if _, err := CompareTechniques(quickCfg(), nil); err == nil {
+	if _, err := CompareTechniques(context.Background(), quickCfg(), nil); err == nil {
 		t.Fatal("accepted empty technique list")
 	}
 }
@@ -208,7 +209,7 @@ func TestRunFig1Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test skipped in -short mode")
 	}
-	result, err := RunFig1(Options{Seed: 5, Quick: true})
+	result, err := RunFig1(context.Background(), Options{Seed: 5, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func TestRunFig2Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test skipped in -short mode")
 	}
-	result, err := RunFig2(Options{Seed: 5, Quick: true})
+	result, err := RunFig2(context.Background(), Options{Seed: 5, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +278,7 @@ func TestRunCausalSetsExampleQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test skipped in -short mode")
 	}
-	result, err := RunCausalSetsExample(Options{Seed: 42, Quick: true})
+	result, err := RunCausalSetsExample(context.Background(), Options{Seed: 42, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +295,7 @@ func TestRunLoggingDisciplineQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test skipped in -short mode")
 	}
-	result, err := RunLoggingDiscipline(Options{Seed: 42, Quick: true})
+	result, err := RunLoggingDiscipline(context.Background(), Options{Seed: 42, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,11 +327,11 @@ func TestEvaluateRounds(t *testing.T) {
 	cfg := quickCfg()
 	cfg.Targets = []string{"B", "D"}
 	cfg.Rounds = 2
-	model, err := Train(cfg)
+	model, err := Train(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := Evaluate(cfg, model)
+	report, err := Evaluate(context.Background(), cfg, model)
 	if err != nil {
 		t.Fatal(err)
 	}

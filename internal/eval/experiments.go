@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -31,6 +32,11 @@ type Options struct {
 	// (scalability train/eval walls, report section timings). Nil means the
 	// host clock; tests inject a clock.Fake for deterministic timings.
 	Clock clock.Clock
+	// Workers bounds every worker pool the experiments spin up (campaign
+	// rounds, per-case localization, seed sweeps, degradation arms). Zero
+	// selects GOMAXPROCS; one forces the serial reference path. Results are
+	// identical at every setting.
+	Workers int
 }
 
 // WallClock returns the configured clock, defaulting to the host clock.
@@ -48,6 +54,7 @@ func (o Options) Apply(cfg Config) Config {
 	if cfg.Seed == 0 {
 		cfg.Seed = 42
 	}
+	cfg.Workers = o.Workers
 	if o.Quick {
 		cfg.BaselineDuration = 150 * time.Second
 		cfg.FaultDuration = 150 * time.Second
@@ -100,18 +107,18 @@ func (r *TableIResult) String() string {
 }
 
 // RunTableI regenerates Table I.
-func RunTableI(o Options) (*TableIResult, error) {
+func RunTableI(ctx context.Context, o Options) (*TableIResult, error) {
 	result := &TableIResult{}
 	for _, app := range benchmarkApps() {
 		cfg := o.Apply(Config{Build: app.Build, Metrics: metrics.DerivedAll()})
-		model, err := Train(cfg)
+		model, err := Train(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("eval: table I %s: %w", app.Name, err)
 		}
 		for _, mult := range []float64{1, 4} {
 			c := cfg
 			c.TestMultiplier = mult
-			report, err := Evaluate(c, model)
+			report, err := Evaluate(ctx, c, model)
 			if err != nil {
 				return nil, fmt.Errorf("eval: table I %s @%gx: %w", app.Name, mult, err)
 			}
@@ -164,7 +171,7 @@ func tableIIPresets() []string {
 // RunTableII regenerates Table II. All presets share one collection pass per
 // application (the union metric set is collected once and projected), so the
 // comparison isolates the metric choice.
-func RunTableII(o Options) (*TableIIResult, error) {
+func RunTableII(ctx context.Context, o Options) (*TableIIResult, error) {
 	union := append(metrics.RawAll(), metrics.DerivedAll()...)
 	result := &TableIIResult{}
 	for _, app := range benchmarkApps() {
@@ -181,7 +188,7 @@ func RunTableII(o Options) (*TableIIResult, error) {
 			}
 			techniques = append(techniques, &baselines.Paper{MetricNames: metrics.Names(set)})
 		}
-		scores, err := CompareTechniques(cfg, techniques)
+		scores, err := CompareTechniques(ctx, cfg, techniques)
 		if err != nil {
 			return nil, fmt.Errorf("eval: table II %s: %w", app.Name, err)
 		}
@@ -212,7 +219,7 @@ func (r *BaselineComparisonResult) String() string {
 // RunBaselineComparison scores our method against the error-log-only [23],
 // single-causal-world [24], topology-driven [14], observational, and random
 // baselines.
-func RunBaselineComparison(o Options, build apps.Builder, appName string) (*BaselineComparisonResult, error) {
+func RunBaselineComparison(ctx context.Context, o Options, build apps.Builder, appName string) (*BaselineComparisonResult, error) {
 	union := append(metrics.RawAll(), metrics.DerivedAll()...)
 	union = append(union, metrics.ErrLogRate)
 	cfg := o.Apply(Config{Build: build, Metrics: union, TestMultiplier: 4})
@@ -230,7 +237,7 @@ func RunBaselineComparison(o Options, build apps.Builder, appName string) (*Base
 		&baselines.Observational{},
 		&baselines.RandomGuess{Seed: cfg.Seed},
 	}
-	scores, err := CompareTechniques(cfg, techniques)
+	scores, err := CompareTechniques(ctx, cfg, techniques)
 	if err != nil {
 		return nil, fmt.Errorf("eval: baseline comparison %s: %w", appName, err)
 	}
@@ -274,7 +281,7 @@ func (r *Fig1Result) String() string {
 
 // RunFig1 learns causal worlds on pattern 1 (stateless chain) and pattern 2
 // (stateful omission) with the figure's two metrics.
-func RunFig1(o Options) (*Fig1Result, error) {
+func RunFig1(ctx context.Context, o Options) (*Fig1Result, error) {
 	result := &Fig1Result{Sets: make(map[string]map[string]map[string][]string, 2)}
 	cases := []struct {
 		name    string
@@ -286,7 +293,7 @@ func RunFig1(o Options) (*Fig1Result, error) {
 	}
 	for _, c := range cases {
 		cfg := o.Apply(Config{Build: c.build, Metrics: fig1Metrics(), Targets: c.targets})
-		model, err := Train(cfg)
+		model, err := Train(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("eval: fig1 %s: %w", c.name, err)
 		}
@@ -340,7 +347,7 @@ func (r *Fig2Result) String() string {
 }
 
 // RunFig2 measures the confounder effect with closed-loop virtual users.
-func RunFig2(o Options) (*Fig2Result, error) {
+func RunFig2(ctx context.Context, o Options) (*Fig2Result, error) {
 	cfg := o.Apply(Config{
 		Build:    patterns.BuildConfounder,
 		Metrics:  []metrics.Metric{metrics.ReqRate},
@@ -431,14 +438,14 @@ func (r *LoggingDisciplineResult) String() string {
 
 // RunLoggingDiscipline learns the msg-rate world of a fault on B with E's
 // logging on and off.
-func RunLoggingDiscipline(o Options) (*LoggingDisciplineResult, error) {
+func RunLoggingDiscipline(ctx context.Context, o Options) (*LoggingDisciplineResult, error) {
 	learn := func(build apps.Builder) ([]string, error) {
 		cfg := o.Apply(Config{
 			Build:   build,
 			Metrics: []metrics.Metric{metrics.MsgRate},
 			Targets: []string{"B"},
 		})
-		model, err := Train(cfg)
+		model, err := Train(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -473,13 +480,13 @@ func (r *CausalSetsExampleResult) String() string {
 }
 
 // RunCausalSetsExample learns the two §VI-B worlds.
-func RunCausalSetsExample(o Options) (*CausalSetsExampleResult, error) {
+func RunCausalSetsExample(ctx context.Context, o Options) (*CausalSetsExampleResult, error) {
 	cfg := o.Apply(Config{
 		Build:   causalbench.Build,
 		Metrics: []metrics.Metric{metrics.MsgRate, metrics.CPU},
 		Targets: []string{"B"},
 	})
-	model, err := Train(cfg)
+	model, err := Train(ctx, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("eval: causal sets example: %w", err)
 	}

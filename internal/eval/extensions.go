@@ -1,11 +1,10 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"causalfl/internal/apps/causalbench"
@@ -14,6 +13,7 @@ import (
 	"causalfl/internal/core"
 	"causalfl/internal/load"
 	"causalfl/internal/metrics"
+	"causalfl/internal/parallel"
 	"causalfl/internal/stats"
 )
 
@@ -55,12 +55,12 @@ func (r *FaultTypeResult) String() string {
 // extra CPU and drop no requests, so the paper's metric set alone cannot see
 // them, but they hold worker slots longer — upstream callers included,
 // because synchronous calls block.
-func RunFaultTypeExtension(o Options) (*FaultTypeResult, error) {
+func RunFaultTypeExtension(ctx context.Context, o Options) (*FaultTypeResult, error) {
 	cfg := o.Apply(Config{
 		Build:   causalbench.Build,
 		Metrics: metrics.ExtendedDerived(),
 	})
-	model, err := Train(cfg)
+	model, err := Train(ctx, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("eval: fault-type extension: %w", err)
 	}
@@ -74,7 +74,7 @@ func RunFaultTypeExtension(o Options) (*FaultTypeResult, error) {
 	for _, fault := range faults {
 		c := cfg
 		c.Fault = fault
-		report, err := Evaluate(c, model)
+		report, err := Evaluate(ctx, c, model)
 		if err != nil {
 			return nil, fmt.Errorf("eval: fault-type extension %s: %w", fault.Type, err)
 		}
@@ -93,11 +93,11 @@ func RunFaultTypeExtension(o Options) (*FaultTypeResult, error) {
 	// depends on the fault type.
 	matched := cfg
 	matched.Fault = latency
-	matchedModel, err := Train(matched)
+	matchedModel, err := Train(ctx, matched)
 	if err != nil {
 		return nil, fmt.Errorf("eval: fault-type extension matched training: %w", err)
 	}
-	report, err := Evaluate(matched, matchedModel)
+	report, err := Evaluate(ctx, matched, matchedModel)
 	if err != nil {
 		return nil, fmt.Errorf("eval: fault-type extension matched eval: %w", err)
 	}
@@ -136,12 +136,12 @@ func (r *MultiFaultResult) String() string {
 // pairs and scores the greedy explain-away localizer
 // (core.Localizer.LocalizeMulti). Pairs are chosen on independent flows
 // where possible (two faults on one path shadow each other).
-func RunMultiFaultExtension(o Options) (*MultiFaultResult, error) {
+func RunMultiFaultExtension(ctx context.Context, o Options) (*MultiFaultResult, error) {
 	cfg := o.Apply(Config{
 		Build:   causalbench.Build,
 		Metrics: metrics.DerivedAll(),
 	})
-	model, err := Train(cfg)
+	model, err := Train(ctx, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("eval: multi-fault extension: %w", err)
 	}
@@ -173,7 +173,7 @@ func RunMultiFaultExtension(o Options) (*MultiFaultResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		named, err := localizer.LocalizeMulti(model, production, 2)
+		named, err := localizer.LocalizeMulti(ctx, model, production, 2)
 		if err != nil {
 			return nil, err
 		}
@@ -229,7 +229,7 @@ func (r *NonstationaryResult) String() string {
 }
 
 // RunNonstationaryExtension trains steadily and tests under diurnal load.
-func RunNonstationaryExtension(o Options) (*NonstationaryResult, error) {
+func RunNonstationaryExtension(ctx context.Context, o Options) (*NonstationaryResult, error) {
 	const amplitude = 0.6
 	union := append(metrics.RawAll(), metrics.DerivedAll()...)
 	trainCfg := o.Apply(Config{Build: causalbench.Build, Metrics: union})
@@ -269,7 +269,7 @@ func RunNonstationaryExtension(o Options) (*NonstationaryResult, error) {
 			Label:       c.preset + "/" + c.label,
 		})
 	}
-	scores, err := CompareTechniquesSplit(trainCfg, testCfg, techniques)
+	scores, err := CompareTechniquesSplit(ctx, trainCfg, testCfg, techniques)
 	if err != nil {
 		return nil, fmt.Errorf("eval: nonstationary extension: %w", err)
 	}
@@ -314,24 +314,24 @@ func (r *ContaminationResult) String() string {
 
 // RunContaminationExtension measures how a hidden fault during baseline
 // collection degrades the model.
-func RunContaminationExtension(o Options) (*ContaminationResult, error) {
+func RunContaminationExtension(ctx context.Context, o Options) (*ContaminationResult, error) {
 	const contaminant = "C"
 	cfg := o.Apply(Config{Build: causalbench.Build, Metrics: metrics.DerivedAll()})
 
-	clean, err := Train(cfg)
+	clean, err := Train(ctx, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("eval: contamination control: %w", err)
 	}
-	cleanReport, err := Evaluate(cfg, clean)
+	cleanReport, err := Evaluate(ctx, cfg, clean)
 	if err != nil {
 		return nil, fmt.Errorf("eval: contamination control eval: %w", err)
 	}
 
-	dirty, err := trainWithContaminatedBaseline(cfg, contaminant)
+	dirty, err := trainWithContaminatedBaseline(ctx, cfg, contaminant)
 	if err != nil {
 		return nil, err
 	}
-	dirtyReport, err := Evaluate(cfg, dirty)
+	dirtyReport, err := Evaluate(ctx, cfg, dirty)
 	if err != nil {
 		return nil, fmt.Errorf("eval: contamination eval: %w", err)
 	}
@@ -347,7 +347,7 @@ func RunContaminationExtension(o Options) (*ContaminationResult, error) {
 
 // trainWithContaminatedBaseline runs the Algorithm 1 campaign with a hidden
 // fault active throughout the baseline period only.
-func trainWithContaminatedBaseline(cfg Config, contaminant string) (*core.Model, error) {
+func trainWithContaminatedBaseline(ctx context.Context, cfg Config, contaminant string) (*core.Model, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -372,7 +372,7 @@ func trainWithContaminatedBaseline(cfg Config, contaminant string) (*core.Model,
 	if err != nil {
 		return nil, err
 	}
-	model, err := learner.Learn(baseline, interventions)
+	model, err := learner.Learn(ctx, baseline, interventions)
 	if err != nil {
 		return nil, fmt.Errorf("eval: contaminated learn: %w", err)
 	}
@@ -411,7 +411,7 @@ func (r *BudgetResult) String() string {
 }
 
 // RunBudgetExtension sweeps the training budget.
-func RunBudgetExtension(o Options) (*BudgetResult, error) {
+func RunBudgetExtension(ctx context.Context, o Options) (*BudgetResult, error) {
 	allTargets := []string{"A", "B", "C", "D", "E", "G", "H", "I"}
 	result := &BudgetResult{TotalTargets: len(allTargets)}
 	for _, k := range []int{2, 4, 6, 8} {
@@ -420,14 +420,14 @@ func RunBudgetExtension(o Options) (*BudgetResult, error) {
 			Metrics: metrics.DerivedAll(),
 			Targets: allTargets[:k],
 		})
-		model, err := Train(cfg)
+		model, err := Train(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("eval: budget k=%d train: %w", k, err)
 		}
 		// Test faults cover every injectable service, trained or not.
 		evalCfg := cfg
 		evalCfg.Targets = allTargets
-		report, err := Evaluate(evalCfg, model)
+		report, err := Evaluate(ctx, evalCfg, model)
 		if err != nil {
 			return nil, fmt.Errorf("eval: budget k=%d eval: %w", k, err)
 		}
@@ -462,8 +462,10 @@ func (r *SweepResult) String() string {
 
 // SweepSeeds runs the full train-and-evaluate campaign once per seed and
 // reports mean and standard deviation of both measures — the robustness
-// check a single-seed table cannot give.
-func SweepSeeds(cfg Config, seeds []int64) (*SweepResult, error) {
+// check a single-seed table cannot give. Seeds are independent deterministic
+// campaigns: they shard across the campaign worker pool and assemble in seed
+// order, so the result is identical to a sequential sweep.
+func SweepSeeds(ctx context.Context, cfg Config, seeds []int64) (*SweepResult, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("eval: sweep needs at least one seed")
 	}
@@ -476,46 +478,24 @@ func SweepSeeds(cfg Config, seeds []int64) (*SweepResult, error) {
 		Multiplier: base.TestMultiplier,
 		Seeds:      append([]int64(nil), seeds...),
 	}
-	// Seeds are independent deterministic campaigns: run them
-	// concurrently (bounded by cores) and assemble in seed order, so the
-	// result is identical to a sequential sweep.
 	type outcome struct {
 		accuracy float64
 		info     float64
-		err      error
 	}
-	outcomes := make([]outcome, len(seeds))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(seeds) {
-		workers = len(seeds)
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				c := cfg
-				c.Seed = seeds[idx]
-				_, report, err := TrainAndEvaluate(c)
-				if err != nil {
-					outcomes[idx] = outcome{err: fmt.Errorf("eval: sweep seed %d: %w", seeds[idx], err)}
-					continue
-				}
-				outcomes[idx] = outcome{accuracy: report.Accuracy, info: report.MeanInformativeness}
-			}
-		}()
-	}
-	for idx := range seeds {
-		jobs <- idx
-	}
-	close(jobs)
-	wg.Wait()
-	for _, oc := range outcomes {
-		if oc.err != nil {
-			return nil, oc.err
+	outcomes, err := parallel.Map(ctx, cfg.Workers, len(seeds), func(ctx context.Context, idx int) (outcome, error) {
+		c := cfg
+		c.Seed = seeds[idx]
+		c.Workers = 1 // each arm stays serial; the seed fan-out owns the pool
+		_, report, err := Run(ctx, c)
+		if err != nil {
+			return outcome{}, fmt.Errorf("eval: sweep seed %d: %w", seeds[idx], err)
 		}
+		return outcome{accuracy: report.Accuracy, info: report.MeanInformativeness}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, oc := range outcomes {
 		result.Accuracies = append(result.Accuracies, oc.accuracy)
 		result.Informativeness = append(result.Informativeness, oc.info)
 	}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ func TestRunFaultTypeExtension(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test skipped in -short mode")
 	}
-	result, err := RunFaultTypeExtension(Options{Seed: 42, Quick: true})
+	result, err := RunFaultTypeExtension(context.Background(), Options{Seed: 42, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestRunMultiFaultExtension(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test skipped in -short mode")
 	}
-	result, err := RunMultiFaultExtension(Options{Seed: 42, Quick: true})
+	result, err := RunMultiFaultExtension(context.Background(), Options{Seed: 42, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestRunTraceComparison(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test skipped in -short mode")
 	}
-	result, err := RunTraceComparison(Options{Seed: 42, Quick: true})
+	result, err := RunTraceComparison(context.Background(), Options{Seed: 42, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestSweepSeeds(t *testing.T) {
 		Metrics: metrics.DerivedAll(),
 		Targets: []string{"B", "D"},
 	})
-	result, err := SweepSeeds(cfg, []int64{1, 2, 3})
+	result, err := SweepSeeds(context.Background(), cfg, []int64{1, 2, 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestRunNonstationaryExtension(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test skipped in -short mode")
 	}
-	result, err := RunNonstationaryExtension(Options{Seed: 42, Quick: true})
+	result, err := RunNonstationaryExtension(context.Background(), Options{Seed: 42, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestRunScalabilityExtension(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test skipped in -short mode")
 	}
-	result, err := RunScalabilityExtension(Options{Seed: 42, Quick: true})
+	result, err := RunScalabilityExtension(context.Background(), Options{Seed: 42, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestRunContaminationExtension(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test skipped in -short mode")
 	}
-	result, err := RunContaminationExtension(Options{Seed: 42, Quick: true})
+	result, err := RunContaminationExtension(context.Background(), Options{Seed: 42, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestRunInterferenceExtension(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test skipped in -short mode")
 	}
-	result, err := RunInterferenceExtension(Options{Seed: 42, Quick: true})
+	result, err := RunInterferenceExtension(context.Background(), Options{Seed: 42, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestRunBudgetExtension(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test skipped in -short mode")
 	}
-	result, err := RunBudgetExtension(Options{Seed: 42, Quick: true})
+	result, err := RunBudgetExtension(context.Background(), Options{Seed: 42, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +281,7 @@ func TestRunBudgetExtension(t *testing.T) {
 }
 
 func TestSweepSeedsValidation(t *testing.T) {
-	if _, err := SweepSeeds(Config{Build: causalbench.Build}, nil); err == nil {
+	if _, err := SweepSeeds(context.Background(), Config{Build: causalbench.Build}, nil); err == nil {
 		t.Fatal("empty seed list accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -105,7 +106,7 @@ func CollectInterferedProduction(cfg Config, interfere bool, seedOffset int64) (
 // RunInterferenceExtension trains normally (no interference), then scores
 // each metric set on a healthy control period and on a period with the
 // batch job active.
-func RunInterferenceExtension(o Options) (*InterferenceResult, error) {
+func RunInterferenceExtension(ctx context.Context, o Options) (*InterferenceResult, error) {
 	result := &InterferenceResult{}
 	for _, preset := range []string{metrics.SetDerivedAll, metrics.SetDerivedExt} {
 		set, err := metrics.Preset(preset)
@@ -113,7 +114,7 @@ func RunInterferenceExtension(o Options) (*InterferenceResult, error) {
 			return nil, err
 		}
 		cfg := o.Apply(Config{Build: BuildWithSharedNode, Metrics: set})
-		model, err := Train(cfg)
+		model, err := Train(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("eval: interference train (%s): %w", preset, err)
 		}
@@ -126,7 +127,7 @@ func RunInterferenceExtension(o Options) (*InterferenceResult, error) {
 			if err != nil {
 				return nil, fmt.Errorf("eval: interference collect (%s): %w", preset, err)
 			}
-			loc, err := localizer.Localize(model, production)
+			loc, err := localizer.Localize(ctx, model, production)
 			if err != nil {
 				return nil, fmt.Errorf("eval: interference localize (%s): %w", preset, err)
 			}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -50,7 +51,7 @@ func (r *ScalabilityResult) String() string {
 var ScalabilitySizes = []int{9, 18, 36}
 
 // RunScalabilityExtension sweeps application sizes.
-func RunScalabilityExtension(o Options) (*ScalabilityResult, error) {
+func RunScalabilityExtension(ctx context.Context, o Options) (*ScalabilityResult, error) {
 	result := &ScalabilityResult{}
 	clk := o.WallClock()
 	for _, n := range ScalabilitySizes {
@@ -65,14 +66,14 @@ func RunScalabilityExtension(o Options) (*ScalabilityResult, error) {
 		cfg := o.Apply(Config{Build: build, Metrics: metrics.DerivedAll()})
 
 		trainStart := clk.Now()
-		model, err := Train(cfg)
+		model, err := Train(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("eval: scalability n=%d train: %w", n, err)
 		}
 		trainWall := clk.Now().Sub(trainStart)
 
 		evalStart := clk.Now()
-		report, err := Evaluate(cfg, model)
+		report, err := Evaluate(ctx, cfg, model)
 		if err != nil {
 			return nil, fmt.Errorf("eval: scalability n=%d eval: %w", n, err)
 		}

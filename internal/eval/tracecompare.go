@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -58,12 +59,12 @@ func (r *TraceComparisonResult) String() string {
 // RunTraceComparison trains the causal model, then for every fault target
 // collects one production session observed simultaneously by the metric
 // pipeline and a span collector, and scores both localizers on it.
-func RunTraceComparison(o Options) (*TraceComparisonResult, error) {
+func RunTraceComparison(ctx context.Context, o Options) (*TraceComparisonResult, error) {
 	cfg := o.Apply(Config{
 		Build:   causalbench.Build,
 		Metrics: metrics.DerivedAll(),
 	})
-	model, err := Train(cfg)
+	model, err := Train(ctx, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("eval: trace comparison: %w", err)
 	}
@@ -105,7 +106,7 @@ func RunTraceComparison(o Options) (*TraceComparisonResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("eval: trace comparison localize %s: %w", target, err)
 		}
-		loc, err := localizer.Localize(model, production)
+		loc, err := localizer.Localize(ctx, model, production)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,136 @@
+// Package parallel provides the bounded worker pool behind every fan-out in
+// the pipeline: the learner's per-target KS matrix, the localizer's
+// per-metric anomaly detection, campaign-round sharding in internal/eval, and
+// the report generator's section workers.
+//
+// The design contract, shared by every caller:
+//
+//   - Bounded: at most `workers` goroutines run fn concurrently; callers pass
+//     a configured count or zero for GOMAXPROCS.
+//   - Ordered fan-in: results land in an index-addressed slice, so the
+//     assembled output is identical to a sequential loop no matter how the
+//     scheduler interleaves workers. Determinism is a property of the repo's
+//     tier-1 contract (fixed seed => byte-identical output), not an
+//     optimization.
+//   - Context-cancellable: cancellation stops job dispatch promptly;
+//     in-flight jobs finish (they hold no cancellable resources — pure CPU on
+//     private data) and the context error is reported unless an earlier job
+//     failed first.
+//   - Deterministic errors: when several jobs fail, the error of the
+//     lowest-indexed failed job is returned — the same error a sequential
+//     loop would have hit first.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0), anything else is returned unchanged. Callers that
+// thread a `-workers` flag through pass it here at the point of use.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) across at most workers
+// goroutines and returns the results in index order. A zero or negative
+// worker count means GOMAXPROCS. See the package comment for the
+// cancellation and error contract.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		// Plain loop: no goroutines, no channels — the serial reference
+		// the parallel path is tested against.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			var err error
+			if results[i], err = fn(ctx, i); err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+
+	// failed flips (under mu) when any job errors; the dispatcher stops
+	// handing out new indices, already-dispatched jobs drain.
+	var (
+		mu     sync.Mutex
+		failed bool
+	)
+	jobFailed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return failed
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := fn(ctx, i)
+				if err != nil {
+					errs[i] = err
+					mu.Lock()
+					failed = true
+					mu.Unlock()
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+
+dispatch:
+	for i := 0; i < n; i++ {
+		if jobFailed() {
+			break
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Lowest-indexed job error wins; ties with cancellation go to the job
+	// error because a sequential loop would have surfaced it first.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ForEach is Map without results: it runs fn(ctx, i) for every i in [0, n)
+// under the same pool, cancellation and error contract.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, workers, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}

@@ -1,0 +1,191 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		got, err := Map(context.Background(), workers, 50, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || got != nil {
+		t.Fatalf("Map(n=0) = %v, %v", got, err)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var active, peak atomic.Int64
+	_, err := Map(context.Background(), workers, 64, func(_ context.Context, i int) (int, error) {
+		now := active.Add(1)
+		for {
+			p := peak.Load()
+			if now <= p || peak.CompareAndSwap(p, now) {
+				break
+			}
+		}
+		runtime.Gosched()
+		active.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent jobs, pool bound is %d", p, workers)
+	}
+}
+
+func TestMapLowestIndexErrorWins(t *testing.T) {
+	wantErr := func(i int) error { return fmt.Errorf("job %d failed", i) }
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), workers, 20, func(_ context.Context, i int) (int, error) {
+			if i == 7 || i == 13 {
+				return 0, wantErr(i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "job 7 failed" {
+			t.Errorf("workers=%d: err = %v, want job 7 failed", workers, err)
+		}
+	}
+}
+
+func TestMapStopsDispatchAfterError(t *testing.T) {
+	var ran atomic.Int64
+	sentinel := errors.New("boom")
+	_, err := Map(context.Background(), 2, 10_000, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n == 10_000 {
+		t.Error("all jobs ran despite an early error; dispatch did not stop")
+	}
+}
+
+func TestMapContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	block := make(chan struct{})
+	var once sync.Once
+	_, err := Map(ctx, 2, 10_000, func(ctx context.Context, i int) (int, error) {
+		ran.Add(1)
+		once.Do(func() {
+			cancel()
+			close(block)
+		})
+		<-block
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n == 10_000 {
+		t.Error("all jobs ran despite cancellation")
+	}
+}
+
+func TestMapPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, 4, 5, func(_ context.Context, i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	out := make([]int, 32)
+	if err := ForEach(context.Background(), 4, len(out), func(_ context.Context, i int) error {
+		out[i] = i + 1
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+	sentinel := errors.New("bad slot")
+	err := ForEach(context.Background(), 4, 8, func(_ context.Context, i int) error {
+		if i == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("ForEach err = %v", err)
+	}
+}
+
+// TestMapMatchesSerial is the package-level determinism check: identical
+// inputs produce identical outputs at any worker count.
+func TestMapMatchesSerial(t *testing.T) {
+	run := func(workers int) []float64 {
+		out, err := Map(context.Background(), workers, 100, func(_ context.Context, i int) (float64, error) {
+			v := float64(i)
+			for k := 0; k < 50; k++ {
+				v = v*1.0000001 + float64(k)
+			}
+			return v, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4, 16} {
+		par := run(workers)
+		for i := range serial {
+			if serial[i] != par[i] {
+				t.Fatalf("workers=%d diverges from serial at %d: %v != %v", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}

@@ -5,15 +5,15 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
 	"time"
 
 	"causalfl/internal/apps/causalbench"
 	"causalfl/internal/apps/robotshop"
 	"causalfl/internal/eval"
+	"causalfl/internal/parallel"
 )
 
 // Section is one named experiment in the report.
@@ -21,75 +21,75 @@ type Section struct {
 	// Title is the Markdown heading.
 	Title string
 	// Run produces the section body (the experiment's String output).
-	Run func(eval.Options) (fmt.Stringer, error)
+	Run func(context.Context, eval.Options) (fmt.Stringer, error)
 }
 
 // Sections returns the full evaluation in presentation order.
 func Sections() []Section {
 	return []Section{
-		{"Table I — accuracy and informativeness", func(o eval.Options) (fmt.Stringer, error) {
-			return eval.RunTableI(o)
+		{"Table I — accuracy and informativeness", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
+			return eval.RunTableI(ctx, o)
 		}},
-		{"Table II — metric sets under load drift", func(o eval.Options) (fmt.Stringer, error) {
-			return eval.RunTableII(o)
+		{"Table II — metric sets under load drift", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
+			return eval.RunTableII(ctx, o)
 		}},
-		{"Fig. 1 — metric-dependent causal worlds", func(o eval.Options) (fmt.Stringer, error) {
-			return eval.RunFig1(o)
+		{"Fig. 1 — metric-dependent causal worlds", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
+			return eval.RunFig1(ctx, o)
 		}},
-		{"Fig. 2 — the load confounder", func(o eval.Options) (fmt.Stringer, error) {
-			return eval.RunFig2(o)
+		{"Fig. 2 — the load confounder", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
+			return eval.RunFig2(ctx, o)
 		}},
-		{"§VI-B — causal sets for an intervention on B", func(o eval.Options) (fmt.Stringer, error) {
-			return eval.RunCausalSetsExample(o)
+		{"§VI-B — causal sets for an intervention on B", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
+			return eval.RunCausalSetsExample(ctx, o)
 		}},
-		{"§III-B — logging discipline changes the causal world", func(o eval.Options) (fmt.Stringer, error) {
-			return eval.RunLoggingDiscipline(o)
+		{"§III-B — logging discipline changes the causal world", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
+			return eval.RunLoggingDiscipline(ctx, o)
 		}},
-		{"Baseline comparison — CausalBench", func(o eval.Options) (fmt.Stringer, error) {
-			return eval.RunBaselineComparison(o, causalbench.Build, causalbench.Name)
+		{"Baseline comparison — CausalBench", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
+			return eval.RunBaselineComparison(ctx, o, causalbench.Build, causalbench.Name)
 		}},
-		{"Baseline comparison — Robot-shop", func(o eval.Options) (fmt.Stringer, error) {
-			return eval.RunBaselineComparison(o, robotshop.Build, robotshop.Name)
+		{"Baseline comparison — Robot-shop", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
+			return eval.RunBaselineComparison(ctx, o, robotshop.Build, robotshop.Name)
 		}},
-		{"Extension — fault-type generalization", func(o eval.Options) (fmt.Stringer, error) {
-			return eval.RunFaultTypeExtension(o)
+		{"Extension — fault-type generalization", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
+			return eval.RunFaultTypeExtension(ctx, o)
 		}},
-		{"Extension — concurrent faults", func(o eval.Options) (fmt.Stringer, error) {
-			return eval.RunMultiFaultExtension(o)
+		{"Extension — concurrent faults", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
+			return eval.RunMultiFaultExtension(ctx, o)
 		}},
-		{"Extension — tracing comparison", func(o eval.Options) (fmt.Stringer, error) {
-			return eval.RunTraceComparison(o)
+		{"Extension — tracing comparison", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
+			return eval.RunTraceComparison(ctx, o)
 		}},
-		{"Extension — nonstationary load", func(o eval.Options) (fmt.Stringer, error) {
-			return eval.RunNonstationaryExtension(o)
+		{"Extension — nonstationary load", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
+			return eval.RunNonstationaryExtension(ctx, o)
 		}},
-		{"Extension — noisy-neighbor interference", func(o eval.Options) (fmt.Stringer, error) {
-			return eval.RunInterferenceExtension(o)
+		{"Extension — noisy-neighbor interference", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
+			return eval.RunInterferenceExtension(ctx, o)
 		}},
-		{"Extension — contaminated baseline", func(o eval.Options) (fmt.Stringer, error) {
-			return eval.RunContaminationExtension(o)
+		{"Extension — contaminated baseline", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
+			return eval.RunContaminationExtension(ctx, o)
 		}},
-		{"Extension — training budget", func(o eval.Options) (fmt.Stringer, error) {
-			return eval.RunBudgetExtension(o)
+		{"Extension — training budget", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
+			return eval.RunBudgetExtension(ctx, o)
 		}},
-		{"Extension — scalability", func(o eval.Options) (fmt.Stringer, error) {
-			return eval.RunScalabilityExtension(o)
+		{"Extension — scalability", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
+			return eval.RunScalabilityExtension(ctx, o)
 		}},
-		{"Extension — degraded telemetry (CausalBench)", func(o eval.Options) (fmt.Stringer, error) {
-			return eval.RunDegradationSweep(o, causalbench.Build, causalbench.Name, nil)
+		{"Extension — degraded telemetry (CausalBench)", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
+			return eval.RunDegradationSweep(ctx, o, causalbench.Build, causalbench.Name, nil)
 		}},
-		{"Extension — degraded telemetry (Robot-shop)", func(o eval.Options) (fmt.Stringer, error) {
-			return eval.RunDegradationSweep(o, robotshop.Build, robotshop.Name, nil)
+		{"Extension — degraded telemetry (Robot-shop)", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
+			return eval.RunDegradationSweep(ctx, o, robotshop.Build, robotshop.Name, nil)
 		}},
 	}
 }
 
 // Generate runs every section and writes the Markdown document. Sections are
-// independent deterministic simulations, so they execute concurrently (one
-// worker per core, bounded) and are written in presentation order; the
-// output is byte-identical to a sequential run. Section failures abort: a
-// partial evaluation is worse than a loud error.
-func Generate(o eval.Options, w io.Writer) error {
+// independent deterministic simulations, so they shard across the worker
+// pool (bounded by o.Workers, or GOMAXPROCS when zero) and are written in
+// presentation order; the output is byte-identical to a sequential run.
+// Section failures abort: a partial evaluation is worse than a loud error.
+func Generate(ctx context.Context, o eval.Options, w io.Writer) error {
 	mode := "paper-length (10-minute collection periods)"
 	if o.Quick {
 		mode = "abbreviated (2.5-minute collection periods)"
@@ -102,39 +102,26 @@ func Generate(o eval.Options, w io.Writer) error {
 	type outcome struct {
 		result fmt.Stringer
 		wall   time.Duration
-		err    error
-	}
-	outcomes := make([]outcome, len(sections))
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(sections) {
-		workers = len(sections)
 	}
 	clk := o.WallClock()
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				start := clk.Now()
-				result, err := sections[idx].Run(o)
-				outcomes[idx] = outcome{result: result, wall: clk.Now().Sub(start).Round(time.Millisecond), err: err}
-			}
-		}()
+	// Each section keeps its internal pools serial (Workers: 1): the
+	// section fan-out already owns the pool, and nesting would oversubscribe.
+	inner := o
+	inner.Workers = 1
+	outcomes, err := parallel.Map(ctx, o.Workers, len(sections), func(ctx context.Context, idx int) (outcome, error) {
+		start := clk.Now()
+		result, err := sections[idx].Run(ctx, inner)
+		if err != nil {
+			return outcome{}, fmt.Errorf("report: %s: %w", sections[idx].Title, err)
+		}
+		return outcome{result: result, wall: clk.Now().Sub(start).Round(time.Millisecond)}, nil
+	})
+	if err != nil {
+		return err
 	}
-	for idx := range sections {
-		jobs <- idx
-	}
-	close(jobs)
-	wg.Wait()
 
 	for idx, section := range sections {
 		oc := outcomes[idx]
-		if oc.err != nil {
-			return fmt.Errorf("report: %s: %w", section.Title, oc.err)
-		}
 		if _, err := fmt.Fprintf(w, "\n## %s\n\n```\n%s```\n\n(_%v_)\n", section.Title, oc.result.String(), oc.wall); err != nil {
 			return fmt.Errorf("report: %s: %w", section.Title, err)
 		}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -41,7 +42,7 @@ func TestGenerateQuick(t *testing.T) {
 		t.Skip("full report generation skipped in -short mode")
 	}
 	var b strings.Builder
-	if err := Generate(eval.Options{Seed: 42, Quick: true}, &b); err != nil {
+	if err := Generate(context.Background(), eval.Options{Seed: 42, Quick: true}, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()

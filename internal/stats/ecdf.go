@@ -58,18 +58,25 @@ func (e *ECDF) Quantile(q float64) float64 {
 // D = sup_x |F1(x) - F2(x)| between two ECDFs by walking their merged
 // support.
 func KSDistance(a, b *ECDF) float64 {
+	return ksDistanceSorted(a.sorted, b.sorted)
+}
+
+// ksDistanceSorted is KSDistance over raw sorted samples. The hot KS path
+// (stats.KSTest.PValue under the learner's per-cell fan-out) calls it with
+// pooled scratch buffers, skipping the ECDF allocation entirely.
+func ksDistanceSorted(a, b []float64) float64 {
 	var d float64
 	i, j := 0, 0
-	na, nb := float64(a.N()), float64(b.N())
-	for i < a.N() && j < b.N() {
-		x := a.sorted[i]
-		if b.sorted[j] < x {
-			x = b.sorted[j]
+	na, nb := float64(len(a)), float64(len(b))
+	for i < len(a) && j < len(b) {
+		x := a[i]
+		if b[j] < x {
+			x = b[j]
 		}
-		for i < a.N() && a.sorted[i] <= x {
+		for i < len(a) && a[i] <= x {
 			i++
 		}
-		for j < b.N() && b.sorted[j] <= x {
+		for j < len(b) && b[j] <= x {
 			j++
 		}
 		diff := abs(float64(i)/na - float64(j)/nb)

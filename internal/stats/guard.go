@@ -75,10 +75,14 @@ func (g GuardedTest) PValue(x, y []float64) (float64, error) {
 
 // practicallyEqual reports whether the trimmed means of x and y differ by at
 // most tol relative to the larger magnitude. Two all-zero samples are equal;
-// zero-versus-nonzero always differs (relative difference 1).
+// zero-versus-nonzero always differs (relative difference 1). Both samples
+// are sorted into one pooled scratch, so the guard adds no allocations to
+// the hot test path.
 func practicallyEqual(x, y []float64, tol float64) bool {
-	tx := trimmedMean(x, DefaultTrim)
-	ty := trimmedMean(y, DefaultTrim)
+	s := borrowScratch(x, y)
+	tx := trimmedMeanSorted(s.a, DefaultTrim)
+	ty := trimmedMeanSorted(s.b, DefaultTrim)
+	s.release()
 	diff := abs(tx - ty)
 	scale := abs(tx)
 	if s := abs(ty); s > scale {
@@ -96,6 +100,11 @@ func trimmedMean(sample []float64, trim float64) float64 {
 	s := make([]float64, len(sample))
 	copy(s, sample)
 	sort.Float64s(s)
+	return trimmedMeanSorted(s, trim)
+}
+
+// trimmedMeanSorted is trimmedMean over an already-sorted sample.
+func trimmedMeanSorted(s []float64, trim float64) float64 {
 	drop := int(float64(len(s)) * trim)
 	if 2*drop >= len(s) {
 		drop = (len(s) - 1) / 2

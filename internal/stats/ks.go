@@ -38,12 +38,21 @@ func (KSTest) Statistic(x, y []float64) (float64, error) {
 	return KSDistance(ex, ey), nil
 }
 
-// PValue implements TwoSampleTest.
+// PValue implements TwoSampleTest. Unlike Statistic it does not build ECDF
+// values: the samples are copied into pooled scratch buffers, sorted there,
+// and the buffers are reused across calls — the per-call allocations on the
+// learner's (service × metric × intervention) matrix would otherwise
+// dominate the parallel pipeline's garbage-collection budget.
 func (t KSTest) PValue(x, y []float64) (float64, error) {
-	d, err := t.Statistic(x, y)
-	if err != nil {
-		return 0, err
+	if len(x) == 0 {
+		return 0, fmt.Errorf("stats: ks first sample: stats: ECDF of empty sample")
 	}
+	if len(y) == 0 {
+		return 0, fmt.Errorf("stats: ks second sample: stats: ECDF of empty sample")
+	}
+	s := borrowScratch(x, y)
+	d := ksDistanceSorted(s.a, s.b)
+	s.release()
 	n := float64(len(x))
 	m := float64(len(y))
 	ne := n * m / (n + m)

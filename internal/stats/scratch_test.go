@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPValueMatchesECDFPath pins the pooled fast path to the reference ECDF
+// implementation: same statistic, same p-value, no mutation of the inputs.
+func TestPValueMatchesECDFPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ks KSTest
+	for round := 0; round < 200; round++ {
+		n := 2 + rng.Intn(40)
+		m := 2 + rng.Intn(40)
+		x := make([]float64, n)
+		y := make([]float64, m)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64() + rng.Float64()
+		}
+		xCopy := append([]float64(nil), x...)
+		yCopy := append([]float64(nil), y...)
+
+		d, err := ks.Statistic(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ne := float64(n) * float64(m) / float64(n+m)
+		sq := math.Sqrt(ne)
+		want := kolmogorovQ((sq + 0.12 + 0.11/sq) * d)
+
+		got, err := ks.PValue(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("round %d: pooled PValue %v != ECDF-path %v", round, got, want)
+		}
+		for i := range x {
+			if x[i] != xCopy[i] {
+				t.Fatal("PValue mutated its first sample")
+			}
+		}
+		for i := range y {
+			if y[i] != yCopy[i] {
+				t.Fatal("PValue mutated its second sample")
+			}
+		}
+	}
+}
+
+// TestGuardedTestDoesNotMutateSamples guards the pooled trimmed-mean path.
+func TestGuardedTestDoesNotMutateSamples(t *testing.T) {
+	x := []float64{5, 3, 4, 1, 2}
+	y := []float64{9, 7, 8, 6, 10}
+	test := GuardedTest{Inner: KSTest{}}
+	if _, err := test.PValue(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 5 || x[4] != 2 || y[0] != 9 || y[4] != 10 {
+		t.Fatalf("guarded test mutated inputs: x=%v y=%v", x, y)
+	}
+}
+
+func BenchmarkMicro_KSTestPooled(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 19)
+	y := make([]float64, 19)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64() + 0.5
+	}
+	var ks KSTest
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ks.PValue(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -155,7 +155,7 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("localize: %v", err), http.StatusUnprocessableEntity)
 		return
 	}
-	loc, err := s.localizer.Localize(s.model, &snap)
+	loc, err := s.localizer.Localize(r.Context(), s.model, &snap)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("localize: %v", err), http.StatusUnprocessableEntity)
 		return

@@ -2,6 +2,7 @@ package webui
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math/rand"
 	"net/http"
@@ -38,7 +39,7 @@ func trainedModel(t *testing.T) (*core.Model, *metrics.Snapshot) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	model, err := learner.Learn(baseline, map[string]*metrics.Snapshot{"x": mk(true)})
+	model, err := learner.Learn(context.Background(), baseline, map[string]*metrics.Snapshot{"x": mk(true)})
 	if err != nil {
 		t.Fatal(err)
 	}
