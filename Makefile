@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short race vet lint lint-json fmt bench bench-parallel report tables figures clean
+.PHONY: all check build test test-short test-stream race vet lint lint-json fmt bench bench-parallel bench-stream demo-stream report tables figures clean
 
 all: check
 
 # The default verification path: compile, static checks (go vet plus the
-# project's own causalfl-vet analyzers), full tests, and the race detector
-# over the library packages.
-check: build vet lint test race
+# project's own causalfl-vet analyzers), full tests, the race detector
+# over the library packages, and the streaming end-to-end demo.
+check: build vet lint test race demo-stream
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,12 @@ test-short:
 
 race:
 	$(GO) test -race ./internal/...
+
+# The batch↔stream conformance suite under the race detector: per-hop
+# equivalence properties, the aggregator conformance, the golden verdict
+# timeline, and the Drain ordering regression.
+test-stream:
+	$(GO) test -race ./internal/stream/ ./internal/telemetry/ ./internal/stats/
 
 vet:
 	$(GO) vet ./...
@@ -48,6 +54,17 @@ bench:
 # workers=GOMAXPROCS; the outputs of both runs are identical by construction.
 bench-parallel:
 	$(GO) run ./cmd/causalfl bench -quick -out BENCH_parallel.json
+
+# Incremental streaming engine vs naive batch-per-tick recomputation on the
+# 64-service × 8-metric reference workload; both engines emit byte-identical
+# verdicts, so the artifact is purely a wall-clock comparison.
+bench-stream:
+	$(GO) run ./cmd/causalfl bench -stream -out BENCH_stream.json
+
+# End-to-end streaming demo: train, watch a live session, break a service,
+# see the verdict timeline confirm it.
+demo-stream:
+	$(GO) run ./examples/streaming
 
 # Paper-length regeneration of the full evaluation.
 report:

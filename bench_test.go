@@ -27,6 +27,7 @@ import (
 	"causalfl/internal/metrics"
 	"causalfl/internal/sim"
 	"causalfl/internal/stats"
+	"causalfl/internal/stream"
 )
 
 var benchOpts = eval.Options{Seed: 42, Quick: true}
@@ -694,4 +695,74 @@ func benchParallelCampaign(b *testing.B, workers int) {
 func BenchmarkParallel_Campaign_Serial(b *testing.B) { benchParallelCampaign(b, 1) }
 func BenchmarkParallel_Campaign_Pooled(b *testing.B) {
 	benchParallelCampaign(b, runtime.GOMAXPROCS(0))
+}
+
+// --- Streaming engine ------------------------------------------------------
+
+// streamBenchWorkload is the reference online-localization workload: 64
+// services, 8 metrics, a half-way fault, 60 production hops. The same shape
+// backs `causalfl bench -stream` and BENCH_stream.json.
+func streamBenchWorkload(b *testing.B) (*stream.SynthWorkload, *core.Model) {
+	b.Helper()
+	w, err := stream.NewSynth(stream.SynthConfig{
+		Services: 64, Metrics: 8, BaselineLen: 24, Hops: 60,
+		Seed: 42, FaultService: 32, FaultAfter: 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w, w.Model()
+}
+
+// BenchmarkStream_IncrementalHops drives the streaming localizer one Step per
+// hop; every KS statistic is updated in O(window) from the previous hop.
+func BenchmarkStream_IncrementalHops(b *testing.B) {
+	w, model := streamBenchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sl, err := stream.NewLocalizer(model, stream.LocalizerConfig{Window: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, hop := range w.Hops {
+			if _, err := sl.Step(context.Background(), 0, hop); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkStream_BatchPerTick recomputes from scratch on every hop: rebuild
+// the sliding-window snapshot, then run the full batch localizer. This is the
+// naive alternative the incremental engine replaces; verdicts are identical.
+func BenchmarkStream_BatchPerTick(b *testing.B) {
+	w, model := streamBenchWorkload(b)
+	const window = 8
+	batch, err := core.NewLocalizer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shadow := make(map[string]map[string][]float64, len(w.MetricNames))
+		for _, m := range w.MetricNames {
+			shadow[m] = make(map[string][]float64, len(w.Services))
+		}
+		for _, hop := range w.Hops {
+			snap := metrics.NewSnapshot(w.MetricNames, w.Services)
+			for _, m := range w.MetricNames {
+				for _, svc := range w.Services {
+					s := append(shadow[m][svc], hop[m][svc])
+					if len(s) > window {
+						s = s[len(s)-window:]
+					}
+					shadow[m][svc] = s
+					snap.Data[m][svc] = s
+				}
+			}
+			if _, err := batch.Localize(context.Background(), model, snap); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+
+	"causalfl/internal/clock"
+	"causalfl/internal/core"
+	"causalfl/internal/metrics"
+	"causalfl/internal/parallel"
+	"causalfl/internal/stream"
+)
+
+// streamBenchEntry is one timed engine run over the whole hop sequence.
+type streamBenchEntry struct {
+	Engine   string  `json:"engine"` // "stream" or "batch-per-tick"
+	Workers  int     `json:"workers"`
+	Hops     int     `json:"hops"`
+	WallMS   float64 `json:"wall_ms"`
+	PerHopMS float64 `json:"per_hop_ms"`
+}
+
+// streamBenchReport is the BENCH_stream.json artifact.
+type streamBenchReport struct {
+	Services    int                `json:"services"`
+	Metrics     int                `json:"metrics"`
+	Window      int                `json:"window"`
+	BaselineLen int                `json:"baseline_len"`
+	Seed        int64              `json:"seed"`
+	Entries     []streamBenchEntry `json:"entries"`
+}
+
+// benchStream compares the incremental streaming engine against naive
+// batch-per-tick recomputation (rebuild the sliding-window snapshot and run
+// the full batch localizer on every hop) on the reference 64-service ×
+// 8-metric workload. Both engines produce byte-identical verdicts — the
+// equivalence suite guarantees it and this benchmark asserts it — so the
+// comparison is purely about wall clock.
+func benchStream(ctx context.Context, cf commonFlags, outPath string) error {
+	const (
+		services    = 64
+		nMetrics    = 8
+		window      = 8
+		baselineLen = 24
+		hops        = 60
+	)
+	w, err := stream.NewSynth(stream.SynthConfig{
+		Services: services, Metrics: nMetrics, BaselineLen: baselineLen, Hops: hops,
+		Seed: cf.seed, FaultService: services / 2, FaultAfter: hops / 2,
+	})
+	if err != nil {
+		return err
+	}
+	model := w.Model()
+	pool := parallel.Workers(cf.workers)
+	counts := []int{1}
+	if pool > 1 {
+		counts = append(counts, pool)
+	}
+	rep := &streamBenchReport{
+		Services: services, Metrics: nMetrics, Window: window,
+		BaselineLen: baselineLen, Seed: cf.seed,
+	}
+
+	for _, workers := range counts {
+		// Streaming engine: one incremental Step per hop.
+		sl, err := stream.NewLocalizer(model, stream.LocalizerConfig{Window: window, Workers: workers})
+		if err != nil {
+			return err
+		}
+		var streamCand []string
+		start := clock.Wall.Now()
+		for _, hop := range w.Hops {
+			v, err := sl.Step(ctx, 0, hop)
+			if err != nil {
+				return err
+			}
+			streamCand = v.Candidates
+		}
+		streamMS := float64(clock.Wall.Now().Sub(start).Microseconds()) / 1e3
+		rep.Entries = append(rep.Entries, streamBenchEntry{
+			Engine: "stream", Workers: workers, Hops: hops,
+			WallMS: streamMS, PerHopMS: streamMS / hops,
+		})
+
+		// Batch-per-tick: maintain the same sliding windows, but rebuild a
+		// snapshot and run the full batch localizer from scratch each hop.
+		batch, err := core.NewLocalizer(core.WithWorkers(workers))
+		if err != nil {
+			return err
+		}
+		shadow := make(map[string]map[string][]float64, nMetrics)
+		for _, m := range w.MetricNames {
+			shadow[m] = make(map[string][]float64, services)
+		}
+		var batchCand []string
+		start = clock.Wall.Now()
+		for _, hop := range w.Hops {
+			snap := metrics.NewSnapshot(w.MetricNames, w.Services)
+			for _, m := range w.MetricNames {
+				for _, svc := range w.Services {
+					s := append(shadow[m][svc], hop[m][svc])
+					if len(s) > window {
+						s = s[len(s)-window:]
+					}
+					shadow[m][svc] = s
+					snap.Data[m][svc] = s
+				}
+			}
+			loc, err := batch.Localize(ctx, model, snap)
+			if err != nil {
+				return err
+			}
+			batchCand = loc.Candidates
+		}
+		batchMS := float64(clock.Wall.Now().Sub(start).Microseconds()) / 1e3
+		rep.Entries = append(rep.Entries, streamBenchEntry{
+			Engine: "batch-per-tick", Workers: workers, Hops: hops,
+			WallMS: batchMS, PerHopMS: batchMS / hops,
+		})
+
+		if !reflect.DeepEqual(streamCand, batchCand) {
+			return fmt.Errorf("bench: engines diverged: stream %v, batch %v", streamCand, batchCand)
+		}
+		fmt.Fprintf(os.Stderr, "workers=%d  stream %.1fms  batch-per-tick %.1fms  (%.2fx)\n",
+			workers, streamMS, batchMS, batchMS/streamMS)
+	}
+
+	return writeOutput(outPath, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	})
+}

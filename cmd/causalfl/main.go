@@ -19,7 +19,8 @@
 //	causalfl learn    -data data.json [-out model.json] [-alpha 0.05]
 //	causalfl worlds   -model model.json
 //	causalfl report   [-out report.md] [-quick] [-seed N] [-workers N]
-//	causalfl bench    [-quick] [-seed N] [-out BENCH_parallel.json]
+//	causalfl bench    [-quick] [-seed N] [-out BENCH_parallel.json] [-stream]
+//	causalfl watch    -app causalbench|robotshop [-model model.json] [-fault SVC] [-inject-at 3m] [-duration 10m] [-out verdicts.json]
 //	causalfl serve    -model model.json [-addr :8080]
 //	causalfl diff     -old old.json -new new.json
 package main
@@ -65,7 +66,7 @@ func main() {
 
 func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (tables, figures, train, collect, learn, worlds, localize, evaluate, compare, topology, extensions, sweep, scale, bench, report, serve, diff)")
+		return fmt.Errorf("missing subcommand (tables, figures, train, collect, learn, worlds, localize, evaluate, compare, topology, extensions, sweep, scale, bench, watch, report, serve, diff)")
 	}
 	switch args[0] {
 	case "tables":
@@ -98,6 +99,8 @@ func run(ctx context.Context, args []string) error {
 		return cmdWorlds(args[1:])
 	case "report":
 		return cmdReport(ctx, args[1:])
+	case "watch":
+		return cmdWatch(ctx, args[1:])
 	case "serve":
 		return cmdServe(args[1:])
 	case "diff":
@@ -640,8 +643,12 @@ func cmdBench(ctx context.Context, args []string) error {
 	var cf commonFlags
 	cf.register(fs)
 	out := fs.String("out", "", "write the benchmark JSON to this file (default stdout)")
+	streamMode := fs.Bool("stream", false, "benchmark the streaming engine against batch-per-tick recomputation instead of the causal-learning stages")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *streamMode {
+		return benchStream(ctx, cf, *out)
 	}
 	cfg, err := cf.config()
 	if err != nil {

@@ -27,6 +27,7 @@ var wallRestricted = []string{
 	"internal/apps",
 	"internal/clock",
 	"internal/parallel",
+	"internal/stream",
 }
 
 // wallSelectors are the time-package selectors that read or react to the

@@ -126,7 +126,7 @@ func Detect(ctx context.Context, cfg DetectConfig, baseline, production *metrics
 
 	// The family decision runs once over every p-value — never per shard —
 	// so Benjamini-Hochberg sees the same family a serial loop would.
-	shifted, err := decideFamily(pvals, alpha, cfg.FDR)
+	shifted, err := DecideFamily(pvals, alpha, cfg.FDR)
 	if err != nil {
 		return nil, fmt.Errorf("core: anomalies: %w", err)
 	}
@@ -167,10 +167,12 @@ func AnomaliesFDR(test stats.TwoSampleTest, q float64, baseline, production *met
 	return det.Anomalous, nil
 }
 
-// decideFamily turns a family of p-values into rejection decisions, either
+// DecideFamily turns a family of p-values into rejection decisions, either
 // with the paper's per-test alpha threshold or with BH FDR control when
-// fdrQ > 0.
-func decideFamily(pvals []float64, alpha, fdrQ float64) ([]bool, error) {
+// fdrQ > 0. It is exported so the streaming detection engine
+// (internal/stream), which computes its p-values incrementally, shares the
+// exact decision arithmetic with the batch path.
+func DecideFamily(pvals []float64, alpha, fdrQ float64) ([]bool, error) {
 	if fdrQ > 0 {
 		return stats.BenjaminiHochberg(pvals, fdrQ)
 	}

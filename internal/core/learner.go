@@ -155,7 +155,7 @@ func (l *Learner) learnCell(model *Model, target string, snap *metrics.Snapshot,
 		family = append(family, svc)
 		pvals = append(pvals, p)
 	}
-	shifted, err := decideFamily(pvals, l.alpha, l.fdrQ)
+	shifted, err := DecideFamily(pvals, l.alpha, l.fdrQ)
 	if err != nil {
 		return nil, fmt.Errorf("core: learn: %w", err)
 	}

@@ -134,20 +134,45 @@ func (lo *Localizer) Localize(ctx context.Context, model *Model, production *met
 		alpha = model.Alpha
 	}
 
-	out := &Localization{
-		Votes:          make(map[string]float64, len(model.Targets)),
-		Anomalies:      make(map[string][]string, len(model.Metrics)),
-		MetricWinners:  make(map[string][]string, len(model.Metrics)),
-		MetricCoverage: make(map[string]float64, len(model.Metrics)),
-		Degradation:    metrics.AssessOver(production, model.Metrics, model.Services),
-	}
-
 	cfg := lo.detectConfig(alpha)
 	detections, err := parallel.Map(ctx, lo.workers, len(model.Metrics), func(ctx context.Context, i int) (*Detection, error) {
 		return Detect(ctx, cfg, model.Baseline, production, model.Metrics[i])
 	})
 	if err != nil {
 		return nil, err
+	}
+	out, err := lo.Aggregate(model, detections)
+	if err != nil {
+		return nil, err
+	}
+	out.Degradation = metrics.AssessOver(production, model.Metrics, model.Services)
+	return out, nil
+}
+
+// Aggregate is the vote phase of Algorithm 2, split from anomaly detection:
+// it turns one Detection per model metric (aligned with model.Metrics by
+// index) into a Localization. Localize feeds it the batch detections; the
+// streaming engine (internal/stream) feeds it per-hop incremental detections,
+// so a streaming verdict and a batch localization over the same anomaly
+// evidence are the same computation. The Degradation field is left nil —
+// it describes a production snapshot, which Aggregate never sees.
+func (lo *Localizer) Aggregate(model *Model, detections []*Detection) (*Localization, error) {
+	if model == nil {
+		return nil, fmt.Errorf("core: aggregate: nil model")
+	}
+	if len(detections) != len(model.Metrics) {
+		return nil, fmt.Errorf("core: aggregate: %d detections for %d model metrics", len(detections), len(model.Metrics))
+	}
+	for i, d := range detections {
+		if d == nil {
+			return nil, fmt.Errorf("core: aggregate: nil detection for metric %q", model.Metrics[i])
+		}
+	}
+	out := &Localization{
+		Votes:          make(map[string]float64, len(model.Targets)),
+		Anomalies:      make(map[string][]string, len(model.Metrics)),
+		MetricWinners:  make(map[string][]string, len(model.Metrics)),
+		MetricCoverage: make(map[string]float64, len(model.Metrics)),
 	}
 
 	testedAny := false

@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"time"
+
+	"causalfl/internal/chaos"
+	"causalfl/internal/sim"
+	"causalfl/internal/telemetry"
+)
+
+// LiveSession exposes one running application session tick by tick, for
+// streaming consumers. The batch campaign entry points (CollectTraining,
+// CollectTests) advance a session in whole collection phases and hand back
+// finished snapshots; `causalfl watch` instead needs to interleave small
+// time steps with verdict computation, so LiveSession exports the session
+// primitives — advance-and-drain, fault injection — without giving up the
+// phase bookkeeping the campaign helpers rely on.
+type LiveSession struct {
+	s   *session
+	cfg Config
+}
+
+// NewLiveSession builds an application session (load started, warmed up,
+// telemetry running) at the given load multiplier. The config is defaulted
+// exactly as the campaign entry points default it.
+func NewLiveSession(cfg Config, multiplier float64, seed int64) (*LiveSession, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s, err := newSession(cfg, multiplier, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &LiveSession{s: s, cfg: cfg}, nil
+}
+
+// Config returns the fully defaulted campaign configuration in effect.
+func (ls *LiveSession) Config() Config { return ls.cfg }
+
+// Services returns the application's service universe.
+func (ls *LiveSession) Services() []string { return ls.s.app.Services() }
+
+// Targets returns the fault-injection targets in effect.
+func (ls *LiveSession) Targets() []string { return append([]string(nil), ls.s.targets...) }
+
+// Now returns the current virtual time.
+func (ls *LiveSession) Now() sim.Time { return ls.s.eng.Now() }
+
+// Advance runs d of virtual time and drains the samples recorded during it,
+// per service in ascending tick order.
+func (ls *LiveSession) Advance(d time.Duration) map[string][]telemetry.Sample {
+	ls.s.eng.Run(ls.s.eng.Now() + d)
+	return ls.s.sampler.Drain()
+}
+
+// Discard drops buffered samples without returning them (settling periods).
+func (ls *LiveSession) Discard() { ls.s.sampler.Discard() }
+
+// Inject injects a fault into target; it stays active until Clear.
+func (ls *LiveSession) Inject(target string, f chaos.Fault) error {
+	return ls.s.injector.Inject(target, f)
+}
+
+// Clear removes the fault from target.
+func (ls *LiveSession) Clear(target string) error {
+	return ls.s.injector.Clear(target)
+}

@@ -80,9 +80,17 @@ func (g GuardedTest) PValue(x, y []float64) (float64, error) {
 // the hot test path.
 func practicallyEqual(x, y []float64, tol float64) bool {
 	s := borrowScratch(x, y)
-	tx := trimmedMeanSorted(s.a, DefaultTrim)
-	ty := trimmedMeanSorted(s.b, DefaultTrim)
+	eq := practicallyEqualSorted(s.a, s.b, tol)
 	s.release()
+	return eq
+}
+
+// practicallyEqualSorted is practicallyEqual over already-sorted samples —
+// the arithmetic path shared with IncrementalKS, whose window is kept sorted
+// between hops.
+func practicallyEqualSorted(a, b []float64, tol float64) bool {
+	tx := trimmedMeanSorted(a, DefaultTrim)
+	ty := trimmedMeanSorted(b, DefaultTrim)
 	diff := abs(tx - ty)
 	scale := abs(tx)
 	if s := abs(ty); s > scale {

@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// IncrementalKS maintains a two-sample Kolmogorov–Smirnov comparison between
+// a fixed baseline sample and a bounded sliding window of production values.
+//
+// The batch pipeline re-sorts both samples on every PValue call — O(n log n)
+// per tick once a streaming consumer re-tests after every hop. This state
+// sorts the baseline exactly once at construction and maintains the
+// production window through ordered insert/evict: a ring buffer remembers
+// arrival order (so the oldest value can be evicted when the window is full)
+// and an order-statistics index keeps the finite values sorted between
+// pushes. A push costs one binary search plus a bounded memmove inside the
+// window; the D-statistic walk over the merged support never pays a sort.
+//
+// Equivalence contract: after any sequence of pushes, PValue equals
+// KSTest{}.PValue(window, baseline) and GuardedPValue equals
+// GuardedTest{Inner: KSTest{}}.PValue(window, baseline) — bit for bit, where
+// window is the retained arrival-order suffix with non-finite values dropped
+// (the same finiteValues filtering the tolerant detection path applies).
+// FuzzIncrementalKS cross-checks this invariant.
+type IncrementalKS struct {
+	// base is the baseline sample, sorted once.
+	base []float64
+	// baseTrimmed caches trimmedMeanSorted(base, DefaultTrim) for the
+	// practical-equivalence guard, which would otherwise recompute it on
+	// every hop.
+	baseTrimmed float64
+	// ring holds the last cap pushed values in arrival order; head indexes
+	// the oldest. Non-finite values occupy ring slots (they age out like
+	// any other) but are excluded from sorted.
+	ring []float64
+	head int
+	n    int
+	// sorted is the order-statistics index: the finite ring values in
+	// ascending order.
+	sorted []float64
+}
+
+// NewIncrementalKS builds the state for one (baseline, sliding window) pair.
+// The baseline is copied and sorted once; window is the maximum number of
+// production values retained.
+func NewIncrementalKS(baseline []float64, window int) (*IncrementalKS, error) {
+	if len(baseline) == 0 {
+		return nil, fmt.Errorf("stats: incremental ks: empty baseline")
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("stats: incremental ks: window must be >= 1, got %d", window)
+	}
+	base := make([]float64, len(baseline))
+	copy(base, baseline)
+	sortFloat64s(base)
+	return &IncrementalKS{
+		base:        base,
+		baseTrimmed: trimmedMeanSorted(base, DefaultTrim),
+		ring:        make([]float64, 0, window),
+		sorted:      make([]float64, 0, window),
+	}, nil
+}
+
+// Push appends one production value, evicting the oldest when the window is
+// full. Non-finite values age through the ring like any other but never
+// enter the sorted index, mirroring the tolerant detection path's
+// finite-values filter.
+func (k *IncrementalKS) Push(v float64) {
+	if len(k.ring) == cap(k.ring) {
+		old := k.ring[k.head]
+		k.ring[k.head] = v
+		k.head = (k.head + 1) % len(k.ring)
+		if isFinite(old) {
+			k.removeSorted(old)
+		}
+	} else {
+		k.ring = append(k.ring, v)
+	}
+	k.n++
+	if isFinite(v) {
+		k.insertSorted(v)
+	}
+}
+
+// insertSorted places v into the order-statistics index.
+func (k *IncrementalKS) insertSorted(v float64) {
+	i := sort.SearchFloat64s(k.sorted, v)
+	k.sorted = append(k.sorted, 0)
+	copy(k.sorted[i+1:], k.sorted[i:])
+	k.sorted[i] = v
+}
+
+// removeSorted evicts one instance of v from the index. Which instance of a
+// tied value is removed is immaterial: the multiset is what the statistics
+// see.
+func (k *IncrementalKS) removeSorted(v float64) {
+	i := sort.SearchFloat64s(k.sorted, v)
+	if i >= len(k.sorted) || k.sorted[i] != v { //vet:allow floateq -- exact bit-match lookup of a value known to be present
+		return
+	}
+	k.sorted = append(k.sorted[:i], k.sorted[i+1:]...)
+}
+
+// Len reports the number of finite values currently in the window — the
+// sample size the min-sample guard checks.
+func (k *IncrementalKS) Len() int { return len(k.sorted) }
+
+// Pushed reports how many values were ever pushed (including ones that have
+// aged out).
+func (k *IncrementalKS) Pushed() int { return k.n }
+
+// BaselineLen reports the baseline sample size.
+func (k *IncrementalKS) BaselineLen() int { return len(k.base) }
+
+// Window materializes the retained values in arrival order (a copy),
+// non-finite entries included. It is the exact series a batch consumer would
+// see for this pair, used by the generic-test fallback and the conformance
+// suite.
+func (k *IncrementalKS) Window() []float64 {
+	out := make([]float64, 0, len(k.ring))
+	for i := 0; i < len(k.ring); i++ {
+		out = append(out, k.ring[(k.head+i)%len(k.ring)])
+	}
+	return out
+}
+
+// D returns the current KS statistic between the finite window and the
+// baseline.
+func (k *IncrementalKS) D() (float64, error) {
+	if len(k.sorted) == 0 {
+		return 0, fmt.Errorf("stats: incremental ks: empty window")
+	}
+	return ksDistanceSorted(k.sorted, k.base), nil
+}
+
+// PValue returns KSTest{}.PValue(window, baseline) without re-sorting either
+// sample.
+func (k *IncrementalKS) PValue() (float64, error) {
+	if len(k.sorted) == 0 {
+		return 0, fmt.Errorf("stats: ks first sample: stats: ECDF of empty sample")
+	}
+	return ksPValueSorted(k.sorted, k.base), nil
+}
+
+// GuardedPValue returns GuardedTest{Inner: KSTest{}, RelTol:
+// relTol}.PValue(window, baseline): the practical-equivalence guard first
+// (with the baseline trimmed mean cached), then the KS p-value. relTol zero
+// selects DefaultRelTol, matching the guard's defaulting.
+func (k *IncrementalKS) GuardedPValue(relTol float64) (float64, error) {
+	if len(k.sorted) == 0 {
+		return 0, fmt.Errorf("stats: guarded test needs non-empty samples (|x|=%d |y|=%d)", len(k.sorted), len(k.base))
+	}
+	tol := relTol
+	if tol == 0 {
+		tol = DefaultRelTol
+	}
+	if tol < 0 {
+		return 0, fmt.Errorf("stats: negative relative tolerance %v", tol)
+	}
+	tx := trimmedMeanSorted(k.sorted, DefaultTrim)
+	diff := abs(tx - k.baseTrimmed)
+	scale := abs(tx)
+	if s := abs(k.baseTrimmed); s > scale {
+		scale = s
+	}
+	if scale == 0 || diff <= tol*scale {
+		return 1, nil
+	}
+	return ksPValueSorted(k.sorted, k.base), nil
+}
+
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

@@ -1,0 +1,248 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sameValues compares two float slices by bit pattern, so NaN entries
+// compare equal to themselves.
+func sameValues(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// materialFinite drops non-finite entries, preserving order — the same
+// filtering the tolerant detection path applies before testing.
+func materialFinite(s []float64) []float64 {
+	out := make([]float64, 0, len(s))
+	for _, v := range s {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestIncrementalKSValidation(t *testing.T) {
+	if _, err := NewIncrementalKS(nil, 8); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+	if _, err := NewIncrementalKS([]float64{1, 2}, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	k, err := NewIncrementalKS([]float64{3, 1, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.D(); err == nil {
+		t.Fatal("D on empty window should error")
+	}
+	if _, err := k.PValue(); err == nil {
+		t.Fatal("PValue on empty window should error")
+	}
+	if _, err := k.GuardedPValue(0); err == nil {
+		t.Fatal("GuardedPValue on empty window should error")
+	}
+	k.Push(1)
+	if _, err := k.GuardedPValue(-0.5); err == nil {
+		t.Fatal("negative tolerance accepted")
+	}
+}
+
+// TestIncrementalKSMatchesBatch drives a long push sequence through a small
+// window and checks, after every push, that the incremental statistics equal
+// the batch tests run on the materialized window.
+func TestIncrementalKSMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	baseline := make([]float64, 19)
+	for i := range baseline {
+		baseline[i] = rng.NormFloat64()
+	}
+	const window = 9
+	k, err := NewIncrementalKS(baseline, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pushed []float64
+	for step := 0; step < 200; step++ {
+		v := rng.NormFloat64() * 2
+		switch step % 17 {
+		case 5:
+			v = math.NaN()
+		case 11:
+			v = math.Inf(1)
+		}
+		k.Push(v)
+		pushed = append(pushed, v)
+		raw := pushed
+		if len(raw) > window {
+			raw = raw[len(raw)-window:]
+		}
+		if got := k.Window(); !sameValues(got, raw) {
+			t.Fatalf("step %d: window %v, want %v", step, got, raw)
+		}
+		finite := materialFinite(raw)
+		if k.Len() != len(finite) {
+			t.Fatalf("step %d: Len %d, want %d", step, k.Len(), len(finite))
+		}
+		if len(finite) == 0 {
+			continue
+		}
+		wantD, err := (KSTest{}).Statistic(finite, baseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotD, err := k.D()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotD != wantD { //vet:allow floateq -- the equivalence contract is bitwise
+			t.Fatalf("step %d: D=%v, batch %v", step, gotD, wantD)
+		}
+		wantP, err := (KSTest{}).PValue(finite, baseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotP, err := k.PValue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotP != wantP { //vet:allow floateq -- the equivalence contract is bitwise
+			t.Fatalf("step %d: p=%v, batch %v", step, gotP, wantP)
+		}
+		wantG, err := (GuardedTest{Inner: KSTest{}}).PValue(finite, baseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotG, err := k.GuardedPValue(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotG != wantG { //vet:allow floateq -- the equivalence contract is bitwise
+			t.Fatalf("step %d: guarded p=%v, batch %v", step, gotG, wantG)
+		}
+	}
+}
+
+// TestIncrementalKSGuardTolerance checks the custom-tolerance guarded path
+// against the batch guard.
+func TestIncrementalKSGuardTolerance(t *testing.T) {
+	baseline := []float64{10, 10.5, 11, 10.2, 10.8, 10.1, 10.9, 10.4}
+	k, err := NewIncrementalKS(baseline, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := []float64{12, 12.5, 11.8, 12.2, 12.1, 12.4}
+	for _, v := range stream {
+		k.Push(v)
+	}
+	for _, tol := range []float64{0.05, 0.20, 0.50} {
+		want, err := (GuardedTest{Inner: KSTest{}, RelTol: tol}).PValue(stream, baseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := k.GuardedPValue(tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want { //vet:allow floateq -- the equivalence contract is bitwise
+			t.Fatalf("tol %v: guarded p=%v, batch %v", tol, got, want)
+		}
+	}
+}
+
+// FuzzIncrementalKS cross-checks the incremental D-statistic and p-values
+// against stats.KS on the same data for fuzzer-chosen baselines, window
+// capacities and push sequences.
+func FuzzIncrementalKS(f *testing.F) {
+	f.Add(int64(1), uint8(19), uint8(8), uint16(40))
+	f.Add(int64(42), uint8(3), uint8(1), uint16(7))
+	f.Add(int64(99), uint8(64), uint8(31), uint16(200))
+	f.Fuzz(func(t *testing.T, seed int64, baseN, window uint8, steps uint16) {
+		bn := int(baseN)%64 + 1
+		w := int(window)%32 + 1
+		n := int(steps) % 300
+		rng := rand.New(rand.NewSource(seed))
+		baseline := make([]float64, bn)
+		for i := range baseline {
+			baseline[i] = rng.NormFloat64() * 10
+		}
+		k, err := NewIncrementalKS(baseline, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pushed []float64
+		for step := 0; step < n; step++ {
+			var v float64
+			switch rng.Intn(10) {
+			case 0:
+				v = math.NaN()
+			case 1:
+				v = math.Inf(1 - 2*rng.Intn(2))
+			case 2:
+				// Duplicate an already-pushed value to stress tied
+				// insert/evict in the order-statistics index.
+				if len(pushed) > 0 {
+					v = pushed[rng.Intn(len(pushed))]
+				}
+			default:
+				v = rng.NormFloat64() * 5
+			}
+			k.Push(v)
+			pushed = append(pushed, v)
+			raw := pushed
+			if len(raw) > w {
+				raw = raw[len(raw)-w:]
+			}
+			finite := materialFinite(raw)
+			if k.Len() != len(finite) {
+				t.Fatalf("step %d: Len %d, want %d", step, k.Len(), len(finite))
+			}
+			if len(finite) == 0 {
+				continue
+			}
+			wantD, err := (KSTest{}).Statistic(finite, baseline)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotD, err := k.D()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotD != wantD { //vet:allow floateq -- the equivalence contract is bitwise
+				t.Fatalf("step %d: D=%v, batch %v", step, gotD, wantD)
+			}
+			wantP, err := (KSTest{}).PValue(finite, baseline)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotP, err := k.PValue()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotP != wantP { //vet:allow floateq -- the equivalence contract is bitwise
+				t.Fatalf("step %d: p=%v, batch %v", step, gotP, wantP)
+			}
+			wantG, err := (GuardedTest{Inner: KSTest{}}).PValue(finite, baseline)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotG, err := k.GuardedPValue(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotG != wantG { //vet:allow floateq -- the equivalence contract is bitwise
+				t.Fatalf("step %d: guarded p=%v, batch %v", step, gotG, wantG)
+			}
+		}
+	})
+}

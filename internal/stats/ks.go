@@ -51,14 +51,22 @@ func (t KSTest) PValue(x, y []float64) (float64, error) {
 		return 0, fmt.Errorf("stats: ks second sample: stats: ECDF of empty sample")
 	}
 	s := borrowScratch(x, y)
-	d := ksDistanceSorted(s.a, s.b)
+	p := ksPValueSorted(s.a, s.b)
 	s.release()
-	n := float64(len(x))
-	m := float64(len(y))
+	return p, nil
+}
+
+// ksPValueSorted is the KS p-value over two already-sorted samples. It is the
+// single arithmetic path shared by KSTest.PValue and IncrementalKS, so the
+// streaming engine's per-hop p-values are bit-identical to the batch test's.
+func ksPValueSorted(a, b []float64) float64 {
+	d := ksDistanceSorted(a, b)
+	n := float64(len(a))
+	m := float64(len(b))
 	ne := n * m / (n + m)
 	sq := math.Sqrt(ne)
 	lambda := (sq + 0.12 + 0.11/sq) * d
-	return kolmogorovQ(lambda), nil
+	return kolmogorovQ(lambda)
 }
 
 // kolmogorovQ evaluates Q_KS(λ) = 2 Σ_{j≥1} (-1)^{j-1} exp(-2 j² λ²), the

@@ -1,0 +1,154 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"causalfl/internal/sim"
+	"causalfl/internal/telemetry"
+)
+
+// Aggregator turns per-service telemetry.Sample ticks into completed hopping
+// windows incrementally. It is the streaming counterpart of
+// telemetry.HoppingWindows: feed it samples as they are drained and it emits
+// exactly the windows the batch function would emit over the materialized
+// prefix, in the same order, with bit-identical sums (counter deltas are
+// added in the same ascending-timestamp order).
+//
+// Like the batch function, the window grid is aligned per service to the
+// start of its first sample's interval, and the sampling interval is learned
+// from the first two stamps — so an Aggregator emits nothing until a service
+// has delivered two samples.
+type Aggregator struct {
+	length, hop time.Duration
+	svcs        map[string]*svcWindows
+}
+
+// svcWindows is one service's buffered tail and window cursor.
+type svcWindows struct {
+	// buf holds the samples that can still contribute to an unemitted
+	// window, ascending by At.
+	buf []telemetry.Sample
+	// interval is the learned sampling cadence; zero until two samples
+	// arrived.
+	interval sim.Time
+	// next is the start of the next window to emit.
+	next sim.Time
+	// expected is int(length / interval), the batch coverage denominator.
+	expected int
+}
+
+// NewAggregator builds an aggregator with the given window geometry; zero
+// values select the paper defaults (60s windows every 30s). The validation
+// mirrors telemetry.HoppingWindows.
+func NewAggregator(length, hop time.Duration) (*Aggregator, error) {
+	if length == 0 && hop == 0 {
+		length, hop = telemetry.DefaultWindowLength, telemetry.DefaultWindowHop
+	}
+	if length <= 0 || hop <= 0 {
+		return nil, fmt.Errorf("telemetry: window length and hop must be positive (length=%v hop=%v)", length, hop)
+	}
+	if hop > length {
+		return nil, fmt.Errorf("telemetry: hop %v larger than window %v would drop samples", hop, length)
+	}
+	return &Aggregator{length: length, hop: hop, svcs: make(map[string]*svcWindows)}, nil
+}
+
+// Length returns the window length.
+func (a *Aggregator) Length() time.Duration { return a.length }
+
+// Hop returns the hop interval.
+func (a *Aggregator) Hop() time.Duration { return a.hop }
+
+// Ingest feeds one service's next samples (ascending At, later than anything
+// previously ingested for that service) and returns the windows completed by
+// them, in start order.
+func (a *Aggregator) Ingest(svc string, samples []telemetry.Sample) ([]telemetry.Window, error) {
+	sw := a.svcs[svc]
+	if sw == nil {
+		sw = &svcWindows{}
+		a.svcs[svc] = sw
+	}
+	for _, smp := range samples {
+		if n := len(sw.buf); n > 0 && smp.At <= sw.buf[n-1].At {
+			return nil, fmt.Errorf("stream: out-of-order sample for %s: %v after %v", svc, smp.At, sw.buf[n-1].At)
+		}
+		sw.buf = append(sw.buf, smp)
+	}
+	if sw.interval == 0 {
+		if len(sw.buf) < 2 {
+			return nil, nil
+		}
+		// Same cadence recovery as the batch function: interval from the
+		// first two stamps, origin one interval before the first.
+		sw.interval = sw.buf[1].At - sw.buf[0].At
+		if sw.interval <= 0 {
+			return nil, fmt.Errorf("telemetry: non-increasing sample timestamps")
+		}
+		sw.next = sw.buf[0].At - sw.interval
+		sw.expected = int(a.length / time.Duration(sw.interval))
+	}
+
+	var out []telemetry.Window
+	end := sw.buf[len(sw.buf)-1].At
+	length := sim.Time(a.length)
+	for sw.next+length <= end {
+		w := telemetry.Window{Start: sw.next, End: sw.next + length, Expected: sw.expected}
+		for _, smp := range sw.buf {
+			if smp.Missing {
+				continue
+			}
+			span := smp.Span
+			if span < 1 {
+				span = 1
+			}
+			// The batch inclusion rule verbatim: the sample's covered
+			// stretch (At-span*interval, At] must lie inside the window.
+			if smp.At-sim.Time(span)*sw.interval >= w.Start && smp.At <= w.End {
+				w.Sum = w.Sum.Add(smp.Deltas)
+				w.Covered += span
+			}
+		}
+		if w.Covered > w.Expected {
+			w.Covered = w.Expected
+		}
+		out = append(out, w)
+		sw.next += sim.Time(a.hop)
+	}
+
+	// Trim: a sample stamped at or before the next window start can never
+	// satisfy the inclusion rule again (its covered stretch ends at its
+	// stamp, which is <= every future window start).
+	keep := 0
+	for keep < len(sw.buf) && sw.buf[keep].At <= sw.next {
+		keep++
+	}
+	if keep > 0 {
+		sw.buf = append(sw.buf[:0], sw.buf[keep:]...)
+	}
+	return out, nil
+}
+
+// IngestTick feeds one drained tick for every service (service -> samples)
+// and returns the completed windows per service. Services are processed in
+// sorted order for deterministic error reporting; per-service results are
+// independent.
+func (a *Aggregator) IngestTick(tick map[string][]telemetry.Sample) (map[string][]telemetry.Window, error) {
+	svcs := make([]string, 0, len(tick))
+	for svc := range tick {
+		svcs = append(svcs, svc)
+	}
+	sort.Strings(svcs)
+	out := make(map[string][]telemetry.Window, len(tick))
+	for _, svc := range svcs {
+		ws, err := a.Ingest(svc, tick[svc])
+		if err != nil {
+			return nil, err
+		}
+		if len(ws) > 0 {
+			out[svc] = ws
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,335 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"causalfl/internal/core"
+	"causalfl/internal/metrics"
+	"causalfl/internal/parallel"
+	"causalfl/internal/stats"
+)
+
+// testMode selects the per-pair p-value path. The incremental fast paths
+// cover the library defaults (raw KS and guarded KS); any other
+// stats.TwoSampleTest falls back to materializing the arrival-order window,
+// which is still correct (byte-identical to batch) but pays the test's own
+// cost per hop.
+type testMode int
+
+const (
+	modeGuardedKS testMode = iota // GuardedTest{Inner: KSTest} or nil Test
+	modeRawKS                     // bare KSTest
+	modeGeneric                   // anything else: materialize and delegate
+)
+
+// pairState is the per-(metric, service) streaming state.
+type pairState struct {
+	// base is the baseline series in snapshot order, the exact slice the
+	// batch path would pass as the test's second sample.
+	base []float64
+	// ks is the incremental state; nil when the pair has no usable baseline
+	// (empty series), in which case the pair can never be tested.
+	ks *stats.IncrementalKS
+	// seen records whether the pair ever received a production value. A
+	// batch snapshot only contains pairs that were observed; an unseen pair
+	// must be skipped (tolerant) or fail (strict) exactly as a missing
+	// snapshot entry would.
+	seen bool
+}
+
+// Detector maintains sliding-window anomaly detection over a fixed baseline:
+// the streaming counterpart of core.Detect. Feed it production window-values
+// with Observe/ObserveHop and ask for the current anomalous set with Detect;
+// the answer is byte-identical to core.Detect on a snapshot holding each
+// pair's last Window values.
+//
+// A Detector is not safe for concurrent use. Parallelism lives inside
+// Detect (the per-service p-value fan-out, Config.Detect.Workers) and inside
+// the Localizer's per-metric fan-out, both of which only read the states.
+type Detector struct {
+	baseline *metrics.Snapshot
+	cfg      Config
+	mode     testMode
+	relTol   float64 // guard tolerance for modeGuardedKS
+	test     stats.TwoSampleTest
+	alpha    float64
+	minSamp  int
+	// states is metric -> service -> state, populated eagerly at
+	// construction for every baseline-backed pair so each baseline series
+	// is sorted exactly once, up front.
+	states map[string]map[string]*pairState
+}
+
+// NewDetector builds a Detector over the given baseline snapshot. Every
+// baseline series is copied and sorted once here; no per-hop call sorts
+// anything afterwards.
+func NewDetector(baseline *metrics.Snapshot, cfg Config) (*Detector, error) {
+	if baseline == nil {
+		return nil, fmt.Errorf("stream: nil baseline snapshot")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	d := &Detector{
+		baseline: baseline,
+		cfg:      cfg,
+		test:     cfg.Detect.Test,
+		alpha:    cfg.Detect.Alpha,
+		minSamp:  cfg.Detect.MinSamples,
+		states:   make(map[string]map[string]*pairState, len(baseline.Metrics)),
+	}
+	// Resolve defaults exactly as core.Detect does.
+	if d.alpha == 0 && cfg.Detect.FDR == 0 {
+		d.alpha = core.DefaultAlpha
+	}
+	if d.minSamp < 1 {
+		d.minSamp = core.DefaultMinSamples
+	}
+	switch tt := cfg.Detect.Test.(type) {
+	case nil:
+		d.mode = modeGuardedKS
+	case stats.KSTest:
+		d.mode = modeRawKS
+	case stats.GuardedTest:
+		if _, ok := tt.Inner.(stats.KSTest); ok {
+			d.mode = modeGuardedKS
+			d.relTol = tt.RelTol
+		} else {
+			d.mode = modeGeneric
+		}
+	default:
+		d.mode = modeGeneric
+	}
+	if d.mode == modeGuardedKS && d.relTol < 0 {
+		return nil, fmt.Errorf("stats: negative relative tolerance %v", d.relTol)
+	}
+
+	for _, m := range baseline.Metrics {
+		bySvc := make(map[string]*pairState, len(baseline.Services))
+		for _, svc := range baseline.Services {
+			series, ok := baseline.SeriesOK(m, svc)
+			if !ok {
+				continue
+			}
+			st := &pairState{base: series}
+			if len(series) > 0 {
+				ks, err := stats.NewIncrementalKS(series, cfg.Window)
+				if err != nil {
+					return nil, fmt.Errorf("stream: baseline %s/%s: %w", m, svc, err)
+				}
+				st.ks = ks
+			}
+			bySvc[svc] = st
+		}
+		d.states[m] = bySvc
+	}
+	return d, nil
+}
+
+// Window returns the configured sliding-window length.
+func (d *Detector) Window() int { return d.cfg.Window }
+
+// Observe feeds one production window-value for a (metric, service) pair.
+// The metric and service must be declared in the baseline universe. A pair
+// the baseline does not cover is a silent no-op in tolerant mode (the batch
+// path would skip it) and an error in strict mode (the batch path would fail
+// it at Detect time; failing at ingest surfaces the problem earlier).
+func (d *Detector) Observe(metric, svc string, v float64) error {
+	bySvc, ok := d.states[metric]
+	if !ok {
+		return fmt.Errorf("stream: observe: metric %q not in baseline", metric)
+	}
+	st, ok := bySvc[svc]
+	if !ok || st.ks == nil {
+		if d.cfg.Detect.Tolerant {
+			return nil
+		}
+		return fmt.Errorf("stream: observe: baseline has no usable series for metric %q service %q", metric, svc)
+	}
+	st.ks.Push(v)
+	st.seen = true
+	return nil
+}
+
+// ObserveHop feeds one hop's window-values for every (metric, service) pair
+// at once: hop maps metric -> service -> value. Pairs are ingested in sorted
+// order so error reporting is deterministic; ingestion order across distinct
+// pairs does not affect any state.
+func (d *Detector) ObserveHop(hop map[string]map[string]float64) error {
+	ms := make([]string, 0, len(hop))
+	for m := range hop {
+		ms = append(ms, m)
+	}
+	sort.Strings(ms)
+	for _, m := range ms {
+		svcs := make([]string, 0, len(hop[m]))
+		for svc := range hop[m] {
+			svcs = append(svcs, svc)
+		}
+		sort.Strings(svcs)
+		for _, svc := range svcs {
+			if err := d.Observe(m, svc, hop[m][svc]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Materialize builds the batch production snapshot a one-shot collector
+// would have produced from the current window contents: per seen pair, the
+// retained arrival-order values (non-finite entries included). It exists for
+// the conformance suite — stream.Detect(d, m) must equal
+// core.Detect(cfg, baseline, d.Materialize(), m) — and for debugging.
+func (d *Detector) Materialize() *metrics.Snapshot {
+	out := metrics.NewSnapshot(d.baseline.Metrics, d.baseline.Services)
+	for _, m := range d.baseline.Metrics {
+		for _, svc := range d.baseline.Services {
+			st := d.states[m][svc]
+			if st == nil || !st.seen {
+				continue
+			}
+			out.Data[m][svc] = st.ks.Window()
+		}
+	}
+	return out
+}
+
+// Detect computes the current anomalous set A(metric) over the sliding
+// windows, mirroring core.Detect stage by stage: family assembly in baseline
+// service order with the same strict/tolerant skip rules and min-sample
+// guard, p-values fanned across Config.Detect.Workers via the same ordered
+// pool, and the alpha-vs-FDR family decision made once by core.DecideFamily.
+func (d *Detector) Detect(ctx context.Context, metric string) (*core.Detection, error) {
+	return d.detect(ctx, metric, d.cfg.Detect.Workers)
+}
+
+// detect is Detect with an explicit worker count, so the Localizer can force
+// the inner fan-out serial while it parallelizes across metrics (no nested
+// pools — the same discipline core.Localizer applies).
+func (d *Detector) detect(ctx context.Context, metric string, workers int) (*core.Detection, error) {
+	bySvc, ok := d.states[metric]
+	if !ok {
+		if d.cfg.Detect.Tolerant {
+			// Batch: production.SeriesOK misses every pair -> empty family.
+			return &core.Detection{Anomalous: []string{}, Tested: 0}, nil
+		}
+		return nil, fmt.Errorf("metrics: snapshot has no metric %q", metric)
+	}
+
+	// Family assembly, serial, in baseline service order — identical skip
+	// decisions to core.Detect's loop over baseline.Services.
+	var family []*pairState
+	var names []string
+	for _, svc := range d.baseline.Services {
+		st := bySvc[svc]
+		if d.cfg.Detect.Tolerant {
+			if st == nil || st.ks == nil || !st.seen {
+				continue
+			}
+			if len(st.base) < d.minSamp || st.ks.Len() < d.minSamp {
+				continue
+			}
+		} else {
+			if st == nil {
+				return nil, fmt.Errorf("metrics: snapshot metric %q has no service %q", metric, svc)
+			}
+			if st.ks == nil || !st.seen {
+				return nil, fmt.Errorf("stream: no production window for metric %q service %q", metric, svc)
+			}
+		}
+		family = append(family, st)
+		names = append(names, svc)
+	}
+
+	if workers < 1 {
+		workers = 1
+	}
+	pvals, err := parallel.Map(ctx, workers, len(family), func(_ context.Context, i int) (float64, error) {
+		p, err := d.pairPValue(family[i])
+		if err != nil {
+			return 0, fmt.Errorf("stream: anomaly test %s on %s: %w", metric, names[i], err)
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	shifted, err := core.DecideFamily(pvals, d.alpha, d.cfg.Detect.FDR)
+	if err != nil {
+		return nil, fmt.Errorf("stream: anomalies: %w", err)
+	}
+	anom := make([]string, 0, len(family))
+	for i, svc := range names {
+		if shifted[i] {
+			anom = append(anom, svc)
+		}
+	}
+	sort.Strings(anom)
+	return &core.Detection{Anomalous: anom, Tested: len(family)}, nil
+}
+
+// pairPValue computes one pair's p-value on the fast incremental path when
+// the configured test is (guarded) KS, or by materializing the window for
+// any other test. The materialized path applies the same finite-values
+// filter the tolerant batch path does.
+func (d *Detector) pairPValue(st *pairState) (float64, error) {
+	switch d.mode {
+	case modeGuardedKS:
+		return st.ks.GuardedPValue(d.relTol)
+	case modeRawKS:
+		return st.ks.PValue()
+	default:
+		prod := st.ks.Window()
+		if d.cfg.Detect.Tolerant {
+			prod = finiteValues(prod)
+		}
+		return d.test.PValue(prod, st.base)
+	}
+}
+
+// DetectAll runs Detect for every baseline metric, fanning the metrics
+// across Config.Detect.Workers with the per-metric family kept serial (the
+// localizer's parallelism shape). The result is aligned with
+// baseline.Metrics by index.
+func (d *Detector) DetectAll(ctx context.Context) ([]*core.Detection, error) {
+	workers := d.cfg.Detect.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	return parallel.Map(ctx, workers, len(d.baseline.Metrics), func(ctx context.Context, i int) (*core.Detection, error) {
+		return d.detect(ctx, d.baseline.Metrics[i], 1)
+	})
+}
+
+// finiteValues filters non-finite entries, mirroring the unexported helper
+// the tolerant batch path uses (including its no-alloc clean fast path, so
+// a clean window takes the same code shape).
+func finiteValues(s []float64) []float64 {
+	clean := true
+	for _, v := range s {
+		if !isFinite(v) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	out := make([]float64, 0, len(s))
+	for _, v := range s {
+		if isFinite(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

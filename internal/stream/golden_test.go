@@ -1,0 +1,177 @@
+package stream_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"causalfl/internal/core"
+	"causalfl/internal/metrics"
+	"causalfl/internal/sim"
+	"causalfl/internal/stream"
+	"causalfl/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenScenario builds the conformance corpus scenario: a four-service
+// chain (svc-0 -> ... -> svc-3) scraped every 5s, aggregated into 30s
+// windows every 15s. Training: 60 healthy ticks through the batch pipeline
+// (HoppingWindows + BuildSnapshot) with chain causal sets — a fault in
+// svc-i shifts svc-i and everything downstream. Production: 60 ticks with a
+// CPU fault in svc-2 (which also shifts svc-3) from tick 31 on. The model's
+// exact-cover explanation is svc-2 via parsimony.
+type goldenScenario struct {
+	set      []metrics.Metric
+	services []string
+	model    *core.Model
+	// ticks is the production stream: ticks[i] maps service -> one sample.
+	ticks []map[string][]telemetry.Sample
+}
+
+const (
+	goldenInterval = 5 * time.Second
+	goldenLength   = 30 * time.Second
+	goldenHop      = 15 * time.Second
+)
+
+func buildGoldenScenario(t *testing.T) *goldenScenario {
+	t.Helper()
+	services := []string{"svc-0", "svc-1", "svc-2", "svc-3"}
+	set := metrics.RawAll()
+	rng := rand.New(rand.NewSource(404))
+
+	counters := func(si int, faulty bool) sim.Counters {
+		c := sim.Counters{
+			LogMessages: uint64(100 + 10*si + rng.Intn(5)),
+			RxPackets:   uint64(300 + 20*si + rng.Intn(7)),
+			TxPackets:   uint64(250 + 15*si + rng.Intn(7)),
+			CPUSeconds:  1.0 + 0.1*float64(si) + 0.02*rng.NormFloat64(),
+		}
+		if faulty {
+			c.CPUSeconds *= 1.8
+		}
+		return c
+	}
+
+	// Baseline: 60 healthy ticks, aggregated by the batch pipeline.
+	baseSamples := make(map[string][]telemetry.Sample, len(services))
+	for tick := 1; tick <= 60; tick++ {
+		at := sim.Time(tick) * sim.Time(goldenInterval)
+		for si, svc := range services {
+			baseSamples[svc] = append(baseSamples[svc], telemetry.Sample{
+				At: at, Deltas: counters(si, false), Span: 1,
+			})
+		}
+	}
+	baseWindows, err := telemetry.WindowsByService(baseSamples, goldenLength, goldenHop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := metrics.BuildSnapshot(baseWindows, services, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Chain causal sets: C(svc-i) = {svc-i, ..., svc-3}.
+	sets := make(map[string]map[string][]string, len(set))
+	for _, m := range metrics.Names(set) {
+		byTarget := make(map[string][]string, len(services))
+		for i, svc := range services {
+			byTarget[svc] = append([]string(nil), services[i:]...)
+		}
+		sets[m] = byTarget
+	}
+	model := &core.Model{
+		Services:   services,
+		Metrics:    metrics.Names(set),
+		Targets:    append([]string(nil), services...),
+		CausalSets: sets,
+		Baseline:   baseline,
+		Alpha:      0.05,
+	}
+
+	// Production: 60 ticks, CPU fault in svc-2 and its downstream svc-3
+	// from tick 31.
+	var ticks []map[string][]telemetry.Sample
+	for tick := 61; tick <= 120; tick++ {
+		at := sim.Time(tick) * sim.Time(goldenInterval)
+		one := make(map[string][]telemetry.Sample, len(services))
+		for si, svc := range services {
+			faulty := tick > 90 && si >= 2
+			one[svc] = []telemetry.Sample{{At: at, Deltas: counters(si, faulty), Span: 1}}
+		}
+		ticks = append(ticks, one)
+	}
+	return &goldenScenario{set: set, services: services, model: model, ticks: ticks}
+}
+
+// TestPipelineGoldenTimeline runs the golden scenario through the full
+// streaming engine and compares the verdict timeline against the committed
+// golden JSON. Regenerate with `go test ./internal/stream -run Golden
+// -update` after an intentional behavior change, and review the diff like
+// code: it is the observable contract of the watch pipeline.
+func TestPipelineGoldenTimeline(t *testing.T) {
+	sc := buildGoldenScenario(t)
+	p, err := stream.NewPipeline(sc.model, goldenLength, goldenHop, stream.PipelineConfig{
+		Set:       sc.set,
+		Localizer: stream.LocalizerConfig{Window: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var timeline []*stream.Verdict
+	for i, tick := range sc.ticks {
+		vs, err := p.Tick(ctx, tick)
+		if err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+		timeline = append(timeline, vs...)
+	}
+	if len(timeline) < 10 {
+		t.Fatalf("timeline has %d verdicts; scenario misconfigured", len(timeline))
+	}
+	got, err := json.MarshalIndent(timeline, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "watch_timeline.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("verdict timeline diverges from golden %s (run with -update and review the diff if intentional)\ngot:\n%s", golden, got)
+	}
+
+	// Structural spot checks so the golden cannot silently encode a broken
+	// outcome: the pre-fault prefix confirms nothing, and the final verdict
+	// confirms exactly svc-2 (parsimony separates it from its upstream
+	// supersets even though svc-3 shifted too).
+	for _, v := range timeline {
+		if v.At <= sim.Time(90*goldenInterval) && len(v.Confirmed) > 0 {
+			t.Fatalf("verdict at %v confirms %v before the fault", v.At, v.Confirmed)
+		}
+	}
+	last := timeline[len(timeline)-1]
+	if len(last.Confirmed) != 1 || last.Confirmed[0] != "svc-2" {
+		t.Fatalf("final verdict confirms %v, want [svc-2]", last.Confirmed)
+	}
+}

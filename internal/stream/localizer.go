@@ -1,0 +1,218 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"causalfl/internal/core"
+	"causalfl/internal/parallel"
+	"causalfl/internal/sim"
+	"causalfl/internal/stats"
+)
+
+// Default hysteresis: a service must be a top candidate in at least 3 of the
+// last 5 hops before it is confirmed. One anomalous window on one metric can
+// flip a single hop's vote; demanding K-of-N agreement suppresses that flap
+// without adding latency beyond (K-1) hops after a genuine fault.
+const (
+	DefaultHystK = 3
+	DefaultHystN = 5
+)
+
+// LocalizerConfig configures a streaming Localizer.
+type LocalizerConfig struct {
+	// Window is the sliding-window length in window-values per pair.
+	Window int
+	// HystK of the last HystN hops must name a service a top candidate
+	// before it appears in Verdict.Confirmed. Zero values select
+	// DefaultHystK / DefaultHystN.
+	HystK, HystN int
+	// Alpha is the per-test significance threshold; zero falls back to the
+	// model's training alpha, exactly as the batch localizer does. Ignored
+	// when FDR > 0.
+	Alpha float64
+	// FDR, when positive, switches the per-metric family decision to
+	// Benjamini-Hochberg control at this level.
+	FDR float64
+	// MinSamples is the tolerant-mode minimum finite series length per
+	// side; zero selects core.DefaultMinSamples.
+	MinSamples int
+	// Workers bounds the per-hop fan-out across metrics. Zero or one is
+	// serial.
+	Workers int
+	// Rule selects the vote rule; zero selects core.IntersectionVote.
+	Rule core.VoteRule
+	// Test overrides the two-sample test; nil selects the guarded KS
+	// default (the incremental fast path).
+	Test stats.TwoSampleTest
+}
+
+// Verdict is one hop's localization outcome on the stream timeline.
+type Verdict struct {
+	// At is the virtual timestamp of the window end this verdict reflects:
+	// every sample up to At has been ingested, none after.
+	At sim.Time `json:"at"`
+	// Candidates, Votes and Abstained are the hop's raw vote outcome —
+	// exactly core.Localization's fields for the materialized window.
+	Candidates []string           `json:"candidates,omitempty"`
+	Votes      map[string]float64 `json:"votes,omitempty"`
+	Abstained  bool               `json:"abstained,omitempty"`
+	// Confirmed is the hysteresis-filtered localization: services that
+	// were top candidates in at least K of the last N voted hops. Empty
+	// until a fault signal persists.
+	Confirmed []string `json:"confirmed,omitempty"`
+	// Full is the complete vote-phase output for in-process consumers
+	// (coverage, per-metric winners, anomaly sets). Not serialized: the
+	// timeline JSON stays one small object per hop.
+	Full *core.Localization `json:"-"`
+}
+
+// Localizer is the streaming counterpart of core.Localizer: a Detector per
+// trained model plus the batch vote phase (core.Localizer.Aggregate) plus
+// K-of-N hysteresis over the emitted candidate sets. Each Step ingests one
+// hop and re-localizes incrementally.
+//
+// A Localizer is not safe for concurrent use; Step parallelizes internally
+// across metrics.
+type Localizer struct {
+	model   *core.Model
+	det     *Detector
+	voter   *core.Localizer
+	workers int
+	hystK   int
+	hystN   int
+	// history holds the candidate sets of the last hystN hops, oldest
+	// first. Hops where no metric cast a vote contribute an empty set, so
+	// quiet periods break confirmation streaks instead of sustaining them.
+	history []map[string]bool
+}
+
+// NewLocalizer builds a streaming localizer for a trained model. The model's
+// baseline series are sorted once here.
+func NewLocalizer(model *core.Model, cfg LocalizerConfig) (*Localizer, error) {
+	if model == nil {
+		return nil, fmt.Errorf("stream: nil model")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	hystK, hystN := cfg.HystK, cfg.HystN
+	if hystK == 0 && hystN == 0 {
+		hystK, hystN = DefaultHystK, DefaultHystN
+	}
+	if hystK < 1 || hystN < hystK {
+		return nil, fmt.Errorf("stream: hysteresis wants 1 <= K <= N, got K=%d N=%d", hystK, hystN)
+	}
+	alpha := cfg.Alpha
+	if alpha == 0 {
+		alpha = model.Alpha
+	}
+	workers := cfg.Workers
+	if workers < 0 {
+		return nil, fmt.Errorf("stream: worker count must be >= 0, got %d", cfg.Workers)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	det, err := NewDetector(model.Baseline, Config{
+		Window: cfg.Window,
+		Detect: core.DetectConfig{
+			Test:       cfg.Test,
+			Alpha:      alpha,
+			FDR:        cfg.FDR,
+			MinSamples: cfg.MinSamples,
+			Tolerant:   true, // the batch localizer always detects tolerantly
+			Workers:    1,    // the localizer fans per metric; no nested pools
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	var opts []core.Option
+	if cfg.Rule != 0 {
+		opts = append(opts, core.WithVoteRule(cfg.Rule))
+	}
+	voter, err := core.NewLocalizer(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Localizer{
+		model:   model,
+		det:     det,
+		voter:   voter,
+		workers: workers,
+		hystK:   hystK,
+		hystN:   hystN,
+	}, nil
+}
+
+// Detector exposes the underlying detector, read-only between Steps — the
+// conformance suite uses it to materialize the batch-equivalent snapshot.
+func (l *Localizer) Detector() *Detector { return l.det }
+
+// Step ingests one hop (metric -> service -> window value) stamped at the
+// window end `at`, then re-localizes: anomaly detection fans out per metric
+// across the worker pool with each metric's family decided whole, the vote
+// phase is core.Localizer.Aggregate verbatim, and the hysteresis filter
+// updates last. The returned Verdict's vote fields are byte-identical to
+// core.Localizer.Localize on the materialized windows.
+func (l *Localizer) Step(ctx context.Context, at sim.Time, hop map[string]map[string]float64) (*Verdict, error) {
+	if err := l.det.ObserveHop(hop); err != nil {
+		return nil, err
+	}
+	detections, err := parallel.Map(ctx, l.workers, len(l.model.Metrics), func(ctx context.Context, i int) (*core.Detection, error) {
+		return l.det.detect(ctx, l.model.Metrics[i], 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	loc, err := l.voter.Aggregate(l.model, detections)
+	if err != nil {
+		return nil, err
+	}
+
+	// Hysteresis bookkeeping: only hops where some metric actually voted
+	// contribute their candidates; abstentions and no-vote hops (whose
+	// candidate set is the uninformative full target list) push an empty
+	// set, so a healthy stream never accumulates confirmations.
+	set := make(map[string]bool)
+	if len(loc.Votes) > 0 {
+		for _, c := range loc.Candidates {
+			set[c] = true
+		}
+	}
+	l.history = append(l.history, set)
+	if len(l.history) > l.hystN {
+		l.history = l.history[1:]
+	}
+
+	return &Verdict{
+		At:         at,
+		Candidates: loc.Candidates,
+		Votes:      loc.Votes,
+		Abstained:  loc.Abstained,
+		Confirmed:  l.confirmed(),
+		Full:       loc,
+	}, nil
+}
+
+// confirmed returns the sorted services named top candidate in at least
+// hystK of the retained hops.
+func (l *Localizer) confirmed() []string {
+	counts := make(map[string]int)
+	for _, set := range l.history {
+		for s := range set {
+			counts[s]++
+		}
+	}
+	var out []string
+	for s, n := range counts {
+		if n >= l.hystK {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,142 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"causalfl/internal/core"
+	"causalfl/internal/metrics"
+	"causalfl/internal/sim"
+	"causalfl/internal/telemetry"
+)
+
+// PipelineConfig configures a Pipeline.
+type PipelineConfig struct {
+	// Set is the metric set to evaluate per window. Its names must match
+	// the model's metric names exactly (the model was trained on these
+	// extractors).
+	Set []metrics.Metric
+	// Localizer configures the verdict engine.
+	Localizer LocalizerConfig
+}
+
+// Pipeline is the full streaming engine behind `causalfl watch`: drained
+// telemetry ticks in, verdicts out. It chains an Aggregator (ticks ->
+// completed hopping windows per service), metric extraction (the
+// BuildSnapshot recipe, one value per window), and a Localizer (incremental
+// detection + vote phase + hysteresis).
+//
+// A hop fires when every model service has completed the window starting at
+// the same instant; with the Sampler's regular cadence that happens once per
+// hop interval. A service whose window grid drifts from the others' is a
+// misalignment error, not a silent stall.
+type Pipeline struct {
+	model *core.Model
+	set   []metrics.Metric
+	agg   *Aggregator
+	loc   *Localizer
+	// pending collects completed windows by start time until every service
+	// has reported that window.
+	pending map[sim.Time]map[string]telemetry.Window
+}
+
+// NewPipeline builds the watch engine for a trained model. Window geometry
+// (length, hop) is the telemetry aggregation grid; zero values select the
+// paper defaults. The Localizer's Window config counts window-values per
+// sliding series as usual.
+func NewPipeline(model *core.Model, length, hop time.Duration, cfg PipelineConfig) (*Pipeline, error) {
+	if model == nil {
+		return nil, fmt.Errorf("stream: nil model")
+	}
+	if len(cfg.Set) == 0 {
+		return nil, fmt.Errorf("stream: empty metric set")
+	}
+	names := metrics.Names(cfg.Set)
+	if len(names) != len(model.Metrics) {
+		return nil, fmt.Errorf("stream: metric set has %d metrics, model has %d", len(names), len(model.Metrics))
+	}
+	for i, n := range names {
+		if n != model.Metrics[i] {
+			return nil, fmt.Errorf("stream: metric set[%d] is %q, model expects %q", i, n, model.Metrics[i])
+		}
+	}
+	agg, err := NewAggregator(length, hop)
+	if err != nil {
+		return nil, err
+	}
+	loc, err := NewLocalizer(model, cfg.Localizer)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		model:   model,
+		set:     cfg.Set,
+		agg:     agg,
+		loc:     loc,
+		pending: make(map[sim.Time]map[string]telemetry.Window),
+	}, nil
+}
+
+// Localizer exposes the verdict engine (read-only between Ticks).
+func (p *Pipeline) Localizer() *Localizer { return p.loc }
+
+// Tick feeds one drained batch of samples (service -> samples, e.g. one
+// Sampler.Drain) and returns the verdicts for every hop completed by it, in
+// timeline order. Most ticks complete zero or one hop.
+func (p *Pipeline) Tick(ctx context.Context, samples map[string][]telemetry.Sample) ([]*Verdict, error) {
+	completed, err := p.agg.IngestTick(samples)
+	if err != nil {
+		return nil, err
+	}
+	for svc, ws := range completed {
+		for _, w := range ws {
+			bySvc := p.pending[w.Start]
+			if bySvc == nil {
+				bySvc = make(map[string]telemetry.Window, len(p.model.Services))
+				p.pending[w.Start] = bySvc
+			}
+			bySvc[svc] = w
+		}
+	}
+
+	// Collect fully reported window starts in timeline order.
+	var ready []sim.Time
+	for start, bySvc := range p.pending {
+		if len(bySvc) == len(p.model.Services) {
+			ready = append(ready, start)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+
+	var out []*Verdict
+	for _, start := range ready {
+		bySvc := p.pending[start]
+		delete(p.pending, start)
+		// A pending window older than one we are about to emit means some
+		// service's grid drifted: it produced this older window while
+		// another never did. Surface that instead of growing the backlog.
+		for s := range p.pending {
+			if s < start {
+				return nil, fmt.Errorf("stream: service windows misaligned: window at %v still incomplete while %v is ready", s, start)
+			}
+		}
+		hop := make(map[string]map[string]float64, len(p.set))
+		var at sim.Time
+		for _, m := range p.set {
+			vals := make(map[string]float64, len(bySvc))
+			for svc, w := range bySvc {
+				vals[svc] = m.Extract(w.Sum)
+				at = w.End
+			}
+			hop[m.Name] = vals
+		}
+		v, err := p.loc.Step(ctx, at, hop)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

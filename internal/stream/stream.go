@@ -1,0 +1,71 @@
+// Package stream is the online localization engine: it consumes telemetry
+// window-values as they are produced and re-localizes on every hop without
+// recomputing the batch pipeline from zero.
+//
+// The batch pipeline (core.Detect, core.Localizer) assumes a one-shot
+// production snapshot: every call re-sorts every series and re-runs every
+// two-sample test. Re-running it per hop over a sliding window costs
+// O(n log n) per series per tick. This package keeps, per (metric, service)
+// pair, an incremental KS state (stats.IncrementalKS) whose baseline is
+// sorted exactly once and whose production window is maintained by ordered
+// insert/evict — so a hop costs one bounded insert per pair plus the D-walk,
+// never a sort.
+//
+// Equivalence contract: the Detector's per-hop output is byte-identical to
+// core.Detect run on the materialized sliding window (same Test, alpha-vs-FDR
+// family decision, strict-vs-tolerant completeness, min-sample guard), and
+// the Localizer's per-hop votes are produced by the same vote phase
+// (core.Localizer.Aggregate) the batch localizer runs. The conformance suite
+// in this package (equivalence tests, golden corpus, FuzzIncrementalKS in
+// internal/stats) enforces the contract at every hop for workers 1..8 in
+// both alpha and FDR modes.
+//
+// Layering, bottom to top:
+//
+//   - Detector: sliding-window anomaly sets A(M) per metric.
+//   - Localizer: Detector + core vote phase + K-of-N hysteresis, emitting a
+//     timestamped Verdict per hop.
+//   - Aggregator: telemetry.Sample ticks -> completed hopping windows,
+//     incrementally equivalent to telemetry.HoppingWindows.
+//   - Pipeline: Aggregator + Localizer, the `causalfl watch` engine.
+package stream
+
+import (
+	"fmt"
+
+	"causalfl/internal/core"
+)
+
+// Config configures a Detector.
+type Config struct {
+	// Window is the number of most-recent window-values retained per
+	// (metric, service) series — the sliding production sample the
+	// two-sample tests see. It must be at least 1.
+	Window int
+	// Detect carries the batch detection semantics the stream reproduces:
+	// test choice, alpha vs FDR family decision, min-sample guard, strict
+	// vs tolerant completeness, and the worker fan-out for the per-service
+	// p-values inside one metric.
+	Detect core.DetectConfig
+}
+
+// validate checks the configuration, mirroring core.Detect's parameter
+// validation so a config rejected by the batch path is rejected here too.
+func (c Config) validate() error {
+	if c.Window < 1 {
+		return fmt.Errorf("stream: window must be >= 1, got %d", c.Window)
+	}
+	if c.Detect.FDR < 0 || c.Detect.FDR >= 1 {
+		return fmt.Errorf("core: FDR level must be in (0,1), got %v", c.Detect.FDR)
+	}
+	if c.Detect.Alpha < 0 || c.Detect.Alpha >= 1 {
+		return fmt.Errorf("stream: alpha must be in [0,1), got %v", c.Detect.Alpha)
+	}
+	if c.Detect.MinSamples < 0 {
+		return fmt.Errorf("stream: min samples must be >= 0, got %d", c.Detect.MinSamples)
+	}
+	if c.Detect.Workers < 0 {
+		return fmt.Errorf("stream: worker count must be >= 0, got %d", c.Detect.Workers)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"causalfl/internal/core"
+	"causalfl/internal/metrics"
+	"causalfl/internal/stats"
+)
+
+// SynthConfig sizes a synthetic streaming workload.
+type SynthConfig struct {
+	// Services and Metrics size the grid; BaselineLen is the baseline
+	// series length per pair and Hops the number of production hops.
+	Services, Metrics, BaselineLen, Hops int
+	// Seed drives the generator; equal configs produce equal workloads.
+	Seed int64
+	// FaultService, when >= 0, is the index of the service whose
+	// distribution shifts by several baseline standard deviations on every
+	// metric starting at hop FaultAfter.
+	FaultService int
+	// FaultAfter is the first faulty hop index.
+	FaultAfter int
+}
+
+// SynthWorkload is a deterministic synthetic stream: a baseline snapshot and
+// a hop sequence over a services × metrics grid, with an optional
+// distribution shift injected into one service mid-stream. The benchmarks
+// use it as the 64-service × 8-metric reference workload; the conformance
+// tests use smaller grids.
+type SynthWorkload struct {
+	Baseline    *metrics.Snapshot
+	MetricNames []string
+	Services    []string
+	// Hops is the production stream: Hops[i] maps metric -> service ->
+	// window value for hop i.
+	Hops []map[string]map[string]float64
+	cfg  SynthConfig
+}
+
+// NewSynth generates a workload. Pair (m, s) draws from a normal
+// distribution with a mean that varies across the grid; the faulty service's
+// mean shifts by +5 (five baseline standard deviations) from FaultAfter on.
+func NewSynth(cfg SynthConfig) (*SynthWorkload, error) {
+	if cfg.Services < 1 || cfg.Metrics < 1 || cfg.BaselineLen < 1 || cfg.Hops < 0 {
+		return nil, fmt.Errorf("stream: synth wants positive grid sizes, got %+v", cfg)
+	}
+	if cfg.FaultService >= cfg.Services {
+		return nil, fmt.Errorf("stream: synth fault service %d out of range (%d services)", cfg.FaultService, cfg.Services)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	svcs := make([]string, cfg.Services)
+	for i := range svcs {
+		svcs[i] = fmt.Sprintf("svc-%02d", i)
+	}
+	ms := make([]string, cfg.Metrics)
+	for i := range ms {
+		ms[i] = fmt.Sprintf("metric-%d", i)
+	}
+
+	mean := func(mi, si int) float64 { return 10 + 3*float64(mi) + 0.5*float64(si) }
+	base := metrics.NewSnapshot(ms, svcs)
+	for mi, m := range ms {
+		for si, svc := range svcs {
+			series := make([]float64, cfg.BaselineLen)
+			for i := range series {
+				series[i] = mean(mi, si) + rng.NormFloat64()
+			}
+			base.Data[m][svc] = series
+		}
+	}
+
+	hops := make([]map[string]map[string]float64, cfg.Hops)
+	for h := range hops {
+		hop := make(map[string]map[string]float64, len(ms))
+		for mi, m := range ms {
+			vals := make(map[string]float64, len(svcs))
+			for si, svc := range svcs {
+				v := mean(mi, si) + rng.NormFloat64()
+				if cfg.FaultService >= 0 && si == cfg.FaultService && h >= cfg.FaultAfter {
+					v += 5
+				}
+				vals[svc] = v
+			}
+			hop[m] = vals
+		}
+		hops[h] = hop
+	}
+	return &SynthWorkload{Baseline: base, MetricNames: ms, Services: svcs, Hops: hops, cfg: cfg}, nil
+}
+
+// Model wraps the workload's baseline in a minimal trained model: every
+// service is a target and each causal set is the singleton {target} under
+// every metric — the exact-attribution model, sufficient for exercising the
+// vote phase and hysteresis end to end.
+func (w *SynthWorkload) Model() *core.Model {
+	sets := make(map[string]map[string][]string, len(w.MetricNames))
+	for _, m := range w.MetricNames {
+		byTarget := make(map[string][]string, len(w.Services))
+		for _, svc := range w.Services {
+			byTarget[svc] = []string{svc}
+		}
+		sets[m] = byTarget
+	}
+	targets := append([]string(nil), w.Services...)
+	sort.Strings(targets)
+	return &core.Model{
+		Services:   append([]string(nil), w.Services...),
+		Metrics:    append([]string(nil), w.MetricNames...),
+		Targets:    targets,
+		CausalSets: sets,
+		Baseline:   w.Baseline,
+		Alpha:      stats.DefaultAlpha,
+	}
+}

@@ -14,6 +14,7 @@ package telemetry
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"causalfl/internal/sim"
@@ -280,10 +281,21 @@ func corruptCounters(c sim.Counters, rng interface{ Intn(int) int }) sim.Counter
 
 // Drain returns all samples accumulated since the previous Drain and clears
 // the buffer. The sampler keeps running; use it at phase boundaries.
+//
+// Each series is returned sorted by tick timestamp. Appends are normally
+// already in order, but a retried scrape records under its *nominal* tick
+// stamp whenever the backoff finally succeeds — with an aggressive retry
+// policy that can be after the following tick has appended, leaving the
+// buffer locally out of order. Window aggregation (and the streaming
+// engine's incremental aggregator) assume ascending stamps, so Drain
+// restores the invariant rather than pushing it onto every consumer.
 func (s *Sampler) Drain() map[string][]Sample {
 	out := s.series
 	s.series = make(map[string][]Sample, len(out))
 	s.floor = s.cluster.Engine().Now()
+	for _, series := range out {
+		sort.SliceStable(series, func(i, j int) bool { return series[i].At < series[j].At })
+	}
 	return out
 }
 
