@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short test-stream race vet lint lint-json fmt bench bench-parallel bench-stream demo-stream report tables figures clean
+.PHONY: all check build test test-short test-stream test-serve race vet lint lint-json fmt bench bench-parallel bench-stream demo-stream demo-serve report tables figures clean
 
 all: check
 
 # The default verification path: compile, static checks (go vet plus the
 # project's own causalfl-vet analyzers), full tests, the race detector
-# over the library packages, and the streaming end-to-end demo.
-check: build vet lint test race demo-stream
+# over the library packages, and the end-to-end demos.
+check: build vet lint test race demo-stream demo-serve
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,13 @@ race:
 # timeline, and the Drain ordering regression.
 test-stream:
 	$(GO) test -race ./internal/stream/ ./internal/telemetry/ ./internal/stats/
+
+# The serving-layer suite under the race detector: crash-recovery
+# conformance (kill + restore mid-stream, byte-identical timelines),
+# backpressure accounting, the snapshot codec fuzz seeds, and concurrent
+# multi-tenant ingest.
+test-serve:
+	$(GO) test -race ./internal/serve/ ./internal/stream/
 
 vet:
 	$(GO) vet ./...
@@ -65,6 +72,12 @@ bench-stream:
 # see the verdict timeline confirm it.
 demo-stream:
 	$(GO) run ./examples/streaming
+
+# End-to-end serving demo: boot the multi-tenant service, feed a tenant over
+# the HTTP API, crash it mid-stream, boot a second server from the same
+# snapshot directory and verify the resumed timeline is byte-identical.
+demo-serve:
+	$(GO) run ./examples/serve
 
 # Paper-length regeneration of the full evaluation.
 report:

@@ -21,7 +21,7 @@
 //	causalfl report   [-out report.md] [-quick] [-seed N] [-workers N]
 //	causalfl bench    [-quick] [-seed N] [-out BENCH_parallel.json] [-stream]
 //	causalfl watch    -app causalbench|robotshop [-model model.json] [-fault SVC] [-inject-at 3m] [-duration 10m] [-out verdicts.json]
-//	causalfl serve    -model model.json [-addr :8080]
+//	causalfl serve    [-addr :8080] [-snapshot-dir DIR] [-model model.json] [-queue N] [-snapshot-every N]
 //	causalfl diff     -old old.json -new new.json
 package main
 
@@ -31,7 +31,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -49,7 +48,6 @@ import (
 	"causalfl/internal/parallel"
 	"causalfl/internal/report"
 	"causalfl/internal/sim"
-	"causalfl/internal/webui"
 )
 
 func main() {
@@ -102,7 +100,7 @@ func run(ctx context.Context, args []string) error {
 	case "watch":
 		return cmdWatch(ctx, args[1:])
 	case "serve":
-		return cmdServe(args[1:])
+		return cmdServe(ctx, args[1:])
 	case "diff":
 		return cmdDiff(args[1:])
 	default:
@@ -753,33 +751,6 @@ func cmdReport(ctx context.Context, args []string) error {
 	return writeOutput(*out, func(w io.Writer) error {
 		return report.Generate(ctx, eval.Options{Seed: *seed, Quick: *quick, Workers: *workers}, w)
 	})
-}
-
-func cmdServe(args []string) error {
-	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	modelPath := fs.String("model", "", "trained model JSON (from causalfl train)")
-	addr := fs.String("addr", ":8080", "listen address")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *modelPath == "" {
-		return fmt.Errorf("serve needs -model")
-	}
-	f, err := os.Open(*modelPath)
-	if err != nil {
-		return fmt.Errorf("open model: %w", err)
-	}
-	defer f.Close()
-	model, err := core.ReadModel(f)
-	if err != nil {
-		return err
-	}
-	server, err := webui.NewServer(model)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "serving causal model (%d targets) on %s\n", len(model.Targets), *addr)
-	return http.ListenAndServe(*addr, server)
 }
 
 func cmdDiff(args []string) error {

@@ -117,8 +117,11 @@ func TestLocalizeMissingInputs(t *testing.T) {
 	if err := run(context.Background(), []string{"diff", "-old", "x"}); err == nil {
 		t.Fatal("diff without -new accepted")
 	}
-	if err := run(context.Background(), []string{"serve"}); err == nil {
-		t.Fatal("serve without -model accepted")
+	if err := run(context.Background(), []string{"serve", "-snapshot-dir", ""}); err == nil {
+		t.Fatal("serve with empty -snapshot-dir accepted")
+	}
+	if err := run(context.Background(), []string{"serve", "-snapshot-dir", t.TempDir(), "-model", "nope.json"}); err == nil {
+		t.Fatal("serve with unreadable -model accepted")
 	}
 }
 

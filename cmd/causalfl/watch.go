@@ -13,6 +13,7 @@ import (
 	"causalfl/internal/chaos"
 	"causalfl/internal/core"
 	"causalfl/internal/eval"
+	"causalfl/internal/serve"
 	"causalfl/internal/sim"
 	"causalfl/internal/stream"
 )
@@ -111,19 +112,10 @@ func cmdWatch(ctx context.Context, args []string) error {
 	start := ls.Now()
 	injected := false
 	var lastConfirmed string
-	for ls.Now()-start < sim.Time(*duration) {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if len(faults) > 0 && !injected && ls.Now()-start >= sim.Time(*injectAt) {
-			for _, target := range faults {
-				if err := ls.Inject(target, chaos.Unavailable()); err != nil {
-					return err
-				}
-			}
-			injected = true
-			fmt.Fprintf(os.Stderr, "t=%v injected %s\n", time.Duration(ls.Now()-start), *fault)
-		}
+	// processTick advances one sampling interval and feeds the pipeline.
+	// It takes its own context so the drain path can finish the in-flight
+	// window after the command context is already cancelled.
+	processTick := func(ctx context.Context) error {
 		samples := ls.Advance(live.SampleInterval)
 		verdicts, err := pipe.Tick(ctx, samples)
 		if err != nil {
@@ -137,16 +129,52 @@ func cmdWatch(ctx context.Context, args []string) error {
 				lastConfirmed = c
 			}
 		}
+		return nil
 	}
 
-	if err := writeOutput(*out, func(w io.Writer) error {
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		return enc.Encode(rep)
-	}); err != nil {
-		return err
+	step := func() (bool, error) {
+		if ls.Now()-start >= sim.Time(*duration) {
+			return true, nil
+		}
+		if len(faults) > 0 && !injected && ls.Now()-start >= sim.Time(*injectAt) {
+			for _, target := range faults {
+				if err := ls.Inject(target, chaos.Unavailable()); err != nil {
+					return false, err
+				}
+			}
+			injected = true
+			fmt.Fprintf(os.Stderr, "t=%v injected %s\n", time.Duration(ls.Now()-start), *fault)
+		}
+		return false, processTick(ctx)
 	}
-	fmt.Fprintf(os.Stderr, "watched %v: %d verdicts, final confirmed=[%s]\n",
-		*duration, len(rep.Verdicts), lastConfirmed)
-	return nil
+
+	drain := func() error {
+		if ctx.Err() != nil {
+			// Interrupted mid-hop (SIGINT): finish the current window so the
+			// report ends on a verdict instead of a dangling partial hop —
+			// at most one hop's worth of extra ticks.
+			fmt.Fprintf(os.Stderr, "t=%v interrupted; draining current window\n",
+				time.Duration(ls.Now()-start))
+			before := len(rep.Verdicts)
+			for i := 0; i < int(live.WindowHop/live.SampleInterval) && len(rep.Verdicts) == before; i++ {
+				if err := processTick(context.Background()); err != nil {
+					return err
+				}
+			}
+		}
+		if err := writeOutput(*out, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		}); err != nil {
+			return err
+		}
+		st := pipe.Stats()
+		fmt.Fprintf(os.Stderr, "watched %v: %d verdicts, final confirmed=[%s] (%d samples accepted, %d out-of-order, %d dead, %d windows)\n",
+			time.Duration(ls.Now()-start), len(rep.Verdicts), lastConfirmed,
+			st.Aggregator.Accepted, st.Aggregator.OutOfOrder, st.Aggregator.Dead, st.Aggregator.Windows)
+		return nil
+	}
+
+	return serve.RunDrained(ctx, step, drain)
 }

@@ -1,0 +1,276 @@
+// Serving demo: boot the crash-safe multi-tenant localization service, feed
+// a live production session to a tenant over the HTTP API, crash the server
+// mid-stream, boot a second server from the same snapshot directory and let
+// it finish the stream — then verify the stitched verdict timeline is
+// byte-identical to an uninterrupted in-process pipeline run.
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"causalfl/internal/apps/causalbench"
+	"causalfl/internal/chaos"
+	"causalfl/internal/core"
+	"causalfl/internal/eval"
+	"causalfl/internal/metrics"
+	"causalfl/internal/serve"
+	"causalfl/internal/sim"
+	"causalfl/internal/stream"
+	"causalfl/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+const (
+	culprit  = "C"
+	tenant   = "demo"
+	duration = 6 * time.Minute
+	injectAt = 2 * time.Minute
+)
+
+func run() error {
+	ctx := context.Background()
+	cfg := eval.Options{Seed: 7, Quick: true}.Apply(eval.Config{
+		Build: causalbench.Build,
+	})
+
+	fmt.Println("training causal model (abbreviated campaign) ...")
+	model, err := eval.Train(ctx, cfg)
+	if err != nil {
+		return err
+	}
+
+	// Record one production session as wire-form ticks: the same stream is
+	// fed to the service and to the in-process reference pipeline.
+	ticks, live, err := record(cfg)
+	if err != nil {
+		return err
+	}
+	tcfg := serve.TenantConfig{
+		WindowLength:  sim.Time(live.WindowLength),
+		WindowHop:     sim.Time(live.WindowHop),
+		Preset:        metrics.SetDerivedAll,
+		Window:        8,
+		FDR:           0.05,
+		SnapshotEvery: 1, // snapshot every batch: the crash loses nothing
+	}
+	want, err := reference(ctx, model, live, tcfg, ticks)
+	if err != nil {
+		return err
+	}
+
+	dir, err := os.MkdirTemp("", "causalfl-serve-demo-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// First server: create the tenant, stream half the session, then crash.
+	srvA, hsA, err := boot(dir)
+	if err != nil {
+		return err
+	}
+	blob, _ := json.Marshal(map[string]any{"config": tcfg, "model": model})
+	if err := post(hsA, "PUT", "/v1/tenants/"+tenant, blob, http.StatusCreated); err != nil {
+		return err
+	}
+	half := len(ticks) / 2
+	fmt.Printf("serving %s: streaming %d of %d ticks, then killing the server mid-stream\n", tenant, half, len(ticks))
+	if err := ingest(hsA, ticks[:half]); err != nil {
+		return err
+	}
+	if err := srvA.Quiesce(ctx, tenant); err != nil {
+		return err
+	}
+	head, err := verdicts(hsA, 0)
+	if err != nil {
+		return err
+	}
+	srvA.Kill() // crash simulation: no drain, no final snapshot
+	hsA.Close()
+	fmt.Printf("*** server killed after %d verdicts ***\n", len(head.Verdicts))
+
+	// Second server: restore-on-boot from the same directory, finish the
+	// stream, and stitch the timelines.
+	srvB, hsB, err := boot(dir)
+	if err != nil {
+		return err
+	}
+	defer hsB.Close()
+	fmt.Printf("second server restored tenant %q from %s\n", tenant, dir)
+	if err := ingest(hsB, ticks[half:]); err != nil {
+		return err
+	}
+	if err := srvB.Quiesce(ctx, tenant); err != nil {
+		return err
+	}
+	tail, err := verdicts(hsB, head.Next)
+	if err != nil {
+		return err
+	}
+
+	got := append(append([]serve.SeqVerdict(nil), head.Verdicts...), tail.Verdicts...)
+	gotBlob, _ := json.Marshal(got)
+	if !bytes.Equal(gotBlob, want) {
+		return fmt.Errorf("resumed timeline diverges from the uninterrupted run")
+	}
+	for _, sv := range got {
+		status := "healthy"
+		if len(sv.Verdict.Confirmed) > 0 {
+			status = "CONFIRMED " + strings.Join(sv.Verdict.Confirmed, ",")
+		} else if sv.Verdict.Abstained {
+			status = "abstained (window filling)"
+		}
+		fmt.Printf("seq=%-3d t=%-6v %s\n", sv.Seq, time.Duration(sv.Verdict.At), status)
+	}
+	if err := srvB.Drain(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("\ncrash + restore preserved the timeline byte-for-byte (%d verdicts, culprit %s confirmed).\n", len(got), culprit)
+	return nil
+}
+
+// record plays one live session and captures each tick in wire form.
+func record(cfg eval.Config) ([][]map[string][]stream.SampleState, eval.Config, error) {
+	ls, err := eval.NewLiveSession(cfg, 1, 777)
+	if err != nil {
+		return nil, eval.Config{}, err
+	}
+	live := ls.Config()
+	var ticks [][]map[string][]stream.SampleState
+	start := ls.Now()
+	injected := false
+	for ls.Now()-start < sim.Time(duration) {
+		if !injected && ls.Now()-start >= sim.Time(injectAt) {
+			if err := ls.Inject(culprit, chaos.Unavailable()); err != nil {
+				return nil, live, err
+			}
+			injected = true
+		}
+		samples := ls.Advance(live.SampleInterval)
+		wire := make(map[string][]stream.SampleState, len(samples))
+		for svc, ss := range samples {
+			enc := make([]stream.SampleState, len(ss))
+			for i, smp := range ss {
+				enc[i] = stream.EncodeSample(smp)
+			}
+			wire[svc] = enc
+		}
+		ticks = append(ticks, []map[string][]stream.SampleState{wire})
+	}
+	return ticks, live, nil
+}
+
+// reference runs the uninterrupted in-process pipeline over the same ticks
+// and returns the serialized SeqVerdict timeline the service must match.
+func reference(ctx context.Context, model *core.Model, live eval.Config, tcfg serve.TenantConfig, ticks [][]map[string][]stream.SampleState) ([]byte, error) {
+	set, err := metrics.Preset(tcfg.Preset)
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := stream.NewPipeline(model, live.WindowLength, live.WindowHop, stream.PipelineConfig{
+		Set: set,
+		Localizer: stream.LocalizerConfig{
+			Window: tcfg.Window,
+			FDR:    tcfg.FDR,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []serve.SeqVerdict
+	for _, batch := range ticks {
+		for _, wire := range batch {
+			tick := make(map[string][]telemetry.Sample, len(wire))
+			for svc, enc := range wire {
+				ss := make([]telemetry.Sample, len(enc))
+				for i, one := range enc {
+					ss[i] = one.Sample()
+				}
+				tick[svc] = ss
+			}
+			vs, err := pipe.Tick(ctx, tick)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range vs {
+				out = append(out, serve.SeqVerdict{Seq: uint64(len(out) + 1), Verdict: v})
+			}
+		}
+	}
+	return json.Marshal(out)
+}
+
+// boot starts a service over the snapshot directory.
+func boot(dir string) (*serve.Server, *httptest.Server, error) {
+	store, err := serve.NewStore(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := serve.NewServer(serve.Options{Store: store})
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, httptest.NewServer(srv.Handler()), nil
+}
+
+func post(hs *httptest.Server, method, path string, body []byte, want int) error {
+	req, err := http.NewRequest(method, hs.URL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp, err := hs.Client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		return fmt.Errorf("%s %s: status %d, want %d", method, path, resp.StatusCode, want)
+	}
+	return nil
+}
+
+func ingest(hs *httptest.Server, ticks [][]map[string][]stream.SampleState) error {
+	for _, batch := range ticks {
+		blob, err := json.Marshal(map[string]any{"ticks": batch})
+		if err != nil {
+			return err
+		}
+		// An honest producer backs off on 429; the demo queue never fills.
+		if err := post(hs, "POST", "/v1/tenants/"+tenant+"/ingest", blob, http.StatusAccepted); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func verdicts(hs *httptest.Server, since uint64) (out struct {
+	Verdicts []serve.SeqVerdict `json:"verdicts"`
+	Next     uint64             `json:"next"`
+}, err error) {
+	resp, err := hs.Client().Get(fmt.Sprintf("%s/v1/tenants/%s/verdicts?since=%d", hs.URL, tenant, since))
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("verdicts: status %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}

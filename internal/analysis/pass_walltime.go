@@ -28,6 +28,7 @@ var wallRestricted = []string{
 	"internal/clock",
 	"internal/parallel",
 	"internal/stream",
+	"internal/serve",
 }
 
 // wallSelectors are the time-package selectors that read or react to the

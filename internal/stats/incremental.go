@@ -171,6 +171,40 @@ func (k *IncrementalKS) GuardedPValue(relTol float64) (float64, error) {
 	return ksPValueSorted(k.sorted, k.base), nil
 }
 
+// RestoreWindow refills a freshly constructed state from a persisted
+// snapshot: values is the retained arrival-order window (exactly what Window
+// returned at snapshot time, non-finite entries included) and pushed the
+// lifetime push count. After a successful restore the state is
+// indistinguishable from one that ingested the original stream — the ring
+// contents, the sorted index multiset and the push counter all match, so
+// every subsequent Push/PValue sequence produces bit-identical results.
+//
+// The state must be fresh (nothing pushed yet), and the snapshot must be
+// self-consistent: a ring that has seen `pushed` values retains exactly
+// min(pushed, window) of them. Inconsistent input is rejected with an error
+// so a corrupted snapshot cannot silently seed a diverging detector.
+func (k *IncrementalKS) RestoreWindow(values []float64, pushed int) error {
+	if k.n != 0 {
+		return fmt.Errorf("stats: incremental ks: restore into a state with %d values already pushed", k.n)
+	}
+	if pushed < 0 {
+		return fmt.Errorf("stats: incremental ks: negative push count %d", pushed)
+	}
+	want := pushed
+	if c := cap(k.ring); pushed > c {
+		want = c
+	}
+	if len(values) != want {
+		return fmt.Errorf("stats: incremental ks: snapshot retains %d values but %d pushed into a window of %d wants %d",
+			len(values), pushed, cap(k.ring), want)
+	}
+	for _, v := range values {
+		k.Push(v)
+	}
+	k.n = pushed
+	return nil
+}
+
 // isFinite reports whether v is neither NaN nor ±Inf.
 func isFinite(v float64) bool {
 	return !math.IsNaN(v) && !math.IsInf(v, 0)

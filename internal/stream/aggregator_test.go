@@ -89,8 +89,25 @@ func TestAggregatorValidation(t *testing.T) {
 	if agg.Length() != telemetry.DefaultWindowLength || agg.Hop() != telemetry.DefaultWindowHop {
 		t.Fatalf("zero geometry did not select defaults: %v/%v", agg.Length(), agg.Hop())
 	}
-	if _, err := agg.Ingest("svc", []telemetry.Sample{{At: 10}, {At: 5}}); err == nil {
-		t.Fatal("out-of-order samples accepted")
+	// Out-of-order samples are dropped and counted, not applied and not an
+	// error: a replaying producer must not kill the stream.
+	if _, err := agg.Ingest("svc", []telemetry.Sample{{At: 10}, {At: 5}}); err != nil {
+		t.Fatalf("out-of-order ingest errored: %v", err)
+	}
+	st := agg.Stats()
+	if st.Accepted != 1 || st.OutOfOrder != 1 {
+		t.Fatalf("accounting after out-of-order ingest: %+v", st.SvcAggStats)
+	}
+	if per := st.PerService["svc"]; per.OutOfOrder != 1 {
+		t.Fatalf("per-service accounting missing the drop: %+v", per)
+	}
+	// The guard keys on the newest accepted stamp, so an exact replay of the
+	// accepted sample is also dropped.
+	if _, err := agg.Ingest("svc", []telemetry.Sample{{At: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := agg.Stats(); st.OutOfOrder != 2 {
+		t.Fatalf("replayed stamp not dropped: %+v", st.SvcAggStats)
 	}
 }
 

@@ -40,6 +40,24 @@ type Pipeline struct {
 	// pending collects completed windows by start time until every service
 	// has reported that window.
 	pending map[sim.Time]map[string]telemetry.Window
+	// hops counts emitted verdicts; lastAt stamps the newest one.
+	hops   uint64
+	lastAt sim.Time
+}
+
+// PipelineStats is a Pipeline's ingest-to-verdict accounting: the
+// aggregator's sample accounting plus the verdict counters. `causalfl watch`
+// prints it in the final summary and `causalfl serve` exposes it per tenant
+// on the stats endpoint.
+type PipelineStats struct {
+	// Aggregator is the sample-level accounting (accepted, out-of-order
+	// rejections, dead-trimmed samples, emitted windows).
+	Aggregator AggStats `json:"aggregator"`
+	// Hops counts verdicts emitted over the pipeline's lifetime.
+	Hops uint64 `json:"hops"`
+	// LastVerdictAt is the timestamp of the newest verdict (zero before
+	// the first hop completes).
+	LastVerdictAt sim.Time `json:"last_verdict_at"`
 }
 
 // NewPipeline builds the watch engine for a trained model. Window geometry
@@ -81,6 +99,11 @@ func NewPipeline(model *core.Model, length, hop time.Duration, cfg PipelineConfi
 
 // Localizer exposes the verdict engine (read-only between Ticks).
 func (p *Pipeline) Localizer() *Localizer { return p.loc }
+
+// Stats returns a copy of the pipeline's accounting.
+func (p *Pipeline) Stats() PipelineStats {
+	return PipelineStats{Aggregator: p.agg.Stats(), Hops: p.hops, LastVerdictAt: p.lastAt}
+}
 
 // Tick feeds one drained batch of samples (service -> samples, e.g. one
 // Sampler.Drain) and returns the verdicts for every hop completed by it, in
@@ -136,6 +159,8 @@ func (p *Pipeline) Tick(ctx context.Context, samples map[string][]telemetry.Samp
 		if err != nil {
 			return nil, err
 		}
+		p.hops++
+		p.lastAt = v.At
 		out = append(out, v)
 	}
 	return out, nil

@@ -37,11 +37,22 @@ func NewServer(model *core.Model) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{model: model, localizer: localizer, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/", s.handleIndex)
-	s.mux.HandleFunc("/worlds", s.handleWorlds)
-	s.mux.HandleFunc("/localize", s.handleLocalize)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	// Method patterns: a wrong-method request gets 405 with an Allow header
+	// from the mux itself instead of a handler-specific 404 or rejection.
+	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+	s.mux.HandleFunc("GET /worlds", s.handleWorlds)
+	s.mux.HandleFunc("POST /localize", s.handleLocalize)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /dashboard", Dashboard())
 	return s, nil
+}
+
+// jsonError writes an error payload with an explicit JSON content-type, so
+// API clients on the /localize path never have to sniff a text/plain body.
+func jsonError(w http.ResponseWriter, msg string, code int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
 // ServeHTTP implements http.Handler.
@@ -58,6 +69,8 @@ targets, &alpha;={{printf "%.2f" .Alpha}}.</p>
 <li><a href="/worlds">Per-metric causal worlds</a></li>
 <li><code>POST /localize</code> with a production snapshot JSON body
 (the <code>metrics.Snapshot</code> format) returns the candidate fault set.</li>
+<li><a href="/dashboard">Live verdict dashboard</a> (needs the streaming
+API of <code>causalfl serve</code> on this host)</li>
 <li><a href="/healthz">Health</a></li>
 </ul>
 </body></html>
@@ -65,10 +78,6 @@ targets, &alpha;={{printf "%.2f" .Alpha}}.</p>
 
 // handleIndex renders the overview.
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/" {
-		http.NotFound(w, r)
-		return
-	}
 	data := struct {
 		Services, Metrics, Targets int
 		Alpha                      float64
@@ -131,20 +140,16 @@ type localizeResponse struct {
 
 // handleLocalize runs Algorithm 2 on a posted snapshot.
 func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST a metrics.Snapshot JSON body", http.StatusMethodNotAllowed)
-		return
-	}
 	var snap metrics.Snapshot
 	if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
-		http.Error(w, fmt.Sprintf("decode snapshot: %v", err), http.StatusBadRequest)
+		jsonError(w, fmt.Sprintf("decode snapshot: %v", err), http.StatusBadRequest)
 		return
 	}
 	// Tolerant validation: production snapshots may legitimately arrive
 	// with missing (metric, service) pairs when telemetry is degraded; the
 	// localizer handles those (abstaining if need be) rather than erroring.
 	if err := snap.ValidateTolerant(); err != nil {
-		http.Error(w, fmt.Sprintf("invalid snapshot: %v", err), http.StatusBadRequest)
+		jsonError(w, fmt.Sprintf("invalid snapshot: %v", err), http.StatusBadRequest)
 		return
 	}
 	// The localizer tolerates degraded snapshots (missing pairs, short
@@ -152,12 +157,12 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	// universe: a snapshot over different metrics or services is a client
 	// mix-up, not telemetry degradation.
 	if err := universeMatches(s.model, &snap); err != nil {
-		http.Error(w, fmt.Sprintf("localize: %v", err), http.StatusUnprocessableEntity)
+		jsonError(w, fmt.Sprintf("localize: %v", err), http.StatusUnprocessableEntity)
 		return
 	}
 	loc, err := s.localizer.Localize(r.Context(), s.model, &snap)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("localize: %v", err), http.StatusUnprocessableEntity)
+		jsonError(w, fmt.Sprintf("localize: %v", err), http.StatusUnprocessableEntity)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

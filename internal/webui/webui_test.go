@@ -218,3 +218,60 @@ func TestLocalizeAcceptsDegradedSnapshots(t *testing.T) {
 		t.Fatalf("dark snapshot should abstain with no candidates, got %+v", resp)
 	}
 }
+
+// TestMethodHygiene pins the 405 contract: wrong-method requests answer with
+// an Allow header instead of a bare rejection or 404.
+func TestMethodHygiene(t *testing.T) {
+	s, _ := newTestServer(t)
+	for _, tc := range []struct {
+		method, path, allow string
+	}{
+		{http.MethodGet, "/localize", http.MethodPost},
+		{http.MethodPost, "/worlds", http.MethodGet},
+		{http.MethodDelete, "/healthz", http.MethodGet},
+	} {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(tc.method, tc.path, nil))
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s = %d, want 405", tc.method, tc.path, rec.Code)
+		}
+		if allow := rec.Header().Get("Allow"); !strings.Contains(allow, tc.allow) {
+			t.Errorf("%s %s Allow = %q, want %q listed", tc.method, tc.path, allow, tc.allow)
+		}
+	}
+}
+
+// TestLocalizeErrorsAreJSON pins the error content-type on the API path.
+func TestLocalizeErrorsAreJSON(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/localize", strings.NewReader("{")))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed body = %d, want 400", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error content-type = %q, want application/json", ct)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error == "" {
+		t.Fatalf("error body %q not a JSON error payload (%v)", rec.Body.String(), err)
+	}
+}
+
+// TestDashboardPage checks the live dashboard is mounted and self-contained.
+func TestDashboardPage(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/dashboard", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /dashboard = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"/v1/tenants", "wait=1", "out_of_order"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+}
