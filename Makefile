@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short test-stream test-serve race vet lint lint-json fmt bench bench-parallel bench-stream demo-stream demo-serve report tables figures clean
+.PHONY: all check build test test-short test-stream test-serve race vet lint lint-json graph fmt fmt-check bench bench-parallel bench-stream demo-stream demo-serve report tables figures clean
 
 all: check
 
@@ -49,8 +49,18 @@ lint:
 lint-json:
 	$(GO) run ./cmd/causalfl-vet -baseline vet-baseline.json -json
 
+# Dump the module call graph (the engine behind the interprocedural passes)
+# as Graphviz DOT on stdout.
+graph:
+	$(GO) run ./cmd/causalfl-vet -graph
+
 fmt:
 	gofmt -l -w .
+
+# Fails (and lists the offenders) if any file is not gofmt-clean; CI runs
+# this, `make fmt` fixes it.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # Every table, figure, ablation and extension, abbreviated windows.
 bench:

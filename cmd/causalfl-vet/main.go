@@ -6,13 +6,15 @@
 // Usage:
 //
 //	causalfl-vet [-dir .] [-baseline vet-baseline.json] [-json] \
-//	             [-passes p1,p2] [-list] [-write-baseline]
+//	             [-passes p1,p2] [-list] [-write-baseline] [-graph]
 //
 // Exit status: 0 when no fresh findings (and no stale baseline entries),
-// 1 when findings remain, 2 on usage or analysis errors.
+// 1 when findings remain, 2 on usage or analysis errors. An unknown name in
+// -passes exits 2 and prints the pass catalogue to stderr.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +37,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit the machine-readable JSON report")
 	passes := fs.String("passes", "", "comma-separated pass selection (default: all)")
 	list := fs.Bool("list", false, "list available passes and exit")
+	graph := fs.Bool("graph", false, "dump the module call graph as Graphviz DOT and exit")
 	skipDomain := fs.Bool("skip-domain", false, "skip the catalog domain linters")
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -43,6 +46,19 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *list {
 		for _, line := range analysis.PassNames() {
 			fmt.Fprintln(stdout, line)
+		}
+		return 0
+	}
+
+	if *graph {
+		mod, err := analysis.LoadModule(*dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "causalfl-vet: %v\n", err)
+			return 2
+		}
+		if err := mod.CallGraph().WriteDOT(stdout); err != nil {
+			fmt.Fprintf(stderr, "causalfl-vet: %v\n", err)
+			return 2
 		}
 		return 0
 	}
@@ -58,6 +74,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	res, err := analysis.Run(opts)
 	if err != nil {
 		fmt.Fprintf(stderr, "causalfl-vet: %v\n", err)
+		// A typo in -passes is the one error the user fixes by reading the
+		// catalogue, so print it.
+		if errors.Is(err, analysis.ErrUnknownPass) {
+			fmt.Fprintln(stderr, "available passes:")
+			for _, line := range analysis.PassNames() {
+				fmt.Fprintf(stderr, "  %s\n", line)
+			}
+		}
 		return 2
 	}
 
@@ -85,7 +109,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fresh, suppressed, stale := baseline.Filter(res.Findings)
 
 	if *jsonOut {
-		if err := analysis.WriteJSON(stdout, fresh, suppressed, stale, res.TypeErrors); err != nil {
+		if err := analysis.WriteJSON(stdout, res.Module, fresh, suppressed, stale, res.TypeErrors); err != nil {
 			fmt.Fprintf(stderr, "causalfl-vet: %v\n", err)
 			return 2
 		}

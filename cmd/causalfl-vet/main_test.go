@@ -74,6 +74,8 @@ func TestJSONReportIsMachineReadable(t *testing.T) {
 		t.Fatalf("exit = %d, want 1", code)
 	}
 	var report struct {
+		Module   string   `json:"module"`
+		Passes   []string `json:"passes"`
 		Findings []struct {
 			Pass    string `json:"pass"`
 			File    string `json:"file"`
@@ -86,12 +88,45 @@ func TestJSONReportIsMachineReadable(t *testing.T) {
 	if err := json.Unmarshal([]byte(stdout), &report); err != nil {
 		t.Fatalf("output is not JSON: %v\n%s", err, stdout)
 	}
+	if report.Module != "fixturemod" {
+		t.Errorf("module = %q, want fixturemod", report.Module)
+	}
+	if len(report.Passes) == 0 || report.Passes[0] != "globalrand" {
+		t.Errorf("envelope pass catalogue missing or reordered: %v", report.Passes)
+	}
 	if len(report.Findings) != 2 {
 		t.Fatalf("got %d findings, want 2: %+v", len(report.Findings), report.Findings)
 	}
 	f := report.Findings[1]
 	if f.Pass != "paniclib" || f.File != "internal/sim/bad.go" || f.Line != 5 || f.Col == 0 {
 		t.Errorf("unexpected finding: %+v", f)
+	}
+}
+
+// TestJSONReportMatchesGolden pins the exact -json byte stream CI consumes.
+// Findings use module-relative paths and the envelope lists the compiled-in
+// pass catalogue, so the output is fully deterministic across checkouts.
+func TestJSONReportMatchesGolden(t *testing.T) {
+	dir := writeFixtureModule(t)
+	code, stdout, _ := runVet(t, "-dir", dir, "-json")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	goldenPath := filepath.Join("testdata", "report.golden.json")
+	if os.Getenv("VET_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatalf("mkdir testdata: %v", err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(stdout), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with VET_UPDATE_GOLDEN=1 go test ./cmd/causalfl-vet -run TestJSONReportMatchesGolden)", err)
+	}
+	if stdout != string(golden) {
+		t.Errorf("-json output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", goldenPath, stdout, golden)
 	}
 }
 
@@ -134,8 +169,16 @@ func TestPassSelection(t *testing.T) {
 		t.Errorf("selected pass did not run:\n%s", stdout)
 	}
 
-	if code, _, stderr := runVet(t, "-dir", dir, "-passes", "no-such-pass"); code != 2 {
+	code, _, stderr := runVet(t, "-dir", dir, "-passes", "no-such-pass")
+	if code != 2 {
 		t.Fatalf("unknown pass exit = %d, want 2: %s", code, stderr)
+	}
+	// The error must name the bad pass and print the catalogue so the typo
+	// is fixable without a second invocation.
+	for _, want := range []string{"no-such-pass", "available passes:", "globalrand", "locked-blocking"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("unknown-pass stderr missing %q:\n%s", want, stderr)
+		}
 	}
 }
 
@@ -144,9 +187,28 @@ func TestListPasses(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, pass := range []string{"globalrand", "walltime", "floateq", "paniclib", "errcheck-io", "magic-alpha", "topology", "metric-class"} {
+	for _, pass := range []string{
+		"globalrand", "walltime", "walltime-flow", "rand-flow", "floateq",
+		"paniclib", "errcheck-io", "magic-alpha", "goroutine-leak",
+		"unbounded-spawn", "locked-blocking", "topology", "metric-class",
+	} {
 		if !strings.Contains(stdout, pass) {
 			t.Errorf("-list missing %q:\n%s", pass, stdout)
+		}
+	}
+}
+
+// TestGraphDumpsDOT exercises the -graph debug flag: the fixture module's
+// call graph comes out as Graphviz DOT with its declared functions as nodes.
+func TestGraphDumpsDOT(t *testing.T) {
+	dir := writeFixtureModule(t)
+	code, stdout, stderr := runVet(t, "-dir", dir, "-graph")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0: %s", code, stderr)
+	}
+	for _, want := range []string{"digraph callgraph {", "sim.Build", "main.main", "}"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("-graph output missing %q:\n%s", want, stdout)
 		}
 	}
 }

@@ -25,6 +25,7 @@
 package analysis
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -79,8 +80,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // InternalPath reports whether the package under analysis lives below the
 // given module-relative prefix (e.g. "internal/sim").
 func (p *Pass) InternalPath(prefix string) bool {
-	full := p.Module.Path + "/" + prefix
-	return p.Pkg.ImportPath == full || len(p.Pkg.ImportPath) > len(full) && p.Pkg.ImportPath[:len(full)+1] == full+"/"
+	return p.Module.pkgUnder(p.Pkg, prefix)
 }
 
 // Options configures a run.
@@ -98,6 +98,9 @@ type Options struct {
 
 // Result is the outcome of a run, before baseline filtering.
 type Result struct {
+	// Module is the scanned module's path (the JSON envelope records it so
+	// CI diffs are unambiguous about what was scanned).
+	Module string
 	// Findings is sorted by position.
 	Findings []Finding
 	// TypeErrors describes loader degradation: passes ran, but
@@ -106,6 +109,10 @@ type Result struct {
 	// Packages counts the packages analyzed.
 	Packages int
 }
+
+// ErrUnknownPass rejects a -passes selection naming no registered analyzer;
+// the CLI prints the pass catalogue when it sees this error.
+var ErrUnknownPass = errors.New("unknown pass")
 
 // selectedSet normalizes the pass selection; nil means "all".
 func selectedSet(names []string) (map[string]bool, error) {
@@ -122,7 +129,7 @@ func selectedSet(names []string) (map[string]bool, error) {
 	set := map[string]bool{}
 	for _, name := range names {
 		if !known[name] {
-			return nil, fmt.Errorf("analysis: unknown pass %q", name)
+			return nil, fmt.Errorf("analysis: %w %q", ErrUnknownPass, name)
 		}
 		set[name] = true
 	}
@@ -139,7 +146,7 @@ func Run(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Packages: len(mod.Packages)}
+	res := &Result{Module: mod.Path, Packages: len(mod.Packages)}
 	for _, pkg := range mod.Packages {
 		for _, terr := range pkg.TypeErrors {
 			res.TypeErrors = append(res.TypeErrors, fmt.Sprintf("%s: %v", pkg.ImportPath, terr))
@@ -226,10 +233,10 @@ func RunPassOnPackage(a *Analyzer, mod *Module, pkg *Package) []Finding {
 func PassNames() []string {
 	var out []string
 	for _, a := range CodeAnalyzers() {
-		out = append(out, fmt.Sprintf("%-12s %s", a.Name, a.Doc))
+		out = append(out, fmt.Sprintf("%-16s %s", a.Name, a.Doc))
 	}
 	for _, d := range DomainAnalyzers() {
-		out = append(out, fmt.Sprintf("%-12s %s", d.Name, d.Doc))
+		out = append(out, fmt.Sprintf("%-16s %s", d.Name, d.Doc))
 	}
 	sort.Strings(out)
 	return out

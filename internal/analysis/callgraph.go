@@ -1,0 +1,459 @@
+package analysis
+
+// The module call graph is the engine behind the interprocedural passes:
+// the per-package textual passes (walltime, globalrand) see one package at a
+// time, so a deterministic package can launder a wall-clock read or a global
+// rand draw through a helper in an unrestricted package and scan clean. The
+// graph closes that hole by resolving, module-wide:
+//
+//   - static calls (`stats.KS(...)`, `helper(...)`),
+//   - method calls through named (non-interface) types (`t.run()`,
+//     promoted embedded methods included),
+//   - calls through function values assigned to identifiers
+//     (`f := pkg.Helper; f()`), flow-insensitively.
+//
+// Interface method calls stay unresolved on purpose: dynamic dispatch is the
+// project's sanctioned injection seam (clock.Clock, core.Localizer), so an
+// injected dependency never taints its caller. Function values passed as
+// arguments, stored in struct fields or map values are also unresolved — the
+// approximation is documented in docs/STATIC_ANALYSIS.md and errs toward
+// missing edges, never inventing them.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Node is one function or method declared in the module.
+type Node struct {
+	// ID is the type-checker's full name (e.g. "causalfl/internal/stats.KS"
+	// or "(*causalfl/internal/serve.tenant).run"), uniquified for multiple
+	// init functions.
+	ID string
+	// Pkg is the declaring package; Decl the declaration; File its file.
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	File *ast.File
+
+	obj *types.Func
+}
+
+// Pos is the declaration position.
+func (n *Node) Pos() token.Pos { return n.Decl.Pos() }
+
+// Short renders the display name used in findings: "stats.KS",
+// "serve.(*tenant).run".
+func (n *Node) Short() string {
+	name := n.Decl.Name.Name
+	if n.Decl.Recv == nil || len(n.Decl.Recv.List) == 0 {
+		return n.Pkg.Name + "." + name
+	}
+	recv := n.Decl.Recv.List[0].Type
+	return n.Pkg.Name + ".(" + types.ExprString(recv) + ")." + name
+}
+
+// Edge is one resolved call: Caller invokes Callee at Site.
+type Edge struct {
+	Caller *Node
+	Callee *Node
+	// Site is the call position inside Caller (function literals nested in
+	// Caller attribute their calls to Caller).
+	Site token.Pos
+}
+
+// CallGraph is the module-wide graph of resolved calls with reachability
+// queries. Build it with BuildCallGraph or the cached Module.CallGraph.
+type CallGraph struct {
+	mod    *Module
+	nodes  map[string]*Node
+	byObj  map[*types.Func]*Node
+	byDecl map[*ast.FuncDecl]*Node
+	out    map[*Node][]Edge
+	in     map[*Node][]Edge
+	// bindings maps function-value variables to the declared functions
+	// assigned to them anywhere in the module.
+	bindings map[types.Object][]*types.Func
+
+	mu    sync.Mutex
+	memos map[string]any
+}
+
+// CallGraph builds the module's call graph once and caches it; every
+// interprocedural pass shares the same instance.
+func (m *Module) CallGraph() *CallGraph {
+	m.cgOnce.Do(func() { m.cg = BuildCallGraph(m) })
+	return m.cg
+}
+
+// BuildCallGraph constructs the call graph for a loaded module. Packages
+// whose type-check degraded contribute the edges that still resolve; nothing
+// panics on partial information.
+func BuildCallGraph(mod *Module) *CallGraph {
+	g := &CallGraph{
+		mod:    mod,
+		nodes:  map[string]*Node{},
+		byObj:  map[*types.Func]*Node{},
+		byDecl: map[*ast.FuncDecl]*Node{},
+		out:    map[*Node][]Edge{},
+		in:     map[*Node][]Edge{},
+		memos:  map[string]any{},
+	}
+
+	// Index every declared function and method.
+	for _, pkg := range mod.Packages {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				var obj *types.Func
+				if pkg.Info != nil {
+					obj, _ = pkg.Info.Defs[fd.Name].(*types.Func)
+				}
+				id := nodeID(pkg, fd, obj)
+				for g.nodes[id] != nil { // multiple init funcs share a name
+					id += "'"
+				}
+				n := &Node{ID: id, Pkg: pkg, Decl: fd, File: file, obj: obj}
+				g.nodes[id] = n
+				g.byDecl[fd] = n
+				if obj != nil {
+					g.byObj[obj] = n
+				}
+			}
+		}
+	}
+
+	g.bindings = collectBindings(mod)
+
+	// Resolve call edges. Function literals attribute their calls to the
+	// enclosing declaration: a closure defined inside f is f's code for
+	// determinism purposes whether it runs inline or on a goroutine.
+	for _, pkg := range mod.Packages {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				caller := g.byDecl[fd]
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					for _, target := range resolveCallTargets(pkg, call.Fun, g.bindings) {
+						if callee := g.byObj[target]; callee != nil {
+							g.addEdge(caller, callee, call.Lparen)
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	for _, edges := range g.out {
+		sortEdges(edges)
+	}
+	for _, edges := range g.in {
+		sortEdges(edges)
+	}
+	return g
+}
+
+// nodeID derives a stable identifier for a declaration.
+func nodeID(pkg *Package, fd *ast.FuncDecl, obj *types.Func) string {
+	if obj != nil {
+		return obj.FullName()
+	}
+	// Type-check degraded: fall back to a syntactic name.
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		return pkg.ImportPath + ".(" + types.ExprString(fd.Recv.List[0].Type) + ")." + fd.Name.Name
+	}
+	return pkg.ImportPath + "." + fd.Name.Name
+}
+
+// sortEdges orders edges by callee ID then site, for deterministic queries
+// and DOT output.
+func sortEdges(edges []Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Callee.ID != edges[j].Callee.ID {
+			return edges[i].Callee.ID < edges[j].Callee.ID
+		}
+		if edges[i].Caller.ID != edges[j].Caller.ID {
+			return edges[i].Caller.ID < edges[j].Caller.ID
+		}
+		return edges[i].Site < edges[j].Site
+	})
+}
+
+func (g *CallGraph) addEdge(caller, callee *Node, site token.Pos) {
+	for _, e := range g.out[caller] {
+		if e.Callee == callee && e.Site == site {
+			return
+		}
+	}
+	e := Edge{Caller: caller, Callee: callee, Site: site}
+	g.out[caller] = append(g.out[caller], e)
+	g.in[callee] = append(g.in[callee], e)
+}
+
+// collectBindings records, flow-insensitively, every declared function
+// assigned to an identifier: `f := pkg.Helper`, `var f = method`, plain
+// reassignment. Calls through such identifiers resolve to every binding.
+func collectBindings(mod *Module) map[types.Object][]*types.Func {
+	b := map[types.Object][]*types.Func{}
+	for _, pkg := range mod.Packages {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					if len(st.Lhs) != len(st.Rhs) {
+						return true
+					}
+					for i, lhs := range st.Lhs {
+						bindFuncValue(pkg, b, lhs, st.Rhs[i])
+					}
+				case *ast.ValueSpec:
+					if len(st.Names) != len(st.Values) {
+						return true
+					}
+					for i, name := range st.Names {
+						bindFuncValue(pkg, b, name, st.Values[i])
+					}
+				}
+				return true
+			})
+		}
+	}
+	return b
+}
+
+func bindFuncValue(pkg *Package, b map[types.Object][]*types.Func, lhs, rhs ast.Expr) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := types.Object(nil)
+	if def := pkg.Info.Defs[id]; def != nil {
+		obj = def
+	} else if use := pkg.Info.Uses[id]; use != nil {
+		obj = use
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return
+	}
+	if fn := staticFunc(pkg, rhs); fn != nil {
+		b[obj] = append(b[obj], fn)
+	}
+}
+
+// staticFunc resolves an expression to the declared function it names, if
+// any: a bare identifier, a qualified identifier, or a method value.
+func staticFunc(pkg *Package, e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		fn, _ := pkg.Info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pkg.Info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// resolveCallTargets returns the declared functions a call's Fun expression
+// can invoke: the static function, the concrete method, or every function
+// bound to an identifier-typed function value. Interface method calls and
+// unresolvable values return nil.
+func resolveCallTargets(pkg *Package, fun ast.Expr, bindings map[types.Object][]*types.Func) []*types.Func {
+	if pkg.Info == nil {
+		return nil
+	}
+	switch e := ast.Unparen(fun).(type) {
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		return resolveCallTargets(pkg, e.X, bindings)
+	case *ast.IndexListExpr:
+		return resolveCallTargets(pkg, e.X, bindings)
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[e].(type) {
+		case *types.Func:
+			return []*types.Func{obj}
+		case *types.Var:
+			return bindings[obj]
+		}
+	case *ast.SelectorExpr:
+		switch obj := pkg.Info.Uses[e.Sel].(type) {
+		case *types.Func:
+			if sel, ok := pkg.Info.Selections[e]; ok && sel.Recv() != nil && types.IsInterface(sel.Recv()) {
+				return nil // dynamic dispatch: the sanctioned injection seam
+			}
+			return []*types.Func{obj}
+		case *types.Var: // package-level function variable
+			return bindings[obj]
+		}
+	}
+	return nil
+}
+
+// NodeByID looks a node up by its ID.
+func (g *CallGraph) NodeByID(id string) *Node { return g.nodes[id] }
+
+// NodeFor returns the node of a declaration, or nil for declarations outside
+// the module.
+func (g *CallGraph) NodeFor(decl *ast.FuncDecl) *Node { return g.byDecl[decl] }
+
+// nodeForObj maps a type-checker function object to its node.
+func (g *CallGraph) nodeForObj(obj *types.Func) *Node { return g.byObj[obj] }
+
+// Nodes returns every node, sorted by ID.
+func (g *CallGraph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Callees returns n's outgoing edges (sorted by callee ID, then site).
+func (g *CallGraph) Callees(n *Node) []Edge { return g.out[n] }
+
+// Callers returns n's incoming edges.
+func (g *CallGraph) Callers(n *Node) []Edge { return g.in[n] }
+
+// Reaches reports whether from can reach to through call edges; a node
+// reaches itself.
+func (g *CallGraph) Reaches(from, to *Node) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	if from == to {
+		return true
+	}
+	seen := map[*Node]bool{from: true}
+	queue := []*Node{from}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range g.out[n] {
+			if e.Callee == to {
+				return true
+			}
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return false
+}
+
+// Reachers returns every node that can reach a target through call edges,
+// targets included — the reverse-reachability closure the taint passes use.
+func (g *CallGraph) Reachers(targets map[*Node]bool) map[*Node]bool {
+	seen := make(map[*Node]bool, len(targets))
+	var queue []*Node
+	for n, ok := range targets {
+		if ok {
+			seen[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range g.in[n] {
+			if !seen[e.Caller] {
+				seen[e.Caller] = true
+				queue = append(queue, e.Caller)
+			}
+		}
+	}
+	return seen
+}
+
+// Path returns a shortest call chain from `from` to any target (inclusive of
+// both endpoints), or nil when none exists. Ties break toward lower callee
+// IDs, so the chain is deterministic.
+func (g *CallGraph) Path(from *Node, targets map[*Node]bool) []*Node {
+	if from == nil {
+		return nil
+	}
+	if targets[from] {
+		return []*Node{from}
+	}
+	prev := map[*Node]*Node{from: nil}
+	queue := []*Node{from}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range g.out[n] {
+			if _, ok := prev[e.Callee]; ok {
+				continue
+			}
+			prev[e.Callee] = n
+			if targets[e.Callee] {
+				var path []*Node
+				for at := e.Callee; at != nil; at = prev[at] {
+					path = append([]*Node{at}, path...)
+				}
+				return path
+			}
+			queue = append(queue, e.Callee)
+		}
+	}
+	return nil
+}
+
+// memoized computes a per-graph derived value once per key and caches it;
+// safe for concurrent pass runs.
+func (g *CallGraph) memoized(key string, compute func() any) any {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if v, ok := g.memos[key]; ok {
+		return v
+	}
+	v := compute()
+	g.memos[key] = v
+	return v
+}
+
+// WriteDOT renders the graph in Graphviz DOT form (`causalfl-vet -graph`).
+// Nodes are labeled with their short names and grouped by package via the
+// label prefix; duplicate call sites collapse to one edge.
+func (g *CallGraph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("digraph callgraph {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	nodes := g.Nodes()
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "  %q [label=%q];\n", n.ID, n.Pkg.RelDir+"\n"+n.Short())
+	}
+	for _, n := range nodes {
+		seen := map[*Node]bool{}
+		for _, e := range g.out[n] {
+			if seen[e.Callee] {
+				continue
+			}
+			seen[e.Callee] = true
+			fmt.Fprintf(&b, "  %q -> %q;\n", n.ID, e.Callee.ID)
+		}
+	}
+	b.WriteString("}\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("analysis: write dot: %w", err)
+	}
+	return nil
+}

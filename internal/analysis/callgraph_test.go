@@ -1,0 +1,301 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// checkModuleFixture loads a multi-package in-memory module and fails the
+// test on any type error — interprocedural fixtures must type-check fully.
+func checkModuleFixture(t *testing.T, pkgs map[string]map[string]string) *Module {
+	t.Helper()
+	mod, err := CheckModuleSource("fixturemod", pkgs)
+	if err != nil {
+		t.Fatalf("CheckModuleSource: %v", err)
+	}
+	for _, pkg := range mod.Packages {
+		for _, terr := range pkg.TypeErrors {
+			t.Fatalf("fixture package %s does not type-check: %v", pkg.ImportPath, terr)
+		}
+	}
+	return mod
+}
+
+// pkgByDir finds a fixture package by its module-relative dir.
+func pkgByDir(t *testing.T, mod *Module, dir string) *Package {
+	t.Helper()
+	for _, pkg := range mod.Packages {
+		if pkg.RelDir == dir {
+			return pkg
+		}
+	}
+	t.Fatalf("no fixture package in dir %q", dir)
+	return nil
+}
+
+// nodeByShort finds a call-graph node by its display name ("util.Stamp").
+func nodeByShort(t *testing.T, g *CallGraph, short string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if n.Short() == short {
+			return n
+		}
+	}
+	t.Fatalf("no call-graph node named %q; have %s", short, nodeNames(g))
+	return nil
+}
+
+func nodeNames(g *CallGraph) string {
+	var names []string
+	for _, n := range g.Nodes() {
+		names = append(names, n.Short())
+	}
+	return strings.Join(names, ", ")
+}
+
+func calleeShorts(g *CallGraph, n *Node) []string {
+	var out []string
+	for _, e := range g.Callees(n) {
+		out = append(out, e.Callee.Short())
+	}
+	return out
+}
+
+// TestCallGraphEdgeKinds pins the three resolved edge kinds — static calls,
+// method calls through named types, and calls through function values bound
+// to identifiers — and the deliberate non-edge: interface dispatch.
+func TestCallGraphEdgeKinds(t *testing.T) {
+	mod := checkModuleFixture(t, map[string]map[string]string{
+		"util": {"util.go": `package util
+
+type Counter struct{ n int }
+
+func (c *Counter) Inc() { c.n++ }
+
+func helper() {}
+
+func Add(c *Counter) {
+	c.Inc()     // method call through a named type
+	f := helper // function value bound to an identifier
+	f()
+}
+
+type Ticker interface{ Tick() }
+
+type realTicker struct{}
+
+func (realTicker) Tick() {}
+
+func Drive(tk Ticker) { tk.Tick() } // interface dispatch: no edge
+`},
+		"internal/sim": {"sim.go": `package sim
+
+import "fixturemod/util"
+
+func Step(c *util.Counter) { util.Add(c) } // static cross-package call
+`},
+	})
+	g := mod.CallGraph()
+
+	add := nodeByShort(t, g, "util.Add")
+	got := calleeShorts(g, add)
+	want := []string{"util.(*Counter).Inc", "util.helper"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("util.Add callees = %v, want %v", got, want)
+	}
+
+	step := nodeByShort(t, g, "sim.Step")
+	if got := calleeShorts(g, step); len(got) != 1 || got[0] != "util.Add" {
+		t.Errorf("sim.Step callees = %v, want [util.Add]", got)
+	}
+
+	drive := nodeByShort(t, g, "util.Drive")
+	if got := calleeShorts(g, drive); len(got) != 0 {
+		t.Errorf("interface call resolved to %v; dynamic dispatch must stay unresolved", got)
+	}
+
+	if callers := g.Callers(nodeByShort(t, g, "util.helper")); len(callers) != 1 || callers[0].Caller != add {
+		t.Errorf("util.helper callers = %v, want [util.Add]", callers)
+	}
+}
+
+// TestCallGraphReachability covers Reaches, Reachers and Path over a
+// three-hop cross-package chain.
+func TestCallGraphReachability(t *testing.T) {
+	mod := checkModuleFixture(t, map[string]map[string]string{
+		"util": {"util.go": `package util
+
+func leaf() {}
+
+func mid() { leaf() }
+
+func Top() { mid() }
+
+func Other() {}
+`},
+	})
+	g := mod.CallGraph()
+	top := nodeByShort(t, g, "util.Top")
+	mid := nodeByShort(t, g, "util.mid")
+	leaf := nodeByShort(t, g, "util.leaf")
+	other := nodeByShort(t, g, "util.Other")
+
+	if !g.Reaches(top, leaf) {
+		t.Error("Top must reach leaf through mid")
+	}
+	if g.Reaches(leaf, top) {
+		t.Error("reachability must respect edge direction")
+	}
+	if g.Reaches(other, leaf) {
+		t.Error("Other has no path to leaf")
+	}
+
+	reachers := g.Reachers(map[*Node]bool{leaf: true})
+	for _, n := range []*Node{top, mid, leaf} {
+		if !reachers[n] {
+			t.Errorf("Reachers(leaf) missing %s", n.Short())
+		}
+	}
+	if reachers[other] {
+		t.Error("Reachers(leaf) must not include Other")
+	}
+
+	path := g.Path(top, map[*Node]bool{leaf: true})
+	var shorts []string
+	for _, n := range path {
+		shorts = append(shorts, n.Short())
+	}
+	if strings.Join(shorts, " → ") != "util.Top → util.mid → util.leaf" {
+		t.Errorf("Path = %v", shorts)
+	}
+}
+
+// launderingFixture is the seeded regression for the flow passes: a
+// deterministic package reads the wall clock through two hops of helpers in
+// an unrestricted package, so the textual walltime pass scans clean.
+func launderingFixture() map[string]map[string]string {
+	return map[string]map[string]string{
+		"util": {"util.go": `package util
+
+import "time"
+
+func now() time.Time { return time.Now() }
+
+// Stamp looks innocent from internal/sim's point of view.
+func Stamp() int64 { return now().Unix() }
+`},
+		"internal/sim": {"sim.go": `package sim
+
+import "fixturemod/util"
+
+func Step() int64 { return util.Stamp() }
+`},
+	}
+}
+
+// TestWalltimeFlowCatchesLaundering proves the division of labor: the
+// textual walltime pass misses the cross-package chain entirely, and
+// walltime-flow reports the boundary call with the full chain to the sink.
+func TestWalltimeFlowCatchesLaundering(t *testing.T) {
+	mod := checkModuleFixture(t, launderingFixture())
+	sim := pkgByDir(t, mod, "internal/sim")
+
+	if got := RunPassOnPackage(findAnalyzer(t, "walltime"), mod, sim); len(got) != 0 {
+		t.Fatalf("textual walltime unexpectedly found:\n%s", renderFindings(got))
+	}
+
+	got := RunPassOnPackage(findAnalyzer(t, "walltime-flow"), mod, sim)
+	checkFindings(t, got, []wantFinding{
+		{file: "internal/sim/sim.go", line: 5, fragment: "util.Stamp → util.now → time.Now"},
+	})
+	if !strings.Contains(got[0].Message, "clock.Clock") {
+		t.Errorf("finding does not name the remedy: %s", got[0].Message)
+	}
+}
+
+// TestRandFlowCatchesLaundering is the same regression for the global-rand
+// domain, one hop deep.
+func TestRandFlowCatchesLaundering(t *testing.T) {
+	mod := checkModuleFixture(t, map[string]map[string]string{
+		"util": {"util.go": `package util
+
+import "math/rand"
+
+func Jitter() int { return rand.Intn(10) }
+
+func Seeded() *rand.Rand { return rand.New(rand.NewSource(1)) } // constructor: not a sink
+`},
+		"internal/core": {"core.go": `package core
+
+import "fixturemod/util"
+
+func Perturb() int { return util.Jitter() }
+
+func Source() { _ = util.Seeded() }
+`},
+	})
+	core := pkgByDir(t, mod, "internal/core")
+
+	if got := RunPassOnPackage(findAnalyzer(t, "globalrand"), mod, core); len(got) != 0 {
+		t.Fatalf("textual globalrand unexpectedly found:\n%s", renderFindings(got))
+	}
+	checkFindings(t, RunPassOnPackage(findAnalyzer(t, "rand-flow"), mod, core), []wantFinding{
+		{file: "internal/core/core.go", line: 5, fragment: "util.Jitter → rand.Intn"},
+	})
+}
+
+// TestFlowAllowDirectiveAtSink proves a reasoned directive at the sink line
+// blesses the whole chain — the clock.Wall seam pattern.
+func TestFlowAllowDirectiveAtSink(t *testing.T) {
+	fixture := launderingFixture()
+	fixture["util"]["util.go"] = `package util
+
+import "time"
+
+//vet:allow walltime-flow -- blessed boot-time stamp for log headers
+func now() time.Time { return time.Now() }
+
+func Stamp() int64 { return now().Unix() }
+`
+	mod := checkModuleFixture(t, fixture)
+	sim := pkgByDir(t, mod, "internal/sim")
+	if got := RunPassOnPackage(findAnalyzer(t, "walltime-flow"), mod, sim); len(got) != 0 {
+		t.Fatalf("directive at the sink did not suppress:\n%s", renderFindings(got))
+	}
+}
+
+// FuzzCallGraph feeds the builder arbitrary source: it must never panic,
+// and every edge must connect nodes the graph itself declares, regardless of
+// how badly the input type-checks.
+func FuzzCallGraph(f *testing.F) {
+	f.Add("package p\n\nfunc a() { b() }\n\nfunc b() {}\n")
+	f.Add("package p\n\ntype t struct{}\n\nfunc (t) m() {}\n\nfunc c(x t) { x.m() }\n")
+	f.Add("package p\n\nfunc d() { f := d; f() }\n")
+	f.Add("package p\n\nfunc init() {}\n\nfunc init() {}\n")
+	f.Add("package p\n\nfunc e() { undeclared(1 + ) }\n")
+	f.Add("package p\n\nvar x = func() {}\n\nfunc g() { x() }\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		mod, _, err := CheckSource("fixturemod/internal/sim", map[string]string{"a.go": src})
+		if err != nil {
+			t.Skip("unparsable input")
+		}
+		g := BuildCallGraph(mod)
+		declared := map[*Node]bool{}
+		for _, n := range g.Nodes() {
+			if n.Decl == nil {
+				t.Fatalf("node %s has no declaration", n.ID)
+			}
+			declared[n] = true
+		}
+		for _, n := range g.Nodes() {
+			for _, e := range g.Callees(n) {
+				if e.Caller != n {
+					t.Fatalf("edge from %s recorded under %s", e.Caller.ID, n.ID)
+				}
+				if !declared[e.Callee] {
+					t.Fatalf("edge %s -> %s targets an undeclared node", e.Caller.ID, e.Callee.ID)
+				}
+			}
+		}
+	})
+}

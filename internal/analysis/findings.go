@@ -77,7 +77,15 @@ func WriteText(w io.Writer, fs []Finding) error {
 }
 
 // jsonReport is the machine-readable output schema of `causalfl-vet -json`.
+// The envelope names the scanned module and the pass catalogue of this build
+// so CI diffs are self-describing: a findings delta caused by a new pass is
+// distinguishable from one caused by a code change.
 type jsonReport struct {
+	// Module is the scanned module's path.
+	Module string `json:"module"`
+	// Passes is the catalogue of pass names compiled into this binary, in
+	// registration order (code passes, then domain passes).
+	Passes []string `json:"passes"`
 	// Findings are the violations not covered by the baseline.
 	Findings []Finding `json:"findings"`
 	// Suppressed counts findings covered by the baseline.
@@ -90,14 +98,35 @@ type jsonReport struct {
 	TypeErrors []string `json:"type_errors,omitempty"`
 }
 
-// WriteJSON renders the full machine-readable report.
-func WriteJSON(w io.Writer, fs []Finding, suppressed int, stale []BaselineEntry, typeErrors []string) error {
+// PassCatalogue returns every registered pass name in registration order,
+// code passes first.
+func PassCatalogue() []string {
+	var out []string
+	for _, a := range CodeAnalyzers() {
+		out = append(out, a.Name)
+	}
+	for _, d := range DomainAnalyzers() {
+		out = append(out, d.Name)
+	}
+	return out
+}
+
+// WriteJSON renders the full machine-readable report for the named module.
+func WriteJSON(w io.Writer, module string, fs []Finding, suppressed int, stale []BaselineEntry, typeErrors []string) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if fs == nil {
 		fs = []Finding{}
 	}
-	if err := enc.Encode(jsonReport{Findings: fs, Suppressed: suppressed, Stale: stale, TypeErrors: typeErrors}); err != nil {
+	report := jsonReport{
+		Module:     module,
+		Passes:     PassCatalogue(),
+		Findings:   fs,
+		Suppressed: suppressed,
+		Stale:      stale,
+		TypeErrors: typeErrors,
+	}
+	if err := enc.Encode(report); err != nil {
 		return fmt.Errorf("analysis: encode findings: %w", err)
 	}
 	return nil

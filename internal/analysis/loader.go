@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // The loader walks a module directory, parses every package with go/parser
@@ -52,6 +53,16 @@ type Module struct {
 	Fset *token.FileSet
 	// Packages is sorted by import path.
 	Packages []*Package
+
+	// cg caches the call graph the interprocedural passes share.
+	cgOnce sync.Once
+	cg     *CallGraph
+}
+
+// pkgUnder reports whether pkg lives at or below the module-relative prefix.
+func (m *Module) pkgUnder(pkg *Package, prefix string) bool {
+	full := m.Path + "/" + prefix
+	return pkg.ImportPath == full || len(pkg.ImportPath) > len(full) && pkg.ImportPath[:len(full)+1] == full+"/"
 }
 
 // Rel converts a position to a module-relative "path" string.
@@ -338,4 +349,54 @@ func CheckSource(importPath string, files map[string]string) (*Module, *Package,
 	checkPackage(mod.Fset, pkg, imp)
 	mod.Packages = []*Package{pkg}
 	return mod, pkg, nil
+}
+
+// CheckModuleSource loads a multi-package in-memory module — the fixture
+// entry point for the interprocedural (call-graph) tests, which need calls
+// that cross package boundaries. pkgs maps module-relative package dirs
+// (e.g. "internal/sim", "util") to their files (name → source). Packages are
+// type-checked in dependency order, so fixture packages may import each
+// other through the given module path.
+func CheckModuleSource(modPath string, pkgs map[string]map[string]string) (*Module, error) {
+	mod := &Module{Path: modPath, Dir: "/fixture", Fset: token.NewFileSet()}
+	byPath := make(map[string]*Package, len(pkgs))
+	dirs := make([]string, 0, len(pkgs))
+	for dir := range pkgs {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		importPath := modPath
+		if dir != "." {
+			importPath = modPath + "/" + dir
+		}
+		pkg := &Package{ImportPath: importPath, RelDir: dir}
+		names := make([]string, 0, len(pkgs[dir]))
+		for name := range pkgs[dir] {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			rel := name
+			if dir != "." {
+				rel = dir + "/" + name
+			}
+			file, err := parser.ParseFile(mod.Fset, filepath.Join(mod.Dir, filepath.FromSlash(rel)), pkgs[dir][name], parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: parse fixture %s: %w", rel, err)
+			}
+			if pkg.Name == "" {
+				pkg.Name = file.Name.Name
+			}
+			pkg.Files = append(pkg.Files, file)
+			pkg.FileNames = append(pkg.FileNames, rel)
+		}
+		if len(pkg.Files) == 0 {
+			return nil, fmt.Errorf("analysis: fixture package %s has no files", dir)
+		}
+		byPath[importPath] = pkg
+		mod.Packages = append(mod.Packages, pkg)
+	}
+	typeCheck(mod, byPath)
+	return mod, nil
 }

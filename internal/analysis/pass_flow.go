@@ -1,0 +1,173 @@
+package analysis
+
+// The flow passes are the interprocedural closure of the textual determinism
+// passes. `walltime` flags a wall-clock read *inside* a deterministic
+// package; `walltime-flow` flags a deterministic package *calling* — through
+// any chain of module-internal calls — a helper in an unrestricted package
+// that reads the clock. Same split for `globalrand` / `rand-flow`. The
+// division of labor keeps findings non-overlapping:
+//
+//   - the read itself, in deterministic scope   → walltime / globalrand
+//   - the laundering call into unrestricted code → walltime-flow / rand-flow
+//
+// Sinks are therefore only functions declared in *unrestricted* packages
+// (cmd/, examples/, test tooling); a sink suppressed there with
+// `//vet:allow walltime-flow -- reason` (or rand-flow) is blessed for
+// deterministic callers too, which is how clock.Wall-style seams are built.
+// Interface method calls never propagate taint — dynamic dispatch through
+// clock.Clock or a seeded *rand.Rand is exactly the sanctioned pattern.
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// flowSpec describes one taint domain.
+type flowSpec struct {
+	name string
+	doc  string
+	// sinkOf classifies a selector as a sink, returning its display name
+	// ("time.Now", "rand.Intn").
+	sinkOf func(pkg *Package, file *ast.File, sel *ast.SelectorExpr) (string, bool)
+	// remedy closes the finding message.
+	remedy string
+}
+
+func wallSinkOf(pkg *Package, file *ast.File, sel *ast.SelectorExpr) (string, bool) {
+	pkgPath, name, ok := pkgSelector(pkg, file, sel)
+	if !ok || pkgPath != "time" || !wallSelectors[name] {
+		return "", false
+	}
+	return "time." + name, true
+}
+
+func randSinkOf(pkg *Package, file *ast.File, sel *ast.SelectorExpr) (string, bool) {
+	pkgPath, name, ok := pkgSelector(pkg, file, sel)
+	if !ok || (pkgPath != "math/rand" && pkgPath != "math/rand/v2") || randConstructors[name] {
+		return "", false
+	}
+	return "rand." + name, true
+}
+
+func wallTimeFlowAnalyzer() *Analyzer {
+	return flowAnalyzer(flowSpec{
+		name:   "walltime-flow",
+		doc:    "forbids deterministic packages from transitively reaching a wall-clock read through helpers in unrestricted packages",
+		sinkOf: wallSinkOf,
+		remedy: "thread a clock.Clock (internal/clock) through the call instead",
+	})
+}
+
+func randFlowAnalyzer() *Analyzer {
+	return flowAnalyzer(flowSpec{
+		name:   "rand-flow",
+		doc:    "forbids deterministic packages from transitively reaching a global math/rand draw through helpers in unrestricted packages",
+		sinkOf: randSinkOf,
+		remedy: "pass a seeded *rand.Rand through the call instead",
+	})
+}
+
+// flowSinks finds every function declared in an unrestricted package whose
+// body contains a sink selector not suppressed at its line by a
+// `//vet:allow <pass>` directive. Keyed per node; the value names the sink.
+func flowSinks(g *CallGraph, spec flowSpec) map[*Node]string {
+	sinks := map[*Node]string{}
+	allowed := map[*ast.File]allowSet{}
+	for _, n := range g.Nodes() {
+		if deterministicPkg(g.mod, n.Pkg) || n.Decl.Body == nil {
+			continue
+		}
+		node := n
+		ast.Inspect(node.Decl.Body, func(x ast.Node) bool {
+			sel, ok := x.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			desc, isSink := spec.sinkOf(node.Pkg, node.File, sel)
+			if !isSink {
+				return true
+			}
+			set, ok := allowed[node.File]
+			if !ok {
+				set = parseDirectives(g.mod.Fset, node.File)
+				allowed[node.File] = set
+			}
+			if set.allows(g.mod.Fset.Position(sel.Pos()).Line, spec.name) {
+				return true
+			}
+			if _, seen := sinks[node]; !seen {
+				sinks[node] = desc
+			}
+			return true
+		})
+	}
+	return sinks
+}
+
+// renderChain renders the deterministic shortest call chain from a tainted
+// callee down to its sink, ending in the sink's selector:
+// "util.Stamp → util.now → time.Now".
+func renderChain(g *CallGraph, from *Node, sinks map[*Node]string) string {
+	targets := make(map[*Node]bool, len(sinks))
+	for n := range sinks {
+		targets[n] = true
+	}
+	path := g.Path(from, targets)
+	if path == nil {
+		return from.Short()
+	}
+	var parts []string
+	for _, n := range path {
+		parts = append(parts, n.Short())
+	}
+	parts = append(parts, sinks[path[len(path)-1]])
+	return strings.Join(parts, " → ")
+}
+
+// flowTaint bundles the memoized per-module taint computation: the sink
+// functions and the closure of nodes that reach one.
+type flowTaint struct {
+	sinks   map[*Node]string
+	tainted map[*Node]bool
+}
+
+func flowAnalyzer(spec flowSpec) *Analyzer {
+	a := &Analyzer{Name: spec.name, Doc: spec.doc}
+	a.Run = func(p *Pass) {
+		if !deterministicPkg(p.Module, p.Pkg) {
+			return
+		}
+		g := p.Module.CallGraph()
+		// Sinks and the reachability closure are module-level facts, computed
+		// once and shared across all restricted packages.
+		taint := g.memoized("flow:"+spec.name, func() any {
+			sinks := flowSinks(g, spec)
+			targets := make(map[*Node]bool, len(sinks))
+			for n := range sinks {
+				targets[n] = true
+			}
+			return &flowTaint{sinks: sinks, tainted: g.Reachers(targets)}
+		}).(*flowTaint)
+		sinks, tainted := taint.sinks, taint.tainted
+		if len(sinks) == 0 {
+			return
+		}
+		for _, n := range g.Nodes() {
+			if n.Pkg != p.Pkg {
+				continue
+			}
+			for _, e := range g.Callees(n) {
+				// Flag only the boundary crossing: a call whose callee is
+				// outside the deterministic scope and reaches a sink. Calls
+				// between restricted packages are covered at the eventual
+				// boundary edge, not on every hop.
+				if !tainted[e.Callee] || deterministicPkg(p.Module, e.Callee.Pkg) {
+					continue
+				}
+				p.Reportf(e.Site, "%s calls %s, which transitively reaches %s outside the deterministic scope; %s",
+					n.Short(), e.Callee.Short(), renderChain(g, e.Callee, sinks), spec.remedy)
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,224 @@
+package analysis
+
+// Goroutine hygiene, the invariants internal/parallel's contract is built
+// on, machine-checked module-wide:
+//
+//   - goroutine-leak: a spawned goroutine must have a visible termination
+//     path. The concrete shape this pass proves absent is an unbounded
+//     `for` loop with no exit — no return, no break, no select, no channel
+//     operation (a ctx.Done() select, a WaitGroup-coordinated drain and an
+//     exit-channel receive all count). The check follows the call graph, so
+//     `go t.loop()` is analyzed through loop's body and its callees.
+//
+//   - unbounded-spawn: `go` inside a loop multiplies goroutines by the
+//     iteration count. Fan-out must go through internal/parallel's bounded
+//     pool or hold a semaphore slot (a channel send or an Acquire call in
+//     the loop before the spawn).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// escapesLoop reports whether an unbounded `for` loop's body contains a way
+// out or a coordination point: return, break, goto, select, any channel
+// operation, or a range over a channel. Nested function literals are
+// excluded — code inside them runs on its own schedule.
+func escapesLoop(pkg *Package, body *ast.BlockStmt) bool {
+	escapes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt, *ast.SelectStmt, *ast.SendStmt:
+			escapes = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				escapes = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				escapes = true
+			}
+		case *ast.RangeStmt:
+			if pkg.Info != nil {
+				if t := pkg.Info.TypeOf(n.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						escapes = true
+					}
+				}
+			}
+		}
+		return !escapes
+	})
+	return escapes
+}
+
+// hasInescapableLoop reports whether a function body contains an unbounded
+// `for` loop with no escape.
+func hasInescapableLoop(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if loop, ok := n.(*ast.ForStmt); ok && loop.Cond == nil && !escapesLoop(pkg, loop.Body) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// leakClosure returns every node that contains — or can reach a node that
+// contains — an inescapable unbounded loop, memoized per module.
+func leakClosure(g *CallGraph) map[*Node]bool {
+	return g.memoized("goroutine-leak", func() any {
+		leaky := map[*Node]bool{}
+		for _, n := range g.Nodes() {
+			if n.Decl.Body != nil && hasInescapableLoop(n.Pkg, n.Decl.Body) {
+				leaky[n] = true
+			}
+		}
+		return g.Reachers(leaky)
+	}).(map[*Node]bool)
+}
+
+// callTargetsIn resolves every call inside body to module-declared nodes.
+func callTargetsIn(g *CallGraph, pkg *Package, body *ast.BlockStmt) []*Node {
+	var out []*Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, target := range resolveCallTargets(pkg, call.Fun, g.bindings) {
+			if node := g.nodeForObj(target); node != nil {
+				out = append(out, node)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func goroutineLeakAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "goroutine-leak",
+		Doc:  "flags go statements whose goroutine runs an unbounded loop with no termination path (no ctx.Done() select, channel op, return or break)",
+	}
+	a.Run = func(p *Pass) {
+		g := p.Module.CallGraph()
+		leaky := leakClosure(g)
+		p.walkFiles(func(file *ast.File, relName string) {
+			ast.Inspect(file, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if lit, isLit := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); isLit {
+					if hasInescapableLoop(p.Pkg, lit.Body) {
+						p.Reportf(gs.Pos(), "goroutine runs an unbounded loop with no termination path (no return, break, select or channel operation); select on ctx.Done() or an exit channel inside the loop")
+						return true
+					}
+					for _, target := range callTargetsIn(g, p.Pkg, lit.Body) {
+						if leaky[target] {
+							p.Reportf(gs.Pos(), "goroutine calls %s, which runs (or reaches) an unbounded loop with no termination path; select on ctx.Done() or an exit channel inside the loop", target.Short())
+							return true
+						}
+					}
+					return true
+				}
+				for _, target := range resolveCallTargets(p.Pkg, gs.Call.Fun, g.bindings) {
+					node := g.nodeForObj(target)
+					if node != nil && leaky[node] {
+						p.Reportf(gs.Pos(), "goroutine calls %s, which runs (or reaches) an unbounded loop with no termination path; select on ctx.Done() or an exit channel inside the loop", node.Short())
+						return true
+					}
+				}
+				return true
+			})
+		})
+	}
+	return a
+}
+
+// loopFrame is one enclosing loop during the unbounded-spawn walk.
+type loopFrame struct {
+	body *ast.BlockStmt
+}
+
+// semaphoreBefore reports whether the loop body acquires a slot before pos:
+// a channel send (`sem <- token{}`) or a call to an Acquire-named method.
+func semaphoreBefore(body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if n.Pos() < pos {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Acquire" && n.Pos() < pos {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func unboundedSpawnAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "unbounded-spawn",
+		Doc:  "flags go statements inside loops not mediated by internal/parallel or a semaphore acquire",
+	}
+	a.Run = func(p *Pass) {
+		// internal/parallel is the mediator the rest of the module is told
+		// to use; its own worker spawn loop is the one sanctioned site.
+		if p.InternalPath("internal/parallel") {
+			return
+		}
+		p.walkFiles(func(file *ast.File, relName string) {
+			var loops []loopFrame
+			var walk func(n ast.Node) bool
+			walk = func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ForStmt:
+					loops = append(loops, loopFrame{body: n.Body})
+					if n.Init != nil {
+						ast.Inspect(n.Init, walk)
+					}
+					ast.Inspect(n.Body, walk)
+					loops = loops[:len(loops)-1]
+					return false
+				case *ast.RangeStmt:
+					loops = append(loops, loopFrame{body: n.Body})
+					ast.Inspect(n.Body, walk)
+					loops = loops[:len(loops)-1]
+					return false
+				case *ast.GoStmt:
+					if len(loops) == 0 {
+						return true
+					}
+					for _, frame := range loops {
+						if semaphoreBefore(frame.body, n.Pos()) {
+							return true
+						}
+					}
+					p.Reportf(n.Pos(), "go statement inside a loop spawns without a bound; fan out through internal/parallel or acquire a semaphore slot before spawning")
+				}
+				return true
+			}
+			ast.Inspect(file, walk)
+		})
+	}
+	return a
+}

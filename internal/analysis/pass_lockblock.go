@@ -1,0 +1,284 @@
+package analysis
+
+// locked-blocking flags blocking operations performed while a sync.Mutex or
+// sync.RWMutex is provably held: channel sends and receives, selects without
+// a default, time.Sleep, and a curated set of blocking stdlib calls (os, io,
+// net, net/http). Holding a lock across a block point serializes every other
+// critical section behind I/O or scheduling latency — the exact failure mode
+// the serve layer's tenant registry must avoid under ingest load.
+//
+// The analysis is intraprocedural and deliberately conservative: a mutex
+// counts as held only between a syntactically visible x.Lock()/x.RLock() and
+// the matching x.Unlock()/x.RUnlock() on the same straight-line path (branch
+// bodies are analyzed with a copy of the held set). `defer x.Unlock()` keeps
+// the lock held to the end of the function, which is the pattern the pass is
+// most interested in. A `select` that carries a `default` clause is
+// non-blocking and exempt — that is the sanctioned shed-under-pressure shape
+// (see tenant.enqueueBatch). Function literals are separate schedules and are
+// walked independently with an empty held set.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opLock
+	opUnlock
+)
+
+// lockMethods maps types.Func.FullName() of the sync locking methods to
+// their effect on the held set. Read locks block writers just the same.
+var lockMethods = map[string]lockOp{
+	"(*sync.Mutex).Lock":      opLock,
+	"(*sync.Mutex).Unlock":    opUnlock,
+	"(*sync.Mutex).TryLock":   opLock,
+	"(*sync.RWMutex).Lock":    opLock,
+	"(*sync.RWMutex).Unlock":  opUnlock,
+	"(*sync.RWMutex).RLock":   opLock,
+	"(*sync.RWMutex).RUnlock": opUnlock,
+	"(*sync.RWMutex).TryLock": opLock,
+}
+
+// blockingStdlib names package-level stdlib calls that can block on I/O or
+// the scheduler; keyed by import path then selector.
+var blockingStdlib = map[string]map[string]bool{
+	"time":     {"Sleep": true},
+	"io":       {"Copy": true, "CopyN": true, "CopyBuffer": true, "ReadAll": true},
+	"os":       {"ReadFile": true, "WriteFile": true, "Open": true, "Create": true, "OpenFile": true},
+	"net":      {"Dial": true, "DialTimeout": true, "Listen": true},
+	"net/http": {"Get": true, "Post": true, "PostForm": true, "Head": true},
+}
+
+type lockWalker struct {
+	p    *Pass
+	file *ast.File
+}
+
+// lockOpOf classifies a call as a Lock/Unlock on a concrete sync mutex,
+// returning the receiver expression's text as the held-set key ("t.mu").
+func (w *lockWalker) lockOpOf(call *ast.CallExpr) (string, lockOp) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || w.p.Pkg.Info == nil {
+		return "", opNone
+	}
+	fn, ok := w.p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", opNone
+	}
+	op, ok := lockMethods[fn.FullName()]
+	if !ok {
+		return "", opNone
+	}
+	return types.ExprString(sel.X), op
+}
+
+// heldName returns a deterministic representative of the held set, or "".
+func heldName(held map[string]bool) string {
+	if len(held) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys[0]
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func (w *lockWalker) flag(pos token.Pos, what, mutex string) {
+	w.p.Reportf(pos, "%s while %s is held; move the blocking operation outside the critical section", what, mutex)
+}
+
+// exprs scans expressions (not statement bodies) for channel receives and
+// blocking stdlib calls, skipping function literals.
+func (w *lockWalker) exprs(held map[string]bool, list ...ast.Expr) {
+	mutex := heldName(held)
+	if mutex == "" {
+		return
+	}
+	for _, e := range list {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					w.flag(n.Pos(), "channel receive", mutex)
+				}
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if pkgPath, name, ok := pkgSelector(w.p.Pkg, w.file, sel); ok {
+						if names, ok := blockingStdlib[pkgPath]; ok && names[name] {
+							w.flag(n.Pos(), pkgPath+"."+name, mutex)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if key, op := w.lockOpOf(call); op != opNone {
+				if op == opLock {
+					held[key] = true
+				} else {
+					delete(held, key)
+				}
+				return
+			}
+		}
+		w.exprs(held, s.X)
+	case *ast.DeferStmt:
+		// defer x.Unlock() holds the lock to function end: no held change,
+		// every later statement is still inside the critical section.
+		if _, op := w.lockOpOf(s.Call); op != opNone {
+			return
+		}
+		w.exprs(held, s.Call.Args...)
+	case *ast.GoStmt:
+		// Argument expressions evaluate now; the spawned body does not.
+		w.exprs(held, s.Call.Args...)
+	case *ast.SendStmt:
+		if mutex := heldName(held); mutex != "" {
+			w.flag(s.Pos(), "channel send", mutex)
+		}
+		w.exprs(held, s.Chan, s.Value)
+	case *ast.AssignStmt:
+		w.exprs(held, append(append([]ast.Expr{}, s.Rhs...), s.Lhs...)...)
+	case *ast.ReturnStmt:
+		w.exprs(held, s.Results...)
+	case *ast.IncDecStmt:
+		w.exprs(held, s.X)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.exprs(held, s.Cond)
+		w.stmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		inner := copyHeld(held)
+		if s.Init != nil {
+			w.stmt(s.Init, inner)
+		}
+		w.exprs(inner, s.Cond)
+		w.stmts(s.Body.List, inner)
+	case *ast.RangeStmt:
+		// Ranging over a channel blocks per iteration.
+		if mutex := heldName(held); mutex != "" && w.p.Pkg.Info != nil {
+			if t := w.p.Pkg.Info.TypeOf(s.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					w.flag(s.Pos(), "range over channel", mutex)
+				}
+			}
+		}
+		w.exprs(held, s.X)
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.exprs(held, s.Tag)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := copyHeld(held)
+				w.exprs(inner, cc.List...)
+				w.stmts(cc.Body, inner)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if mutex := heldName(held); mutex != "" && !hasDefault {
+			w.flag(s.Pos(), "select without a default clause", mutex)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.exprs(held, vs.Values...)
+				}
+			}
+		}
+	}
+}
+
+func lockedBlockingAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "locked-blocking",
+		Doc:  "flags channel ops, selects without default, sleeps and blocking I/O while a sync.Mutex/RWMutex is held",
+	}
+	a.Run = func(p *Pass) {
+		p.walkFiles(func(file *ast.File, relName string) {
+			w := &lockWalker{p: p, file: file}
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				w.stmts(fd.Body.List, map[string]bool{})
+				// Function literals run on their own schedule: walk each
+				// with a fresh held set.
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						w.stmts(lit.Body.List, map[string]bool{})
+					}
+					return true
+				})
+			}
+		})
+	}
+	return a
+}

@@ -11,7 +11,12 @@ import (
 // //vet:allow directive.
 
 // wallRestricted lists the module-relative package prefixes that must stay
-// wall-clock-free.
+// wall-clock-free. The same list scopes the interprocedural flow passes
+// (walltime-flow, rand-flow): these are the packages whose behavior must be
+// a pure function of configuration and seed. cmd/ and examples/ stay outside
+// the list — they are entry points that may read the clock — but the flow
+// passes still protect against them laundering time back into this scope,
+// because any *call* from a listed package into such a helper is flagged.
 var wallRestricted = []string{
 	"internal/sim",
 	"internal/core",
@@ -29,6 +34,18 @@ var wallRestricted = []string{
 	"internal/parallel",
 	"internal/stream",
 	"internal/serve",
+	"internal/webui",
+}
+
+// deterministicPkg reports whether pkg is in the wall-clock-restricted
+// (deterministic) scope — shared by walltime and the flow passes.
+func deterministicPkg(mod *Module, pkg *Package) bool {
+	for _, prefix := range wallRestricted {
+		if mod.pkgUnder(pkg, prefix) {
+			return true
+		}
+	}
+	return false
 }
 
 // wallSelectors are the time-package selectors that read or react to the
@@ -51,14 +68,7 @@ func wallTimeAnalyzer() *Analyzer {
 		Doc:  "forbids wall-clock reads (time.Now & friends) in deterministic packages; inject a clock.Clock",
 	}
 	a.Run = func(p *Pass) {
-		restricted := false
-		for _, prefix := range wallRestricted {
-			if p.InternalPath(prefix) {
-				restricted = true
-				break
-			}
-		}
-		if !restricted {
+		if !deterministicPkg(p.Module, p.Pkg) {
 			return
 		}
 		p.walkFiles(func(file *ast.File, relName string) {

@@ -283,6 +283,152 @@ const (
 			want: nil,
 		},
 		{
+			name:       "goroutine-leak flags literal and transitive spin loops",
+			pass:       "goroutine-leak",
+			importPath: "fixturemod/internal/stream",
+			files: map[string]string{"a.go": `package stream
+
+var n int
+
+func spin() {
+	for { // inescapable: no return, break, select or channel op
+		n++
+	}
+}
+
+func Start(done chan struct{}) {
+	go func() { // flagged: literal spin loop
+		for {
+			n++
+		}
+	}()
+	go spin() // flagged: reaches spin's loop through the call graph
+	go func() { // exempt: selects on the exit channel
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+	go func() { n++ }() // exempt: terminates
+}
+`},
+			want: []wantFinding{
+				{file: "a.go", line: 12, fragment: "unbounded loop with no termination path"},
+				{file: "a.go", line: 17, fragment: "goroutine calls stream.spin"},
+			},
+		},
+		{
+			name:       "unbounded-spawn flags loop spawns without a bound",
+			pass:       "unbounded-spawn",
+			importPath: "fixturemod/internal/stream",
+			files: map[string]string{"a.go": `package stream
+
+func work(i int) {}
+
+func FanOut(jobs []int) {
+	for _, j := range jobs {
+		go work(j) // flagged: no bound
+	}
+	sem := make(chan struct{}, 4)
+	for _, j := range jobs {
+		sem <- struct{}{} // semaphore acquire
+		j := j
+		go func() { // exempt: bounded by sem
+			defer func() { <-sem }()
+			work(j)
+		}()
+	}
+	go work(0) // exempt: not in a loop
+}
+`},
+			want: []wantFinding{
+				{file: "a.go", line: 7, fragment: "spawns without a bound"},
+			},
+		},
+		{
+			name:       "unbounded-spawn exempts internal/parallel",
+			pass:       "unbounded-spawn",
+			importPath: "fixturemod/internal/parallel",
+			files: map[string]string{"a.go": `package parallel
+
+func Spawn(n int) {
+	for i := 0; i < n; i++ {
+		go func() {}()
+	}
+}
+`},
+			want: nil,
+		},
+		{
+			name:       "locked-blocking flags blocking ops inside critical sections",
+			pass:       "locked-blocking",
+			importPath: "fixturemod/internal/serve",
+			files: map[string]string{"a.go": `package serve
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (b *box) send() {
+	b.mu.Lock()
+	b.ch <- 1 // flagged: send while b.mu held
+	b.mu.Unlock()
+	b.ch <- 2 // exempt: lock released
+}
+
+func (b *box) deferred() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	time.Sleep(time.Millisecond) // flagged: defer holds to function end
+	return <-b.ch                // flagged: receive while held
+}
+
+func (b *box) shed(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // exempt: default clause makes it non-blocking
+	case b.ch <- v:
+	default:
+	}
+}
+
+func (b *box) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // flagged: no default
+	case <-b.ch:
+	}
+}
+`},
+			want: []wantFinding{
+				{file: "a.go", line: 15, fragment: "channel send while b.mu is held"},
+				{file: "a.go", line: 23, fragment: "time.Sleep while b.mu is held"},
+				{file: "a.go", line: 24, fragment: "channel receive while b.mu is held"},
+				{file: "a.go", line: 39, fragment: "select without a default clause while b.mu is held"},
+			},
+		},
+		{
+			name:       "walltime-flow stays quiet on a direct read (textual pass's territory)",
+			pass:       "walltime-flow",
+			importPath: "fixturemod/internal/sim",
+			files: map[string]string{"a.go": `package sim
+
+import "time"
+
+func now() time.Time { return time.Now() }
+`},
+			want: nil,
+		},
+		{
 			name:       "magic-alpha flags constants outside internal/stats",
 			pass:       "magic-alpha",
 			importPath: "fixturemod/internal/core",

@@ -8,10 +8,15 @@ func CodeAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		globalRandAnalyzer(),
 		wallTimeAnalyzer(),
+		wallTimeFlowAnalyzer(),
+		randFlowAnalyzer(),
 		floatEqAnalyzer(),
 		panicLibAnalyzer(),
 		errcheckIOAnalyzer(),
 		magicAlphaAnalyzer(),
+		goroutineLeakAnalyzer(),
+		unboundedSpawnAnalyzer(),
+		lockedBlockingAnalyzer(),
 	}
 }
 

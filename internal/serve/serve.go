@@ -66,6 +66,7 @@ func NewServer(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("serve: restore on boot: %w", err)
 		}
 		s.tenants[name] = t
+		//vet:allow unbounded-spawn -- one long-lived worker per restored tenant, bounded by the store's tenant count
 		go t.run()
 	}
 	s.routes()
