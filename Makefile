@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short test-stream test-serve race vet lint lint-json graph fmt fmt-check bench bench-parallel bench-stream demo-stream demo-serve report tables figures clean
+.PHONY: all check build test test-short test-stream test-serve race vet lint lint-json graph fmt fmt-check bench bench-parallel bench-stream bench-scale demo-stream demo-serve report tables figures clean
 
 all: check
 
@@ -77,6 +77,16 @@ bench-parallel:
 # verdicts, so the artifact is purely a wall-clock comparison.
 bench-stream:
 	$(GO) run ./cmd/causalfl bench -stream -out BENCH_stream.json
+
+# Fleet-size sweep: the sharded streaming engine (exact and ECDF-sketch
+# baselines) from 64 to 4096 services at a fixed reporting density. The
+# headline number is per-hop latency staying flat as the fleet grows; the
+# batch-per-tick comparison runs up to 512 services, where it is already
+# orders of magnitude off the pace. See docs/SCALING.md.
+bench-scale:
+	$(GO) run ./cmd/causalfl bench -stream \
+		-services 64,256,512,1024,2048,4096 -baseline 384 -sketch \
+		-out BENCH_stream.json
 
 # End-to-end streaming demo: train, watch a live session, break a service,
 # see the verdict timeline confirm it.

@@ -720,7 +720,7 @@ func BenchmarkStream_IncrementalHops(b *testing.B) {
 	w, model := streamBenchWorkload(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sl, err := stream.NewLocalizer(model, stream.LocalizerConfig{Window: 8})
+		sl, err := stream.NewLocalizer(model, stream.WithWindow(8))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -642,11 +642,15 @@ func cmdBench(ctx context.Context, args []string) error {
 	cf.register(fs)
 	out := fs.String("out", "", "write the benchmark JSON to this file (default stdout)")
 	streamMode := fs.Bool("stream", false, "benchmark the streaming engine against batch-per-tick recomputation instead of the causal-learning stages")
+	var sf streamBenchFlags
+	fs.StringVar(&sf.services, "services", "64", "with -stream: comma list of fleet sizes to sweep")
+	fs.IntVar(&sf.baseline, "baseline", 24, "with -stream: baseline series length per (metric, service) pair")
+	fs.BoolVar(&sf.sketch, "sketch", false, "with -stream: also time the bounded-memory ECDF-sketch engine")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *streamMode {
-		return benchStream(ctx, cf, *out)
+		return benchStream(ctx, cf, sf, *out)
 	}
 	cfg, err := cf.config()
 	if err != nil {

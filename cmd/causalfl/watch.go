@@ -82,17 +82,20 @@ func cmdWatch(ctx context.Context, args []string) error {
 		return err
 	}
 	live := ls.Config()
-	pipe, err := stream.NewPipeline(model, live.WindowLength, live.WindowHop, stream.PipelineConfig{
-		Set: live.Metrics,
-		Localizer: stream.LocalizerConfig{
-			Window:  *window,
-			HystK:   *hystK,
-			HystN:   *hystN,
-			Alpha:   *alpha,
-			FDR:     *fdr,
-			Workers: cf.workers,
-		},
-	})
+	opts := []stream.Option{
+		stream.WithMetricSet(live.Metrics),
+		stream.WithGeometry(live.WindowLength, live.WindowHop),
+		stream.WithWindow(*window),
+		stream.WithHysteresis(*hystK, *hystN),
+		stream.WithWorkers(cf.workers),
+	}
+	if *alpha != 0 {
+		opts = append(opts, stream.WithAlpha(*alpha))
+	}
+	if *fdr != 0 {
+		opts = append(opts, stream.WithFDR(*fdr))
+	}
+	pipe, err := stream.NewPipeline(model, opts...)
 	if err != nil {
 		return err
 	}

@@ -183,13 +183,12 @@ func reference(ctx context.Context, model *core.Model, live eval.Config, tcfg se
 	if err != nil {
 		return nil, err
 	}
-	pipe, err := stream.NewPipeline(model, live.WindowLength, live.WindowHop, stream.PipelineConfig{
-		Set: set,
-		Localizer: stream.LocalizerConfig{
-			Window: tcfg.Window,
-			FDR:    tcfg.FDR,
-		},
-	})
+	pipe, err := stream.NewPipeline(model,
+		stream.WithMetricSet(set),
+		stream.WithGeometry(live.WindowLength, live.WindowHop),
+		stream.WithWindow(tcfg.Window),
+		stream.WithFDR(tcfg.FDR),
+	)
 	if err != nil {
 		return nil, err
 	}

@@ -17,6 +17,7 @@ import (
 	"causalfl/internal/chaos"
 	"causalfl/internal/eval"
 	"causalfl/internal/sim"
+	"causalfl/internal/stats"
 	"causalfl/internal/stream"
 )
 
@@ -47,13 +48,12 @@ func run() error {
 		return err
 	}
 	live := ls.Config()
-	pipe, err := stream.NewPipeline(model, live.WindowLength, live.WindowHop, stream.PipelineConfig{
-		Set: live.Metrics,
-		Localizer: stream.LocalizerConfig{
-			Window: 8,
-			FDR:    0.05, // family-wise control keeps the healthy phase quiet
-		},
-	})
+	pipe, err := stream.NewPipeline(model,
+		stream.WithMetricSet(live.Metrics),
+		stream.WithGeometry(live.WindowLength, live.WindowHop),
+		stream.WithWindow(8),
+		stream.WithFDR(stats.DefaultAlpha), // family-wise control keeps the healthy phase quiet
+	)
 	if err != nil {
 		return err
 	}

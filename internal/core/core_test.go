@@ -339,10 +339,10 @@ func TestLocalizerValidation(t *testing.T) {
 	if _, err := NewLocalizer(WithVoteRule(VoteRule(99))); err == nil {
 		t.Error("accepted unknown vote rule")
 	}
-	if _, err := NewLocalizer(WithLocalizerAlpha(2)); err == nil {
+	if _, err := NewLocalizer(WithAlpha(2)); err == nil {
 		t.Error("accepted alpha 2")
 	}
-	if _, err := NewLocalizer(WithLocalizerTest(nil)); err == nil {
+	if _, err := NewLocalizer(WithTest(nil)); err == nil {
 		t.Error("accepted nil test")
 	}
 }
@@ -400,20 +400,21 @@ func TestModelValidateCatchesMissingSelf(t *testing.T) {
 	}
 }
 
-func TestAnomaliesDirectly(t *testing.T) {
+func TestDetectDirectly(t *testing.T) {
 	f := newFixture()
 	baseline := f.snapshot(nil)
 	production := f.snapshot(map[string]map[string]bool{
 		"m1": {"b": true, "d": true},
 	})
-	anom, err := Anomalies(stats.KSTest{}, 0.05, baseline, production, "m1")
+	cfg := DetectConfig{Test: stats.KSTest{}, Alpha: 0.05}
+	det, err := Detect(context.Background(), cfg, baseline, production, "m1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !setEqual(anom, "b", "d") {
-		t.Fatalf("anomalies = %v, want {b,d}", anom)
+	if !setEqual(det.Anomalous, "b", "d") {
+		t.Fatalf("anomalies = %v, want {b,d}", det.Anomalous)
 	}
-	if _, err := Anomalies(stats.KSTest{}, 0.05, baseline, production, "ghost"); err == nil {
+	if _, err := Detect(context.Background(), cfg, baseline, production, "ghost"); err == nil {
 		t.Error("accepted unknown metric")
 	}
 }

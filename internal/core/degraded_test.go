@@ -246,7 +246,7 @@ func TestLearnerMinSamplesOption(t *testing.T) {
 	if err != nil || l.minSamples != 10 {
 		t.Errorf("WithMinSamples not applied: %+v err=%v", l, err)
 	}
-	if _, err := NewLocalizer(WithLocalizerMinSamples(0)); err == nil {
+	if _, err := NewLocalizer(WithMinSamples(0)); err == nil {
 		t.Error("localizer accepted min samples 0")
 	}
 }

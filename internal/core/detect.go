@@ -139,34 +139,6 @@ func Detect(ctx context.Context, cfg DetectConfig, baseline, production *metrics
 	return &Detection{Anomalous: sortedSet(set), Tested: len(family)}, nil
 }
 
-// Anomalies computes the anomalous set A(M) for one metric with a per-test
-// alpha threshold and strict completeness.
-//
-// Deprecated: use Detect, which subsumes this and AnomaliesFDR behind one
-// configuration struct and adds context cancellation.
-func Anomalies(test stats.TwoSampleTest, alpha float64, baseline, production *metrics.Snapshot, metric string) ([]string, error) {
-	det, err := Detect(context.Background(), DetectConfig{Test: test, Alpha: alpha}, baseline, production, metric)
-	if err != nil {
-		return nil, err
-	}
-	return det.Anomalous, nil
-}
-
-// AnomaliesFDR is Anomalies with Benjamini-Hochberg FDR control at level q
-// over the per-service family instead of a per-test alpha.
-//
-// Deprecated: use Detect with DetectConfig.FDR set.
-func AnomaliesFDR(test stats.TwoSampleTest, q float64, baseline, production *metrics.Snapshot, metric string) ([]string, error) {
-	if q <= 0 || q >= 1 {
-		return nil, fmt.Errorf("core: FDR level must be in (0,1), got %v", q)
-	}
-	det, err := Detect(context.Background(), DetectConfig{Test: test, FDR: q}, baseline, production, metric)
-	if err != nil {
-		return nil, err
-	}
-	return det.Anomalous, nil
-}
-
 // DecideFamily turns a family of p-values into rejection decisions, either
 // with the paper's per-test alpha threshold or with BH FDR control when
 // fdrQ > 0. It is exported so the streaming detection engine

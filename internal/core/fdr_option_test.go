@@ -14,8 +14,8 @@ func TestWithFDRValidation(t *testing.T) {
 		if _, err := NewLearner(WithFDR(q)); err == nil {
 			t.Errorf("WithFDR(%v) accepted", q)
 		}
-		if _, err := NewLocalizer(WithLocalizerFDR(q)); err == nil {
-			t.Errorf("WithLocalizerFDR(%v) accepted", q)
+		if _, err := NewLocalizer(WithFDR(q)); err == nil {
+			t.Errorf("WithFDR(%v) accepted by NewLocalizer", q)
 		}
 	}
 	if _, err := NewLearner(WithFDR(0.1)); err != nil {
@@ -38,7 +38,7 @@ func TestFDRPipelineStillLocalizes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	localizer, err := NewLocalizer(WithLocalizerFDR(0.05))
+	localizer, err := NewLocalizer(WithFDR(0.05))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,16 +82,16 @@ func TestFDRSuppressesHealthyFalseAnomalies(t *testing.T) {
 	const trials = 20
 	for trial := 0; trial < trials; trial++ {
 		production = mk()
-		perTest, err := Anomalies(stats.KSTest{}, 0.05, baseline, production, "m")
+		perTest, err := Detect(context.Background(), DetectConfig{Test: stats.KSTest{}, Alpha: 0.05}, baseline, production, "m")
 		if err != nil {
 			t.Fatal(err)
 		}
-		fdr, err := AnomaliesFDR(stats.KSTest{}, 0.05, baseline, production, "m")
+		fdr, err := Detect(context.Background(), DetectConfig{Test: stats.KSTest{}, FDR: 0.05}, baseline, production, "m")
 		if err != nil {
 			t.Fatal(err)
 		}
-		perTestAnoms += len(perTest)
-		fdrAnoms += len(fdr)
+		perTestAnoms += len(perTest.Anomalous)
+		fdrAnoms += len(fdr.Anomalous)
 	}
 	if fdrAnoms >= perTestAnoms {
 		t.Fatalf("BH flagged %d healthy anomalies vs %d for per-test alpha; FDR should shrink the family-wise error",
@@ -99,10 +99,12 @@ func TestFDRSuppressesHealthyFalseAnomalies(t *testing.T) {
 	}
 }
 
-func TestAnomaliesFDRValidation(t *testing.T) {
+func TestDetectFDRValidation(t *testing.T) {
 	f := newFixture()
 	snap := f.snapshot(nil)
-	if _, err := AnomaliesFDR(stats.KSTest{}, 0, snap, snap, "m1"); err == nil {
-		t.Error("q=0 accepted")
+	for _, q := range []float64{-0.1, 1, 2} {
+		if _, err := Detect(context.Background(), DetectConfig{Test: stats.KSTest{}, FDR: q}, snap, snap, "m1"); err == nil {
+			t.Errorf("FDR=%v accepted", q)
+		}
 	}
 }

@@ -157,6 +157,16 @@ func (lo *Localizer) Localize(ctx context.Context, model *Model, production *met
 // evidence are the same computation. The Degradation field is left nil —
 // it describes a production snapshot, which Aggregate never sees.
 func (lo *Localizer) Aggregate(model *Model, detections []*Detection) (*Localization, error) {
+	return lo.aggregate(model, nil, detections)
+}
+
+// aggregate is the shared vote loop behind Aggregate (dense, idx nil) and
+// AggregateIndexed (sparse, idx non-nil). The two paths differ only in how a
+// metric's argmax is computed: the dense loop scores every trained target,
+// the sparse one scores only targets whose causal set intersects the anomaly
+// set — every skipped target scores zero and zero never wins, so the results
+// are identical (TestAggregateIndexedMatchesDense pins this).
+func (lo *Localizer) aggregate(model *Model, idx *CausalIndex, detections []*Detection) (*Localization, error) {
 	if model == nil {
 		return nil, fmt.Errorf("core: aggregate: nil model")
 	}
@@ -168,8 +178,15 @@ func (lo *Localizer) Aggregate(model *Model, detections []*Detection) (*Localiza
 			return nil, fmt.Errorf("core: aggregate: nil detection for metric %q", model.Metrics[i])
 		}
 	}
+	// The sparse path sizes the vote map for the handful of winners a hop
+	// produces, not the full target universe — at 4096 targets the dense
+	// hint alone would dominate a steady-state hop's allocations.
+	voteHint := len(model.Targets)
+	if idx != nil {
+		voteHint = 8
+	}
 	out := &Localization{
-		Votes:          make(map[string]float64, len(model.Targets)),
+		Votes:          make(map[string]float64, voteHint),
 		Anomalies:      make(map[string][]string, len(model.Metrics)),
 		MetricWinners:  make(map[string][]string, len(model.Metrics)),
 		MetricCoverage: make(map[string]float64, len(model.Metrics)),
@@ -195,33 +212,39 @@ func (lo *Localizer) Aggregate(model *Model, detections []*Detection) (*Localiza
 			// than vote for an arbitrary tie of everything.
 			continue
 		}
-		anomSet := make(map[string]bool, len(anom))
-		for _, s := range anom {
-			anomSet[s] = true
-		}
-
 		// s* = argmax_s score(A(M), C(s, M)) over trained targets.
-		best := -1.0
-		var winners []string
-		for _, target := range model.Targets {
-			set := model.CausalSets[metric][target]
-			var score float64
-			switch lo.rule {
-			case JaccardVote:
-				u := unionSize(set, anomSet)
-				if u > 0 {
-					score = float64(intersectionSize(set, anomSet)) / float64(u)
-				}
-			default:
-				score = float64(intersectionSize(set, anomSet))
+		var (
+			best    float64
+			winners []string
+		)
+		if idx != nil {
+			best, winners = idx.score(lo.rule, metric, anom)
+		} else {
+			anomSet := make(map[string]bool, len(anom))
+			for _, s := range anom {
+				anomSet[s] = true
 			}
-			switch {
-			case score > best:
-				best = score
-				winners = []string{target}
-			//vet:allow floateq -- tied targets compute the same integer ratio; exact tie detection is the vote-splitting rule
-			case score == best:
-				winners = append(winners, target)
+			best = -1.0
+			for _, target := range model.Targets {
+				set := model.CausalSets[metric][target]
+				var score float64
+				switch lo.rule {
+				case JaccardVote:
+					u := unionSize(set, anomSet)
+					if u > 0 {
+						score = float64(intersectionSize(set, anomSet)) / float64(u)
+					}
+				default:
+					score = float64(intersectionSize(set, anomSet))
+				}
+				switch {
+				case score > best:
+					best = score
+					winners = []string{target}
+				//vet:allow floateq -- tied targets compute the same integer ratio; exact tie detection is the vote-splitting rule
+				case score == best:
+					winners = append(winners, target)
+				}
 			}
 		}
 		if best <= 0 {
@@ -250,8 +273,12 @@ func (lo *Localizer) Aggregate(model *Model, detections []*Detection) (*Localiza
 	out.Candidates = argmaxVotes(out.Votes)
 	if len(out.Candidates) == 0 {
 		// No metric voted: return the uninformative full candidate set.
-		out.Candidates = append([]string(nil), model.Targets...)
-		sort.Strings(out.Candidates)
+		if idx != nil {
+			out.Candidates = append([]string(nil), idx.sortedTargets...)
+		} else {
+			out.Candidates = append([]string(nil), model.Targets...)
+			sort.Strings(out.Candidates)
+		}
 	}
 	return out, nil
 }

@@ -25,16 +25,6 @@ type settings struct {
 // (WithVoteRule) are validated but ignored by the other.
 type Option func(*settings) error
 
-// LearnerOption is a deprecated alias for Option.
-//
-// Deprecated: use Option. The learner and localizer share one option set.
-type LearnerOption = Option
-
-// LocalizerOption is a deprecated alias for Option.
-//
-// Deprecated: use Option. The learner and localizer share one option set.
-type LocalizerOption = Option
-
 // WithAlpha sets the significance level of the distribution-shift decision.
 // The learner defaults to DefaultAlpha; the localizer defaults to the trained
 // model's alpha.
@@ -115,26 +105,6 @@ func WithWorkers(n int) Option {
 		return nil
 	}
 }
-
-// WithLocalizerAlpha is a deprecated alias for WithAlpha.
-//
-// Deprecated: use WithAlpha.
-func WithLocalizerAlpha(alpha float64) Option { return WithAlpha(alpha) }
-
-// WithLocalizerTest is a deprecated alias for WithTest.
-//
-// Deprecated: use WithTest.
-func WithLocalizerTest(t stats.TwoSampleTest) Option { return WithTest(t) }
-
-// WithLocalizerFDR is a deprecated alias for WithFDR.
-//
-// Deprecated: use WithFDR.
-func WithLocalizerFDR(q float64) Option { return WithFDR(q) }
-
-// WithLocalizerMinSamples is a deprecated alias for WithMinSamples.
-//
-// Deprecated: use WithMinSamples.
-func WithLocalizerMinSamples(n int) Option { return WithMinSamples(n) }
 
 // applyOptions folds opts into a settings value seeded with defaults.
 func applyOptions(defaults settings, opts []Option) (settings, error) {

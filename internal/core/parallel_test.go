@@ -180,30 +180,33 @@ func TestCancelledContext(t *testing.T) {
 	}
 }
 
-// TestDetectMatchesDeprecatedWrappers pins the migration contract of the
-// unified API: Detect reproduces Anomalies and AnomaliesFDR exactly, and its
-// tolerant mode reproduces the strict result on a clean full grid.
-func TestDetectMatchesDeprecatedWrappers(t *testing.T) {
+// TestDetectInvariants pins the unified detection API's contracts: the
+// result is byte-identical at every worker count in both alpha and FDR mode,
+// tolerant mode reproduces the strict result on a clean full grid, and
+// invalid configuration is rejected.
+func TestDetectInvariants(t *testing.T) {
 	f := newFixture()
 	baseline := f.snapshot(nil)
 	production := f.snapshot(f.groundTruth()["a"])
 
 	for _, metric := range f.metrics {
-		wantAlpha, err := Anomalies(nil, 0.05, baseline, production, metric)
+		ref, err := Detect(context.Background(), DetectConfig{Alpha: 0.05, Workers: 1}, baseline, production, metric)
 		if err != nil {
 			t.Fatal(err)
 		}
-		wantFDR, err := AnomaliesFDR(nil, 0.05, baseline, production, metric)
+		wantAlpha := ref.Anomalous
+		refFDR, err := Detect(context.Background(), DetectConfig{FDR: 0.05, Workers: 1}, baseline, production, metric)
 		if err != nil {
 			t.Fatal(err)
 		}
+		wantFDR := refFDR.Anomalous
 		for _, workers := range []int{0, 1, 4} {
 			det, err := Detect(context.Background(), DetectConfig{Alpha: 0.05, Workers: workers}, baseline, production, metric)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if !setEqual(det.Anomalous, wantAlpha...) {
-				t.Fatalf("%s workers=%d: Detect alpha mode %v != Anomalies %v", metric, workers, det.Anomalous, wantAlpha)
+				t.Fatalf("%s workers=%d: Detect alpha mode %v != serial reference %v", metric, workers, det.Anomalous, wantAlpha)
 			}
 			if det.Tested != len(f.services) {
 				t.Fatalf("%s: tested %d services, want %d", metric, det.Tested, len(f.services))
@@ -213,7 +216,7 @@ func TestDetectMatchesDeprecatedWrappers(t *testing.T) {
 				t.Fatal(err)
 			}
 			if !setEqual(detFDR.Anomalous, wantFDR...) {
-				t.Fatalf("%s workers=%d: Detect FDR mode %v != AnomaliesFDR %v", metric, workers, detFDR.Anomalous, wantFDR)
+				t.Fatalf("%s workers=%d: Detect FDR mode %v != serial reference %v", metric, workers, detFDR.Anomalous, wantFDR)
 			}
 			tol, err := Detect(context.Background(), DetectConfig{Alpha: 0.05, Tolerant: true, Workers: workers}, baseline, production, metric)
 			if err != nil {

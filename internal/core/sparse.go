@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CausalIndex is the sparse vote-time representation of a model's causal
+// sets: an inverted index mapping, per metric, each service to the (sorted)
+// positions of the targets whose causal world contains it, plus the exact
+// size of every causal set. Built once per model, it lets the vote phase
+// score a metric in O(Σ_{s∈A} |postings(s)|) — the services with observed
+// shifts — instead of walking the dense target × service matrix, which is
+// what keeps a steady-state streaming hop flat as deployments grow to
+// thousands of services.
+//
+// The index is immutable after construction and safe for concurrent readers.
+type CausalIndex struct {
+	model *Model
+	// postings[metric][service] lists the indices into model.Targets (always
+	// ascending) of targets with service ∈ C(target, metric).
+	postings map[string]map[string][]int32
+	// setSizes[metric][ti] is |C(model.Targets[ti], metric)| — the union
+	// arithmetic for Jaccard scoring and the parsimony tie-break need sizes,
+	// never the members.
+	setSizes map[string][]int32
+	// sortedTargets caches sort.Strings(model.Targets) for the
+	// no-metric-voted fallback candidate set.
+	sortedTargets []string
+}
+
+// NewCausalIndex builds the inverted index for model. The model is validated
+// and must have duplicate-free causal sets (Learn emits sorted sets, which
+// are): a duplicated member would make the index's size-based union
+// arithmetic diverge from the dense reference, so it is rejected loudly.
+func NewCausalIndex(model *Model) (*CausalIndex, error) {
+	if model == nil {
+		return nil, fmt.Errorf("core: causal index: nil model")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, fmt.Errorf("core: causal index: %w", err)
+	}
+	idx := &CausalIndex{
+		model:    model,
+		postings: make(map[string]map[string][]int32, len(model.Metrics)),
+		setSizes: make(map[string][]int32, len(model.Metrics)),
+	}
+	for _, metric := range model.Metrics {
+		post := make(map[string][]int32)
+		sizes := make([]int32, len(model.Targets))
+		for ti, target := range model.Targets {
+			set := model.CausalSets[metric][target]
+			seen := make(map[string]bool, len(set))
+			for _, svc := range set {
+				if seen[svc] {
+					return nil, fmt.Errorf("core: causal index: duplicate service %q in C(%s, %s)", svc, target, metric)
+				}
+				seen[svc] = true
+				post[svc] = append(post[svc], int32(ti))
+			}
+			sizes[ti] = int32(len(set))
+		}
+		idx.postings[metric] = post
+		idx.setSizes[metric] = sizes
+	}
+	idx.sortedTargets = append([]string(nil), model.Targets...)
+	sort.Strings(idx.sortedTargets)
+	return idx, nil
+}
+
+// Model returns the model the index was built over.
+func (idx *CausalIndex) Model() *Model { return idx.model }
+
+// Postings reports the total number of (metric, service → target) index
+// entries — the sparse representation's size, Σ_M Σ_t |C(t, M)|.
+func (idx *CausalIndex) Postings() int {
+	total := 0
+	for _, post := range idx.postings {
+		for _, ts := range post {
+			total += len(ts)
+		}
+	}
+	return total
+}
+
+// score computes the metric's argmax over targets touched by the anomaly set
+// anom (sorted, duplicate-free — a Detection's Anomalous slice). Targets with
+// an empty intersection score zero under both rules and can never win (the
+// caller discards best <= 0), so skipping them reproduces the dense loop's
+// result exactly; winners come out in ascending model.Targets order, the
+// dense iteration order.
+func (idx *CausalIndex) score(rule VoteRule, metric string, anom []string) (float64, []string) {
+	post := idx.postings[metric]
+	counts := make(map[int32]int32, 8)
+	for _, s := range anom {
+		for _, ti := range post[s] {
+			counts[ti]++
+		}
+	}
+	if len(counts) == 0 {
+		return 0, nil
+	}
+	touched := make([]int32, 0, len(counts))
+	for ti := range counts {
+		touched = append(touched, ti)
+	}
+	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+	sizes := idx.setSizes[metric]
+	best := -1.0
+	var winners []string
+	for _, ti := range touched {
+		c := counts[ti]
+		var score float64
+		if rule == JaccardVote {
+			// |C ∪ A| = |C| + |A| − |C ∩ A|; both sets are duplicate-free.
+			u := int(sizes[ti]) + len(anom) - int(c)
+			score = float64(c) / float64(u)
+		} else {
+			score = float64(c)
+		}
+		switch {
+		case score > best:
+			best = score
+			winners = []string{idx.model.Targets[ti]}
+		//vet:allow floateq -- tied targets compute the same integer ratio; exact tie detection is the vote-splitting rule
+		case score == best:
+			winners = append(winners, idx.model.Targets[ti])
+		}
+	}
+	return best, winners
+}
+
+// AggregateIndexed is Aggregate running over the sparse index instead of the
+// dense causal matrix: same inputs (one Detection per model metric, aligned
+// by index), bit-identical output, cost proportional to the anomaly evidence
+// rather than the deployment width. The streaming localizer uses it on every
+// hop; the dense Aggregate remains the conformance reference.
+func (lo *Localizer) AggregateIndexed(idx *CausalIndex, detections []*Detection) (*Localization, error) {
+	if idx == nil {
+		return nil, fmt.Errorf("core: aggregate: nil causal index")
+	}
+	return lo.aggregate(idx.model, idx, detections)
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"causalfl/internal/metrics"
+)
+
+// randomModel builds a valid model over n services with random causal sets
+// (each target's set contains itself plus a random subset of the services).
+func randomModel(rng *rand.Rand, n int) *Model {
+	services := make([]string, n)
+	for i := range services {
+		services[i] = fmt.Sprintf("svc-%03d", i)
+	}
+	names := []string{"cpu", "rps", "lat"}
+	targets := append([]string(nil), services...)
+	sets := make(map[string]map[string][]string, len(names))
+	for _, m := range names {
+		per := make(map[string][]string, len(targets))
+		for _, t := range targets {
+			members := map[string]bool{t: true}
+			for k := rng.Intn(4); k > 0; k-- {
+				members[services[rng.Intn(n)]] = true
+			}
+			set := make([]string, 0, len(members))
+			for s := range members {
+				set = append(set, s)
+			}
+			sort.Strings(set)
+			per[t] = set
+		}
+		sets[m] = per
+	}
+	return &Model{
+		Services:   services,
+		Metrics:    names,
+		Targets:    targets,
+		CausalSets: sets,
+		Baseline:   metrics.NewSnapshot(names, services),
+		Alpha:      DefaultAlpha,
+	}
+}
+
+// randomDetections builds one detection per model metric with a random
+// anomaly subset, exercising dark metrics, clean metrics and partial
+// coverage.
+func randomDetections(rng *rand.Rand, model *Model) []*Detection {
+	out := make([]*Detection, len(model.Metrics))
+	for i := range out {
+		switch rng.Intn(6) {
+		case 0: // dark metric
+			out[i] = &Detection{Anomalous: []string{}, Tested: 0}
+		case 1: // clean metric
+			out[i] = &Detection{Anomalous: []string{}, Tested: len(model.Services)}
+		default:
+			members := map[string]bool{}
+			for k := 1 + rng.Intn(4); k > 0; k-- {
+				members[model.Services[rng.Intn(len(model.Services))]] = true
+			}
+			anom := make([]string, 0, len(members))
+			for s := range members {
+				anom = append(anom, s)
+			}
+			sort.Strings(anom)
+			tested := len(anom) + rng.Intn(len(model.Services)-len(anom)+1)
+			out[i] = &Detection{Anomalous: anom, Tested: tested}
+		}
+	}
+	return out
+}
+
+// TestAggregateIndexedMatchesDense is the sparse path's conformance property:
+// over random models, random anomaly evidence and every vote rule, the
+// indexed aggregation is DeepEqual to the dense reference.
+func TestAggregateIndexedMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		model := randomModel(rng, 3+rng.Intn(30))
+		idx, err := NewCausalIndex(model)
+		if err != nil {
+			t.Fatalf("trial %d: NewCausalIndex: %v", trial, err)
+		}
+		for _, rule := range []VoteRule{IntersectionVote, JaccardVote, PureIntersectionVote} {
+			lo, err := NewLocalizer(WithVoteRule(rule))
+			if err != nil {
+				t.Fatal(err)
+			}
+			detections := randomDetections(rng, model)
+			want, err1 := lo.Aggregate(model, detections)
+			got, err2 := lo.AggregateIndexed(idx, detections)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("trial %d rule %v: dense err=%v sparse err=%v", trial, rule, err1, err2)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d rule %v: sparse diverges from dense\n dense: %+v\nsparse: %+v", trial, rule, want, got)
+			}
+		}
+	}
+}
+
+func TestCausalIndexValidation(t *testing.T) {
+	if _, err := NewCausalIndex(nil); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	rng := rand.New(rand.NewSource(1))
+	model := randomModel(rng, 5)
+	model.CausalSets["cpu"][model.Targets[0]] = []string{model.Targets[0], "svc-001", "svc-001"}
+	if _, err := NewCausalIndex(model); err == nil {
+		t.Fatal("duplicated causal-set member accepted")
+	}
+
+	model = randomModel(rng, 5)
+	idx, err := NewCausalIndex(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Model() != model {
+		t.Fatal("Model() does not return the indexed model")
+	}
+	wantPostings := 0
+	for _, per := range model.CausalSets {
+		for _, set := range per {
+			wantPostings += len(set)
+		}
+	}
+	if got := idx.Postings(); got != wantPostings {
+		t.Fatalf("Postings = %d, want %d", got, wantPostings)
+	}
+
+	lo, err := NewLocalizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lo.AggregateIndexed(nil, nil); err == nil {
+		t.Fatal("nil index accepted")
+	}
+	if _, err := lo.AggregateIndexed(idx, nil); err == nil {
+		t.Fatal("misaligned detections accepted")
+	}
+}

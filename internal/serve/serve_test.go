@@ -139,8 +139,7 @@ func (fx *fixture) wantTimeline(t testing.TB, cfg TenantConfig) []*stream.Verdic
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := stream.NewPipeline(fx.model, cfg.WindowLength, cfg.WindowHop,
-		stream.PipelineConfig{Set: set, Localizer: cfg.localizer()})
+	p, err := stream.NewPipeline(fx.model, cfg.streamOptions(set)...)
 	if err != nil {
 		t.Fatal(err)
 	}

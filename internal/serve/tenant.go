@@ -41,8 +41,8 @@ type TenantConfig struct {
 	// model's metric names. Empty selects "raw-all". Presets rather than
 	// arbitrary sets because extractor functions are not serializable.
 	Preset string `json:"preset,omitempty"`
-	// Window, HystK, HystN, Alpha, FDR, MinSamples, Workers and Rule are
-	// stream.LocalizerConfig verbatim.
+	// Window, HystK, HystN, Alpha, FDR, MinSamples, Workers and Rule map
+	// onto the stream option set (WithWindow, WithHysteresis, ...).
 	Window     int           `json:"window"`
 	HystK      int           `json:"hyst_k,omitempty"`
 	HystN      int           `json:"hyst_n,omitempty"`
@@ -51,6 +51,12 @@ type TenantConfig struct {
 	MinSamples int           `json:"min_samples,omitempty"`
 	Workers    int           `json:"workers,omitempty"`
 	Rule       core.VoteRule `json:"rule,omitempty"`
+	// SketchEps, when positive, switches the tenant's baselines to
+	// bounded-memory ECDF sketches (stream.WithSketch) with this error
+	// budget. Shards overrides the detector shard count (stream.WithShards);
+	// zero keeps the stream default.
+	SketchEps float64 `json:"sketch_eps,omitempty"`
+	Shards    int     `json:"shards,omitempty"`
 	// QueueCap bounds the ingest queue in batches (one POST = one batch);
 	// a full queue sheds with 429. SnapshotEvery snapshots after every N
 	// processed batches (counted, not timed — the serving path is walltime-
@@ -79,13 +85,42 @@ func (c TenantConfig) withDefaults() TenantConfig {
 	return c
 }
 
-// localizer maps the tenant config onto the stream engine's config.
-func (c TenantConfig) localizer() stream.LocalizerConfig {
-	return stream.LocalizerConfig{
-		Window: c.Window, HystK: c.HystK, HystN: c.HystN,
-		Alpha: c.Alpha, FDR: c.FDR, MinSamples: c.MinSamples,
-		Workers: c.Workers, Rule: c.Rule,
+// streamOptions maps the tenant config onto the stream option set. Window is
+// always forwarded (a zero window must be rejected, not defaulted — the
+// snapshot contract needs the configured value); the remaining knobs are
+// forwarded only when set, so zero values keep the stream defaults and the
+// option constructors validate anything out of range.
+func (c TenantConfig) streamOptions(set []metrics.Metric) []stream.Option {
+	opts := []stream.Option{
+		stream.WithMetricSet(set),
+		stream.WithGeometry(c.WindowLength, c.WindowHop),
+		stream.WithWindow(c.Window),
 	}
+	if c.HystK != 0 || c.HystN != 0 {
+		opts = append(opts, stream.WithHysteresis(c.HystK, c.HystN))
+	}
+	if c.Alpha != 0 {
+		opts = append(opts, stream.WithAlpha(c.Alpha))
+	}
+	if c.FDR != 0 {
+		opts = append(opts, stream.WithFDR(c.FDR))
+	}
+	if c.MinSamples != 0 {
+		opts = append(opts, stream.WithMinSamples(c.MinSamples))
+	}
+	if c.Workers != 0 {
+		opts = append(opts, stream.WithWorkers(c.Workers))
+	}
+	if c.Rule != 0 {
+		opts = append(opts, stream.WithVoteRule(c.Rule))
+	}
+	if c.SketchEps != 0 {
+		opts = append(opts, stream.WithSketch(c.SketchEps))
+	}
+	if c.Shards != 0 {
+		opts = append(opts, stream.WithShards(c.Shards))
+	}
+	return opts
 }
 
 // SeqVerdict is one verdict on a tenant's retained timeline, stamped with its
@@ -186,8 +221,7 @@ func newTenant(name string, cfg TenantConfig, model *core.Model, store *Store, s
 	if err != nil {
 		return nil, fmt.Errorf("serve: tenant %q: %w", name, err)
 	}
-	pipe, err := stream.NewPipeline(model, cfg.WindowLength, cfg.WindowHop,
-		stream.PipelineConfig{Set: set, Localizer: cfg.localizer()})
+	pipe, err := stream.NewPipeline(model, cfg.streamOptions(set)...)
 	if err != nil {
 		return nil, fmt.Errorf("serve: tenant %q: %w", name, err)
 	}

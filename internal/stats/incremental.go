@@ -24,9 +24,21 @@ import (
 // window is the retained arrival-order suffix with non-finite values dropped
 // (the same finiteValues filtering the tolerant detection path applies).
 // FuzzIncrementalKS cross-checks this invariant.
+// Sketch mode (NewIncrementalKSSketch) replaces the retained baseline with a
+// bounded-memory ECDFSketch: per-pair memory drops from O(len(baseline)) to
+// O(1/eps) and the KS statistic is computed against the sketched baseline
+// ECDF, within ECDFSketch.ErrorBound of the exact statistic — and bit-equal
+// to it whenever len(baseline) ≤ SketchCutoff(eps). The guard's trimmed
+// baseline mean is computed exactly at construction either way.
 type IncrementalKS struct {
-	// base is the baseline sample, sorted once.
+	// base is the baseline sample, sorted once. Nil in sketch mode, where sk
+	// carries the baseline summary instead.
 	base []float64
+	// sk is the bounded-memory baseline summary; non-nil selects sketch mode.
+	sk *ECDFSketch
+	// baseN is the original baseline sample size (len(base) in exact mode);
+	// the p-value's effective-sample-size arithmetic uses it in both modes.
+	baseN int
 	// baseTrimmed caches trimmedMeanSorted(base, DefaultTrim) for the
 	// practical-equivalence guard, which would otherwise recompute it on
 	// every hop.
@@ -57,11 +69,50 @@ func NewIncrementalKS(baseline []float64, window int) (*IncrementalKS, error) {
 	sortFloat64s(base)
 	return &IncrementalKS{
 		base:        base,
+		baseN:       len(base),
 		baseTrimmed: trimmedMeanSorted(base, DefaultTrim),
 		ring:        make([]float64, 0, window),
 		sorted:      make([]float64, 0, window),
 	}, nil
 }
+
+// NewIncrementalKSSketch is NewIncrementalKS with the baseline summarized by
+// an ECDFSketch of error budget eps instead of retained exactly: the state
+// holds O(1/eps) baseline anchors plus the window, regardless of baseline
+// length. The window side is untouched (same ring, same restore semantics),
+// the guard's baseline trimmed mean is computed exactly before the baseline
+// is dropped, and whenever len(baseline) ≤ SketchCutoff(eps) the sketch is
+// lossless and every statistic matches the exact state bit for bit.
+func NewIncrementalKSSketch(baseline []float64, window int, eps float64) (*IncrementalKS, error) {
+	if len(baseline) == 0 {
+		return nil, fmt.Errorf("stats: incremental ks: empty baseline")
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("stats: incremental ks: window must be >= 1, got %d", window)
+	}
+	base := make([]float64, len(baseline))
+	copy(base, baseline)
+	for _, v := range base {
+		if !isFinite(v) {
+			return nil, fmt.Errorf("stats: incremental ks: sketch baseline must be finite, got %v", v)
+		}
+	}
+	sortFloat64s(base)
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("stats: sketch eps must be in (0,1), got %v", eps)
+	}
+	return &IncrementalKS{
+		sk:          newECDFSketchSorted(base, eps),
+		baseN:       len(base),
+		baseTrimmed: trimmedMeanSorted(base, DefaultTrim),
+		ring:        make([]float64, 0, window),
+		sorted:      make([]float64, 0, window),
+	}, nil
+}
+
+// Sketch returns the baseline sketch, or nil when the state retains the
+// baseline exactly.
+func (k *IncrementalKS) Sketch() *ECDFSketch { return k.sk }
 
 // Push appends one production value, evicting the oldest when the window is
 // full. Non-finite values age through the ring like any other but never
@@ -111,8 +162,9 @@ func (k *IncrementalKS) Len() int { return len(k.sorted) }
 // aged out).
 func (k *IncrementalKS) Pushed() int { return k.n }
 
-// BaselineLen reports the baseline sample size.
-func (k *IncrementalKS) BaselineLen() int { return len(k.base) }
+// BaselineLen reports the baseline sample size — the original size in sketch
+// mode, where the values themselves are no longer retained.
+func (k *IncrementalKS) BaselineLen() int { return k.baseN }
 
 // Window materializes the retained values in arrival order (a copy),
 // non-finite entries included. It is the exact series a batch consumer would
@@ -132,14 +184,22 @@ func (k *IncrementalKS) D() (float64, error) {
 	if len(k.sorted) == 0 {
 		return 0, fmt.Errorf("stats: incremental ks: empty window")
 	}
+	if k.sk != nil {
+		return ksDistanceSketch(k.sorted, k.sk), nil
+	}
 	return ksDistanceSorted(k.sorted, k.base), nil
 }
 
 // PValue returns KSTest{}.PValue(window, baseline) without re-sorting either
-// sample.
+// sample. In sketch mode the D statistic comes from the sketched baseline
+// ECDF (within the sketch's error bound of exact; bit-identical when the
+// sketch is lossless).
 func (k *IncrementalKS) PValue() (float64, error) {
 	if len(k.sorted) == 0 {
 		return 0, fmt.Errorf("stats: ks first sample: stats: ECDF of empty sample")
+	}
+	if k.sk != nil {
+		return ksPValueSketch(k.sorted, k.sk), nil
 	}
 	return ksPValueSorted(k.sorted, k.base), nil
 }
@@ -150,7 +210,7 @@ func (k *IncrementalKS) PValue() (float64, error) {
 // selects DefaultRelTol, matching the guard's defaulting.
 func (k *IncrementalKS) GuardedPValue(relTol float64) (float64, error) {
 	if len(k.sorted) == 0 {
-		return 0, fmt.Errorf("stats: guarded test needs non-empty samples (|x|=%d |y|=%d)", len(k.sorted), len(k.base))
+		return 0, fmt.Errorf("stats: guarded test needs non-empty samples (|x|=%d |y|=%d)", len(k.sorted), k.baseN)
 	}
 	tol := relTol
 	if tol == 0 {
@@ -167,6 +227,9 @@ func (k *IncrementalKS) GuardedPValue(relTol float64) (float64, error) {
 	}
 	if scale == 0 || diff <= tol*scale {
 		return 1, nil
+	}
+	if k.sk != nil {
+		return ksPValueSketch(k.sorted, k.sk), nil
 	}
 	return ksPValueSorted(k.sorted, k.base), nil
 }

@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultSketchEps is the rank-error budget a sketch is built with when the
+// caller does not pick one. At 0.05 the sketch keeps k = ⌈2/ε⌉ = 40 anchors,
+// which stores the paper apps' ~19–24-window baselines exactly (n ≤ k) while
+// compressing the multi-hundred-sample baselines wide deployments retain.
+const DefaultSketchEps = 0.05
+
+// ECDFSketch is a bounded-memory summary of a fixed sample's empirical CDF
+// with a deterministic, provable rank-error bound:
+//
+//	0 ≤ F(x) − F̃(x) ≤ (⌈n/k⌉−1)/n < ε  for every x, where k = ⌈2/ε⌉.
+//
+// Construction keeps k anchor order statistics at target ranks ⌈j·n/k⌉,
+// j = 1..k, each stored with its exact rank (the count of sample values ≤ the
+// anchor). Between anchors the sketch answers with the rank of the last
+// anchor at or below x, so the estimate is one-sided (never above the true
+// ECDF) and the gap is bounded by the largest rank step between consecutive
+// targets. When n ≤ k every distinct value is an anchor and the sketch
+// reproduces the exact ECDF; SketchCutoff reports that threshold.
+//
+// Unlike randomized KLL/t-digest summaries the construction draws no
+// randomness, so sketch-backed detectors stay bit-reproducible across runs —
+// the same determinism contract the exact path is held to (and that
+// causalfl-vet's rand-flow pass enforces for this package).
+type ECDFSketch struct {
+	// n is the original sample size; ranks are exact counts out of n.
+	n   int
+	eps float64
+	// cuts are the distinct anchor values, ascending; the last is the sample
+	// maximum. ranks[i] is the exact number of sample values ≤ cuts[i], so
+	// ranks[len-1] == n.
+	cuts  []float64
+	ranks []int
+}
+
+// SketchCutoff returns k = ⌈2/ε⌉, the anchor budget for error bound eps. A
+// sample of size n ≤ k is stored exactly (zero rank error), which is what
+// makes sketch↔exact verdict parity provable at paper scale.
+func SketchCutoff(eps float64) int {
+	if eps <= 0 || eps >= 1 {
+		return 0
+	}
+	return int(math.Ceil(2 / eps))
+}
+
+// NewECDFSketch summarizes sample with rank-error budget eps in (0,1). The
+// input is copied; every value must be finite (a baseline with NaN/±Inf holes
+// has no well-defined order statistics to anchor on — sanitize first).
+func NewECDFSketch(sample []float64, eps float64) (*ECDFSketch, error) {
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("stats: sketch of empty sample")
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("stats: sketch eps must be in (0,1), got %v", eps)
+	}
+	for _, v := range sample {
+		if !isFinite(v) {
+			return nil, fmt.Errorf("stats: sketch sample must be finite, got %v", v)
+		}
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	return newECDFSketchSorted(s, eps), nil
+}
+
+// newECDFSketchSorted builds the sketch over an already-sorted finite sample.
+// The slice is only read during construction and not retained.
+func newECDFSketchSorted(sorted []float64, eps float64) *ECDFSketch {
+	n := len(sorted)
+	k := SketchCutoff(eps)
+	sk := &ECDFSketch{n: n, eps: eps}
+	if n <= k {
+		// Small sample: one anchor per distinct value, exact ECDF.
+		for i := 0; i < n; i++ {
+			if i+1 < n && sorted[i+1] == sorted[i] { //vet:allow floateq -- duplicate collapse over exact stored values
+				continue
+			}
+			sk.cuts = append(sk.cuts, sorted[i])
+			sk.ranks = append(sk.ranks, i+1)
+		}
+		return sk
+	}
+	sk.cuts = make([]float64, 0, k)
+	sk.ranks = make([]int, 0, k)
+	for j := 1; j <= k; j++ {
+		// Target rank ⌈j·n/k⌉ in 1-based order statistics; j=k hits n, so
+		// the last anchor is always the sample maximum.
+		t := (j*n + k - 1) / k
+		v := sorted[t-1]
+		// Exact rank of v: advance to the last index holding v. Duplicated
+		// anchors collapse onto one cut carrying that rank.
+		r := t
+		for r < n && sorted[r] == v { //vet:allow floateq -- duplicate run walk over exact stored values
+			r++
+		}
+		if m := len(sk.cuts); m > 0 && sk.cuts[m-1] == v { //vet:allow floateq -- duplicate collapse over exact stored values
+			sk.ranks[m-1] = r
+			continue
+		}
+		sk.cuts = append(sk.cuts, v)
+		sk.ranks = append(sk.ranks, r)
+	}
+	return sk
+}
+
+// At returns F̃(x), the sketched estimate of P(X ≤ x).
+func (s *ECDFSketch) At(x float64) float64 {
+	// First anchor with value > x; the previous one carries the rank.
+	idx := sort.Search(len(s.cuts), func(i int) bool { return s.cuts[i] > x })
+	if idx == 0 {
+		return 0
+	}
+	return float64(s.ranks[idx-1]) / float64(s.n)
+}
+
+// N returns the summarized sample's size.
+func (s *ECDFSketch) N() int { return s.n }
+
+// Size returns the number of retained anchors — the sketch's memory footprint
+// in values, at most ⌈2/ε⌉ regardless of n.
+func (s *ECDFSketch) Size() int { return len(s.cuts) }
+
+// Eps returns the error budget the sketch was built with.
+func (s *ECDFSketch) Eps() float64 { return s.eps }
+
+// ErrorBound returns the sketch's actual worst-case rank error
+// (⌈n/k⌉−1)/n — zero when the sample fit entirely (n ≤ k), always strictly
+// below the requested eps otherwise. FuzzSketchRankError asserts At never
+// deviates from the exact ECDF by more than this.
+func (s *ECDFSketch) ErrorBound() float64 {
+	k := SketchCutoff(s.eps)
+	if s.n <= k {
+		return 0
+	}
+	step := (s.n + k - 1) / k
+	return float64(step-1) / float64(s.n)
+}
+
+// ksDistanceSketch is ksDistanceSorted with the second sample replaced by its
+// sketch: D̃ = sup_x |F_a(x) − F̃_b(x)| over the merged support of a and the
+// anchor cuts. Because F̃_b is within ErrorBound of F_b everywhere,
+// |D̃ − D| ≤ ErrorBound; when the sketch is exact (n ≤ k) the walk visits the
+// same step function and D̃ == D bit for bit.
+func ksDistanceSketch(a []float64, b *ECDFSketch) float64 {
+	var d float64
+	i, j := 0, 0
+	na, nb := float64(len(a)), float64(b.n)
+	for i < len(a) && j < len(b.cuts) {
+		x := a[i]
+		if b.cuts[j] < x {
+			x = b.cuts[j]
+		}
+		for i < len(a) && a[i] <= x {
+			i++
+		}
+		for j < len(b.cuts) && b.cuts[j] <= x {
+			j++
+		}
+		fb := 0.0
+		if j > 0 {
+			fb = float64(b.ranks[j-1]) / nb
+		}
+		diff := abs(float64(i)/na - fb)
+		if diff > d {
+			d = diff
+		}
+	}
+	fb := 0.0
+	if j > 0 {
+		fb = float64(b.ranks[j-1]) / nb
+	}
+	diff := abs(float64(i)/na - fb)
+	if diff > d {
+		d = diff
+	}
+	return d
+}
+
+// ksPValueSketch mirrors ksPValueSorted with the baseline side sketched: the
+// D statistic comes from the sketch walk and the effective-sample-size
+// arithmetic uses the original baseline size the sketch summarizes, so an
+// exact-regime sketch (n ≤ k) yields a bit-identical p-value.
+func ksPValueSketch(a []float64, b *ECDFSketch) float64 {
+	d := ksDistanceSketch(a, b)
+	n := float64(len(a))
+	m := float64(b.n)
+	ne := n * m / (n + m)
+	sq := math.Sqrt(ne)
+	lambda := (sq + 0.12 + 0.11/sq) * d
+	return kolmogorovQ(lambda)
+}

@@ -123,7 +123,7 @@ func TestLocalizerHysteresis(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sl, err := stream.NewLocalizer(w.Model(), stream.LocalizerConfig{Window: 6, HystK: 3, HystN: 5})
+	sl, err := stream.NewLocalizer(w.Model(), stream.WithWindow(6), stream.WithHysteresis(3, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,21 +162,39 @@ func TestLocalizerHysteresis(t *testing.T) {
 	}
 }
 
-func TestLocalizerConfigValidation(t *testing.T) {
+func TestLocalizerOptionValidation(t *testing.T) {
 	w, err := stream.NewSynth(stream.SynthConfig{Services: 2, Metrics: 1, BaselineLen: 6, Hops: 0, Seed: 1, FaultService: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := stream.NewLocalizer(nil, stream.LocalizerConfig{Window: 4}); err == nil {
+	if _, err := stream.NewLocalizer(nil, stream.WithWindow(4)); err == nil {
 		t.Fatal("nil model accepted")
 	}
-	if _, err := stream.NewLocalizer(w.Model(), stream.LocalizerConfig{Window: 0}); err == nil {
+	if _, err := stream.NewLocalizer(w.Model(), stream.WithWindow(0)); err == nil {
 		t.Fatal("zero window accepted")
 	}
-	if _, err := stream.NewLocalizer(w.Model(), stream.LocalizerConfig{Window: 4, HystK: 3, HystN: 2}); err == nil {
+	if _, err := stream.NewLocalizer(w.Model(), stream.WithWindow(4), stream.WithHysteresis(3, 2)); err == nil {
 		t.Fatal("K > N accepted")
 	}
-	if _, err := stream.NewLocalizer(w.Model(), stream.LocalizerConfig{Window: 4, FDR: 1.5}); err == nil {
+	if _, err := stream.NewLocalizer(w.Model(), stream.WithWindow(4), stream.WithFDR(1.5)); err == nil {
 		t.Fatal("out-of-range FDR accepted")
+	}
+	if _, err := stream.NewLocalizer(w.Model(), stream.WithWindow(4), stream.WithAlpha(1.5)); err == nil {
+		t.Fatal("out-of-range alpha accepted")
+	}
+	if _, err := stream.NewLocalizer(w.Model(), stream.WithWindow(4), stream.WithWorkers(-1)); err == nil {
+		t.Fatal("negative worker count accepted")
+	}
+	if _, err := stream.NewLocalizer(w.Model(), stream.WithWindow(4), stream.WithShards(0)); err == nil {
+		t.Fatal("zero shard count accepted")
+	}
+	if _, err := stream.NewLocalizer(w.Model(), stream.WithWindow(4), stream.WithSketch(1.5)); err == nil {
+		t.Fatal("out-of-range sketch eps accepted")
+	}
+	if _, err := stream.NewLocalizer(w.Model(), stream.WithWindow(4), stream.WithMinSamples(0)); err == nil {
+		t.Fatal("zero min samples accepted")
+	}
+	if _, err := stream.NewLocalizer(w.Model(), stream.WithWindow(4), nil); err == nil {
+		t.Fatal("nil option accepted")
 	}
 }

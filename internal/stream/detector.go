@@ -28,8 +28,12 @@ const (
 // pairState is the per-(metric, service) streaming state.
 type pairState struct {
 	// base is the baseline series in snapshot order, the exact slice the
-	// batch path would pass as the test's second sample.
+	// batch path would pass as the test's second sample. Nil in sketch mode,
+	// where the incremental state carries the baseline summary instead.
 	base []float64
+	// baseLen is the baseline series length — len(base) in exact mode, the
+	// original length in sketch mode.
+	baseLen int
 	// ks is the incremental state; nil when the pair has no usable baseline
 	// (empty series), in which case the pair can never be tested.
 	ks *stats.IncrementalKS
@@ -38,6 +42,45 @@ type pairState struct {
 	// must be skipped (tolerant) or fail (strict) exactly as a missing
 	// snapshot entry would.
 	seen bool
+
+	// Incremental-detection bookkeeping (fast path only). svc, mi and shard
+	// locate the pair; dirty marks it for the next flush; testable, pval and
+	// anom cache its contribution to the per-metric detection, valid since
+	// the last flush. nextTestable and nextPval stage the recomputation: the
+	// parallel phase writes them, the serial merge applies them.
+	svc          string
+	mi           int
+	shard        int
+	dirty        bool
+	testable     bool
+	anom         bool
+	pval         float64
+	nextTestable bool
+	nextPval     float64
+}
+
+// metricAgg is one metric's cached detection aggregate on the fast path: the
+// current family size and the sorted anomalous set, maintained incrementally
+// as pair states flip.
+type metricAgg struct {
+	tested int
+	anom   []string // sorted; never handed out directly
+}
+
+// insertAnom adds svc to the sorted anomalous set.
+func (a *metricAgg) insertAnom(svc string) {
+	i := sort.SearchStrings(a.anom, svc)
+	a.anom = append(a.anom, "")
+	copy(a.anom[i+1:], a.anom[i:])
+	a.anom[i] = svc
+}
+
+// removeAnom drops svc from the sorted anomalous set.
+func (a *metricAgg) removeAnom(svc string) {
+	i := sort.SearchStrings(a.anom, svc)
+	if i < len(a.anom) && a.anom[i] == svc {
+		a.anom = append(a.anom[:i], a.anom[i+1:]...)
+	}
 }
 
 // Detector maintains sliding-window anomaly detection over a fixed baseline:
@@ -46,50 +89,84 @@ type pairState struct {
 // the answer is byte-identical to core.Detect on a snapshot holding each
 // pair's last Window values.
 //
+// In tolerant mode with the (guarded) KS test — the Localizer's
+// configuration — detection is incremental end to end: pair states are
+// hash-sharded, Observe only marks a pair dirty, and the flush before the
+// next Detect recomputes exactly the dirty pairs (fanned across the worker
+// pool by shard) before merging their deltas into per-metric aggregates. A
+// hop that touches T pairs costs O(T) test evaluations regardless of how
+// many services exist. Strict mode and generic tests take the full-scan
+// path, which remains correct at any scale but pays O(S) per metric per
+// Detect.
+//
 // A Detector is not safe for concurrent use. Parallelism lives inside
-// Detect (the per-service p-value fan-out, Config.Detect.Workers) and inside
-// the Localizer's per-metric fan-out, both of which only read the states.
+// Detect (the shard/p-value fan-out, WithWorkers) and inside the Localizer's
+// per-metric fan-out, which only reads the flushed states.
 type Detector struct {
 	baseline *metrics.Snapshot
-	cfg      Config
+	window   int
 	mode     testMode
 	relTol   float64 // guard tolerance for modeGuardedKS
 	test     stats.TwoSampleTest
 	alpha    float64
+	fdr      float64
 	minSamp  int
+	tolerant bool
+	workers  int
 	// states is metric -> service -> state, populated eagerly at
 	// construction for every baseline-backed pair so each baseline series
-	// is sorted exactly once, up front.
+	// is sorted (or sketched) exactly once, up front.
 	states map[string]map[string]*pairState
+
+	// Fast-path structures, built only when fast is set (tolerant + KS).
+	fast        bool
+	shards      int
+	dirty       [][]*pairState // per shard: pairs awaiting recomputation
+	byMetric    [][]*pairState // tracked pairs per metric, baseline.Services order
+	metricIndex map[string]int // metric name -> index into byMetric/aggs
+	aggs        []metricAgg
+	fdrTouched  []bool    // metrics needing a family re-decision (FDR mode)
+	pvalBuf     []float64 // scratch for the FDR family decision
 }
 
 // NewDetector builds a Detector over the given baseline snapshot. Every
 // baseline series is copied and sorted once here; no per-hop call sorts
-// anything afterwards.
-func NewDetector(baseline *metrics.Snapshot, cfg Config) (*Detector, error) {
+// anything afterwards. The zero option set means: DefaultWindow,
+// guarded-KS test, core.DefaultAlpha, strict completeness, serial execution.
+func NewDetector(baseline *metrics.Snapshot, opts ...Option) (*Detector, error) {
+	s, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return newDetector(baseline, s)
+}
+
+// newDetector builds a Detector from resolved settings (shared with
+// newLocalizer, which applies the option list once for the whole stack).
+func newDetector(baseline *metrics.Snapshot, s settings) (*Detector, error) {
 	if baseline == nil {
 		return nil, fmt.Errorf("stream: nil baseline snapshot")
 	}
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-
 	d := &Detector{
 		baseline: baseline,
-		cfg:      cfg,
-		test:     cfg.Detect.Test,
-		alpha:    cfg.Detect.Alpha,
-		minSamp:  cfg.Detect.MinSamples,
+		window:   s.window,
+		test:     s.test,
+		alpha:    s.alpha,
+		fdr:      s.fdr,
+		minSamp:  s.minSamples,
+		tolerant: s.tolerant,
+		workers:  s.workers,
+		shards:   s.shards,
 		states:   make(map[string]map[string]*pairState, len(baseline.Metrics)),
 	}
 	// Resolve defaults exactly as core.Detect does.
-	if d.alpha == 0 && cfg.Detect.FDR == 0 {
+	if d.alpha == 0 && d.fdr == 0 {
 		d.alpha = core.DefaultAlpha
 	}
 	if d.minSamp < 1 {
 		d.minSamp = core.DefaultMinSamples
 	}
-	switch tt := cfg.Detect.Test.(type) {
+	switch tt := s.test.(type) {
 	case nil:
 		d.mode = modeGuardedKS
 	case stats.KSTest:
@@ -107,31 +184,81 @@ func NewDetector(baseline *metrics.Snapshot, cfg Config) (*Detector, error) {
 	if d.mode == modeGuardedKS && d.relTol < 0 {
 		return nil, fmt.Errorf("stats: negative relative tolerance %v", d.relTol)
 	}
+	if s.sketchEps > 0 && d.mode == modeGeneric {
+		return nil, fmt.Errorf("stream: sketched baselines require the (guarded) KS test")
+	}
+	d.fast = d.tolerant && d.mode != modeGeneric
 
-	for _, m := range baseline.Metrics {
+	if d.fast {
+		d.dirty = make([][]*pairState, d.shards)
+		d.byMetric = make([][]*pairState, len(baseline.Metrics))
+		d.metricIndex = make(map[string]int, len(baseline.Metrics))
+		d.aggs = make([]metricAgg, len(baseline.Metrics))
+		d.fdrTouched = make([]bool, len(baseline.Metrics))
+	}
+	for mi, m := range baseline.Metrics {
 		bySvc := make(map[string]*pairState, len(baseline.Services))
 		for _, svc := range baseline.Services {
 			series, ok := baseline.SeriesOK(m, svc)
 			if !ok {
 				continue
 			}
-			st := &pairState{base: series}
+			st := &pairState{base: series, baseLen: len(series)}
 			if len(series) > 0 {
-				ks, err := stats.NewIncrementalKS(series, cfg.Window)
+				var ks *stats.IncrementalKS
+				var err error
+				if s.sketchEps > 0 {
+					ks, err = stats.NewIncrementalKSSketch(series, s.window, s.sketchEps)
+					st.base = nil
+				} else {
+					ks, err = stats.NewIncrementalKS(series, s.window)
+				}
 				if err != nil {
 					return nil, fmt.Errorf("stream: baseline %s/%s: %w", m, svc, err)
 				}
 				st.ks = ks
 			}
 			bySvc[svc] = st
+			if d.fast {
+				st.svc = svc
+				st.mi = mi
+				st.shard = pairShard(m, svc, d.shards)
+				if st.ks != nil {
+					d.byMetric[mi] = append(d.byMetric[mi], st)
+				}
+			}
 		}
 		d.states[m] = bySvc
+		if d.fast {
+			d.metricIndex[m] = mi
+		}
 	}
 	return d, nil
 }
 
+// pairShard assigns a (metric, service) pair to a shard by FNV-1a over the
+// NUL-separated pair key. Purely a load-spreading function: any assignment
+// yields the same detection output.
+func pairShard(metric, svc string, shards int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(metric); i++ {
+		h ^= uint64(metric[i])
+		h *= prime64
+	}
+	h *= prime64 // NUL separator: ^= 0 is the identity
+	for i := 0; i < len(svc); i++ {
+		h ^= uint64(svc[i])
+		h *= prime64
+	}
+	return int(h % uint64(shards))
+}
+
 // Window returns the configured sliding-window length.
-func (d *Detector) Window() int { return d.cfg.Window }
+func (d *Detector) Window() int { return d.window }
 
 // Observe feeds one production window-value for a (metric, service) pair.
 // The metric and service must be declared in the baseline universe. A pair
@@ -145,13 +272,139 @@ func (d *Detector) Observe(metric, svc string, v float64) error {
 	}
 	st, ok := bySvc[svc]
 	if !ok || st.ks == nil {
-		if d.cfg.Detect.Tolerant {
+		if d.tolerant {
 			return nil
 		}
 		return fmt.Errorf("stream: observe: baseline has no usable series for metric %q service %q", metric, svc)
 	}
 	st.ks.Push(v)
 	st.seen = true
+	d.touch(st)
+	return nil
+}
+
+// touch marks a pair for recomputation at the next flush.
+func (d *Detector) touch(st *pairState) {
+	if !d.fast || st.dirty {
+		return
+	}
+	st.dirty = true
+	d.dirty[st.shard] = append(d.dirty[st.shard], st)
+}
+
+// flush brings the fast path's cached detection state current: every pair
+// whose window changed since the last flush is recomputed, with the dirty
+// shards fanned across the worker pool (each pair lives in exactly one
+// shard, so the staged writes are disjoint) and the deltas merged serially
+// into the per-metric aggregates. A no-op outside the fast path or when
+// nothing changed.
+func (d *Detector) flush(ctx context.Context, workers int) error {
+	if !d.fast {
+		return nil
+	}
+	var touched []int
+	for si, pairs := range d.dirty {
+		if len(pairs) > 0 {
+			touched = append(touched, si)
+		}
+	}
+	if len(touched) == 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if _, err := parallel.Map(ctx, workers, len(touched), func(_ context.Context, i int) (struct{}, error) {
+		for _, st := range d.dirty[touched[i]] {
+			st.nextTestable = st.seen && st.baseLen >= d.minSamp && st.ks.Len() >= d.minSamp
+			st.nextPval = 0
+			if st.nextTestable {
+				p, err := d.pairPValue(st)
+				if err != nil {
+					return struct{}{}, fmt.Errorf("stream: anomaly test %s on %s: %w", d.baseline.Metrics[st.mi], st.svc, err)
+				}
+				st.nextPval = p
+			}
+		}
+		return struct{}{}, nil
+	}); err != nil {
+		return err
+	}
+
+	for _, si := range touched {
+		for _, st := range d.dirty[si] {
+			agg := &d.aggs[st.mi]
+			if st.testable {
+				agg.tested--
+				if d.fdr == 0 && st.anom {
+					agg.removeAnom(st.svc)
+				}
+			}
+			st.testable, st.pval = st.nextTestable, st.nextPval
+			st.anom = false
+			if st.testable {
+				agg.tested++
+				if d.fdr == 0 {
+					st.anom = st.pval < d.alpha
+					if st.anom {
+						agg.insertAnom(st.svc)
+					}
+				}
+			}
+			if d.fdr > 0 {
+				d.fdrTouched[st.mi] = true
+			}
+			st.dirty = false
+		}
+		d.dirty[si] = d.dirty[si][:0]
+	}
+
+	// Benjamini-Hochberg couples the whole family: any change within a
+	// metric re-decides that metric's family over the cached p-values (a
+	// float scan, not a re-test).
+	if d.fdr > 0 {
+		for mi := range d.fdrTouched {
+			if !d.fdrTouched[mi] {
+				continue
+			}
+			d.fdrTouched[mi] = false
+			if err := d.redecide(mi); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// redecide reruns the family decision for one metric from the cached
+// p-values, rebuilding its anomalous set.
+func (d *Detector) redecide(mi int) error {
+	pvals := d.pvalBuf[:0]
+	for _, st := range d.byMetric[mi] {
+		if st.testable {
+			pvals = append(pvals, st.pval)
+		}
+	}
+	d.pvalBuf = pvals
+	shifted, err := core.DecideFamily(pvals, d.alpha, d.fdr)
+	if err != nil {
+		return fmt.Errorf("stream: anomalies: %w", err)
+	}
+	agg := &d.aggs[mi]
+	agg.anom = agg.anom[:0]
+	j := 0
+	for _, st := range d.byMetric[mi] {
+		if !st.testable {
+			st.anom = false
+			continue
+		}
+		st.anom = shifted[j]
+		j++
+		if st.anom {
+			agg.anom = append(agg.anom, st.svc)
+		}
+	}
+	sort.Strings(agg.anom)
 	return nil
 }
 
@@ -202,20 +455,37 @@ func (d *Detector) Materialize() *metrics.Snapshot {
 // Detect computes the current anomalous set A(metric) over the sliding
 // windows, mirroring core.Detect stage by stage: family assembly in baseline
 // service order with the same strict/tolerant skip rules and min-sample
-// guard, p-values fanned across Config.Detect.Workers via the same ordered
-// pool, and the alpha-vs-FDR family decision made once by core.DecideFamily.
+// guard, and the alpha-vs-FDR family decision made once by core.DecideFamily.
+// On the fast path the answer is assembled from the incrementally maintained
+// aggregates after a flush of the pairs the last hops touched.
 func (d *Detector) Detect(ctx context.Context, metric string) (*core.Detection, error) {
-	return d.detect(ctx, metric, d.cfg.Detect.Workers)
+	if err := d.flush(ctx, d.workers); err != nil {
+		return nil, err
+	}
+	return d.detect(ctx, metric, d.workers)
 }
 
-// detect is Detect with an explicit worker count, so the Localizer can force
-// the inner fan-out serial while it parallelizes across metrics (no nested
-// pools — the same discipline core.Localizer applies).
+// detect is Detect without the flush and with an explicit worker count, so
+// the Localizer can flush once per hop and then fan read-only per-metric
+// detections across its pool (no nested pools — the same discipline
+// core.Localizer applies). The fast path must have been flushed.
 func (d *Detector) detect(ctx context.Context, metric string, workers int) (*core.Detection, error) {
+	if d.fast {
+		mi, ok := d.metricIndex[metric]
+		if !ok {
+			// Batch: production.SeriesOK misses every pair -> empty family.
+			return &core.Detection{Anomalous: []string{}, Tested: 0}, nil
+		}
+		agg := &d.aggs[mi]
+		return &core.Detection{
+			Anomalous: append(make([]string, 0, len(agg.anom)), agg.anom...),
+			Tested:    agg.tested,
+		}, nil
+	}
+
 	bySvc, ok := d.states[metric]
 	if !ok {
-		if d.cfg.Detect.Tolerant {
-			// Batch: production.SeriesOK misses every pair -> empty family.
+		if d.tolerant {
 			return &core.Detection{Anomalous: []string{}, Tested: 0}, nil
 		}
 		return nil, fmt.Errorf("metrics: snapshot has no metric %q", metric)
@@ -227,11 +497,11 @@ func (d *Detector) detect(ctx context.Context, metric string, workers int) (*cor
 	var names []string
 	for _, svc := range d.baseline.Services {
 		st := bySvc[svc]
-		if d.cfg.Detect.Tolerant {
+		if d.tolerant {
 			if st == nil || st.ks == nil || !st.seen {
 				continue
 			}
-			if len(st.base) < d.minSamp || st.ks.Len() < d.minSamp {
+			if st.baseLen < d.minSamp || st.ks.Len() < d.minSamp {
 				continue
 			}
 		} else {
@@ -260,7 +530,7 @@ func (d *Detector) detect(ctx context.Context, metric string, workers int) (*cor
 		return nil, err
 	}
 
-	shifted, err := core.DecideFamily(pvals, d.alpha, d.cfg.Detect.FDR)
+	shifted, err := core.DecideFamily(pvals, d.alpha, d.fdr)
 	if err != nil {
 		return nil, fmt.Errorf("stream: anomalies: %w", err)
 	}
@@ -286,21 +556,24 @@ func (d *Detector) pairPValue(st *pairState) (float64, error) {
 		return st.ks.PValue()
 	default:
 		prod := st.ks.Window()
-		if d.cfg.Detect.Tolerant {
+		if d.tolerant {
 			prod = finiteValues(prod)
 		}
 		return d.test.PValue(prod, st.base)
 	}
 }
 
-// DetectAll runs Detect for every baseline metric, fanning the metrics
-// across Config.Detect.Workers with the per-metric family kept serial (the
-// localizer's parallelism shape). The result is aligned with
+// DetectAll runs Detect for every baseline metric after a single flush,
+// fanning the metrics across the worker pool with the per-metric work kept
+// serial (the localizer's parallelism shape). The result is aligned with
 // baseline.Metrics by index.
 func (d *Detector) DetectAll(ctx context.Context) ([]*core.Detection, error) {
-	workers := d.cfg.Detect.Workers
+	workers := d.workers
 	if workers < 1 {
 		workers = 1
+	}
+	if err := d.flush(ctx, workers); err != nil {
+		return nil, err
 	}
 	return parallel.Map(ctx, workers, len(d.baseline.Metrics), func(ctx context.Context, i int) (*core.Detection, error) {
 		return d.detect(ctx, d.baseline.Metrics[i], 1)

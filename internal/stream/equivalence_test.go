@@ -19,6 +19,26 @@ import (
 // core.Localizer.Localize on the same windows. These tests enforce the
 // property exhaustively over a fault-injected synthetic stream.
 
+// detectOpts translates a batch core.DetectConfig into the stream option
+// list that reproduces it, so each equivalence case states its semantics
+// once in batch terms.
+func detectOpts(window int, cfg core.DetectConfig) []stream.Option {
+	opts := []stream.Option{stream.WithWindow(window), stream.WithTolerant(cfg.Tolerant)}
+	if cfg.Alpha != 0 {
+		opts = append(opts, stream.WithAlpha(cfg.Alpha))
+	}
+	if cfg.FDR != 0 {
+		opts = append(opts, stream.WithFDR(cfg.FDR))
+	}
+	if cfg.MinSamples != 0 {
+		opts = append(opts, stream.WithMinSamples(cfg.MinSamples))
+	}
+	if cfg.Workers != 0 {
+		opts = append(opts, stream.WithWorkers(cfg.Workers))
+	}
+	return opts
+}
+
 // noisyDet returns a copy of the workload's hops with deterministic NaN/Inf
 // injections (positions pinned by the workload's canonical name order),
 // exercising the tolerant path's finite-value filtering and the min-sample
@@ -59,12 +79,17 @@ func TestDetectorMatchesBatchEveryHop(t *testing.T) {
 		name   string
 		hops   []map[string]map[string]float64
 		detect core.DetectConfig
+		sketch bool
 	}{
-		{"alpha-tolerant", noisyDet(w), core.DetectConfig{Alpha: 0.05, Tolerant: true}},
-		{"fdr-tolerant", noisyDet(w), core.DetectConfig{FDR: 0.10, Tolerant: true}},
-		{"alpha-strict", w.Hops, core.DetectConfig{Alpha: 0.05}},
-		{"fdr-strict", w.Hops, core.DetectConfig{FDR: 0.05}},
-		{"minsamples-tolerant", noisyDet(w), core.DetectConfig{Alpha: 0.05, Tolerant: true, MinSamples: 6}},
+		{"alpha-tolerant", noisyDet(w), core.DetectConfig{Alpha: 0.05, Tolerant: true}, false},
+		{"fdr-tolerant", noisyDet(w), core.DetectConfig{FDR: 0.10, Tolerant: true}, false},
+		{"alpha-strict", w.Hops, core.DetectConfig{Alpha: 0.05}, false},
+		{"fdr-strict", w.Hops, core.DetectConfig{FDR: 0.05}, false},
+		{"minsamples-tolerant", noisyDet(w), core.DetectConfig{Alpha: 0.05, Tolerant: true, MinSamples: 6}, false},
+		// BaselineLen 12 <= stats.SketchCutoff(DefaultSketchEps): the sketch
+		// is lossless, so even the sketched detector must match batch exactly.
+		{"alpha-tolerant-sketch", noisyDet(w), core.DetectConfig{Alpha: 0.05, Tolerant: true}, true},
+		{"fdr-tolerant-sketch", noisyDet(w), core.DetectConfig{FDR: 0.10, Tolerant: true}, true},
 	}
 
 	const window = 8
@@ -73,7 +98,13 @@ func TestDetectorMatchesBatchEveryHop(t *testing.T) {
 		for workers := 1; workers <= 8; workers++ {
 			cfg := tc.detect
 			cfg.Workers = workers
-			det, err := stream.NewDetector(w.Baseline, stream.Config{Window: window, Detect: cfg})
+			// Vary the shard count with the worker count: detection output
+			// must not depend on either.
+			opts := append(detectOpts(window, cfg), stream.WithShards(workers))
+			if tc.sketch {
+				opts = append(opts, stream.WithSketch(stream.DefaultSketchEps))
+			}
+			det, err := stream.NewDetector(w.Baseline, opts...)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -124,9 +155,16 @@ func TestLocalizerMatchesBatchEveryHop(t *testing.T) {
 	ctx := context.Background()
 	for _, mode := range modes {
 		for workers := 1; workers <= 8; workers++ {
-			sl, err := stream.NewLocalizer(model, stream.LocalizerConfig{
-				Window: window, Alpha: mode.alpha, FDR: mode.fdr, Workers: workers,
-			})
+			lopts := []stream.Option{
+				stream.WithWindow(window), stream.WithWorkers(workers), stream.WithShards(workers * 3),
+			}
+			if mode.alpha != 0 {
+				lopts = append(lopts, stream.WithAlpha(mode.alpha))
+			}
+			if mode.fdr != 0 {
+				lopts = append(lopts, stream.WithFDR(mode.fdr))
+			}
+			sl, err := stream.NewLocalizer(model, lopts...)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -179,7 +217,7 @@ func TestDetectorStrictMissingPair(t *testing.T) {
 	}
 	ctx := context.Background()
 
-	strict, err := stream.NewDetector(base, stream.Config{Window: 4, Detect: core.DetectConfig{Alpha: 0.05}})
+	strict, err := stream.NewDetector(base, stream.WithWindow(4), stream.WithAlpha(0.05))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +230,7 @@ func TestDetectorStrictMissingPair(t *testing.T) {
 		t.Fatal("strict detect accepted a never-observed pair")
 	}
 
-	tol, err := stream.NewDetector(base, stream.Config{Window: 4, Detect: core.DetectConfig{Alpha: 0.05, Tolerant: true}})
+	tol, err := stream.NewDetector(base, stream.WithWindow(4), stream.WithAlpha(0.05), stream.WithTolerant(true))
 	if err != nil {
 		t.Fatal(err)
 	}

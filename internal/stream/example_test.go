@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"causalfl/internal/core"
 	"causalfl/internal/metrics"
 	"causalfl/internal/stream"
 )
@@ -18,10 +17,11 @@ func ExampleDetector() {
 	baseline.Data["latency"]["svc-a"] = []float64{10, 11, 10, 12, 11, 10, 11, 12}
 	baseline.Data["latency"]["svc-b"] = []float64{20, 21, 20, 22, 21, 20, 21, 22}
 
-	det, err := stream.NewDetector(baseline, stream.Config{
-		Window: 6,
-		Detect: core.DetectConfig{Alpha: 0.05, Tolerant: true},
-	})
+	det, err := stream.NewDetector(baseline,
+		stream.WithWindow(6),
+		stream.WithAlpha(0.05),
+		stream.WithTolerant(true),
+	)
 	if err != nil {
 		fmt.Println(err)
 		return

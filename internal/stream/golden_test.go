@@ -119,10 +119,11 @@ func buildGoldenScenario(t *testing.T) *goldenScenario {
 // code: it is the observable contract of the watch pipeline.
 func TestPipelineGoldenTimeline(t *testing.T) {
 	sc := buildGoldenScenario(t)
-	p, err := stream.NewPipeline(sc.model, goldenLength, goldenHop, stream.PipelineConfig{
-		Set:       sc.set,
-		Localizer: stream.LocalizerConfig{Window: 6},
-	})
+	p, err := stream.NewPipeline(sc.model,
+		stream.WithMetricSet(sc.set),
+		stream.WithGeometry(goldenLength, goldenHop),
+		stream.WithWindow(6),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}

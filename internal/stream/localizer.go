@@ -8,7 +8,6 @@ import (
 	"causalfl/internal/core"
 	"causalfl/internal/parallel"
 	"causalfl/internal/sim"
-	"causalfl/internal/stats"
 )
 
 // Default hysteresis: a service must be a top candidate in at least 3 of the
@@ -19,34 +18,6 @@ const (
 	DefaultHystK = 3
 	DefaultHystN = 5
 )
-
-// LocalizerConfig configures a streaming Localizer.
-type LocalizerConfig struct {
-	// Window is the sliding-window length in window-values per pair.
-	Window int
-	// HystK of the last HystN hops must name a service a top candidate
-	// before it appears in Verdict.Confirmed. Zero values select
-	// DefaultHystK / DefaultHystN.
-	HystK, HystN int
-	// Alpha is the per-test significance threshold; zero falls back to the
-	// model's training alpha, exactly as the batch localizer does. Ignored
-	// when FDR > 0.
-	Alpha float64
-	// FDR, when positive, switches the per-metric family decision to
-	// Benjamini-Hochberg control at this level.
-	FDR float64
-	// MinSamples is the tolerant-mode minimum finite series length per
-	// side; zero selects core.DefaultMinSamples.
-	MinSamples int
-	// Workers bounds the per-hop fan-out across metrics. Zero or one is
-	// serial.
-	Workers int
-	// Rule selects the vote rule; zero selects core.IntersectionVote.
-	Rule core.VoteRule
-	// Test overrides the two-sample test; nil selects the guarded KS
-	// default (the incremental fast path).
-	Test stats.TwoSampleTest
-}
 
 // Verdict is one hop's localization outcome on the stream timeline.
 type Verdict struct {
@@ -71,12 +42,15 @@ type Verdict struct {
 // Localizer is the streaming counterpart of core.Localizer: a Detector per
 // trained model plus the batch vote phase (core.Localizer.Aggregate) plus
 // K-of-N hysteresis over the emitted candidate sets. Each Step ingests one
-// hop and re-localizes incrementally.
+// hop and re-localizes incrementally; the vote phase runs over the model's
+// sparse causal index (core.CausalIndex), so a hop's vote cost scales with
+// the anomalous sets, not the target universe.
 //
 // A Localizer is not safe for concurrent use; Step parallelizes internally
-// across metrics.
+// across shards and metrics.
 type Localizer struct {
 	model   *core.Model
+	idx     *core.CausalIndex
 	det     *Detector
 	voter   *core.Localizer
 	workers int
@@ -89,57 +63,62 @@ type Localizer struct {
 }
 
 // NewLocalizer builds a streaming localizer for a trained model. The model's
-// baseline series are sorted once here.
-func NewLocalizer(model *core.Model, cfg LocalizerConfig) (*Localizer, error) {
+// baseline series are sorted (or sketched, with WithSketch) once here.
+// Detection is always tolerant, as in the batch localizer; WithTolerant is
+// ignored.
+func NewLocalizer(model *core.Model, opts ...Option) (*Localizer, error) {
+	s, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return newLocalizer(model, s)
+}
+
+// newLocalizer builds a Localizer from resolved settings (shared with
+// NewPipeline, which applies the option list once).
+func newLocalizer(model *core.Model, s settings) (*Localizer, error) {
 	if model == nil {
 		return nil, fmt.Errorf("stream: nil model")
 	}
 	if err := model.Validate(); err != nil {
 		return nil, fmt.Errorf("stream: %w", err)
 	}
-	hystK, hystN := cfg.HystK, cfg.HystN
+	hystK, hystN := s.hystK, s.hystN
 	if hystK == 0 && hystN == 0 {
 		hystK, hystN = DefaultHystK, DefaultHystN
 	}
-	if hystK < 1 || hystN < hystK {
-		return nil, fmt.Errorf("stream: hysteresis wants 1 <= K <= N, got K=%d N=%d", hystK, hystN)
-	}
-	alpha := cfg.Alpha
-	if alpha == 0 {
-		alpha = model.Alpha
-	}
-	workers := cfg.Workers
-	if workers < 0 {
-		return nil, fmt.Errorf("stream: worker count must be >= 0, got %d", cfg.Workers)
-	}
+	workers := s.workers
 	if workers < 1 {
 		workers = 1
 	}
 
-	det, err := NewDetector(model.Baseline, Config{
-		Window: cfg.Window,
-		Detect: core.DetectConfig{
-			Test:       cfg.Test,
-			Alpha:      alpha,
-			FDR:        cfg.FDR,
-			MinSamples: cfg.MinSamples,
-			Tolerant:   true, // the batch localizer always detects tolerantly
-			Workers:    1,    // the localizer fans per metric; no nested pools
-		},
-	})
+	ds := s
+	if ds.alpha == 0 {
+		// Fall back to the model's training alpha, exactly as the batch
+		// localizer does.
+		ds.alpha = model.Alpha
+	}
+	ds.tolerant = true // the batch localizer always detects tolerantly
+	ds.workers = 1     // the localizer owns the pool; no nested fan-out
+	det, err := newDetector(model.Baseline, ds)
 	if err != nil {
 		return nil, err
 	}
-	var opts []core.Option
-	if cfg.Rule != 0 {
-		opts = append(opts, core.WithVoteRule(cfg.Rule))
+	idx, err := core.NewCausalIndex(model)
+	if err != nil {
+		return nil, err
 	}
-	voter, err := core.NewLocalizer(opts...)
+	var copts []core.Option
+	if s.rule != 0 {
+		copts = append(copts, core.WithVoteRule(s.rule))
+	}
+	voter, err := core.NewLocalizer(copts...)
 	if err != nil {
 		return nil, err
 	}
 	return &Localizer{
 		model:   model,
+		idx:     idx,
 		det:     det,
 		voter:   voter,
 		workers: workers,
@@ -153,13 +132,17 @@ func NewLocalizer(model *core.Model, cfg LocalizerConfig) (*Localizer, error) {
 func (l *Localizer) Detector() *Detector { return l.det }
 
 // Step ingests one hop (metric -> service -> window value) stamped at the
-// window end `at`, then re-localizes: anomaly detection fans out per metric
-// across the worker pool with each metric's family decided whole, the vote
-// phase is core.Localizer.Aggregate verbatim, and the hysteresis filter
-// updates last. The returned Verdict's vote fields are byte-identical to
-// core.Localizer.Localize on the materialized windows.
+// window end `at`, then re-localizes: the detector flushes the touched
+// shards across the worker pool, the per-metric detections are assembled
+// read-only, the vote phase is core.Localizer.Aggregate over the sparse
+// causal index, and the hysteresis filter updates last. The returned
+// Verdict's vote fields are byte-identical to core.Localizer.Localize on the
+// materialized windows.
 func (l *Localizer) Step(ctx context.Context, at sim.Time, hop map[string]map[string]float64) (*Verdict, error) {
 	if err := l.det.ObserveHop(hop); err != nil {
+		return nil, err
+	}
+	if err := l.det.flush(ctx, l.workers); err != nil {
 		return nil, err
 	}
 	detections, err := parallel.Map(ctx, l.workers, len(l.model.Metrics), func(ctx context.Context, i int) (*core.Detection, error) {
@@ -168,7 +151,7 @@ func (l *Localizer) Step(ctx context.Context, at sim.Time, hop map[string]map[st
 	if err != nil {
 		return nil, err
 	}
-	loc, err := l.voter.Aggregate(l.model, detections)
+	loc, err := l.voter.AggregateIndexed(l.idx, detections)
 	if err != nil {
 		return nil, err
 	}

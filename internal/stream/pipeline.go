@@ -4,23 +4,12 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"time"
 
 	"causalfl/internal/core"
 	"causalfl/internal/metrics"
 	"causalfl/internal/sim"
 	"causalfl/internal/telemetry"
 )
-
-// PipelineConfig configures a Pipeline.
-type PipelineConfig struct {
-	// Set is the metric set to evaluate per window. Its names must match
-	// the model's metric names exactly (the model was trained on these
-	// extractors).
-	Set []metrics.Metric
-	// Localizer configures the verdict engine.
-	Localizer LocalizerConfig
-}
 
 // Pipeline is the full streaming engine behind `causalfl watch`: drained
 // telemetry ticks in, verdicts out. It chains an Aggregator (ticks ->
@@ -60,18 +49,22 @@ type PipelineStats struct {
 	LastVerdictAt sim.Time `json:"last_verdict_at"`
 }
 
-// NewPipeline builds the watch engine for a trained model. Window geometry
-// (length, hop) is the telemetry aggregation grid; zero values select the
-// paper defaults. The Localizer's Window config counts window-values per
-// sliding series as usual.
-func NewPipeline(model *core.Model, length, hop time.Duration, cfg PipelineConfig) (*Pipeline, error) {
+// NewPipeline builds the watch engine for a trained model. WithMetricSet is
+// required; WithGeometry sets the telemetry aggregation grid (zero values
+// select the paper defaults); the remaining options configure the embedded
+// Localizer as NewLocalizer would.
+func NewPipeline(model *core.Model, opts ...Option) (*Pipeline, error) {
+	s, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	if model == nil {
 		return nil, fmt.Errorf("stream: nil model")
 	}
-	if len(cfg.Set) == 0 {
-		return nil, fmt.Errorf("stream: empty metric set")
+	if len(s.set) == 0 {
+		return nil, fmt.Errorf("stream: empty metric set (a pipeline needs WithMetricSet)")
 	}
-	names := metrics.Names(cfg.Set)
+	names := metrics.Names(s.set)
 	if len(names) != len(model.Metrics) {
 		return nil, fmt.Errorf("stream: metric set has %d metrics, model has %d", len(names), len(model.Metrics))
 	}
@@ -80,17 +73,17 @@ func NewPipeline(model *core.Model, length, hop time.Duration, cfg PipelineConfi
 			return nil, fmt.Errorf("stream: metric set[%d] is %q, model expects %q", i, n, model.Metrics[i])
 		}
 	}
-	agg, err := NewAggregator(length, hop)
+	agg, err := NewAggregator(s.length, s.hop)
 	if err != nil {
 		return nil, err
 	}
-	loc, err := NewLocalizer(model, cfg.Localizer)
+	loc, err := newLocalizer(model, s)
 	if err != nil {
 		return nil, err
 	}
 	return &Pipeline{
 		model:   model,
-		set:     cfg.Set,
+		set:     s.set,
 		agg:     agg,
 		loc:     loc,
 		pending: make(map[sim.Time]map[string]telemetry.Window),

@@ -374,7 +374,7 @@ func (p *Pipeline) ExportState() *PipelineState {
 		Version:       SnapshotVersion,
 		Length:        sim.Time(p.agg.length),
 		Hop:           sim.Time(p.agg.hop),
-		Window:        p.loc.det.cfg.Window,
+		Window:        p.loc.det.window,
 		Hops:          p.hops,
 		LastVerdictAt: p.lastAt,
 	}
@@ -468,8 +468,8 @@ func (p *Pipeline) RestoreState(st *PipelineState) error {
 			st.Length, st.Hop, p.agg.length, p.agg.hop)
 	}
 	d := p.loc.det
-	if d.cfg.Window != st.Window {
-		return fmt.Errorf("stream: snapshot sliding window %d does not match pipeline %d", st.Window, d.cfg.Window)
+	if d.window != st.Window {
+		return fmt.Errorf("stream: snapshot sliding window %d does not match pipeline %d", st.Window, d.window)
 	}
 	known := make(map[string]bool, len(p.model.Services))
 	for _, svc := range p.model.Services {
@@ -514,6 +514,9 @@ func (p *Pipeline) RestoreState(st *PipelineState) error {
 				return fmt.Errorf("stream: snapshot pair %s/%s: %w", m, svc, err)
 			}
 			pst.seen = true
+			// Mark the restored pair for the next flush so the incremental
+			// detection caches are rebuilt from the restored window.
+			d.touch(pst)
 		}
 	}
 

@@ -117,8 +117,9 @@ func buildSnapFixture() (*snapFixture, error) {
 }
 
 // newPipeline builds a fresh pipeline over the fixture.
-func (fx *snapFixture) newPipeline(cfg stream.LocalizerConfig) (*stream.Pipeline, error) {
-	return stream.NewPipeline(fx.model, snapLength, snapHop, stream.PipelineConfig{Set: fx.set, Localizer: cfg})
+func (fx *snapFixture) newPipeline(opts ...stream.Option) (*stream.Pipeline, error) {
+	base := []stream.Option{stream.WithMetricSet(fx.set), stream.WithGeometry(snapLength, snapHop)}
+	return stream.NewPipeline(fx.model, append(base, opts...)...)
 }
 
 // runTicks feeds ticks[from:to] and returns the emitted verdicts.
@@ -147,17 +148,18 @@ func TestPipelineSnapshotResume(t *testing.T) {
 	}
 	modes := []struct {
 		name string
-		cfg  stream.LocalizerConfig
+		opts []stream.Option
 	}{
-		{"alpha-w1", stream.LocalizerConfig{Window: 6, Workers: 1}},
-		{"alpha-w4", stream.LocalizerConfig{Window: 6, Workers: 4}},
-		{"fdr-w8", stream.LocalizerConfig{Window: 6, Workers: 8, FDR: 0.1}},
+		{"alpha-w1", []stream.Option{stream.WithWindow(6), stream.WithWorkers(1)}},
+		{"alpha-w4", []stream.Option{stream.WithWindow(6), stream.WithWorkers(4)}},
+		{"fdr-w8", []stream.Option{stream.WithWindow(6), stream.WithWorkers(8), stream.WithFDR(0.1)}},
+		{"alpha-sketch", []stream.Option{stream.WithWindow(6), stream.WithWorkers(4), stream.WithSketch(stream.DefaultSketchEps), stream.WithShards(3)}},
 	}
 	splits := []int{0, 1, 9, 17, 26, 33, snapTicks - 1}
 
 	for _, mode := range modes {
 		t.Run(mode.name, func(t *testing.T) {
-			full, err := fx.newPipeline(mode.cfg)
+			full, err := fx.newPipeline(mode.opts...)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -170,7 +172,7 @@ func TestPipelineSnapshotResume(t *testing.T) {
 			wantStats := full.Stats()
 
 			for _, split := range splits {
-				first, err := fx.newPipeline(mode.cfg)
+				first, err := fx.newPipeline(mode.opts...)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -191,7 +193,7 @@ func TestPipelineSnapshotResume(t *testing.T) {
 					t.Fatalf("split %d: encoding not stable under round trip:\n%s\nvs\n%s", split, blob, again)
 				}
 
-				second, err := fx.newPipeline(mode.cfg)
+				second, err := fx.newPipeline(mode.opts...)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -233,8 +235,8 @@ func TestSnapshotRestoreRejects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := stream.LocalizerConfig{Window: 6}
-	donor, err := fx.newPipeline(cfg)
+	opts := []stream.Option{stream.WithWindow(6)}
+	donor, err := fx.newPipeline(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +325,7 @@ func TestSnapshotRestoreRejects(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			st := state()
 			tc.mutate(st)
-			fresh, err := fx.newPipeline(cfg)
+			fresh, err := fx.newPipeline(opts...)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -340,7 +342,7 @@ func TestSnapshotRestoreRejects(t *testing.T) {
 		}
 	})
 	t.Run("restore into used pipeline", func(t *testing.T) {
-		used, err := fx.newPipeline(cfg)
+		used, err := fx.newPipeline(opts...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -400,12 +402,12 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	cfg := stream.LocalizerConfig{Window: 6}
+	opts := []stream.Option{stream.WithWindow(6)}
 
 	// Seed with honest exports at several depths (empty, mid-gap, post-fault
 	// with NaN in the rings) and a few structured hostiles.
 	for _, split := range []int{0, 3, 17, 40} {
-		p, err := fx.newPipeline(cfg)
+		p, err := fx.newPipeline(opts...)
 		if err != nil {
 			f.Fatal(err)
 		}
@@ -454,7 +456,7 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 			t.Fatalf("encoding not stable:\n%s\nvs\n%s", enc1, enc2)
 		}
 
-		p, err := fx.newPipeline(cfg)
+		p, err := fx.newPipeline(opts...)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -11,6 +11,15 @@
 // insert/evict — so a hop costs one bounded insert per pair plus the D-walk,
 // never a sort.
 //
+// Scale contract: per-pair detection state is hash-sharded, and each hop's
+// flush recomputes only the pairs whose windows actually changed — so a hop
+// that touches T of the S×M pairs costs O(T) test evaluations, not O(S·M),
+// and per-hop latency stays flat as the service count grows with constant
+// hop density. With WithSketch, per-pair baseline memory is O(1/eps)
+// regardless of baseline length. Both are pure representation changes:
+// verdicts are byte-identical at every shard count, and bit-identical to the
+// exact baseline whenever the sketch is lossless for it.
+//
 // Equivalence contract: the Detector's per-hop output is byte-identical to
 // core.Detect run on the materialized sliding window (same Test, alpha-vs-FDR
 // family decision, strict-vs-tolerant completeness, min-sample guard), and
@@ -19,6 +28,10 @@
 // in this package (equivalence tests, golden corpus, FuzzIncrementalKS in
 // internal/stats) enforces the contract at every hop for workers 1..8 in
 // both alpha and FDR modes.
+//
+// Configuration is one functional-option set (Option): NewDetector,
+// NewLocalizer and NewPipeline all take the same options, each reading the
+// subset it understands.
 //
 // Layering, bottom to top:
 //
@@ -29,43 +42,3 @@
 //     incrementally equivalent to telemetry.HoppingWindows.
 //   - Pipeline: Aggregator + Localizer, the `causalfl watch` engine.
 package stream
-
-import (
-	"fmt"
-
-	"causalfl/internal/core"
-)
-
-// Config configures a Detector.
-type Config struct {
-	// Window is the number of most-recent window-values retained per
-	// (metric, service) series — the sliding production sample the
-	// two-sample tests see. It must be at least 1.
-	Window int
-	// Detect carries the batch detection semantics the stream reproduces:
-	// test choice, alpha vs FDR family decision, min-sample guard, strict
-	// vs tolerant completeness, and the worker fan-out for the per-service
-	// p-values inside one metric.
-	Detect core.DetectConfig
-}
-
-// validate checks the configuration, mirroring core.Detect's parameter
-// validation so a config rejected by the batch path is rejected here too.
-func (c Config) validate() error {
-	if c.Window < 1 {
-		return fmt.Errorf("stream: window must be >= 1, got %d", c.Window)
-	}
-	if c.Detect.FDR < 0 || c.Detect.FDR >= 1 {
-		return fmt.Errorf("core: FDR level must be in (0,1), got %v", c.Detect.FDR)
-	}
-	if c.Detect.Alpha < 0 || c.Detect.Alpha >= 1 {
-		return fmt.Errorf("stream: alpha must be in [0,1), got %v", c.Detect.Alpha)
-	}
-	if c.Detect.MinSamples < 0 {
-		return fmt.Errorf("stream: min samples must be >= 0, got %d", c.Detect.MinSamples)
-	}
-	if c.Detect.Workers < 0 {
-		return fmt.Errorf("stream: worker count must be >= 0, got %d", c.Detect.Workers)
-	}
-	return nil
-}

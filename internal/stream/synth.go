@@ -23,6 +23,16 @@ type SynthConfig struct {
 	FaultService int
 	// FaultAfter is the first faulty hop index.
 	FaultAfter int
+	// ActiveServices, when positive and below Services, caps how many
+	// services report per hop: each hop carries values only for a rotating
+	// window of that many services (plus the fault service once faulty), the
+	// sparse steady state a large fleet produces. Zero means every service
+	// reports every hop.
+	ActiveServices int
+	// Warmup is the number of leading hops where every service reports
+	// regardless of ActiveServices, so sliding windows fill before the
+	// sparse steady state begins.
+	Warmup int
 }
 
 // SynthWorkload is a deterministic synthetic stream: a baseline snapshot and
@@ -50,6 +60,9 @@ func NewSynth(cfg SynthConfig) (*SynthWorkload, error) {
 	if cfg.FaultService >= cfg.Services {
 		return nil, fmt.Errorf("stream: synth fault service %d out of range (%d services)", cfg.FaultService, cfg.Services)
 	}
+	if cfg.ActiveServices < 0 || cfg.Warmup < 0 {
+		return nil, fmt.Errorf("stream: synth wants non-negative activity shape, got %+v", cfg)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	svcs := make([]string, cfg.Services)
 	for i := range svcs {
@@ -60,7 +73,10 @@ func NewSynth(cfg SynthConfig) (*SynthWorkload, error) {
 		ms[i] = fmt.Sprintf("metric-%d", i)
 	}
 
-	mean := func(mi, si int) float64 { return 10 + 3*float64(mi) + 0.5*float64(si) }
+	// The per-service mean offset wraps at 64 so the fault's +5 shift stays
+	// several guard tolerances above every mean at any grid size (the guard
+	// is relative); for grids up to 64 services the wrap is the identity.
+	mean := func(mi, si int) float64 { return 10 + 3*float64(mi) + 0.5*float64(si%64) }
 	base := metrics.NewSnapshot(ms, svcs)
 	for mi, m := range ms {
 		for si, svc := range svcs {
@@ -72,17 +88,41 @@ func NewSynth(cfg SynthConfig) (*SynthWorkload, error) {
 		}
 	}
 
+	// active reports whether service si reports on hop h. The RNG draw below
+	// always runs for every pair — membership filters the hop map only — so
+	// equal seeds produce equal values whatever the activity shape.
+	active := func(h, si int) bool {
+		a := cfg.ActiveServices
+		if a <= 0 || a >= cfg.Services || h < cfg.Warmup {
+			return true
+		}
+		if cfg.FaultService >= 0 && si == cfg.FaultService && h >= cfg.FaultAfter {
+			return true
+		}
+		start := ((h - cfg.Warmup) * a) % cfg.Services
+		return (si-start+cfg.Services)%cfg.Services < a
+	}
 	hops := make([]map[string]map[string]float64, cfg.Hops)
 	for h := range hops {
+		// Size each metric's map for the services that actually report: map
+		// iteration walks capacity, not population, so a map sized for the
+		// whole fleet would make every consumer's hop cost O(Services) even
+		// in the sparse steady state the workload exists to model.
+		hopCap := len(svcs)
+		if cfg.ActiveServices > 0 && cfg.ActiveServices < cfg.Services && h >= cfg.Warmup {
+			hopCap = cfg.ActiveServices + 1
+		}
 		hop := make(map[string]map[string]float64, len(ms))
 		for mi, m := range ms {
-			vals := make(map[string]float64, len(svcs))
+			vals := make(map[string]float64, hopCap)
 			for si, svc := range svcs {
 				v := mean(mi, si) + rng.NormFloat64()
 				if cfg.FaultService >= 0 && si == cfg.FaultService && h >= cfg.FaultAfter {
 					v += 5
 				}
-				vals[svc] = v
+				if active(h, si) {
+					vals[svc] = v
+				}
 			}
 			hop[m] = vals
 		}
