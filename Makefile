@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short test-stream test-serve race vet lint lint-json graph fmt fmt-check bench bench-parallel bench-stream bench-scale demo-stream demo-serve report tables figures clean
+.PHONY: all check build test test-short test-stream test-serve race vet lint lint-json graph fmt fmt-check fuzz-smoke bench bench-parallel bench-stream bench-scale demo-stream demo-serve report tables figures clean
 
 all: check
 
@@ -61,6 +61,22 @@ fmt:
 # this, `make fmt` fixes it.
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Short-budget run of every fuzz target (go test runs one -fuzz pattern per
+# invocation, hence one line per target). Catches codec and parser
+# regressions in CI without an open-ended fuzzing session; raise FUZZTIME
+# locally for a deeper hunt. -run xxx skips the package's unit tests.
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzIncrementalKS -fuzztime $(FUZZTIME) ./internal/stats
+	$(GO) test -run xxx -fuzz FuzzSketchRankError -fuzztime $(FUZZTIME) ./internal/stats
+	$(GO) test -run xxx -fuzz FuzzSanitize -fuzztime $(FUZZTIME) ./internal/metrics
+	$(GO) test -run xxx -fuzz FuzzReadTrainingData -fuzztime $(FUZZTIME) ./internal/eval
+	$(GO) test -run xxx -fuzz FuzzTopology -fuzztime $(FUZZTIME) ./internal/analysis
+	$(GO) test -run xxx -fuzz FuzzCallGraph -fuzztime $(FUZZTIME) ./internal/analysis
+	$(GO) test -run xxx -fuzz FuzzSnapshotRoundTrip -fuzztime $(FUZZTIME) ./internal/stream
+	$(GO) test -run xxx -fuzz FuzzReadModel -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run xxx -fuzz FuzzReadReport -fuzztime $(FUZZTIME) ./internal/repair
 
 # Every table, figure, ablation and extension, abbreviated windows.
 bench:

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"causalfl/internal/repair"
+)
+
+// explainOutput runs `causalfl explain` with -out into a temp file and
+// returns the bytes it wrote.
+func explainOutput(t *testing.T, extra ...string) []byte {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "report.out")
+	args := append([]string{
+		"explain", "-app", "causalbench", "-fault", "B", "-quick", "-seed", "42", "-out", out,
+	}, extra...)
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// checkGolden compares got against the golden file, refreshing it when
+// CAUSALFL_UPDATE_GOLDEN is set.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	goldenPath := filepath.Join("testdata", name)
+	if os.Getenv("CAUSALFL_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatalf("mkdir testdata: %v", err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with CAUSALFL_UPDATE_GOLDEN=1 go test ./cmd/causalfl -run TestExplainGolden)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("explain output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+// TestExplainGoldenText pins the exact terminal rendering of the repair
+// report. The output carries no wall clock, so a fixed seed makes it
+// byte-stable across machines and worker counts.
+func TestExplainGoldenText(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test skipped in -short mode")
+	}
+	checkGolden(t, "explain.golden.txt", explainOutput(t))
+}
+
+// TestExplainGoldenJSON pins the versioned JSON envelope CI and downstream
+// tooling consume, and checks it round-trips through the codec.
+func TestExplainGoldenJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test skipped in -short mode")
+	}
+	got := explainOutput(t, "-json")
+	checkGolden(t, "explain.golden.json", got)
+	report, err := repair.ReadReport(bytes.NewReader(got))
+	if err != nil {
+		t.Fatalf("golden JSON rejected by ReadReport: %v", err)
+	}
+	if chosen := report.Chosen(); chosen == nil || !chosen.MeetsSLO {
+		t.Fatal("golden report has no SLO-restoring fix set")
+	}
+}
+
+// TestExplainDeterministicAcrossWorkers pins the CLI determinism contract:
+// byte-identical reports whether the candidate replays run serially or on a
+// saturated pool.
+func TestExplainDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test skipped in -short mode")
+	}
+	serial := explainOutput(t, "-workers", "1")
+	pooled := explainOutput(t, "-workers", "8")
+	if len(serial) == 0 {
+		t.Fatal("explain produced no output")
+	}
+	if !bytes.Equal(serial, pooled) {
+		t.Fatalf("explain output differs between -workers=1 and -workers=8:\n--- serial ---\n%s\n--- pooled ---\n%s", serial, pooled)
+	}
+}
+
+// TestExplainRejectsBadInvocations covers the flag validation paths.
+func TestExplainRejectsBadInvocations(t *testing.T) {
+	cases := [][]string{
+		{"explain"}, // missing -fault
+		{"explain", "-app", "zzz", "-fault", "B"},            // unknown app
+		{"explain", "-fault", "nosuchservice", "-quick"},     // unknown service
+		{"explain", "-fault", "B", "-model", "missing.json"}, // unreadable model
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("run(context.Background(), %v) accepted", args)
+		}
+	}
+}

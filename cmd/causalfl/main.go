@@ -20,6 +20,7 @@
 //	causalfl worlds   -model model.json
 //	causalfl report   [-out report.md] [-quick] [-seed N] [-workers N]
 //	causalfl bench    [-quick] [-seed N] [-out BENCH_parallel.json] [-stream]
+//	causalfl explain  -app causalbench|robotshop -fault SVC[,SVC...] [-model model.json] [-quick] [-json] [-out report.json]
 //	causalfl watch    -app causalbench|robotshop [-model model.json] [-fault SVC] [-inject-at 3m] [-duration 10m] [-out verdicts.json]
 //	causalfl serve    [-addr :8080] [-snapshot-dir DIR] [-model model.json] [-queue N] [-snapshot-every N]
 //	causalfl diff     -old old.json -new new.json
@@ -64,7 +65,7 @@ func main() {
 
 func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (tables, figures, train, collect, learn, worlds, localize, evaluate, compare, topology, extensions, sweep, scale, bench, watch, report, serve, diff)")
+		return fmt.Errorf("missing subcommand (tables, figures, train, collect, learn, worlds, localize, explain, evaluate, compare, topology, extensions, sweep, scale, bench, watch, report, serve, diff)")
 	}
 	switch args[0] {
 	case "tables":
@@ -75,6 +76,8 @@ func run(ctx context.Context, args []string) error {
 		return cmdTrain(ctx, args[1:])
 	case "localize":
 		return cmdLocalize(ctx, args[1:])
+	case "explain":
+		return cmdExplain(ctx, args[1:])
 	case "evaluate":
 		return cmdEvaluate(ctx, args[1:])
 	case "compare":

@@ -12,6 +12,7 @@ package chaos
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"causalfl/internal/sim"
@@ -114,6 +115,36 @@ func (f Fault) Validate() error {
 // Unavailable is the paper's fault.
 func Unavailable() Fault { return Fault{Type: ServiceUnavailable} }
 
+// Undo reverses f's effect on svc — the intervention ⇄ fault inverse
+// mapping. It is what "restore service s" means as a repair intervention:
+// given the fault that was injected, put the service back to its healthy
+// configuration. Undoing a fault that is not active is a no-op (the healthy
+// configuration is idempotent), which is exactly what makes restore a safe
+// candidate on services that were never faulted.
+func Undo(svc *sim.Service, f Fault) {
+	switch f.Type {
+	case ServiceUnavailable:
+		svc.SetUnavailable(false)
+	case Latency:
+		svc.SetExtraLatency(0)
+	case ErrorRate:
+		svc.SetErrorRate(0)
+	case Pause:
+		svc.SetPaused(false)
+	case ScrapeLoss:
+		svc.SetScrapeLossRate(0)
+	case SampleCorruption:
+		svc.SetSampleCorruptionRate(0)
+	}
+}
+
+// TargetFault pairs a fault with the service it is (or should be) applied
+// to — the unit of fault ledgers and repair scenarios.
+type TargetFault struct {
+	Target string
+	Fault  Fault
+}
+
 // Injector applies and clears faults on a cluster, tracking what is active.
 // Service-plane and telemetry-plane faults are booked separately: each plane
 // holds at most one fault per service, but a telemetry fault may ride on top
@@ -187,16 +218,7 @@ func (i *Injector) Clear(target string) error {
 		return fmt.Errorf("chaos: clear: %w", &sim.UnknownServiceError{Name: target})
 	}
 	if f, busy := i.active[target]; busy {
-		switch f.Type {
-		case ServiceUnavailable:
-			svc.SetUnavailable(false)
-		case Latency:
-			svc.SetExtraLatency(0)
-		case ErrorRate:
-			svc.SetErrorRate(0)
-		case Pause:
-			svc.SetPaused(false)
-		}
+		Undo(svc, f)
 		delete(i.active, target)
 		return nil
 	}
@@ -216,12 +238,7 @@ func (i *Injector) ClearTelemetry(target string) error {
 	if !busy {
 		return fmt.Errorf("chaos: %s has no active telemetry fault", target)
 	}
-	switch f.Type {
-	case ScrapeLoss:
-		svc.SetScrapeLossRate(0)
-	case SampleCorruption:
-		svc.SetSampleCorruptionRate(0)
-	}
+	Undo(svc, f)
 	delete(i.telemetry, target)
 	return nil
 }
@@ -258,6 +275,26 @@ func (i *Injector) ActiveTelemetry() map[string]Fault {
 	}
 	return out
 }
+
+// sortedSnapshot flattens a fault ledger into a slice ordered by target name.
+func sortedSnapshot(book map[string]Fault) []TargetFault {
+	out := make([]TargetFault, 0, len(book))
+	for target, f := range book {
+		out = append(out, TargetFault{Target: target, Fault: f})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Target < out[b].Target })
+	return out
+}
+
+// ActiveSorted returns the active service-plane faults ordered by target
+// name. Unlike Active(), whose map invites nondeterministic range order,
+// this is safe to iterate in code that must be reproducible (candidate
+// generation, reports).
+func (i *Injector) ActiveSorted() []TargetFault { return sortedSnapshot(i.active) }
+
+// ActiveTelemetrySorted returns the active telemetry-plane faults ordered by
+// target name.
+func (i *Injector) ActiveTelemetrySorted() []TargetFault { return sortedSnapshot(i.telemetry) }
 
 // ScheduleWindow arranges for f to be active on target during
 // [start, start+duration) of virtual time. Errors inside the scheduled

@@ -344,3 +344,81 @@ func TestTelemetryFaultTypeStrings(t *testing.T) {
 		t.Error("Telemetry() plane classification wrong")
 	}
 }
+
+func TestSortedSnapshotsDeterministic(t *testing.T) {
+	eng := sim.NewEngine(5)
+	cluster := sim.NewCluster(eng)
+	names := []string{"zeta", "alpha", "mid", "beta", "omega"}
+	for _, n := range names {
+		cluster.MustAddService(sim.ServiceConfig{Name: n, Endpoints: []sim.Endpoint{{Name: "ep"}}})
+	}
+	inj, err := NewInjector(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject in non-alphabetical order on both planes.
+	for _, n := range names {
+		if err := inj.Inject(n, Unavailable()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range []string{"mid", "alpha"} {
+		if err := inj.Inject(n, Fault{Type: ScrapeLoss, Rate: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"alpha", "beta", "mid", "omega", "zeta"}
+	for round := 0; round < 10; round++ {
+		got := inj.ActiveSorted()
+		if len(got) != len(want) {
+			t.Fatalf("ActiveSorted() has %d entries, want %d", len(got), len(want))
+		}
+		for i, tf := range got {
+			if tf.Target != want[i] {
+				t.Fatalf("ActiveSorted()[%d] = %q, want %q", i, tf.Target, want[i])
+			}
+			if tf.Fault.Type != ServiceUnavailable {
+				t.Fatalf("ActiveSorted()[%d] fault %v, want unavailable", i, tf.Fault.Type)
+			}
+		}
+		tel := inj.ActiveTelemetrySorted()
+		if len(tel) != 2 || tel[0].Target != "alpha" || tel[1].Target != "mid" {
+			t.Fatalf("ActiveTelemetrySorted() = %v", tel)
+		}
+	}
+}
+
+func TestUndoReversesEveryFaultType(t *testing.T) {
+	eng, cluster, inj := newCluster(t)
+	svc, _ := cluster.Service("svc")
+	faults := []Fault{
+		{Type: ServiceUnavailable},
+		{Type: Latency, Delay: 100 * time.Millisecond},
+		{Type: ErrorRate, Rate: 1},
+		{Type: Pause},
+		{Type: ScrapeLoss, Rate: 1},
+		{Type: SampleCorruption, Rate: 1},
+	}
+	for _, f := range faults {
+		if err := inj.Inject("svc", f); err != nil {
+			t.Fatalf("inject %v: %v", f.Type, err)
+		}
+		Undo(svc, f)
+		// The service behaves healthy again: a call must succeed.
+		var got error = sim.ErrServiceUnavailable
+		cluster.Call("client", "svc", "ep", func(r sim.Result) { got = r.Err })
+		end := eng.Now() + sim.Time(time.Second)
+		eng.Run(time.Duration(end))
+		if got != nil {
+			t.Fatalf("call after Undo(%v) failed: %v", f.Type, got)
+		}
+		// Book-keeping still shows the fault; Clear must drain the ledger
+		// without double-undo problems (Undo is idempotent).
+		if err := inj.Clear("svc"); err != nil {
+			t.Fatalf("clear %v: %v", f.Type, err)
+		}
+	}
+	if len(inj.ActiveSorted()) != 0 || len(inj.ActiveTelemetrySorted()) != 0 {
+		t.Fatal("ledgers not empty after clears")
+	}
+}

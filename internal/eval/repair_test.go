@@ -1,0 +1,59 @@
+package eval
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRunRepairExtension(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test skipped in -short mode")
+	}
+	result, err := RunRepairExtension(context.Background(), Options{Seed: 42, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(result.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(result.Rows))
+	}
+	for _, row := range result.Rows {
+		if !row.MeetsSLO {
+			t.Errorf("%s/%s: fix set does not restore the SLO", row.App, row.Target)
+		}
+		if !row.TrueFix {
+			t.Errorf("%s/%s: true restoration missing from top set %q", row.App, row.Target, row.FixSet)
+		}
+		if row.Size != 1 {
+			t.Errorf("%s/%s: single-fault scenario needs a singleton fix, got size %d (%q)",
+				row.App, row.Target, row.Size, row.FixSet)
+		}
+		if row.Score != 1 {
+			t.Errorf("%s/%s: true fix score %v, want exactly 1", row.App, row.Target, row.Score)
+		}
+		if row.VerdictTop != row.Target {
+			t.Errorf("%s/%s: localizer verdict %q misses the target", row.App, row.Target, row.VerdictTop)
+		}
+	}
+	if !strings.Contains(result.String(), "true fix in top-ranked set: 4/4") {
+		t.Errorf("summary line wrong:\n%s", result.String())
+	}
+}
+
+func TestRunRepairExtensionDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test skipped in -short mode")
+	}
+	serial, err := RunRepairExtension(context.Background(), Options{Seed: 7, Quick: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := RunRepairExtension(context.Background(), Options{Seed: 7, Quick: true, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, pooled) {
+		t.Fatalf("repair extension differs across worker counts:\nserial %+v\npooled %+v", serial, pooled)
+	}
+}

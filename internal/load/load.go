@@ -93,8 +93,32 @@ type Stats struct {
 	Issued    uint64
 	Succeeded uint64
 	Failed    uint64
+	// SuccessLatency accumulates the end-to-end latency of succeeded
+	// requests. Together with Succeeded it yields the client-side mean —
+	// the latency an operator's SLO actually measures, unpolluted by
+	// fail-fast errors that return quickly.
+	SuccessLatency time.Duration
 	// PerFlow counts issued requests by flow name.
 	PerFlow map[string]uint64
+}
+
+// Availability is the fraction of completed requests that succeeded.
+// It reports 1 when nothing completed yet.
+func (s Stats) Availability() float64 {
+	completed := s.Succeeded + s.Failed
+	if completed == 0 {
+		return 1
+	}
+	return float64(s.Succeeded) / float64(completed)
+}
+
+// MeanLatency is the mean end-to-end latency over succeeded requests, zero
+// when none succeeded.
+func (s Stats) MeanLatency() time.Duration {
+	if s.Succeeded == 0 {
+		return 0
+	}
+	return s.SuccessLatency / time.Duration(s.Succeeded)
 }
 
 // Generator drives traffic for one application instance.
@@ -225,11 +249,14 @@ func (g *Generator) pickFlow() apps.Flow {
 func (g *Generator) issue(flow apps.Flow, done func(ok bool)) {
 	g.stats.Issued++
 	g.stats.PerFlow[flow.Name]++
+	eng := g.app.Cluster.Engine()
+	start := eng.Now()
 	g.app.Cluster.Call(ClientName, flow.Entry, flow.Endpoint, func(res sim.Result) {
 		if res.Err != nil {
 			g.stats.Failed++
 		} else {
 			g.stats.Succeeded++
+			g.stats.SuccessLatency += time.Duration(eng.Now() - start)
 		}
 		if done != nil {
 			done(res.Err == nil)

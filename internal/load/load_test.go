@@ -253,3 +253,34 @@ func TestStatsIsACopy(t *testing.T) {
 		t.Fatal("Stats exposes internal map")
 	}
 }
+
+func TestSuccessLatencyStats(t *testing.T) {
+	app := testApp(t, 64, 20*time.Millisecond)
+	gen, err := NewGenerator(app, Config{Mode: OpenLoop, RatePerSecond: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.Start(); err != nil {
+		t.Fatal(err)
+	}
+	app.Cluster.Engine().Run(30 * time.Second)
+	stats := gen.Stats()
+	if stats.Succeeded == 0 {
+		t.Fatal("no succeeded requests")
+	}
+	mean := stats.MeanLatency()
+	// Exponential compute with 20ms mean, effectively no queueing at this
+	// rate and capacity: the client-side mean must sit near 20ms.
+	if mean < 10*time.Millisecond || mean > 40*time.Millisecond {
+		t.Fatalf("mean success latency %v, want ~20ms", mean)
+	}
+	if got := stats.Availability(); got != 1 {
+		t.Fatalf("availability %v with zero failures, want 1", got)
+	}
+	if (Stats{}).MeanLatency() != 0 {
+		t.Error("zero-value Stats should report zero mean latency")
+	}
+	if (Stats{}).Availability() != 1 {
+		t.Error("zero-value Stats should report availability 1")
+	}
+}

@@ -1,0 +1,86 @@
+package repair
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// seedReport builds a small hand-rolled report for the fuzz corpus.
+func seedReport() *Report {
+	return &Report{
+		App:    "causalbench",
+		Seed:   42,
+		Warmup: 10 * time.Second,
+		Window: 40 * time.Second,
+		Faults: []FaultSpec{{Target: "B", Fault: "http-service-unavailable"}},
+		Healthy: Metrics{
+			Issued: 2035, Succeeded: 2034,
+			Availability: 1, MeanLatency: 12 * time.Millisecond, Throughput: 50.85,
+		},
+		Control: Metrics{
+			Issued: 1998, Succeeded: 1019, Failed: 979,
+			Availability: 0.51, MeanLatency: 9 * time.Millisecond, Throughput: 25.4,
+		},
+		SLO: SLO{MinAvailability: 0.98, MaxMeanLatency: 20 * time.Millisecond, MinThroughput: 45},
+		Candidates: []Candidate{{
+			Intervention: Intervention{Kind: KindRestore, Target: "B"},
+			Metrics:      Metrics{Issued: 2035, Succeeded: 2034, Availability: 1, Throughput: 50.85},
+			Score:        1, MeetsSLO: true,
+			Delta: Delta{Availability: 0.49, MeanLatency: 3 * time.Millisecond, Throughput: 25.45},
+		}},
+		Sets: []FixSet{
+			{
+				Interventions: []Intervention{{Kind: KindRestore, Target: "B"}},
+				Metrics:       Metrics{Issued: 2035, Succeeded: 2034, Availability: 1, Throughput: 50.85},
+				Score:         1, MeetsSLO: true,
+			},
+			{
+				Interventions: []Intervention{
+					{Kind: KindScale, Target: "B", Factor: 4},
+					{Kind: KindShed, Target: "path_be"},
+				},
+				Metrics: Metrics{Issued: 1500, Succeeded: 1400, Failed: 100, Availability: 0.93, Throughput: 35},
+				Score:   0.8,
+			},
+		},
+		Replays: 16,
+	}
+}
+
+// FuzzReadReport feeds the JSON codec hostile input: whatever happens, it
+// must never panic, and any input it accepts must survive a write/read round
+// trip unchanged.
+func FuzzReadReport(f *testing.F) {
+	var corpus bytes.Buffer
+	if err := seedReport().WriteJSON(&corpus); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(corpus.Bytes())
+	f.Add([]byte(`{"kind":"causalfl-repair-report","version":1,"report":{"app":"x","window":1}}`))
+	f.Add([]byte(`{"kind":"causalfl-repair-report","version":1,"report":{"app":"x","window":1,` +
+		`"sets":[{"interventions":[{"kind":"restore-service","target":"B"}],"score":2}]}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		report, err := ReadReport(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := report.WriteJSON(&out); err != nil {
+			t.Fatalf("accepted report fails to re-encode: %v", err)
+		}
+		back, err := ReadReport(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded report rejected: %v", err)
+		}
+		if !reflect.DeepEqual(report, back) {
+			t.Fatal("report changed across a write/read round trip")
+		}
+	})
+}

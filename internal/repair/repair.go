@@ -1,0 +1,256 @@
+// Package repair turns a localization verdict into actionable remediation:
+// it replays the faulty window in the deterministic simulator under candidate
+// interventions — restore a service's fault, scale replicas, shed a flow,
+// evacuate a node — and searches for the minimal intervention set whose
+// counterfactual replay restores the SLO, scored against a healthy replay of
+// the same window.
+//
+// This is the ROADMAP's counterfactual-repair item: the counterfactual-replay
+// technique of TraceForge (SNIPPETS.md Snippet 1) combined with the bounded
+// minimal-fix-set search of model-forensics CCA (Snippet 3), applied to the
+// simulator the project already owns. The paper stops at naming the faulty
+// service; a ranked, replay-verified fix set answers the operator's actual
+// question — *what do I change to make the pager stop?*
+//
+// Everything here is deterministic: replays are pure functions of the
+// scenario (builder + seed + load + faults) and the intervention set, the
+// search fans candidate replays out through internal/parallel with ordered
+// fan-in, and every selection rule breaks ties on a total order. Reports are
+// byte-identical at any worker count.
+package repair
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"causalfl/internal/apps"
+	"causalfl/internal/chaos"
+	"causalfl/internal/load"
+)
+
+// Kind names an intervention type. Kinds are strings so reports and plans
+// stay self-describing in JSON.
+type Kind string
+
+// The four intervention kinds of the ROADMAP item.
+const (
+	// KindRestore undoes the scenario fault on a service (the inverse of
+	// the chaos injection). On a service that carries no fault it is a
+	// literal no-op — which is what makes it a safe candidate everywhere.
+	KindRestore Kind = "restore-service"
+	// KindScale multiplies a service's worker capacity by Factor, the
+	// horizontal-scaling remediation.
+	KindScale Kind = "scale-replicas"
+	// KindShed removes a user flow from the generated load for the whole
+	// replay — deliberate load shedding of a broken feature.
+	KindShed Kind = "shed-flow"
+	// KindEvacuate unassigns every service from a node, rerouting around
+	// sick infrastructure.
+	KindEvacuate Kind = "evacuate-node"
+)
+
+// Intervention is one atomic remediation action.
+type Intervention struct {
+	Kind   Kind   `json:"kind"`
+	Target string `json:"target"`
+	// Factor is the capacity multiplier of KindScale (ignored otherwise).
+	Factor int `json:"factor,omitempty"`
+}
+
+// Validate checks the intervention is well-formed.
+func (iv Intervention) Validate() error {
+	if iv.Target == "" {
+		return fmt.Errorf("repair: %s intervention has no target", iv.Kind)
+	}
+	switch iv.Kind {
+	case KindRestore, KindShed, KindEvacuate:
+		if iv.Factor != 0 {
+			return fmt.Errorf("repair: %s intervention must not set a factor", iv.Kind)
+		}
+		return nil
+	case KindScale:
+		if iv.Factor < 2 {
+			return fmt.Errorf("repair: scale intervention needs a factor ≥ 2, got %d", iv.Factor)
+		}
+		return nil
+	default:
+		return fmt.Errorf("repair: unknown intervention kind %q", iv.Kind)
+	}
+}
+
+// Key is the canonical identity of the intervention, used for memoization
+// and deterministic tie-breaking.
+func (iv Intervention) Key() string {
+	if iv.Kind == KindScale {
+		return fmt.Sprintf("%s:%s:x%d", iv.Kind, iv.Target, iv.Factor)
+	}
+	return string(iv.Kind) + ":" + iv.Target
+}
+
+// String renders the intervention for humans.
+func (iv Intervention) String() string {
+	switch iv.Kind {
+	case KindRestore:
+		return "restore " + iv.Target
+	case KindScale:
+		return fmt.Sprintf("scale %s ×%d", iv.Target, iv.Factor)
+	case KindShed:
+		return "shed flow " + iv.Target
+	case KindEvacuate:
+		return "evacuate node " + iv.Target
+	default:
+		return string(iv.Kind) + " " + iv.Target
+	}
+}
+
+// setKey is the canonical identity of an intervention set: sorted keys
+// joined. The empty set has the empty key.
+func setKey(ivs []Intervention) string {
+	keys := make([]string, len(ivs))
+	for i, iv := range ivs {
+		keys[i] = iv.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "+")
+}
+
+// Scenario pins one faulty window for counterfactual replay: how to build
+// the application, how to load it, and what went wrong. Replays derived from
+// the same scenario are pure functions of the intervention set.
+type Scenario struct {
+	// App names the application (display only).
+	App string
+	// Build constructs a fresh application instance per replay.
+	Build apps.Builder
+	// Seed drives all replay randomness.
+	Seed int64
+	// Load configures the generator (zero values take load defaults).
+	Load load.Config
+	// Faults are the service faults active from window start on.
+	Faults []chaos.TargetFault
+	// Perturb, when set, applies environmental sickness (node pressure,
+	// placement) at window start — trouble no chaos ledger records.
+	Perturb func(app *apps.App) error
+	// Warmup is discarded before the window (default 30s virtual time).
+	Warmup time.Duration
+	// Window is the measured faulty window (default 120s virtual time).
+	Window time.Duration
+}
+
+// withDefaults fills zero durations and validates the scenario.
+func (sc Scenario) withDefaults() (Scenario, error) {
+	if sc.Build == nil {
+		return sc, fmt.Errorf("repair: scenario needs a Build function")
+	}
+	if sc.Warmup == 0 {
+		sc.Warmup = 30 * time.Second
+	}
+	if sc.Window == 0 {
+		sc.Window = 120 * time.Second
+	}
+	if sc.Warmup < 0 || sc.Window <= 0 {
+		return sc, fmt.Errorf("repair: bad scenario durations warmup=%v window=%v", sc.Warmup, sc.Window)
+	}
+	for _, tf := range sc.Faults {
+		if tf.Target == "" {
+			return sc, fmt.Errorf("repair: scenario fault with empty target")
+		}
+		if err := tf.Fault.Validate(); err != nil {
+			return sc, err
+		}
+	}
+	return sc, nil
+}
+
+// Metrics is the client-side view of one replayed window — the quantities an
+// SLO is written against.
+type Metrics struct {
+	Issued       uint64        `json:"issued"`
+	Succeeded    uint64        `json:"succeeded"`
+	Failed       uint64        `json:"failed"`
+	Availability float64       `json:"availability"`
+	MeanLatency  time.Duration `json:"mean_latency"`
+	// Throughput is succeeded requests per second of window time. Counting
+	// only successes keeps load shedding honest: a shed flow's requests
+	// never complete, so shedding always costs throughput.
+	Throughput float64 `json:"throughput"`
+}
+
+// SLO holds the thresholds a replayed window must meet, derived from the
+// healthy replay of the same scenario.
+type SLO struct {
+	// MinAvailability is the availability floor.
+	MinAvailability float64 `json:"min_availability"`
+	// MaxMeanLatency is the mean-latency ceiling.
+	MaxMeanLatency time.Duration `json:"max_mean_latency"`
+	// MinThroughput is the succeeded-per-second floor.
+	MinThroughput float64 `json:"min_throughput"`
+}
+
+// DeriveSLO derives thresholds from the healthy window: availability within
+// two points, mean latency within 25% plus a 5ms absolute allowance (so
+// microsecond-scale baselines aren't impossibly tight), throughput within
+// 10%. The throughput floor is what prevents "shed everything" from gaming
+// the predicate.
+func DeriveSLO(healthy Metrics) SLO {
+	return SLO{
+		MinAvailability: healthy.Availability - 0.02,
+		MaxMeanLatency:  healthy.MeanLatency + healthy.MeanLatency/4 + 5*time.Millisecond,
+		MinThroughput:   healthy.Throughput * 0.9,
+	}
+}
+
+// Met reports whether the window meets the SLO.
+func (s SLO) Met(m Metrics) bool {
+	return m.Availability >= s.MinAvailability &&
+		m.MeanLatency <= s.MaxMeanLatency &&
+		m.Throughput >= s.MinThroughput
+}
+
+// clamp01 clamps x into [0, 1].
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Score rates a replayed window against the healthy one on [0, 1]: one minus
+// the mean of three clamped deficits (availability drop, relative latency
+// overshoot, relative throughput loss). A replay bit-identical to the healthy
+// window — which is exactly what restoring the true fault produces — scores
+// 1 precisely; any residual degradation scores strictly below.
+func Score(healthy, m Metrics) float64 {
+	availDef := clamp01(healthy.Availability - m.Availability)
+	latDef := 0.0
+	if healthy.MeanLatency > 0 && m.MeanLatency > healthy.MeanLatency {
+		latDef = clamp01(float64(m.MeanLatency-healthy.MeanLatency) / float64(healthy.MeanLatency))
+	}
+	tpDef := 0.0
+	if healthy.Throughput > 0 {
+		tpDef = clamp01((healthy.Throughput - m.Throughput) / healthy.Throughput)
+	}
+	return 1 - (availDef+latDef+tpDef)/3
+}
+
+// Delta is the per-intervention counterfactual difference against the
+// unrepaired control window: what this action alone buys.
+type Delta struct {
+	Availability float64       `json:"availability"`
+	MeanLatency  time.Duration `json:"mean_latency"`
+	Throughput   float64       `json:"throughput"`
+}
+
+// deltaVs computes m − control on the three SLO dimensions.
+func deltaVs(control, m Metrics) Delta {
+	return Delta{
+		Availability: m.Availability - control.Availability,
+		MeanLatency:  m.MeanLatency - control.MeanLatency,
+		Throughput:   m.Throughput - control.Throughput,
+	}
+}

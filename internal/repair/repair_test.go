@@ -1,0 +1,288 @@
+package repair
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"causalfl/internal/apps"
+	"causalfl/internal/apps/causalbench"
+	"causalfl/internal/chaos"
+	"causalfl/internal/sim"
+)
+
+// benchScenario is the canonical test scenario: CausalBench with the paper's
+// fault on service B, compact quick-mode windows.
+func benchScenario(seed int64) Scenario {
+	return Scenario{
+		App:    "causalbench",
+		Build:  causalbench.Build,
+		Seed:   seed,
+		Faults: []chaos.TargetFault{{Target: "B", Fault: chaos.Unavailable()}},
+		Warmup: QuickWarmup,
+		Window: QuickWindow,
+	}
+}
+
+func TestInterventionValidateAndKey(t *testing.T) {
+	cases := []struct {
+		iv Intervention
+		ok bool
+	}{
+		{Intervention{Kind: KindRestore, Target: "B"}, true},
+		{Intervention{Kind: KindScale, Target: "B", Factor: 4}, true},
+		{Intervention{Kind: KindShed, Target: "path_be"}, true},
+		{Intervention{Kind: KindEvacuate, Target: "n1"}, true},
+		{Intervention{Kind: KindRestore, Target: ""}, false},
+		{Intervention{Kind: KindRestore, Target: "B", Factor: 2}, false},
+		{Intervention{Kind: KindScale, Target: "B"}, false},
+		{Intervention{Kind: KindScale, Target: "B", Factor: 1}, false},
+		{Intervention{Kind: Kind("teleport"), Target: "B"}, false},
+	}
+	for _, c := range cases {
+		if err := c.iv.Validate(); (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.iv, err, c.ok)
+		}
+	}
+	a := Intervention{Kind: KindScale, Target: "B", Factor: 4}
+	if a.Key() != "scale-replicas:B:x4" {
+		t.Errorf("Key() = %q", a.Key())
+	}
+	// Set identity is order-independent.
+	s1 := setKey([]Intervention{{Kind: KindRestore, Target: "B"}, {Kind: KindShed, Target: "f"}})
+	s2 := setKey([]Intervention{{Kind: KindShed, Target: "f"}, {Kind: KindRestore, Target: "B"}})
+	if s1 != s2 {
+		t.Errorf("setKey order-dependent: %q vs %q", s1, s2)
+	}
+}
+
+func TestRestoreTrueFaultIsExactlyHealthy(t *testing.T) {
+	sc := benchScenario(11)
+	healthy, err := ReplayHealthy(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Replay(sc, []Intervention{{Kind: KindRestore, Target: "B"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fault injection and restoration are flag flips that consume no
+	// randomness, so the restored replay is bit-identical to healthy —
+	// the property the exact score of 1 rests on.
+	if !reflect.DeepEqual(healthy, restored) {
+		t.Fatalf("restored replay differs from healthy:\nhealthy  %+v\nrestored %+v", healthy, restored)
+	}
+	if got := Score(healthy, restored); got != 1 {
+		t.Fatalf("Score(healthy, restored) = %v, want exactly 1", got)
+	}
+	control, err := Replay(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DeriveSLO(healthy).Met(control) {
+		t.Fatal("unrepaired control unexpectedly meets the SLO")
+	}
+	if Score(healthy, control) >= 1 {
+		t.Fatalf("control score %v not below 1", Score(healthy, control))
+	}
+}
+
+func TestShedCannotGameTheSLO(t *testing.T) {
+	// Shedding the broken flow restores availability by not serving, but
+	// the throughput floor keeps the predicate honest.
+	sc := benchScenario(12)
+	healthy, err := ReplayHealthy(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo := DeriveSLO(healthy)
+	for _, flow := range []string{"path_bce", "path_be"} {
+		m, err := Replay(sc, []Intervention{{Kind: KindShed, Target: flow}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slo.Met(m) {
+			t.Errorf("shed %s meets the SLO (throughput %v vs floor %v)", flow, m.Throughput, slo.MinThroughput)
+		}
+		if s := Score(healthy, m); s >= 1 {
+			t.Errorf("shed %s scores %v, want < 1", flow, s)
+		}
+	}
+}
+
+func TestSearchFindsTrueFix(t *testing.T) {
+	sc := benchScenario(13)
+	report, err := Search(context.Background(), sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chosen := report.Chosen()
+	if chosen == nil {
+		t.Fatal("search returned no fix sets")
+	}
+	if !chosen.MeetsSLO {
+		t.Fatalf("top-ranked set %v does not meet the SLO", chosen.Interventions)
+	}
+	if len(chosen.Interventions) != 1 || chosen.Interventions[0].Key() != "restore-service:B" {
+		t.Fatalf("top-ranked set = %v, want [restore B]", chosen.Interventions)
+	}
+	if chosen.Score != 1 {
+		t.Fatalf("true fix score %v, want exactly 1", chosen.Score)
+	}
+	// The candidate table leads with the true fix too.
+	if len(report.Candidates) == 0 || report.Candidates[0].Intervention.Key() != "restore-service:B" {
+		t.Fatalf("candidate ranking does not lead with restore B: %+v", report.Candidates[:1])
+	}
+	if report.Replays < len(report.Candidates)+2 {
+		t.Errorf("replay count %d below candidates+references", report.Replays)
+	}
+}
+
+func TestSearchNothingToRepair(t *testing.T) {
+	sc := benchScenario(14)
+	sc.Faults = nil
+	report, err := Search(context.Background(), sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.ControlMeetsSLO {
+		t.Fatal("fault-free control violates the SLO")
+	}
+	if len(report.Sets) != 0 || len(report.Candidates) != 0 {
+		t.Fatalf("no-repair report still carries sets/candidates: %d/%d", len(report.Sets), len(report.Candidates))
+	}
+	if report.Replays != 2 {
+		t.Fatalf("no-repair search ran %d replays, want 2", report.Replays)
+	}
+	if !strings.Contains(report.String(), "no repair needed") {
+		t.Error("text report does not say no repair is needed")
+	}
+}
+
+// pressureApp is a one-service app whose Perturb places the service on a
+// 1-core node with heavy background load — environmental sickness no chaos
+// ledger records, curable only by evacuation.
+func pressureApp(eng *sim.Engine) (*apps.App, error) {
+	cluster := sim.NewCluster(eng)
+	cluster.MustAddService(sim.ServiceConfig{
+		Name:     "api",
+		Capacity: 16,
+		Endpoints: []sim.Endpoint{{Name: "get", Steps: []sim.Step{
+			sim.Compute{Mean: 10 * time.Millisecond},
+		}}},
+	})
+	if err := cluster.AddNode(sim.NodeConfig{Name: "n1", Cores: 1}); err != nil {
+		return nil, err
+	}
+	app := &apps.App{
+		Name:         "pressure",
+		Cluster:      cluster,
+		Flows:        []apps.Flow{{Name: "get", Entry: "api", Endpoint: "get", Weight: 1}},
+		FaultTargets: []string{"api"},
+	}
+	return app, app.Validate()
+}
+
+func TestSearchEvacuatesSickNode(t *testing.T) {
+	sc := Scenario{
+		App:   "pressure",
+		Build: pressureApp,
+		Seed:  15,
+		Perturb: func(app *apps.App) error {
+			if err := app.Cluster.Place("api", "n1"); err != nil {
+				return err
+			}
+			return app.Cluster.SetNodeBackgroundLoad("n1", 8)
+		},
+		Warmup: QuickWarmup,
+		Window: QuickWindow,
+	}
+	report, err := Search(context.Background(), sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ControlMeetsSLO {
+		t.Fatal("node pressure did not violate the SLO")
+	}
+	chosen := report.Chosen()
+	if chosen == nil || !chosen.MeetsSLO {
+		t.Fatalf("no SLO-restoring set found: %+v", chosen)
+	}
+	if len(chosen.Interventions) != 1 || chosen.Interventions[0].Key() != "evacuate-node:n1" {
+		t.Fatalf("top-ranked set = %v, want [evacuate node n1]", chosen.Interventions)
+	}
+}
+
+func TestSearchDeterministicAcrossWorkers(t *testing.T) {
+	sc := benchScenario(16)
+	var reports []*Report
+	var texts []string
+	for _, workers := range []int{1, 8} {
+		report, err := Search(context.Background(), sc, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, report)
+		texts = append(texts, report.String())
+	}
+	if !reflect.DeepEqual(reports[0], reports[1]) {
+		t.Fatal("reports differ between workers=1 and workers=8")
+	}
+	if texts[0] != texts[1] {
+		t.Fatal("rendered reports differ between workers=1 and workers=8")
+	}
+	// And across repeated runs at the same worker count.
+	again, err := Search(context.Background(), sc, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reports[1], again) {
+		t.Fatal("repeated search at fixed seed differs")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	sc := benchScenario(17)
+	report, err := Search(context.Background(), sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(report, back) {
+		t.Fatal("report JSON round trip not identical")
+	}
+}
+
+func TestReadReportRejectsHostileInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"not-json":      "{(",
+		"wrong-kind":    `{"kind":"causalfl-vet","version":1,"report":{"app":"x","window":1}}`,
+		"wrong-version": `{"kind":"causalfl-repair-report","version":99,"report":{"app":"x","window":1}}`,
+		"no-report":     `{"kind":"causalfl-repair-report","version":1}`,
+		"no-app":        `{"kind":"causalfl-repair-report","version":1,"report":{"window":1}}`,
+		"bad-window":    `{"kind":"causalfl-repair-report","version":1,"report":{"app":"x","window":-5}}`,
+		"unknown-field": `{"kind":"causalfl-repair-report","version":1,"report":{"app":"x","window":1,"wat":3}}`,
+		"bad-avail": `{"kind":"causalfl-repair-report","version":1,"report":{"app":"x","window":1,` +
+			`"healthy":{"availability":7}}}`,
+		"empty-set": `{"kind":"causalfl-repair-report","version":1,"report":{"app":"x","window":1,` +
+			`"sets":[{"interventions":[]}]}}`,
+		"dup-in-set": `{"kind":"causalfl-repair-report","version":1,"report":{"app":"x","window":1,` +
+			`"sets":[{"interventions":[{"kind":"restore-service","target":"B"},{"kind":"restore-service","target":"B"}]}]}}`,
+	}
+	for name, input := range cases {
+		if _, err := ReadReport(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: hostile input accepted", name)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package repair
+
+import (
+	"fmt"
+	"time"
+
+	"causalfl/internal/apps"
+	"causalfl/internal/chaos"
+	"causalfl/internal/load"
+	"causalfl/internal/sim"
+)
+
+// This file is the counterfactual replay harness. A replay rebuilds the
+// application from scratch on a fresh engine with the scenario seed, warms
+// it up healthy, then — at window start, within a single virtual instant —
+// injects the scenario faults, applies the environmental perturbation, and
+// applies the candidate interventions. The measured window is the stats
+// delta across [warmup, warmup+window).
+//
+// Two properties fall out of "fault injection and restoration are pure flag
+// flips that consume no randomness":
+//
+//   - Restoring the true fault yields a replay bit-identical to the healthy
+//     replay, so its score is exactly 1.
+//   - Restoring a service that carries no scenario fault is a literal no-op,
+//     so padding a fix set with irrelevant restores cannot change — let
+//     alone improve — its score.
+//
+// The shed-flow intervention is the one exception to window-start
+// application: shedding reconfigures the load generator, so it holds for the
+// whole replay (warmup included). The measured window delta is still
+// directly comparable — shed replays simply never issue the shed flow.
+
+// Replay runs the scenario once under the given interventions and returns
+// the window metrics. An empty intervention set is the unrepaired control
+// window; see ReplayHealthy for the fault-free reference.
+func Replay(sc Scenario, interventions []Intervention) (Metrics, error) {
+	return replay(sc, interventions, false)
+}
+
+// ReplayHealthy runs the scenario's window with no faults, no perturbation
+// and no interventions — the reference the SLO derives from.
+func ReplayHealthy(sc Scenario) (Metrics, error) {
+	return replay(sc, nil, true)
+}
+
+func replay(sc Scenario, interventions []Intervention, healthy bool) (Metrics, error) {
+	sc, err := sc.withDefaults()
+	if err != nil {
+		return Metrics{}, err
+	}
+	for _, iv := range interventions {
+		if err := iv.Validate(); err != nil {
+			return Metrics{}, err
+		}
+	}
+	eng := sim.NewEngine(sc.Seed)
+	app, err := sc.Build(eng)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("repair: replay build: %w", err)
+	}
+
+	// Shed flows reconfigure the generator itself.
+	shed := make(map[string]bool)
+	for _, iv := range interventions {
+		if iv.Kind == KindShed {
+			shed[iv.Target] = true
+		}
+	}
+	flows := app.Flows[:0:0]
+	for _, f := range app.Flows {
+		if !shed[f.Name] {
+			flows = append(flows, f)
+		}
+	}
+	if len(shed) > 0 && len(flows) == len(app.Flows) {
+		return Metrics{}, fmt.Errorf("repair: shed flow not found in app %s", app.Name)
+	}
+	app.Flows = flows
+
+	var gen *load.Generator
+	if len(app.Flows) > 0 {
+		gen, err = load.NewGenerator(app, sc.Load)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("repair: replay generator: %w", err)
+		}
+		if err := gen.Start(); err != nil {
+			return Metrics{}, err
+		}
+	}
+
+	eng.Run(sc.Warmup)
+	var pre load.Stats
+	if gen != nil {
+		pre = gen.Stats()
+	}
+
+	if !healthy {
+		if err := breakAndIntervene(app, sc, interventions); err != nil {
+			return Metrics{}, err
+		}
+	}
+
+	eng.Run(sc.Warmup + sc.Window)
+	var post load.Stats
+	if gen != nil {
+		post = gen.Stats()
+	}
+	return windowMetrics(pre, post, sc.Window), nil
+}
+
+// breakAndIntervene applies, in one virtual instant at window start: the
+// scenario faults, the environmental perturbation, then the interventions.
+// Interventions come last so a restore can undo the fault just injected.
+func breakAndIntervene(app *apps.App, sc Scenario, interventions []Intervention) error {
+	inj, err := chaos.NewInjector(app.Cluster)
+	if err != nil {
+		return err
+	}
+	for _, tf := range sc.Faults {
+		if err := inj.Inject(tf.Target, tf.Fault); err != nil {
+			return fmt.Errorf("repair: replay inject: %w", err)
+		}
+	}
+	if sc.Perturb != nil {
+		if err := sc.Perturb(app); err != nil {
+			return fmt.Errorf("repair: replay perturb: %w", err)
+		}
+	}
+	for _, iv := range interventions {
+		if err := apply(app, sc, iv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// apply executes one intervention on the running application.
+func apply(app *apps.App, sc Scenario, iv Intervention) error {
+	switch iv.Kind {
+	case KindRestore:
+		svc, ok := app.Cluster.Service(iv.Target)
+		if !ok {
+			return fmt.Errorf("repair: restore: %w", &sim.UnknownServiceError{Name: iv.Target})
+		}
+		// Undo exactly the scenario fault on this target, if any. A
+		// restore on an unfaulted service is deliberately a no-op.
+		for _, tf := range sc.Faults {
+			if tf.Target == iv.Target {
+				chaos.Undo(svc, tf.Fault)
+			}
+		}
+		return nil
+	case KindScale:
+		svc, ok := app.Cluster.Service(iv.Target)
+		if !ok {
+			return fmt.Errorf("repair: scale: %w", &sim.UnknownServiceError{Name: iv.Target})
+		}
+		svc.SetCapacity(svc.Capacity() * iv.Factor)
+		return nil
+	case KindEvacuate:
+		if _, err := app.Cluster.EvacuateNode(iv.Target); err != nil {
+			return fmt.Errorf("repair: evacuate: %w", err)
+		}
+		return nil
+	case KindShed:
+		// Already applied at generator construction.
+		return nil
+	default:
+		return fmt.Errorf("repair: unknown intervention kind %q", iv.Kind)
+	}
+}
+
+// windowMetrics converts a stats delta over the window into Metrics.
+func windowMetrics(pre, post load.Stats, window time.Duration) Metrics {
+	d := load.Stats{
+		Issued:         post.Issued - pre.Issued,
+		Succeeded:      post.Succeeded - pre.Succeeded,
+		Failed:         post.Failed - pre.Failed,
+		SuccessLatency: post.SuccessLatency - pre.SuccessLatency,
+	}
+	return Metrics{
+		Issued:       d.Issued,
+		Succeeded:    d.Succeeded,
+		Failed:       d.Failed,
+		Availability: d.Availability(),
+		MeanLatency:  d.MeanLatency(),
+		Throughput:   float64(d.Succeeded) / window.Seconds(),
+	}
+}

@@ -1,0 +1,398 @@
+package repair
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"causalfl/internal/parallel"
+	"causalfl/internal/sim"
+)
+
+// Options tunes the fix-set search.
+type Options struct {
+	// Ranked lists candidate services in attribution order (most suspect
+	// first) — typically core.Localization.Ranked() of the verdict. Empty
+	// falls back to the app's sorted fault targets.
+	Ranked []string
+	// MaxSetSize bounds the searched intervention sets (default 3, the CCA
+	// setting: beyond three simultaneous actions an operator wants a
+	// postmortem, not a plan).
+	MaxSetSize int
+	// TopExact bounds the candidate pool of the exact minimality phase
+	// (default 8): after greedy finds a working set, every subset of the
+	// TopExact best-scoring singletons up to the greedy size is enumerated.
+	TopExact int
+	// ScaleTop adds a scale-replicas candidate for the first ScaleTop
+	// ranked services (default 2).
+	ScaleTop int
+	// ScaleFactor is the capacity multiplier of scale candidates
+	// (default 4).
+	ScaleFactor int
+	// MaxSets bounds the evaluated sets retained in the report (default
+	// 10). The chosen set is always included.
+	MaxSets int
+	// Workers bounds the replay worker pool. Zero selects GOMAXPROCS; one
+	// forces the serial reference path. Results are identical at every
+	// setting.
+	Workers int
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.MaxSetSize == 0 {
+		o.MaxSetSize = 3
+	}
+	if o.TopExact == 0 {
+		o.TopExact = 8
+	}
+	if o.ScaleTop == 0 {
+		o.ScaleTop = 2
+	}
+	if o.ScaleFactor == 0 {
+		o.ScaleFactor = 4
+	}
+	if o.MaxSets == 0 {
+		o.MaxSets = 10
+	}
+	return o
+}
+
+// searcher carries the state of one search run.
+type searcher struct {
+	sc      Scenario
+	opts    Options
+	healthy Metrics
+	slo     SLO
+	memo    map[string]FixSet
+	replays int
+	workers int
+}
+
+// Search finds the minimal intervention set whose counterfactual replay
+// restores the SLO. It replays the healthy reference and the unrepaired
+// control, generates candidates from the attribution ranking and the
+// application's flows and nodes, evaluates singletons, grows a set greedily
+// until the SLO holds (or the size bound is hit), then enumerates subsets of
+// the best singletons to certify minimality. All candidate replays of one
+// round run in parallel with ordered fan-in; every selection breaks ties on
+// the candidate key, so the report is deterministic at any worker count.
+func Search(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
+	sc, err := sc.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+
+	healthy, err := ReplayHealthy(sc)
+	if err != nil {
+		return nil, err
+	}
+	control, err := Replay(sc, nil)
+	if err != nil {
+		return nil, err
+	}
+	s := &searcher{
+		sc:      sc,
+		opts:    opts,
+		healthy: healthy,
+		slo:     DeriveSLO(healthy),
+		memo:    make(map[string]FixSet),
+		replays: 2,
+		workers: opts.Workers,
+	}
+	report := &Report{
+		App:     sc.App,
+		Seed:    sc.Seed,
+		Warmup:  sc.Warmup,
+		Window:  sc.Window,
+		Healthy: healthy,
+		Control: control,
+		SLO:     s.slo,
+	}
+	for _, tf := range sc.Faults {
+		report.Faults = append(report.Faults, FaultSpec{Target: tf.Target, Fault: tf.Fault.Type.String()})
+	}
+	report.ControlMeetsSLO = s.slo.Met(control)
+	if report.ControlMeetsSLO {
+		// Nothing to repair: the faulty window still meets the SLO.
+		report.Replays = s.replays
+		return report, nil
+	}
+
+	candidates, err := s.generate()
+	if err != nil {
+		return nil, err
+	}
+	singles, err := s.evaluateAll(ctx, singletons(candidates))
+	if err != nil {
+		return nil, err
+	}
+	for i, fs := range singles {
+		report.Candidates = append(report.Candidates, Candidate{
+			Intervention: candidates[i],
+			Metrics:      fs.Metrics,
+			Score:        fs.Score,
+			MeetsSLO:     fs.MeetsSLO,
+			Delta:        deltaVs(control, fs.Metrics),
+		})
+	}
+	sort.SliceStable(report.Candidates, func(a, b int) bool {
+		return lessCandidate(report.Candidates[a], report.Candidates[b])
+	})
+
+	if err := s.greedy(ctx, candidates); err != nil {
+		return nil, err
+	}
+	if err := s.exact(ctx); err != nil {
+		return nil, err
+	}
+
+	report.Sets = s.rankedSets()
+	if len(report.Sets) > opts.MaxSets {
+		report.Sets = report.Sets[:opts.MaxSets]
+	}
+	report.Replays = s.replays
+	return report, nil
+}
+
+// generate builds the deterministic candidate list: a restore per ranked
+// service, a scale for the top-ranked few, a shed per flow, an evacuation
+// per node. Restores cover *every* ranked candidate — not just the services
+// that are actually faulted — so the search never peeks at ground truth.
+func (s *searcher) generate() ([]Intervention, error) {
+	eng := sim.NewEngine(s.sc.Seed)
+	app, err := s.sc.Build(eng)
+	if err != nil {
+		return nil, err
+	}
+	if s.sc.Perturb != nil {
+		if err := s.sc.Perturb(app); err != nil {
+			return nil, err
+		}
+	}
+	ranked := s.opts.Ranked
+	if len(ranked) == 0 {
+		ranked = app.SortedFaultTargets()
+	}
+	var out []Intervention
+	seen := make(map[string]bool)
+	add := func(iv Intervention) {
+		if key := iv.Key(); !seen[key] {
+			seen[key] = true
+			out = append(out, iv)
+		}
+	}
+	for _, svc := range ranked {
+		if _, ok := app.Cluster.Service(svc); !ok {
+			return nil, fmt.Errorf("repair: ranked candidate %q is not a service of %s", svc, app.Name)
+		}
+		add(Intervention{Kind: KindRestore, Target: svc})
+	}
+	for i, svc := range ranked {
+		if i >= s.opts.ScaleTop {
+			break
+		}
+		add(Intervention{Kind: KindScale, Target: svc, Factor: s.opts.ScaleFactor})
+	}
+	flowNames := make([]string, 0, len(app.Flows))
+	for _, f := range app.Flows {
+		flowNames = append(flowNames, f.Name)
+	}
+	sort.Strings(flowNames)
+	for _, name := range flowNames {
+		add(Intervention{Kind: KindShed, Target: name})
+	}
+	for _, node := range app.Cluster.NodeNames() {
+		add(Intervention{Kind: KindEvacuate, Target: node})
+	}
+	return out, nil
+}
+
+// singletons wraps each candidate as a one-element set.
+func singletons(candidates []Intervention) [][]Intervention {
+	sets := make([][]Intervention, len(candidates))
+	for i, iv := range candidates {
+		sets[i] = []Intervention{iv}
+	}
+	return sets
+}
+
+// evaluateAll replays every set (memoized) in parallel with ordered fan-in.
+func (s *searcher) evaluateAll(ctx context.Context, sets [][]Intervention) ([]FixSet, error) {
+	fresh := make([]int, 0, len(sets))
+	for i, ivs := range sets {
+		if _, done := s.memo[setKey(ivs)]; !done {
+			fresh = append(fresh, i)
+		}
+	}
+	results, err := parallel.Map(ctx, s.workers, len(fresh), func(ctx context.Context, i int) (Metrics, error) {
+		return Replay(s.sc, sets[fresh[i]])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for j, i := range fresh {
+		m := results[j]
+		ivs := canonical(sets[i])
+		s.memo[setKey(ivs)] = FixSet{
+			Interventions: ivs,
+			Metrics:       m,
+			Score:         Score(s.healthy, m),
+			MeetsSLO:      s.slo.Met(m),
+		}
+		s.replays++
+	}
+	out := make([]FixSet, len(sets))
+	for i, ivs := range sets {
+		out[i] = s.memo[setKey(ivs)]
+	}
+	return out, nil
+}
+
+// canonical orders a set by intervention key.
+func canonical(ivs []Intervention) []Intervention {
+	out := append([]Intervention(nil), ivs...)
+	sort.Slice(out, func(a, b int) bool { return out[a].Key() < out[b].Key() })
+	return out
+}
+
+// greedy grows the working set: each round evaluates the current set plus
+// every remaining candidate and keeps the best extension (score descending,
+// key ascending), stopping when the SLO holds or the size bound is reached.
+func (s *searcher) greedy(ctx context.Context, candidates []Intervention) error {
+	var cur []Intervention
+	for len(cur) < s.opts.MaxSetSize {
+		var trial [][]Intervention
+		var added []Intervention
+		inCur := make(map[string]bool, len(cur))
+		for _, iv := range cur {
+			inCur[iv.Key()] = true
+		}
+		for _, iv := range candidates {
+			if !inCur[iv.Key()] {
+				trial = append(trial, append(append([]Intervention(nil), cur...), iv))
+				added = append(added, iv)
+			}
+		}
+		if len(trial) == 0 {
+			return nil
+		}
+		results, err := s.evaluateAll(ctx, trial)
+		if err != nil {
+			return err
+		}
+		best := 0
+		for i := 1; i < len(results); i++ {
+			better := results[i].Score > results[best].Score
+			if results[i].Score == results[best].Score { //vet:allow floateq -- deterministic tie-break: exact equality falls through to the key order
+				better = added[i].Key() < added[best].Key()
+			}
+			if better {
+				best = i
+			}
+		}
+		cur = append(cur, added[best])
+		if results[best].MeetsSLO {
+			return nil
+		}
+	}
+	return nil
+}
+
+// exact certifies minimality: if any evaluated set meets the SLO at size k,
+// enumerate every subset of the TopExact best singletons with size below k
+// and evaluate the ones not yet memoized. Afterwards the ranked-set order
+// provably starts with a smallest SLO-restoring set over the pool.
+func (s *searcher) exact(ctx context.Context) error {
+	bestSize := 0
+	for _, fs := range s.memo {
+		if fs.MeetsSLO && (bestSize == 0 || len(fs.Interventions) < bestSize) {
+			bestSize = len(fs.Interventions)
+		}
+	}
+	if bestSize <= 1 {
+		// Either nothing works (nothing to certify) or a singleton works
+		// (trivially minimal — all singletons are already evaluated).
+		return nil
+	}
+	var pool []FixSet
+	for _, fs := range s.memo {
+		if len(fs.Interventions) == 1 {
+			pool = append(pool, fs)
+		}
+	}
+	sort.Slice(pool, func(a, b int) bool { return lessFixSet(pool[a], pool[b]) })
+	if len(pool) > s.opts.TopExact {
+		pool = pool[:s.opts.TopExact]
+	}
+	base := make([]Intervention, len(pool))
+	for i, fs := range pool {
+		base[i] = fs.Interventions[0]
+	}
+	var sets [][]Intervention
+	var build func(start int, cur []Intervention)
+	build = func(start int, cur []Intervention) {
+		if len(cur) >= 2 && len(cur) < bestSize {
+			sets = append(sets, append([]Intervention(nil), cur...))
+		}
+		if len(cur) >= bestSize-1 {
+			return
+		}
+		for i := start; i < len(base); i++ {
+			build(i+1, append(cur, base[i]))
+		}
+	}
+	build(0, nil)
+	_, err := s.evaluateAll(ctx, sets)
+	return err
+}
+
+// rankedSets orders every evaluated non-empty set: SLO-restoring sets first,
+// then smaller, then higher-scoring, then lexicographic key — so the first
+// entry is the top-ranked minimal fix set.
+func (s *searcher) rankedSets() []FixSet {
+	out := make([]FixSet, 0, len(s.memo))
+	for _, fs := range s.memo {
+		out = append(out, fs)
+	}
+	sort.Slice(out, func(a, b int) bool { return lessFixSet(out[a], out[b]) })
+	return out
+}
+
+// lessFixSet is the total order of fix sets: meets-SLO first, size
+// ascending, score descending, key ascending. Size-ascending is what makes
+// padding a working set with irrelevant interventions structurally unable to
+// outrank the unpadded set, even at equal score.
+func lessFixSet(a, b FixSet) bool {
+	if a.MeetsSLO != b.MeetsSLO {
+		return a.MeetsSLO
+	}
+	if len(a.Interventions) != len(b.Interventions) {
+		return len(a.Interventions) < len(b.Interventions)
+	}
+	if a.Score != b.Score { //vet:allow floateq -- sort tie-break: exact equality falls through to the key order
+		return a.Score > b.Score
+	}
+	return setKey(a.Interventions) < setKey(b.Interventions)
+}
+
+// lessCandidate orders singleton candidates for the report table.
+func lessCandidate(a, b Candidate) bool {
+	if a.MeetsSLO != b.MeetsSLO {
+		return a.MeetsSLO
+	}
+	if a.Score != b.Score { //vet:allow floateq -- sort tie-break: exact equality falls through to the key order
+		return a.Score > b.Score
+	}
+	return a.Intervention.Key() < b.Intervention.Key()
+}
+
+// searchDurations documents the quick defaults used by eval and the CLI.
+const (
+	// QuickWarmup and QuickWindow are the compact replay durations of
+	// quick-mode searches (eval extension, -quick explain runs).
+	QuickWarmup = 10 * time.Second
+	QuickWindow = 40 * time.Second
+)

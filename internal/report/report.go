@@ -81,6 +81,9 @@ func Sections() []Section {
 		{"Extension — degraded telemetry (Robot-shop)", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
 			return eval.RunDegradationSweep(ctx, o, robotshop.Build, robotshop.Name, nil)
 		}},
+		{"Extension — counterfactual repair", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
+			return eval.RunRepairExtension(ctx, o)
+		}},
 	}
 }
 

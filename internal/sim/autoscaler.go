@@ -104,7 +104,7 @@ func (a *Autoscaler) Replicas() int { return a.replicas }
 
 // apply reflects the replica count in the service's worker capacity.
 func (a *Autoscaler) apply() {
-	a.svc.cfg.Capacity = a.baseCapacity * a.replicas
+	a.svc.SetCapacity(a.baseCapacity * a.replicas)
 }
 
 // tick runs one control-loop iteration: accrue idle overhead, measure

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -79,6 +80,53 @@ func (c *Cluster) Place(service, nodeName string) error {
 	}
 	svc.node = n
 	return nil
+}
+
+// NodeNames returns the registered node names sorted alphabetically. The
+// slice is a copy; callers may modify it.
+func (c *Cluster) NodeNames() []string {
+	names := make([]string, 0, len(c.nodes))
+	for name := range c.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PlacedOn returns the services assigned to the named node, in registration
+// order.
+func (c *Cluster) PlacedOn(nodeName string) ([]string, error) {
+	n, ok := c.nodes[nodeName]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown node %q", nodeName)
+	}
+	var out []string
+	for _, name := range c.order {
+		if c.services[name].node == n {
+			out = append(out, name)
+		}
+	}
+	return out, nil
+}
+
+// EvacuateNode unassigns every service placed on the named node, returning
+// how many were moved. Evacuated services run uncontended afterwards — the
+// "reroute around a sick node" repair intervention. In-flight compute
+// executions keep their already-sampled slowdown; only executions starting
+// after the evacuation escape the node's pressure.
+func (c *Cluster) EvacuateNode(nodeName string) (int, error) {
+	n, ok := c.nodes[nodeName]
+	if !ok {
+		return 0, fmt.Errorf("sim: unknown node %q", nodeName)
+	}
+	moved := 0
+	for _, name := range c.order {
+		if svc := c.services[name]; svc.node == n {
+			svc.node = nil
+			moved++
+		}
+	}
+	return moved, nil
 }
 
 // SetNodeBackgroundLoad sets the number of core-equivalents an unmonitored

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSetCapacityClampsAndReports(t *testing.T) {
+	eng := NewEngine(94)
+	c := NewCluster(eng)
+	c.MustAddService(ServiceConfig{Name: "svc", Capacity: 3})
+	svc, _ := c.Service("svc")
+	if got := svc.Capacity(); got != 3 {
+		t.Fatalf("Capacity() = %d, want 3", got)
+	}
+	svc.SetCapacity(8)
+	if got := svc.Capacity(); got != 8 {
+		t.Fatalf("after SetCapacity(8): Capacity() = %d, want 8", got)
+	}
+	svc.SetCapacity(0)
+	if got := svc.Capacity(); got != 1 {
+		t.Fatalf("after SetCapacity(0): Capacity() = %d, want clamp to 1", got)
+	}
+	svc.SetCapacity(-5)
+	if got := svc.Capacity(); got != 1 {
+		t.Fatalf("after SetCapacity(-5): Capacity() = %d, want clamp to 1", got)
+	}
+}
+
+func TestSetCapacityWidensThroughput(t *testing.T) {
+	// One slow endpoint, capacity 1: requests serialize. Doubling capacity
+	// mid-run must let queued work drain in parallel afterwards.
+	run := func(scale bool) int {
+		eng := NewEngine(95)
+		c := NewCluster(eng, WithNetworkDelay(0, 0))
+		c.MustAddService(ServiceConfig{Name: "svc", Capacity: 1, QueueLimit: 128, Endpoints: []Endpoint{{
+			Name: "/", Steps: []Step{Compute{Mean: 100 * time.Millisecond}},
+		}}})
+		done := 0
+		if err := eng.Every(0, 60*time.Millisecond, func() {
+			c.Call("client", "svc", "/", func(r Result) {
+				if r.Err == nil {
+					done++
+				}
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if scale {
+			eng.After(time.Second, func() {
+				svc, _ := c.Service("svc")
+				svc.SetCapacity(4)
+			})
+		}
+		eng.Run(5 * time.Second)
+		return done
+	}
+	base, scaled := run(false), run(true)
+	if scaled <= base {
+		t.Fatalf("scaled run completed %d requests, base %d; capacity increase should raise throughput", scaled, base)
+	}
+}
+
+func TestNodeNamesSorted(t *testing.T) {
+	eng := NewEngine(96)
+	c := NewCluster(eng)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := c.AddNode(NodeConfig{Name: n, Cores: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.NodeNames()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(got) != len(want) {
+		t.Fatalf("NodeNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NodeNames() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPlacedOnAndEvacuateNode(t *testing.T) {
+	eng := NewEngine(97)
+	c := NewCluster(eng)
+	if err := c.AddNode(NodeConfig{Name: "n1", Cores: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddNode(NodeConfig{Name: "n2", Cores: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"b", "a", "c"} {
+		c.MustAddService(ServiceConfig{Name: name})
+	}
+	for _, name := range []string{"b", "a"} {
+		if err := c.Place(name, "n1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Place("c", "n2"); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.PlacedOn("ghost"); err == nil {
+		t.Error("PlacedOn accepted unknown node")
+	}
+	placed, err := c.PlacedOn("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registration order, not placement or alphabetical order.
+	if len(placed) != 2 || placed[0] != "b" || placed[1] != "a" {
+		t.Fatalf("PlacedOn(n1) = %v, want [b a]", placed)
+	}
+
+	if _, err := c.EvacuateNode("ghost"); err == nil {
+		t.Error("EvacuateNode accepted unknown node")
+	}
+	moved, err := c.EvacuateNode("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 2 {
+		t.Fatalf("EvacuateNode(n1) moved %d services, want 2", moved)
+	}
+	placed, err = c.PlacedOn("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placed) != 0 {
+		t.Fatalf("after evacuation PlacedOn(n1) = %v, want empty", placed)
+	}
+	// Other nodes untouched.
+	placed, err = c.PlacedOn("n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placed) != 1 || placed[0] != "c" {
+		t.Fatalf("PlacedOn(n2) = %v, want [c]", placed)
+	}
+}
+
+func TestEvacuateNodeEscapesContention(t *testing.T) {
+	// A saturated 1-core node doubles wall time for two concurrent
+	// computes. After evacuation, new computes run uncontended.
+	eng := NewEngine(98)
+	c := NewCluster(eng, WithNetworkDelay(0, 0))
+	if err := c.AddNode(NodeConfig{Name: "n1", Cores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c.MustAddService(ServiceConfig{Name: "svc", Capacity: 4, Endpoints: []Endpoint{{
+		Name: "/", Steps: []Step{Compute{Mean: 100 * time.Millisecond}},
+	}}})
+	if err := c.Place("svc", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetNodeBackgroundLoad("n1", 1); err != nil {
+		t.Fatal(err)
+	}
+	var contended, free Time
+	start := eng.Now()
+	c.Call("client", "svc", "/", func(Result) { contended = eng.Now() - start })
+	eng.After(time.Second, func() {
+		if _, err := c.EvacuateNode("n1"); err != nil {
+			t.Error(err)
+		}
+		at := eng.Now()
+		c.Call("client", "svc", "/", func(Result) { free = eng.Now() - at })
+	})
+	eng.Run(3 * time.Second)
+	if contended < 150*time.Millisecond {
+		t.Fatalf("contended compute took %v, want ≥150ms under background load", contended)
+	}
+	if free > 120*time.Millisecond {
+		t.Fatalf("post-evacuation compute took %v, want ~100ms uncontended", free)
+	}
+}

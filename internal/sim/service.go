@@ -158,6 +158,23 @@ func (s *Service) Endpoints() []string {
 // use CallKV.
 func (s *Service) KVValue(key string) int64 { return s.kv[key] }
 
+// Capacity reports the current concurrent-handling capacity (worker slots ×
+// replicas).
+func (s *Service) Capacity() int { return s.cfg.Capacity }
+
+// SetCapacity resets the worker capacity — the horizontal-scaling
+// intervention (adding or removing replicas multiplies the worker pool).
+// Values below one are clamped to one: a service cannot scale to zero
+// workers. The new capacity takes effect at the next dispatch opportunity
+// (request arrival or handler completion), matching how the autoscaler's
+// replica changes have always applied.
+func (s *Service) SetCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.cfg.Capacity = n
+}
+
 // SetUnavailable toggles the paper's http-service-unavailable fault: while
 // set, every call to the service fails fast without reaching it.
 func (s *Service) SetUnavailable(v bool) { s.fault.unavailable = v }
