@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short test-stream test-serve race vet lint lint-json graph fmt fmt-check fuzz-smoke bench bench-parallel bench-stream bench-scale demo-stream demo-serve report tables figures clean
+.PHONY: all check build test test-short test-stream test-serve test-arena race vet lint lint-json graph fmt fmt-check fuzz-smoke bench bench-parallel bench-stream bench-scale demo-stream demo-serve demo-arena report tables figures clean
 
 all: check
 
 # The default verification path: compile, static checks (go vet plus the
 # project's own causalfl-vet analyzers), full tests, the race detector
 # over the library packages, and the end-to-end demos.
-check: build vet lint test race demo-stream demo-serve
+check: build vet lint test race demo-stream demo-serve demo-arena
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,12 @@ test-stream:
 # multi-tenant ingest.
 test-serve:
 	$(GO) test -race ./internal/serve/ ./internal/stream/
+
+# The baseline-arena suite under the race detector: the head-to-head
+# harness (workers byte-identity, arena<->evaluate parity, envelope
+# round-trip) plus the competitor implementations it measures.
+test-arena:
+	$(GO) test -race ./internal/arena/ ./internal/baselines/
 
 vet:
 	$(GO) vet ./...
@@ -77,6 +83,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzSnapshotRoundTrip -fuzztime $(FUZZTIME) ./internal/stream
 	$(GO) test -run xxx -fuzz FuzzReadModel -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz FuzzReadReport -fuzztime $(FUZZTIME) ./internal/repair
+	$(GO) test -run xxx -fuzz FuzzReadArenaReport -fuzztime $(FUZZTIME) ./internal/arena
 
 # Every table, figure, ablation and extension, abbreviated windows.
 bench:
@@ -114,6 +121,11 @@ demo-stream:
 # snapshot directory and verify the resumed timeline is byte-identical.
 demo-serve:
 	$(GO) run ./examples/serve
+
+# Head-to-head arena demo: every technique on identical datasets, clean and
+# degraded telemetry, with a serial-vs-pooled byte-identity proof.
+demo-arena:
+	$(GO) run ./examples/arena
 
 # Paper-length regeneration of the full evaluation.
 report:

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"causalfl/internal/arena"
+	"causalfl/internal/clock"
+)
+
+// cmdArena runs the head-to-head baseline arena: every localization
+// technique on identical collected datasets, swept over apps × load
+// multipliers × telemetry-loss fractions. By default timings come from a
+// deterministic virtual clock so a fixed seed yields byte-identical reports
+// at any -workers value; -wall switches to real host timings (no longer
+// byte-stable, excluded from goldens).
+func cmdArena(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("arena", flag.ContinueOnError)
+	app := fs.String("app", "both", "application under test (causalbench, robotshop, or both)")
+	quick := fs.Bool("quick", false, "shortened collection windows (2.5min instead of 10min)")
+	seed := fs.Int64("seed", 42, "random seed")
+	workers := fs.Int("workers", 0, "worker pool size for the cell fan-out (0 = GOMAXPROCS, 1 = serial); results are identical at every setting")
+	mults := fs.String("mults", "", "comma-separated test load multipliers (default 1,4)")
+	losses := fs.String("losses", "", "comma-separated scrape-loss fractions for the test campaign (default 0,0.2)")
+	fractions := fs.String("fractions", "", "comma-separated training fractions for the sample-efficiency sweep (default 0.5,0.25,0.125)")
+	wall := fs.Bool("wall", false, "use real host wall timings instead of the deterministic virtual clock")
+	asJSON := fs.Bool("json", false, "emit the versioned JSON envelope instead of text")
+	out := fs.String("out", "", "write the report to this file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	o := arena.Options{Seed: *seed, Quick: *quick, Workers: *workers}
+	switch *app {
+	case "both":
+		o.Apps = arena.PaperApps()
+	default:
+		for _, spec := range arena.PaperApps() {
+			if spec.Name == *app {
+				o.Apps = []arena.AppSpec{spec}
+			}
+		}
+		if len(o.Apps) == 0 {
+			names := make([]string, 0, 2)
+			for _, spec := range arena.PaperApps() {
+				names = append(names, spec.Name)
+			}
+			return fmt.Errorf("unknown app %q (want %s, or both)", *app, strings.Join(names, ", "))
+		}
+	}
+	var err error
+	if o.Multipliers, err = parseFloats(*mults); err != nil {
+		return fmt.Errorf("-mults: %w", err)
+	}
+	if o.Losses, err = parseFloats(*losses); err != nil {
+		return fmt.Errorf("-losses: %w", err)
+	}
+	if o.Fractions, err = parseFloats(*fractions); err != nil {
+		return fmt.Errorf("-fractions: %w", err)
+	}
+	if *wall {
+		o.Clock = clock.Wall
+	}
+
+	report, err := arena.Run(ctx, o)
+	if err != nil {
+		return err
+	}
+	return writeOutput(*out, func(w io.Writer) error {
+		if *asJSON {
+			return report.WriteJSON(w)
+		}
+		_, err := io.WriteString(w, report.String())
+		return err
+	})
+}
+
+// parseFloats parses a comma-separated float list; empty input yields nil
+// (the caller's defaults).
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"causalfl/internal/arena"
+)
+
+// arenaOutput runs `causalfl arena` with -out into a temp file and returns
+// the bytes it wrote. The base invocation is the quick CausalBench sweep the
+// goldens pin; extra flags append (later flags win for repeats).
+func arenaOutput(t *testing.T, extra ...string) []byte {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "arena.out")
+	args := append([]string{
+		"arena", "-app", "causalbench", "-quick", "-seed", "42", "-out", out,
+	}, extra...)
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestArenaGoldenText pins the exact terminal rendering of the cross-method
+// comparison. The default virtual clock makes the report byte-stable across
+// machines and worker counts.
+func TestArenaGoldenText(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test skipped in -short mode")
+	}
+	checkGolden(t, "arena.golden.txt", arenaOutput(t))
+}
+
+// TestArenaGoldenJSON pins the versioned JSON envelope and checks it
+// round-trips through the codec.
+func TestArenaGoldenJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test skipped in -short mode")
+	}
+	got := arenaOutput(t, "-json")
+	checkGolden(t, "arena.golden.json", got)
+	report, err := arena.ReadArenaReport(bytes.NewReader(got))
+	if err != nil {
+		t.Fatalf("golden JSON rejected by ReadArenaReport: %v", err)
+	}
+	if len(report.Apps) != 1 || len(report.Apps[0].Cells) == 0 {
+		t.Fatalf("golden report shape unexpected: %+v", report)
+	}
+	if n := len(report.Apps[0].Cells[0].Rows); n < 7 {
+		t.Fatalf("golden report compares %d techniques, want >= 7", n)
+	}
+}
+
+// TestArenaDeterministicAcrossWorkers pins the acceptance contract:
+// `causalfl arena -app causalbench -workers 8` byte-identical to
+// `-workers 1`.
+func TestArenaDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test skipped in -short mode")
+	}
+	serial := arenaOutput(t, "-workers", "1")
+	pooled := arenaOutput(t, "-workers", "8")
+	if len(serial) == 0 {
+		t.Fatal("arena produced no output")
+	}
+	if !bytes.Equal(serial, pooled) {
+		t.Fatalf("arena output differs between -workers=1 and -workers=8:\n--- serial ---\n%s\n--- pooled ---\n%s", serial, pooled)
+	}
+}
+
+// TestArenaRejectsBadInvocations covers the flag validation paths.
+func TestArenaRejectsBadInvocations(t *testing.T) {
+	cases := [][]string{
+		{"arena", "-app", "zzz"},                // unknown app
+		{"arena", "-mults", "abc"},              // unparsable multiplier
+		{"arena", "-losses", "1.5", "-quick"},   // loss out of range
+		{"arena", "-fractions", "0", "-quick"},  // zero fraction
+		{"arena", "-mults", "0,-1", "-quick"},   // non-positive multiplier
+		{"arena", "-losses", "0;0.2", "-quick"}, // bad separator
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("run(context.Background(), %v) accepted", args)
+		}
+	}
+}

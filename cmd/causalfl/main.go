@@ -65,7 +65,7 @@ func main() {
 
 func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (tables, figures, train, collect, learn, worlds, localize, explain, evaluate, compare, topology, extensions, sweep, scale, bench, watch, report, serve, diff)")
+		return fmt.Errorf("missing subcommand (tables, figures, train, collect, learn, worlds, localize, explain, evaluate, compare, arena, topology, extensions, sweep, scale, bench, watch, report, serve, diff)")
 	}
 	switch args[0] {
 	case "tables":
@@ -82,6 +82,8 @@ func run(ctx context.Context, args []string) error {
 		return cmdEvaluate(ctx, args[1:])
 	case "compare":
 		return cmdCompare(ctx, args[1:])
+	case "arena":
+		return cmdArena(ctx, args[1:])
 	case "topology":
 		return cmdTopology(args[1:])
 	case "extensions":

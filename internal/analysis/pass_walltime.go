@@ -27,6 +27,7 @@ var wallRestricted = []string{
 	"internal/eval",
 	"internal/report",
 	"internal/baselines",
+	"internal/arena",
 	"internal/chaos",
 	"internal/load",
 	"internal/apps",

@@ -1,0 +1,38 @@
+package arena
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadArenaReport hammers the envelope parser with hostile input: it
+// must reject or round-trip, never panic, and anything it accepts must be
+// Validate-clean and re-encodable.
+func FuzzReadArenaReport(f *testing.F) {
+	f.Add("")
+	f.Add("{}")
+	f.Add(`{"kind":"causalfl-arena-report","version":1,"report":{}}`)
+	f.Add(`{"kind":"causalfl-arena-report","version":1,"report":{"seed":42,"clock_mode":"virtual","apps":[{"app":"causalbench","services":9,"cells":[{"multiplier":1,"loss":0,"cases":1,"rows":[{"technique":"t","top1":1,"top3":1,"exact":1,"contain":1,"mean_candidates":1,"mean_informativeness":1,"train_wall":1000000,"localize_wall":1000000,"sample":[{"fraction":0.5,"accuracy":1}],"verdicts":[{"target":"a","candidates":["a"],"top":["a"],"correct":true}]}]}]}]}}`)
+	f.Add(`{"kind":"causalfl-arena-report","version":2,"report":{"seed":1}}`)
+	f.Add(`{"kind":"causalfl-arena-report","version":1,"report":{"seed":1,"clock_mode":"wall","apps":[{"app":"x","cells":[{"multiplier":-1,"rows":[{"technique":"t"}]}]}]}}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		report, err := ReadArenaReport(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if report == nil {
+			t.Fatal("nil report without error")
+		}
+		if err := report.Validate(); err != nil {
+			t.Fatalf("accepted report fails Validate: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := report.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted report fails to re-encode: %v", err)
+		}
+		if _, err := ReadArenaReport(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("re-encoded report rejected: %v", err)
+		}
+	})
+}

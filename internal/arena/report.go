@@ -1,0 +1,278 @@
+package arena
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// Clock-mode labels recorded in the report.
+const (
+	// ClockVirtual marks deterministic per-cell fake timings (byte-stable,
+	// golden-safe; magnitudes are virtual, not host costs).
+	ClockVirtual = "virtual"
+	// ClockWall marks real host timings (not byte-stable).
+	ClockWall = "wall"
+)
+
+// Verdict is one graded test case for one technique.
+type Verdict struct {
+	// Target carried the injected fault.
+	Target string `json:"target"`
+	// Candidates is the technique's set answer.
+	Candidates []string `json:"candidates"`
+	// Top is the head of the technique's ranking (up to three entries).
+	Top []string `json:"top,omitempty"`
+	// Correct reports Target ∈ Candidates (the paper's set criterion).
+	Correct bool `json:"correct"`
+}
+
+// SamplePoint is the containment accuracy after training on a leading
+// fraction of the training windows.
+type SamplePoint struct {
+	Fraction float64 `json:"fraction"`
+	Accuracy float64 `json:"accuracy"`
+}
+
+// Row is one technique's scores within a cell.
+type Row struct {
+	Technique string `json:"technique"`
+	// Ranked reports whether the technique natively orders candidates;
+	// set-valued techniques are graded on a uniform lifting of their set.
+	Ranked bool `json:"ranked"`
+	// Top1/Top3 grade the ranking; Exact and Contain grade the set answer
+	// (Contain is the paper's accuracy criterion).
+	Top1    float64 `json:"top1"`
+	Top3    float64 `json:"top3"`
+	Exact   float64 `json:"exact"`
+	Contain float64 `json:"contain"`
+	// MeanCandidates and MeanInformativeness grade how much the answer
+	// narrows things down.
+	MeanCandidates      float64 `json:"mean_candidates"`
+	MeanInformativeness float64 `json:"mean_informativeness"`
+	// TrainWall and LocalizeWall are the per-phase wall timings under the
+	// report's clock mode.
+	TrainWall    time.Duration `json:"train_wall"`
+	LocalizeWall time.Duration `json:"localize_wall"`
+	// Sample is the sample-efficiency curve (containment accuracy at each
+	// training fraction).
+	Sample []SamplePoint `json:"sample,omitempty"`
+	// Verdicts are the per-case answers (the parity tests key on them).
+	Verdicts []Verdict `json:"verdicts,omitempty"`
+}
+
+// Cell is one (load multiplier × loss fraction) grid point of an app.
+type Cell struct {
+	Multiplier float64 `json:"multiplier"`
+	Loss       float64 `json:"loss"`
+	Cases      int     `json:"cases"`
+	Rows       []Row   `json:"rows"`
+
+	services int
+}
+
+// AppReport groups an application's cells.
+type AppReport struct {
+	App      string `json:"app"`
+	Services int    `json:"services"`
+	Cells    []Cell `json:"cells"`
+}
+
+// Report is the full arena outcome.
+type Report struct {
+	Seed      int64       `json:"seed"`
+	Quick     bool        `json:"quick"`
+	ClockMode string      `json:"clock_mode"`
+	Apps      []AppReport `json:"apps"`
+}
+
+// String renders the cross-method comparison for terminals.
+func (r *Report) String() string {
+	var b strings.Builder
+	mode := "paper-length"
+	if r.Quick {
+		mode = "quick"
+	}
+	fmt.Fprintf(&b, "Baseline arena: head-to-head localization (seed %d, %s windows, %s clock)\n", r.Seed, mode, r.ClockMode)
+	fmt.Fprintf(&b, "contain is the paper's set-accuracy criterion; top-1/top-3 grade each\n")
+	fmt.Fprintf(&b, "technique's ranking; acc@f retrains on the leading fraction f of the\n")
+	fmt.Fprintf(&b, "training windows. Training is always clean; loss degrades the test side.\n")
+	for _, app := range r.Apps {
+		fmt.Fprintf(&b, "\n=== %s (%d services) ===\n", app.App, app.Services)
+		for _, cell := range app.Cells {
+			fmt.Fprintf(&b, "\n-- load %gx, scrape loss %g%% (%d cases) --\n",
+				cell.Multiplier, cell.Loss*100, cell.Cases)
+			fmt.Fprintf(&b, "%-33s %-5s %-5s %-6s %-8s %-7s %-7s %-9s %-9s",
+				"technique", "top1", "top3", "exact", "contain", "|cand|", "inform", "train", "localize")
+			if len(cell.Rows) > 0 {
+				for _, p := range cell.Rows[0].Sample {
+					fmt.Fprintf(&b, " %-8s", fmt.Sprintf("acc@%s", trimFloat(p.Fraction)))
+				}
+			}
+			fmt.Fprintf(&b, "\n")
+			for _, row := range cell.Rows {
+				name := row.Technique
+				if !row.Ranked {
+					name += " (set)"
+				}
+				fmt.Fprintf(&b, "%-33s %-5.2f %-5.2f %-6.2f %-8.2f %-7.1f %-7.2f %-9s %-9s",
+					name, row.Top1, row.Top3, row.Exact, row.Contain,
+					row.MeanCandidates, row.MeanInformativeness,
+					fmtWall(row.TrainWall), fmtWall(row.LocalizeWall))
+				for _, p := range row.Sample {
+					fmt.Fprintf(&b, " %-8.2f", p.Accuracy)
+				}
+				fmt.Fprintf(&b, "\n")
+			}
+		}
+	}
+	return b.String()
+}
+
+// trimFloat renders a fraction compactly (0.5 → ".5", 0.125 → ".125").
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return strings.TrimPrefix(s, "0")
+}
+
+// fmtWall renders a wall duration rounded to 0.1ms for stable tables.
+func fmtWall(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+}
+
+// Envelope versioning of the JSON form.
+const (
+	// ReportKind tags the JSON envelope.
+	ReportKind = "causalfl-arena-report"
+	// ReportVersion is bumped on breaking schema changes; ReadArenaReport
+	// rejects versions it does not understand.
+	ReportVersion = 1
+)
+
+// envelope is the on-disk JSON form.
+type envelope struct {
+	Kind    string  `json:"kind"`
+	Version int     `json:"version"`
+	Report  *Report `json:"report"`
+}
+
+// WriteJSON writes the report as a versioned, self-describing JSON envelope.
+func (r *Report) WriteJSON(w io.Writer) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(envelope{Kind: ReportKind, Version: ReportVersion, Report: r})
+}
+
+// ReadArenaReport parses and validates a JSON envelope produced by
+// WriteJSON. Hostile input yields an error, never a panic.
+func ReadArenaReport(rd io.Reader) (*Report, error) {
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	var env envelope
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("arena: parse report: %w", err)
+	}
+	if env.Kind != ReportKind {
+		return nil, fmt.Errorf("arena: not an arena report (kind %q)", env.Kind)
+	}
+	if env.Version != ReportVersion {
+		return nil, fmt.Errorf("arena: unsupported report version %d (want %d)", env.Version, ReportVersion)
+	}
+	if env.Report == nil {
+		return nil, fmt.Errorf("arena: envelope has no report")
+	}
+	if err := env.Report.Validate(); err != nil {
+		return nil, err
+	}
+	return env.Report, nil
+}
+
+// Validate checks the report's internal consistency — the guard that keeps
+// hostile or truncated JSON from flowing further.
+func (r *Report) Validate() error {
+	switch r.ClockMode {
+	case ClockVirtual, ClockWall:
+	default:
+		return fmt.Errorf("arena: unknown clock mode %q", r.ClockMode)
+	}
+	if len(r.Apps) == 0 {
+		return fmt.Errorf("arena: report has no apps")
+	}
+	for _, app := range r.Apps {
+		if app.App == "" {
+			return fmt.Errorf("arena: app entry has no name")
+		}
+		if app.Services < 0 {
+			return fmt.Errorf("arena: %s: negative service count %d", app.App, app.Services)
+		}
+		if len(app.Cells) == 0 {
+			return fmt.Errorf("arena: %s: no cells", app.App)
+		}
+		for _, cell := range app.Cells {
+			if err := cell.validate(app.App); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Cell) validate(app string) error {
+	if c.Multiplier <= 0 || math.IsNaN(c.Multiplier) || math.IsInf(c.Multiplier, 0) {
+		return fmt.Errorf("arena: %s: bad multiplier %v", app, c.Multiplier)
+	}
+	if c.Loss < 0 || c.Loss > 1 || math.IsNaN(c.Loss) {
+		return fmt.Errorf("arena: %s: loss %v outside [0,1]", app, c.Loss)
+	}
+	if c.Cases < 0 {
+		return fmt.Errorf("arena: %s: negative case count %d", app, c.Cases)
+	}
+	if len(c.Rows) == 0 {
+		return fmt.Errorf("arena: %s x%g: no technique rows", app, c.Multiplier)
+	}
+	for _, row := range c.Rows {
+		if row.Technique == "" {
+			return fmt.Errorf("arena: %s x%g: row has no technique name", app, c.Multiplier)
+		}
+		for _, v := range []struct {
+			name string
+			val  float64
+		}{
+			{"top1", row.Top1}, {"top3", row.Top3}, {"exact", row.Exact},
+			{"contain", row.Contain}, {"informativeness", row.MeanInformativeness},
+		} {
+			if v.val < 0 || v.val > 1 || math.IsNaN(v.val) {
+				return fmt.Errorf("arena: %s: %s %s %v outside [0,1]", app, row.Technique, v.name, v.val)
+			}
+		}
+		if row.MeanCandidates < 0 || math.IsNaN(row.MeanCandidates) || math.IsInf(row.MeanCandidates, 0) {
+			return fmt.Errorf("arena: %s: %s mean candidates %v invalid", app, row.Technique, row.MeanCandidates)
+		}
+		if row.TrainWall < 0 || row.LocalizeWall < 0 {
+			return fmt.Errorf("arena: %s: %s negative wall timing", app, row.Technique)
+		}
+		for _, p := range row.Sample {
+			if p.Fraction <= 0 || p.Fraction > 1 || math.IsNaN(p.Fraction) {
+				return fmt.Errorf("arena: %s: %s sample fraction %v outside (0,1]", app, row.Technique, p.Fraction)
+			}
+			if p.Accuracy < 0 || p.Accuracy > 1 || math.IsNaN(p.Accuracy) {
+				return fmt.Errorf("arena: %s: %s sample accuracy %v outside [0,1]", app, row.Technique, p.Accuracy)
+			}
+		}
+		for _, v := range row.Verdicts {
+			if v.Target == "" {
+				return fmt.Errorf("arena: %s: %s verdict has no target", app, row.Technique)
+			}
+			if len(v.Top) > 3 {
+				return fmt.Errorf("arena: %s: %s verdict top has %d entries", app, row.Technique, len(v.Top))
+			}
+		}
+	}
+	return nil
+}

@@ -30,17 +30,20 @@ import (
 	"causalfl/internal/stats"
 )
 
-// Technique is one fault-localization method under comparison.
+// Technique is one fault-localization method under comparison. Both phases
+// take a context: training runs full campaigns worth of statistics and
+// localization fans out across worker pools, so cancellation must reach them
+// (the same contract core.Learner/Localizer adopted in the core API redesign).
 type Technique interface {
 	// Name identifies the technique in reports.
 	Name() string
 	// Train fits the technique on the training campaign's datasets. The
 	// snapshots carry the union of all metrics; techniques project what
 	// they need.
-	Train(baseline *metrics.Snapshot, interventions map[string]*metrics.Snapshot) error
+	Train(ctx context.Context, baseline *metrics.Snapshot, interventions map[string]*metrics.Snapshot) error
 	// Localize returns the candidate fault-location set for production
 	// data. Train must have been called first.
-	Localize(production *metrics.Snapshot) ([]string, error)
+	Localize(ctx context.Context, production *metrics.Snapshot) ([]string, error)
 }
 
 // Paper wraps the repository's own method (core.Learner + core.Localizer) as
@@ -65,7 +68,7 @@ type Paper struct {
 	model *core.Model
 }
 
-var _ Technique = (*Paper)(nil)
+var _ RankedTechnique = (*Paper)(nil)
 
 // Name implements Technique.
 func (p *Paper) Name() string {
@@ -80,7 +83,7 @@ func (p *Paper) Name() string {
 }
 
 // Train implements Technique.
-func (p *Paper) Train(baseline *metrics.Snapshot, interventions map[string]*metrics.Snapshot) error {
+func (p *Paper) Train(ctx context.Context, baseline *metrics.Snapshot, interventions map[string]*metrics.Snapshot) error {
 	baseline, interventions, err := project(p.MetricNames, baseline, interventions)
 	if err != nil {
 		return fmt.Errorf("baselines: %s: %w", p.Name(), err)
@@ -99,12 +102,12 @@ func (p *Paper) Train(baseline *metrics.Snapshot, interventions map[string]*metr
 	if err != nil {
 		return err
 	}
-	p.model, err = learner.Learn(context.Background(), baseline, interventions)
+	p.model, err = learner.Learn(ctx, baseline, interventions)
 	return err
 }
 
 // Localize implements Technique.
-func (p *Paper) Localize(production *metrics.Snapshot) ([]string, error) {
+func (p *Paper) Localize(ctx context.Context, production *metrics.Snapshot) ([]string, error) {
 	if p.model == nil {
 		return nil, fmt.Errorf("baselines: %s: Localize before Train", p.Name())
 	}
@@ -129,11 +132,49 @@ func (p *Paper) Localize(production *metrics.Snapshot) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	loc, err := localizer.Localize(context.Background(), p.model, production)
+	loc, err := localizer.Localize(ctx, p.model, production)
 	if err != nil {
 		return nil, err
 	}
 	return loc.Candidates, nil
+}
+
+// LocalizeRanked implements RankedTechnique: targets ordered by the
+// localizer's vote mass.
+func (p *Paper) LocalizeRanked(ctx context.Context, production *metrics.Snapshot) ([]Scored, error) {
+	if p.model == nil {
+		return nil, fmt.Errorf("baselines: %s: LocalizeRanked before Train", p.Name())
+	}
+	if p.MetricNames != nil {
+		var err error
+		production, err = production.Project(p.MetricNames)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var opts []core.Option
+	if p.Rule != 0 {
+		opts = append(opts, core.WithVoteRule(p.Rule))
+	}
+	if p.Test != nil {
+		opts = append(opts, core.WithTest(p.Test))
+	}
+	if p.FDR != 0 {
+		opts = append(opts, core.WithFDR(p.FDR))
+	}
+	localizer, err := core.NewLocalizer(opts...)
+	if err != nil {
+		return nil, err
+	}
+	loc, err := localizer.Localize(ctx, p.model, production)
+	if err != nil {
+		return nil, err
+	}
+	ranked := make([]Scored, 0, len(loc.Votes))
+	for _, svc := range loc.Ranked() {
+		ranked = append(ranked, Scored{Service: svc, Score: loc.Votes[svc]})
+	}
+	return ranked, nil
 }
 
 // project restricts the training snapshots to the named metrics.
@@ -180,13 +221,13 @@ type SingleWorld struct {
 	targets  []string
 }
 
-var _ Technique = (*SingleWorld)(nil)
+var _ RankedTechnique = (*SingleWorld)(nil)
 
 // Name implements Technique.
 func (s *SingleWorld) Name() string { return "single-world" }
 
 // Train implements Technique.
-func (s *SingleWorld) Train(baseline *metrics.Snapshot, interventions map[string]*metrics.Snapshot) error {
+func (s *SingleWorld) Train(ctx context.Context, baseline *metrics.Snapshot, interventions map[string]*metrics.Snapshot) error {
 	alpha := s.Alpha
 	if alpha == 0 {
 		alpha = core.DefaultAlpha
@@ -195,7 +236,7 @@ func (s *SingleWorld) Train(baseline *metrics.Snapshot, interventions map[string
 	if err != nil {
 		return err
 	}
-	model, err := learner.Learn(context.Background(), baseline, interventions)
+	model, err := learner.Learn(ctx, baseline, interventions)
 	if err != nil {
 		return fmt.Errorf("baselines: single-world: %w", err)
 	}
@@ -216,27 +257,15 @@ func (s *SingleWorld) Train(baseline *metrics.Snapshot, interventions map[string
 
 // Localize implements Technique: anomalies under the joint view (any metric
 // shifts) matched against the union worlds by intersection size.
-func (s *SingleWorld) Localize(production *metrics.Snapshot) ([]string, error) {
-	if s.worlds == nil {
-		return nil, fmt.Errorf("baselines: single-world: Localize before Train")
-	}
-	alpha := s.Alpha
-	if alpha == 0 {
-		alpha = core.DefaultAlpha
-	}
-	anom, err := jointAnomalies(alpha, s.baseline, production)
+func (s *SingleWorld) Localize(ctx context.Context, production *metrics.Snapshot) ([]string, error) {
+	scores, err := s.scores(ctx, production)
 	if err != nil {
 		return nil, err
 	}
 	best := 0
 	var winners []string
 	for _, target := range s.targets {
-		n := 0
-		for svc := range anom {
-			if s.worlds[target][svc] {
-				n++
-			}
-		}
+		n := scores[target]
 		switch {
 		case n > best:
 			best = n
@@ -252,17 +281,73 @@ func (s *SingleWorld) Localize(production *metrics.Snapshot) ([]string, error) {
 	return winners, nil
 }
 
+// LocalizeRanked implements RankedTechnique: targets ordered by the size of
+// the intersection between the joint anomaly set and their union world.
+func (s *SingleWorld) LocalizeRanked(ctx context.Context, production *metrics.Snapshot) ([]Scored, error) {
+	scores, err := s.scores(ctx, production)
+	if err != nil {
+		return nil, err
+	}
+	ranked := make([]Scored, 0, len(s.targets))
+	for _, target := range s.targets {
+		ranked = append(ranked, Scored{Service: target, Score: float64(scores[target])})
+	}
+	sortScored(ranked)
+	return ranked, nil
+}
+
+// scores computes the per-target intersection sizes shared by Localize and
+// LocalizeRanked.
+func (s *SingleWorld) scores(ctx context.Context, production *metrics.Snapshot) (map[string]int, error) {
+	if s.worlds == nil {
+		return nil, fmt.Errorf("baselines: single-world: Localize before Train")
+	}
+	alpha := s.Alpha
+	if alpha == 0 {
+		alpha = core.DefaultAlpha
+	}
+	anom, err := jointAnomalies(ctx, alpha, s.baseline, production)
+	if err != nil {
+		return nil, err
+	}
+	scores := make(map[string]int, len(s.targets))
+	for _, target := range s.targets {
+		n := 0
+		for svc := range anom {
+			if s.worlds[target][svc] {
+				n++
+			}
+		}
+		scores[target] = n
+	}
+	return scores, nil
+}
+
 // jointAnomalies returns the services flagged by any metric.
-func jointAnomalies(alpha float64, baseline, production *metrics.Snapshot) (map[string]bool, error) {
+func jointAnomalies(ctx context.Context, alpha float64, baseline, production *metrics.Snapshot) (map[string]bool, error) {
+	counts, err := anomalyCounts(ctx, alpha, baseline, production)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool, len(counts))
+	for svc := range counts {
+		out[svc] = true
+	}
+	return out, nil
+}
+
+// anomalyCounts returns, per service, how many metrics flag it anomalous
+// against the baseline. Services no metric flags are absent.
+func anomalyCounts(ctx context.Context, alpha float64, baseline, production *metrics.Snapshot) (map[string]int, error) {
 	cfg := core.DetectConfig{Test: defaultTest(), Alpha: alpha}
-	out := make(map[string]bool)
+	out := make(map[string]int)
 	for _, metric := range baseline.Metrics {
-		det, err := core.Detect(context.Background(), cfg, baseline, production, metric)
+		det, err := core.Detect(ctx, cfg, baseline, production, metric)
 		if err != nil {
 			return nil, err
 		}
 		for _, svc := range det.Anomalous {
-			out[svc] = true
+			out[svc]++
 		}
 	}
 	return out, nil
@@ -277,14 +362,14 @@ type Observational struct {
 	baseline *metrics.Snapshot
 }
 
-var _ Technique = (*Observational)(nil)
+var _ RankedTechnique = (*Observational)(nil)
 
 // Name implements Technique.
 func (o *Observational) Name() string { return "observational" }
 
 // Train implements Technique: only the baseline is retained; interventional
 // datasets are deliberately ignored.
-func (o *Observational) Train(baseline *metrics.Snapshot, _ map[string]*metrics.Snapshot) error {
+func (o *Observational) Train(_ context.Context, baseline *metrics.Snapshot, _ map[string]*metrics.Snapshot) error {
 	if baseline == nil {
 		return fmt.Errorf("baselines: observational: nil baseline")
 	}
@@ -296,24 +381,10 @@ func (o *Observational) Train(baseline *metrics.Snapshot, _ map[string]*metrics.
 }
 
 // Localize implements Technique.
-func (o *Observational) Localize(production *metrics.Snapshot) ([]string, error) {
-	if o.baseline == nil {
-		return nil, fmt.Errorf("baselines: observational: Localize before Train")
-	}
-	alpha := o.Alpha
-	if alpha == 0 {
-		alpha = core.DefaultAlpha
-	}
-	cfg := core.DetectConfig{Test: defaultTest(), Alpha: alpha}
-	score := make(map[string]int, len(o.baseline.Services))
-	for _, metric := range o.baseline.Metrics {
-		det, err := core.Detect(context.Background(), cfg, o.baseline, production, metric)
-		if err != nil {
-			return nil, err
-		}
-		for _, svc := range det.Anomalous {
-			score[svc]++
-		}
+func (o *Observational) Localize(ctx context.Context, production *metrics.Snapshot) ([]string, error) {
+	score, err := o.scores(ctx, production)
+	if err != nil {
+		return nil, err
 	}
 	best := 0
 	for _, n := range score {
@@ -335,6 +406,33 @@ func (o *Observational) Localize(production *metrics.Snapshot) ([]string, error)
 	return winners, nil
 }
 
+// LocalizeRanked implements RankedTechnique: services ordered by how many
+// metrics flag them anomalous.
+func (o *Observational) LocalizeRanked(ctx context.Context, production *metrics.Snapshot) ([]Scored, error) {
+	score, err := o.scores(ctx, production)
+	if err != nil {
+		return nil, err
+	}
+	ranked := make([]Scored, 0, len(o.baseline.Services))
+	for _, svc := range o.baseline.Services {
+		ranked = append(ranked, Scored{Service: svc, Score: float64(score[svc])})
+	}
+	sortScored(ranked)
+	return ranked, nil
+}
+
+// scores counts flagging metrics per service.
+func (o *Observational) scores(ctx context.Context, production *metrics.Snapshot) (map[string]int, error) {
+	if o.baseline == nil {
+		return nil, fmt.Errorf("baselines: observational: Localize before Train")
+	}
+	alpha := o.Alpha
+	if alpha == 0 {
+		alpha = core.DefaultAlpha
+	}
+	return anomalyCounts(ctx, alpha, o.baseline, production)
+}
+
 // RandomGuess picks one service uniformly at random (seeded, deterministic).
 type RandomGuess struct {
 	// Seed drives the guesses.
@@ -350,7 +448,7 @@ var _ Technique = (*RandomGuess)(nil)
 func (r *RandomGuess) Name() string { return "random" }
 
 // Train implements Technique.
-func (r *RandomGuess) Train(baseline *metrics.Snapshot, _ map[string]*metrics.Snapshot) error {
+func (r *RandomGuess) Train(_ context.Context, baseline *metrics.Snapshot, _ map[string]*metrics.Snapshot) error {
 	if baseline == nil || len(baseline.Services) == 0 {
 		return fmt.Errorf("baselines: random: empty baseline")
 	}
@@ -360,7 +458,7 @@ func (r *RandomGuess) Train(baseline *metrics.Snapshot, _ map[string]*metrics.Sn
 }
 
 // Localize implements Technique.
-func (r *RandomGuess) Localize(_ *metrics.Snapshot) ([]string, error) {
+func (r *RandomGuess) Localize(_ context.Context, _ *metrics.Snapshot) ([]string, error) {
 	if r.rng == nil {
 		return nil, fmt.Errorf("baselines: random: Localize before Train")
 	}

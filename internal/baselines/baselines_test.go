@@ -1,11 +1,16 @@
 package baselines
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"causalfl/internal/metrics"
 )
+
+// ctx is the shared context for the ctx-threaded Technique API; these
+// tests never cancel it.
+var ctx = context.Background()
 
 // fixture builds synthetic datasets over services {x, y, z} with three
 // metrics. Ground truth: a fault in x shifts error logs on {x, y} and cpu on
@@ -57,7 +62,7 @@ func (f *fixture) train(t *testing.T, tech Technique) {
 	for target, w := range f.worlds() {
 		interventions[target] = f.snapshot(w)
 	}
-	if err := tech.Train(baseline, interventions); err != nil {
+	if err := tech.Train(ctx, baseline, interventions); err != nil {
 		t.Fatalf("%s: train: %v", tech.Name(), err)
 	}
 }
@@ -76,7 +81,7 @@ func TestPaperTechniqueLocalizes(t *testing.T) {
 	tech := &Paper{}
 	f.train(t, tech)
 	for target, w := range f.worlds() {
-		got, err := tech.Localize(f.snapshot(w))
+		got, err := tech.Localize(ctx, f.snapshot(w))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,7 +95,7 @@ func TestPaperTechniqueMetricProjection(t *testing.T) {
 	f := &fixture{rng: rand.New(rand.NewSource(2))}
 	tech := &Paper{MetricNames: []string{"cpu"}}
 	f.train(t, tech)
-	got, err := tech.Localize(f.snapshot(f.worlds()["z"]))
+	got, err := tech.Localize(ctx, f.snapshot(f.worlds()["z"]))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +104,7 @@ func TestPaperTechniqueMetricProjection(t *testing.T) {
 	}
 	bad := &Paper{MetricNames: []string{"nope"}}
 	baseline := f.snapshot(nil)
-	if err := bad.Train(baseline, map[string]*metrics.Snapshot{"x": f.snapshot(nil)}); err == nil {
+	if err := bad.Train(ctx, baseline, map[string]*metrics.Snapshot{"x": f.snapshot(nil)}); err == nil {
 		t.Error("projection onto missing metric accepted")
 	}
 }
@@ -110,7 +115,7 @@ func TestErrLogOnlyMissesSilentFault(t *testing.T) {
 	f.train(t, tech)
 
 	// Fault x produces error logs: the baseline can find it.
-	got, err := tech.Localize(f.snapshot(f.worlds()["x"]))
+	got, err := tech.Localize(ctx, f.snapshot(f.worlds()["x"]))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +126,7 @@ func TestErrLogOnlyMissesSilentFault(t *testing.T) {
 	// Fault z is silent in error logs: the candidate set degenerates to
 	// everything (no error-log evidence), i.e. the baseline cannot
 	// localize it.
-	got, err = tech.Localize(f.snapshot(f.worlds()["z"]))
+	got, err = tech.Localize(ctx, f.snapshot(f.worlds()["z"]))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,10 +166,10 @@ func TestSingleWorldLosesIdentifiability(t *testing.T) {
 	interventions := map[string]*metrics.Snapshot{"p": mk(worldP), "q": mk(worldQ)}
 
 	single := &SingleWorld{}
-	if err := single.Train(baseline, interventions); err != nil {
+	if err := single.Train(ctx, baseline, interventions); err != nil {
 		t.Fatal(err)
 	}
-	got, err := single.Localize(mk(worldP))
+	got, err := single.Localize(ctx, mk(worldP))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,10 +178,10 @@ func TestSingleWorldLosesIdentifiability(t *testing.T) {
 	}
 
 	perMetric := &Paper{}
-	if err := perMetric.Train(baseline, interventions); err != nil {
+	if err := perMetric.Train(ctx, baseline, interventions); err != nil {
 		t.Fatal(err)
 	}
-	got, err = perMetric.Localize(mk(worldP))
+	got, err = perMetric.Localize(ctx, mk(worldP))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +196,7 @@ func TestObservationalRanksByAnomalyCount(t *testing.T) {
 	f.train(t, tech)
 	// Fault x flags x under two metrics, y and z under one each: the
 	// observational ranker picks x.
-	got, err := tech.Localize(f.snapshot(f.worlds()["x"]))
+	got, err := tech.Localize(ctx, f.snapshot(f.worlds()["x"]))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,11 +214,11 @@ func TestRandomGuessDeterministic(t *testing.T) {
 	f.train(t, b)
 	snap := f.snapshot(nil)
 	for i := 0; i < 10; i++ {
-		ga, err := a.Localize(snap)
+		ga, err := a.Localize(ctx, snap)
 		if err != nil {
 			t.Fatal(err)
 		}
-		gb, err := b.Localize(snap)
+		gb, err := b.Localize(ctx, snap)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -227,7 +232,7 @@ func TestLocalizeBeforeTrain(t *testing.T) {
 	f := &fixture{rng: rand.New(rand.NewSource(7))}
 	snap := f.snapshot(nil)
 	for _, tech := range []Technique{&Paper{}, &SingleWorld{}, &Observational{}, &RandomGuess{}} {
-		if _, err := tech.Localize(snap); err == nil {
+		if _, err := tech.Localize(ctx, snap); err == nil {
 			t.Errorf("%s: Localize before Train accepted", tech.Name())
 		}
 	}

@@ -1,0 +1,392 @@
+package baselines
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"causalfl/internal/metrics"
+)
+
+// CausalRCA is a regression/graph-attribution competitor in the CausalRCA
+// style (PAPERS.md): from fault-free data alone it learns, per service, a
+// small set of statistical "parents" (the most correlated other services),
+// fits a linear model predicting each service's metrics from its parents,
+// and at localization time blames the services whose own behaviour deviates
+// most from what their parents predict. The intuition is that a fault's
+// origin is the service that is anomalous *beyond* what its dependencies
+// explain, while downstream victims are well predicted by their (also
+// anomalous) parents.
+//
+// Unlike the paper's method it is purely observational — it never sees the
+// interventional datasets — so it inherits the confounding the paper's §III
+// identifies: correlation-selected parents conflate request edges with
+// resource contention, and symmetric correlations cannot orient the blame
+// direction.
+type CausalRCA struct {
+	// Parents is the number of regression parents per service (zero means
+	// defaultParents, capped at len(services)-1).
+	Parents int
+	// Threshold is the z-score above which a service joins the candidate
+	// set (zero means defaultRCAThreshold).
+	Threshold float64
+
+	services []string
+	metrics  []string
+	// parents[svc] is the fixed parent set chosen on baseline data.
+	parents map[string][]string
+	// coef[metric][svc] holds the fitted weights: intercept followed by one
+	// weight per parent (in parents[svc] order).
+	coef map[string]map[string][]float64
+	// mean/std[metric][svc] standardize residuals against baseline scale.
+	resMean map[string]map[string]float64
+	resStd  map[string]map[string]float64
+}
+
+const (
+	defaultParents      = 3
+	defaultRCAThreshold = 3.0
+)
+
+var _ RankedTechnique = (*CausalRCA)(nil)
+
+// Name implements Technique.
+func (c *CausalRCA) Name() string { return "causalrca-regression" }
+
+// Train implements Technique: parent selection and per-metric regression
+// fits on the fault-free baseline; interventional datasets are ignored.
+func (c *CausalRCA) Train(ctx context.Context, baseline *metrics.Snapshot, _ map[string]*metrics.Snapshot) error {
+	if baseline == nil {
+		return fmt.Errorf("baselines: causalrca: nil baseline")
+	}
+	if err := baseline.Validate(); err != nil {
+		return err
+	}
+	k := c.Parents
+	if k <= 0 {
+		k = defaultParents
+	}
+	if k > len(baseline.Services)-1 {
+		k = len(baseline.Services) - 1
+	}
+	if k <= 0 {
+		return fmt.Errorf("baselines: causalrca: need at least two services")
+	}
+	c.services = append([]string(nil), baseline.Services...)
+	sort.Strings(c.services)
+	c.metrics = append([]string(nil), baseline.Metrics...)
+	sort.Strings(c.metrics)
+
+	// Parent selection: mean absolute Pearson correlation across metrics.
+	c.parents = make(map[string][]string, len(c.services))
+	for _, svc := range c.services {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		type corr struct {
+			svc   string
+			score float64
+		}
+		cands := make([]corr, 0, len(c.services)-1)
+		for _, other := range c.services {
+			if other == svc {
+				continue
+			}
+			sum, n := 0.0, 0
+			for _, metric := range c.metrics {
+				r := pearson(baseline.Data[metric][svc], baseline.Data[metric][other])
+				if !math.IsNaN(r) {
+					sum += math.Abs(r)
+					n++
+				}
+			}
+			score := 0.0
+			if n > 0 {
+				score = sum / float64(n)
+			}
+			cands = append(cands, corr{other, score})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			//vet:allow floateq -- sort tie-break: exact equality falls through to the alphabetical order
+			if cands[i].score != cands[j].score {
+				return cands[i].score > cands[j].score
+			}
+			return cands[i].svc < cands[j].svc
+		})
+		parents := make([]string, 0, k)
+		for _, cand := range cands[:k] {
+			parents = append(parents, cand.svc)
+		}
+		sort.Strings(parents)
+		c.parents[svc] = parents
+	}
+
+	// Per (metric, service) least-squares fit via normal equations.
+	c.coef = make(map[string]map[string][]float64, len(c.metrics))
+	c.resMean = make(map[string]map[string]float64, len(c.metrics))
+	c.resStd = make(map[string]map[string]float64, len(c.metrics))
+	for _, metric := range c.metrics {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c.coef[metric] = make(map[string][]float64, len(c.services))
+		c.resMean[metric] = make(map[string]float64, len(c.services))
+		c.resStd[metric] = make(map[string]float64, len(c.services))
+		for _, svc := range c.services {
+			y := baseline.Data[metric][svc]
+			xs := make([][]float64, len(c.parents[svc]))
+			for i, p := range c.parents[svc] {
+				xs[i] = baseline.Data[metric][p]
+			}
+			w := fitOLS(y, xs)
+			c.coef[metric][svc] = w
+			mean, std := residualStats(y, xs, w)
+			c.resMean[metric][svc] = mean
+			c.resStd[metric][svc] = std
+		}
+	}
+	return nil
+}
+
+// Localize implements Technique: candidates are the services whose ranked
+// score clears Threshold, falling back to every service when none does.
+func (c *CausalRCA) Localize(ctx context.Context, production *metrics.Snapshot) ([]string, error) {
+	ranked, err := c.LocalizeRanked(ctx, production)
+	if err != nil {
+		return nil, err
+	}
+	thr := c.Threshold
+	if thr == 0 {
+		thr = defaultRCAThreshold
+	}
+	var winners []string
+	for _, s := range ranked {
+		if s.Score > thr {
+			winners = append(winners, s.Service)
+		}
+	}
+	if len(winners) == 0 {
+		winners = append([]string(nil), c.services...)
+	}
+	sort.Strings(winners)
+	return winners, nil
+}
+
+// LocalizeRanked implements RankedTechnique: each service scored by the mean
+// (over metrics) standardized absolute regression residual of its production
+// series against its fitted parent model.
+func (c *CausalRCA) LocalizeRanked(ctx context.Context, production *metrics.Snapshot) ([]Scored, error) {
+	if c.coef == nil {
+		return nil, fmt.Errorf("baselines: causalrca: Localize before Train")
+	}
+	if production == nil {
+		return nil, fmt.Errorf("baselines: causalrca: nil production snapshot")
+	}
+	ranked := make([]Scored, 0, len(c.services))
+	for _, svc := range c.services {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sum, n := 0.0, 0
+		for _, metric := range c.metrics {
+			data, ok := production.Data[metric]
+			if !ok {
+				continue
+			}
+			y := data[svc]
+			xs := make([][]float64, len(c.parents[svc]))
+			for i, p := range c.parents[svc] {
+				xs[i] = data[p]
+			}
+			mean, _ := residualStats(y, xs, c.coef[metric][svc])
+			std := c.resStd[metric][svc]
+			if std <= 0 || math.IsNaN(mean) || math.IsInf(mean, 0) {
+				continue
+			}
+			sum += math.Abs(mean-c.resMean[metric][svc]) / std
+			n++
+		}
+		score := 0.0
+		if n > 0 {
+			score = sum / float64(n)
+		}
+		ranked = append(ranked, Scored{Service: svc, Score: score})
+	}
+	sortScored(ranked)
+	return ranked, nil
+}
+
+// pearson is the sample correlation over the common finite prefix of two
+// series; NaN when undefined (mismatched support or zero variance).
+func pearson(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	sx, sy, sxx, syy, sxy := 0.0, 0.0, 0.0, 0.0, 0.0
+	m := 0
+	for i := 0; i < n; i++ {
+		x, y := a[i], b[i]
+		if !finite(x) || !finite(y) {
+			continue
+		}
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+		m++
+	}
+	if m < 2 {
+		return math.NaN()
+	}
+	fm := float64(m)
+	cov := sxy - sx*sy/fm
+	vx := sxx - sx*sx/fm
+	vy := syy - sy*sy/fm
+	if vx <= 0 || vy <= 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// fitOLS solves the least-squares problem y ~ [1, xs...] by Gaussian
+// elimination on the normal equations, returning intercept-first weights.
+// Degenerate systems (rank deficiency, all-nonfinite rows) fall back to the
+// mean-only model.
+func fitOLS(y []float64, xs [][]float64) []float64 {
+	p := len(xs) + 1
+	// Rows where y and every regressor are finite.
+	n := len(y)
+	for _, x := range xs {
+		if len(x) < n {
+			n = len(x)
+		}
+	}
+	var rows [][]float64
+	for i := 0; i < n; i++ {
+		if !finite(y[i]) {
+			continue
+		}
+		ok := true
+		row := make([]float64, p+1)
+		row[0] = 1
+		for j, x := range xs {
+			if !finite(x[i]) {
+				ok = false
+				break
+			}
+			row[j+1] = x[i]
+		}
+		if !ok {
+			continue
+		}
+		row[p] = y[i]
+		rows = append(rows, row)
+	}
+	meanOnly := func() []float64 {
+		w := make([]float64, p)
+		sum, m := 0.0, 0
+		for _, v := range y {
+			if finite(v) {
+				sum += v
+				m++
+			}
+		}
+		if m > 0 {
+			w[0] = sum / float64(m)
+		}
+		return w
+	}
+	if len(rows) < p {
+		return meanOnly()
+	}
+	// Normal equations A w = b with A = XᵀX, b = Xᵀy.
+	a := make([][]float64, p)
+	for i := range a {
+		a[i] = make([]float64, p+1)
+	}
+	for _, row := range rows {
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			a[i][p] += row[i] * row[p]
+		}
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < p; col++ {
+		pivot := col
+		for r := col + 1; r < p; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return meanOnly()
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		for r := 0; r < p; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for j := col; j <= p; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	w := make([]float64, p)
+	for i := 0; i < p; i++ {
+		w[i] = a[i][p] / a[i][i]
+		if !finite(w[i]) {
+			return meanOnly()
+		}
+	}
+	return w
+}
+
+// residualStats returns the mean and standard deviation of the model's
+// residuals on (y, xs); NaN mean when no finite row exists.
+func residualStats(y []float64, xs [][]float64, w []float64) (mean, std float64) {
+	n := len(y)
+	for _, x := range xs {
+		if len(x) < n {
+			n = len(x)
+		}
+	}
+	sum, sumSq, m := 0.0, 0.0, 0
+	for i := 0; i < n; i++ {
+		if !finite(y[i]) {
+			continue
+		}
+		pred := w[0]
+		ok := true
+		for j, x := range xs {
+			if !finite(x[i]) {
+				ok = false
+				break
+			}
+			pred += w[j+1] * x[i]
+		}
+		if !ok {
+			continue
+		}
+		r := y[i] - pred
+		sum += r
+		sumSq += r * r
+		m++
+	}
+	if m == 0 {
+		return math.NaN(), 0
+	}
+	mean = sum / float64(m)
+	variance := sumSq/float64(m) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance)
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,242 @@
+package baselines
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"causalfl/internal/core"
+	"causalfl/internal/metrics"
+)
+
+// PCGraph is a PC-algorithm-style competitor: it learns ONE undirected
+// dependency skeleton from fault-free data by conditional-independence
+// testing (Fisher-z on correlations, conditioning sets of size ≤ 1) and
+// localizes by scoring anomalous services by how central they are in the
+// anomalous subgraph. This is the "single causal graph learned
+// observationally" family (PC / Ψ-FCI in the related work) — exactly the
+// assumption the paper's §VI-B refutes with the single-world ablation,
+// here built as a real structure-learning competitor rather than a
+// degenerate configuration of the paper's own learner.
+type PCGraph struct {
+	// Alpha is the significance level for both the CI tests and the
+	// anomaly detection (zero means core.DefaultAlpha).
+	Alpha float64
+
+	services []string
+	baseline *metrics.Snapshot
+	// neighbors is the learned skeleton's adjacency (symmetric).
+	neighbors map[string]map[string]bool
+}
+
+var _ RankedTechnique = (*PCGraph)(nil)
+
+// Name implements Technique.
+func (p *PCGraph) Name() string { return "pc-single-graph" }
+
+// Train implements Technique: skeleton learning on the fault-free baseline;
+// interventional datasets are deliberately ignored (the family's defining
+// limitation).
+func (p *PCGraph) Train(ctx context.Context, baseline *metrics.Snapshot, _ map[string]*metrics.Snapshot) error {
+	if baseline == nil {
+		return fmt.Errorf("baselines: pc-single-graph: nil baseline")
+	}
+	if err := baseline.Validate(); err != nil {
+		return err
+	}
+	p.baseline = baseline.Clone()
+	p.services = append([]string(nil), baseline.Services...)
+	sort.Strings(p.services)
+
+	// One feature vector per service: all metric series z-scored and
+	// concatenated, so the CI tests see a service's whole behaviour.
+	feats := make(map[string][]float64, len(p.services))
+	for _, svc := range p.services {
+		var feat []float64
+		for _, metric := range baseline.Metrics {
+			feat = append(feat, zscored(baseline.Data[metric][svc])...)
+		}
+		feats[svc] = feat
+	}
+
+	alpha := p.Alpha
+	if alpha == 0 {
+		alpha = core.DefaultAlpha
+	}
+	// PC skeleton, order 0 then order 1: start complete, drop the edge
+	// (i,j) if i ⫫ j or i ⫫ j | k for any single k, judged by Fisher-z.
+	corr := func(a, b string) float64 { return pearson(feats[a], feats[b]) }
+	adj := make(map[string]map[string]bool, len(p.services))
+	for _, svc := range p.services {
+		adj[svc] = make(map[string]bool)
+	}
+	sampleN := 0
+	for _, f := range feats {
+		if len(f) > sampleN {
+			sampleN = len(f)
+		}
+	}
+	for i, a := range p.services {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, b := range p.services[i+1:] {
+			rab := corr(a, b)
+			if independent(rab, sampleN, 0, alpha) {
+				continue
+			}
+			sep := false
+			for _, k := range p.services {
+				if k == a || k == b {
+					continue
+				}
+				rp := partialCorr(rab, corr(a, k), corr(b, k))
+				if independent(rp, sampleN, 1, alpha) {
+					sep = true
+					break
+				}
+			}
+			if !sep {
+				adj[a][b] = true
+				adj[b][a] = true
+			}
+		}
+	}
+	p.neighbors = adj
+	return nil
+}
+
+// Localize implements Technique: the top-scoring tie group of the ranking,
+// falling back to every service when nothing is anomalous.
+func (p *PCGraph) Localize(ctx context.Context, production *metrics.Snapshot) ([]string, error) {
+	ranked, err := p.LocalizeRanked(ctx, production)
+	if err != nil {
+		return nil, err
+	}
+	best := 0.0
+	for _, s := range ranked {
+		if s.Score > best {
+			best = s.Score
+		}
+	}
+	var winners []string
+	if best > 0 {
+		for _, s := range ranked {
+			//vet:allow floateq -- scores are small exact integers (1 + neighbor count); the tie group is exact by construction
+			if s.Score == best {
+				winners = append(winners, s.Service)
+			}
+		}
+	} else {
+		winners = append([]string(nil), p.services...)
+	}
+	sort.Strings(winners)
+	return winners, nil
+}
+
+// LocalizeRanked implements RankedTechnique: anomalous services score
+// 1 + the number of anomalous skeleton neighbors (hub-of-the-anomalous-
+// subgraph centrality); healthy services score 0.
+func (p *PCGraph) LocalizeRanked(ctx context.Context, production *metrics.Snapshot) ([]Scored, error) {
+	if p.neighbors == nil {
+		return nil, fmt.Errorf("baselines: pc-single-graph: Localize before Train")
+	}
+	alpha := p.Alpha
+	if alpha == 0 {
+		alpha = core.DefaultAlpha
+	}
+	anom, err := jointAnomalies(ctx, alpha, p.baseline, production)
+	if err != nil {
+		return nil, err
+	}
+	ranked := make([]Scored, 0, len(p.services))
+	for _, svc := range p.services {
+		score := 0.0
+		if anom[svc] {
+			score = 1
+			for n := range p.neighbors[svc] {
+				if anom[n] {
+					score++
+				}
+			}
+		}
+		ranked = append(ranked, Scored{Service: svc, Score: score})
+	}
+	sortScored(ranked)
+	return ranked, nil
+}
+
+// Neighbors exposes the learned skeleton (sorted) for tests and reports.
+func (p *PCGraph) Neighbors(svc string) []string {
+	var out []string
+	for n := range p.neighbors[svc] {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// zscored standardizes a series; zero-variance or empty series map to zeros
+// and non-finite samples to 0 so degraded telemetry cannot poison the CI
+// statistics.
+func zscored(x []float64) []float64 {
+	sum, m := 0.0, 0
+	for _, v := range x {
+		if finite(v) {
+			sum += v
+			m++
+		}
+	}
+	out := make([]float64, len(x))
+	if m == 0 {
+		return out
+	}
+	mean := sum / float64(m)
+	sumSq := 0.0
+	for _, v := range x {
+		if finite(v) {
+			d := v - mean
+			sumSq += d * d
+		}
+	}
+	std := math.Sqrt(sumSq / float64(m))
+	if std == 0 {
+		return out
+	}
+	for i, v := range x {
+		if finite(v) {
+			out[i] = (v - mean) / std
+		}
+	}
+	return out
+}
+
+// partialCorr is the first-order partial correlation of a and b given k.
+func partialCorr(rab, rak, rbk float64) float64 {
+	den := math.Sqrt((1 - rak*rak) * (1 - rbk*rbk))
+	if den == 0 || math.IsNaN(den) {
+		return 0
+	}
+	return (rab - rak*rbk) / den
+}
+
+// independent reports whether the (partial) correlation r over n samples
+// with |S| = order conditioning variables fails to reject independence at
+// level alpha, via the Fisher z-transform's normal approximation.
+func independent(r float64, n, order int, alpha float64) bool {
+	if math.IsNaN(r) {
+		return true
+	}
+	if r >= 1 || r <= -1 {
+		return false
+	}
+	df := float64(n-order) - 3
+	if df < 1 {
+		return true
+	}
+	z := 0.5 * math.Log((1+r)/(1-r)) * math.Sqrt(df)
+	// Two-sided p-value from the standard normal survival function.
+	pval := math.Erfc(math.Abs(z) / math.Sqrt2)
+	return pval > alpha
+}

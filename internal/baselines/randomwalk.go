@@ -1,0 +1,211 @@
+package baselines
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"causalfl/internal/apps"
+	"causalfl/internal/core"
+	"causalfl/internal/metrics"
+)
+
+// RandomWalk is the random-walk-over-call-graph competitor (the
+// MonitorRank/MicroCause family in the related work): a personalized
+// PageRank on the call graph with edges reversed (walkers move from callers
+// toward callees, i.e. toward the presumed fault origin), teleport mass
+// concentrated on anomalous services, and edge weights biased toward
+// anomalous neighbors. The stationary distribution ranks suspects.
+//
+// The walk is computed by fixed-iteration power iteration — fully
+// deterministic, no random number generator — so identical inputs always
+// produce identical rankings.
+type RandomWalk struct {
+	// Edges is the static call topology from the app catalog.
+	Edges []apps.Edge
+	// Alpha is the anomaly-detection significance level (zero means
+	// core.DefaultAlpha).
+	Alpha float64
+	// Damping is the PageRank damping factor (zero means 0.85).
+	Damping float64
+
+	services []string
+	baseline *metrics.Snapshot
+	// out[svc] lists the reversed-edge successors: the callees of svc,
+	// toward which walkers move in search of the origin.
+	out map[string][]string
+}
+
+const (
+	defaultDamping    = 0.85
+	walkIterations    = 50
+	anomalyEdgeWeight = 4.0
+)
+
+var _ RankedTechnique = (*RandomWalk)(nil)
+
+// Name implements Technique.
+func (r *RandomWalk) Name() string { return "randomwalk-pagerank" }
+
+// Train implements Technique: retains the fault-free baseline for anomaly
+// detection and indexes the reversed call graph; interventional datasets
+// are ignored.
+func (r *RandomWalk) Train(_ context.Context, baseline *metrics.Snapshot, _ map[string]*metrics.Snapshot) error {
+	if baseline == nil {
+		return fmt.Errorf("baselines: randomwalk: nil baseline")
+	}
+	if len(r.Edges) == 0 {
+		return fmt.Errorf("baselines: randomwalk: no topology edges")
+	}
+	if err := baseline.Validate(); err != nil {
+		return err
+	}
+	r.baseline = baseline.Clone()
+	r.services = append([]string(nil), baseline.Services...)
+	sort.Strings(r.services)
+	r.out = make(map[string][]string)
+	known := make(map[string]bool, len(r.services))
+	for _, svc := range r.services {
+		known[svc] = true
+	}
+	for _, e := range r.Edges {
+		if !known[e.From] || !known[e.To] {
+			continue
+		}
+		r.out[e.From] = append(r.out[e.From], e.To)
+	}
+	for svc := range r.out {
+		sort.Strings(r.out[svc])
+	}
+	return nil
+}
+
+// Localize implements Technique: the leading tie group of the PageRank
+// ranking (scores compared at a small tolerance, since power iteration is
+// floating-point).
+func (r *RandomWalk) Localize(ctx context.Context, production *metrics.Snapshot) ([]string, error) {
+	ranked, err := r.LocalizeRanked(ctx, production)
+	if err != nil {
+		return nil, err
+	}
+	if len(ranked) == 0 {
+		return nil, nil
+	}
+	best := ranked[0].Score
+	var winners []string
+	for _, s := range ranked {
+		if s.Score >= best*(1-1e-9) {
+			winners = append(winners, s.Service)
+		}
+	}
+	sort.Strings(winners)
+	return winners, nil
+}
+
+// LocalizeRanked implements RankedTechnique: the stationary distribution of
+// the anomaly-personalized walk.
+func (r *RandomWalk) LocalizeRanked(ctx context.Context, production *metrics.Snapshot) ([]Scored, error) {
+	if r.baseline == nil {
+		return nil, fmt.Errorf("baselines: randomwalk: Localize before Train")
+	}
+	alpha := r.Alpha
+	if alpha == 0 {
+		alpha = core.DefaultAlpha
+	}
+	counts, err := anomalyCounts(ctx, alpha, r.baseline, production)
+	if err != nil {
+		return nil, err
+	}
+
+	idx := make(map[string]int, len(r.services))
+	for i, svc := range r.services {
+		idx[svc] = i
+	}
+	n := len(r.services)
+
+	// Teleport vector: anomaly counts normalized; uniform when nothing is
+	// anomalous (the walk then degenerates to plain topology PageRank).
+	tele := make([]float64, n)
+	total := 0.0
+	for svc, c := range counts {
+		if i, ok := idx[svc]; ok {
+			tele[i] = float64(c)
+			total += float64(c)
+		}
+	}
+	if total == 0 {
+		for i := range tele {
+			tele[i] = 1
+		}
+		total = float64(n)
+	}
+	for i := range tele {
+		tele[i] /= total
+	}
+
+	// Transition weights on reversed call edges, boosted toward anomalous
+	// callees; dangling nodes teleport.
+	type edge struct {
+		to int
+		w  float64
+	}
+	trans := make([][]edge, n)
+	for svc, callees := range r.out {
+		i := idx[svc]
+		sum := 0.0
+		row := make([]edge, 0, len(callees))
+		for _, callee := range callees {
+			w := 1.0
+			if counts[callee] > 0 {
+				w = anomalyEdgeWeight
+			}
+			row = append(row, edge{idx[callee], w})
+			sum += w
+		}
+		for k := range row {
+			row[k].w /= sum
+		}
+		trans[i] = row
+	}
+
+	d := r.Damping
+	if d == 0 {
+		d = defaultDamping
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	copy(rank, tele)
+	for it := 0; it < walkIterations; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for i := range next {
+			next[i] = (1 - d) * tele[i]
+		}
+		for i, row := range trans {
+			if len(row) == 0 {
+				// Dangling: redistribute via the teleport vector.
+				for j := range next {
+					next[j] += d * rank[i] * tele[j]
+				}
+				continue
+			}
+			for _, e := range row {
+				next[e.to] += d * rank[i] * e.w
+			}
+		}
+		rank, next = next, rank
+	}
+
+	ranked := make([]Scored, 0, n)
+	for i, svc := range r.services {
+		score := rank[i]
+		if math.IsNaN(score) || math.IsInf(score, 0) {
+			score = 0
+		}
+		ranked = append(ranked, Scored{Service: svc, Score: score})
+	}
+	sortScored(ranked)
+	return ranked, nil
+}

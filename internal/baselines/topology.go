@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -41,7 +42,7 @@ func (t *TopologyRCA) Name() string { return "topology-rca[14]" }
 // Train implements Technique: only the fault-free baseline is retained;
 // interventional datasets are deliberately ignored (the technique's whole
 // point is that it needs none).
-func (t *TopologyRCA) Train(baseline *metrics.Snapshot, _ map[string]*metrics.Snapshot) error {
+func (t *TopologyRCA) Train(_ context.Context, baseline *metrics.Snapshot, _ map[string]*metrics.Snapshot) error {
 	if baseline == nil {
 		return fmt.Errorf("baselines: topology-rca: nil baseline")
 	}
@@ -60,7 +61,7 @@ func (t *TopologyRCA) Train(baseline *metrics.Snapshot, _ map[string]*metrics.Sn
 }
 
 // Localize implements Technique.
-func (t *TopologyRCA) Localize(production *metrics.Snapshot) ([]string, error) {
+func (t *TopologyRCA) Localize(ctx context.Context, production *metrics.Snapshot) ([]string, error) {
 	if t.baseline == nil {
 		return nil, fmt.Errorf("baselines: topology-rca: Localize before Train")
 	}
@@ -68,7 +69,7 @@ func (t *TopologyRCA) Localize(production *metrics.Snapshot) ([]string, error) {
 	if alpha == 0 {
 		alpha = core.DefaultAlpha
 	}
-	anom, err := jointAnomalies(alpha, t.baseline, production)
+	anom, err := jointAnomalies(ctx, alpha, t.baseline, production)
 	if err != nil {
 		return nil, err
 	}

@@ -33,7 +33,7 @@ func topoFixture(t *testing.T) (*TopologyRCA, *metrics.Snapshot, *metrics.Snapsh
 	baseline := mk(nil)
 	production := mk(map[string]bool{"a": true, "b": true, "c": true})
 	rca := &TopologyRCA{Edges: []apps.Edge{{From: "a", To: "b"}, {From: "b", To: "c"}}}
-	if err := rca.Train(baseline, nil); err != nil {
+	if err := rca.Train(ctx, baseline, nil); err != nil {
 		t.Fatal(err)
 	}
 	return rca, baseline, production
@@ -41,7 +41,7 @@ func topoFixture(t *testing.T) (*TopologyRCA, *metrics.Snapshot, *metrics.Snapsh
 
 func TestTopologyRCABlamesAnomalyFrontier(t *testing.T) {
 	rca, _, production := topoFixture(t)
-	got, err := rca.Localize(production)
+	got, err := rca.Localize(ctx, production)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestTopologyRCABlamesAnomalyFrontier(t *testing.T) {
 
 func TestTopologyRCAHealthyData(t *testing.T) {
 	rca, baseline, _ := topoFixture(t)
-	got, err := rca.Localize(baseline)
+	got, err := rca.Localize(ctx, baseline)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,15 +67,15 @@ func TestTopologyRCAHealthyData(t *testing.T) {
 
 func TestTopologyRCAValidation(t *testing.T) {
 	rca := &TopologyRCA{}
-	if err := rca.Train(nil, nil); err == nil {
+	if err := rca.Train(ctx, nil, nil); err == nil {
 		t.Error("nil baseline accepted")
 	}
-	if _, err := rca.Localize(nil); err == nil {
+	if _, err := rca.Localize(ctx, nil); err == nil {
 		t.Error("Localize before Train accepted")
 	}
 	f := &fixture{rng: rand.New(rand.NewSource(1))}
 	noEdges := &TopologyRCA{}
-	if err := noEdges.Train(f.snapshot(nil), nil); err == nil {
+	if err := noEdges.Train(ctx, f.snapshot(nil), nil); err == nil {
 		t.Error("empty topology accepted")
 	}
 }
@@ -95,10 +95,10 @@ func TestTopologyRCACycle(t *testing.T) {
 		return snap
 	}
 	rca := &TopologyRCA{Edges: []apps.Edge{{From: "p", To: "q"}, {From: "q", To: "p"}}}
-	if err := rca.Train(mk(0), nil); err != nil {
+	if err := rca.Train(ctx, mk(0), nil); err != nil {
 		t.Fatal(err)
 	}
-	got, err := rca.Localize(mk(9))
+	got, err := rca.Localize(ctx, mk(9))
 	if err != nil {
 		t.Fatal(err)
 	}

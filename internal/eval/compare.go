@@ -52,13 +52,13 @@ func CompareTechniquesSplit(ctx context.Context, trainCfg, testCfg Config, techn
 
 	scores := make([]TechniqueScore, 0, len(techniques))
 	for _, tech := range techniques {
-		if err := tech.Train(data.Baseline, data.Interventions); err != nil {
+		if err := tech.Train(ctx, data.Baseline, data.Interventions); err != nil {
 			return nil, fmt.Errorf("eval: compare: train %s: %w", tech.Name(), err)
 		}
 		correct := 0
 		var info float64
 		for _, tc := range cases {
-			candidates, err := tech.Localize(tc.Production)
+			candidates, err := tech.Localize(ctx, tc.Production)
 			if err != nil {
 				return nil, fmt.Errorf("eval: compare: localize %s on fault %s: %w", tech.Name(), tc.Target, err)
 			}

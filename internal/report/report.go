@@ -12,6 +12,7 @@ import (
 
 	"causalfl/internal/apps/causalbench"
 	"causalfl/internal/apps/robotshop"
+	"causalfl/internal/arena"
 	"causalfl/internal/eval"
 	"causalfl/internal/parallel"
 )
@@ -83,6 +84,16 @@ func Sections() []Section {
 		}},
 		{"Extension — counterfactual repair", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
 			return eval.RunRepairExtension(ctx, o)
+		}},
+		{"Extension — baseline arena", func(ctx context.Context, o eval.Options) (fmt.Stringer, error) {
+			// The arena keeps its virtual per-cell clock (Clock nil) so the
+			// section body is byte-stable across regenerations; the section's
+			// own wall timing below still reports the host cost.
+			return arena.Run(ctx, arena.Options{
+				Seed:    o.Seed,
+				Quick:   o.Quick,
+				Workers: o.Workers,
+			})
 		}},
 	}
 }
